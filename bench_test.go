@@ -1,0 +1,481 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus ablations of the design choices called out in
+// DESIGN.md and micro-benchmarks of the hot paths.
+//
+// Each experiment benchmark regenerates its table/figure per iteration and
+// reports the headline quantities as benchmark metrics (percentages scaled
+// ×100). Run with -v to also see the rendered rows.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable1Heat -v        # rendered table
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+	"repro/internal/fsmodel"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// benchConfig keeps the paper's kernel sizes but trims the thread axis so
+// the full suite completes in minutes; cmd/fsrepro regenerates the full
+// eight-point axis.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Threads = []int{2, 8, 48}
+	return cfg
+}
+
+func reportTable(b *testing.B, t *experiments.TableResult) {
+	b.Helper()
+	last := t.Rows[len(t.Rows)-1]
+	b.ReportMetric(last.MeasuredPct*100, "measured-%")
+	b.ReportMetric(last.ModeledPct*100, "modeled-%")
+	b.ReportMetric(float64(last.NFS), "N_fs")
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + buf.String())
+}
+
+func reportPrediction(b *testing.B, t *experiments.PredictionTableResult) {
+	b.Helper()
+	last := t.Rows[len(t.Rows)-1]
+	b.ReportMetric(float64(last.PredFS), "pred-FS")
+	b.ReportMetric(float64(last.ModelFS), "model-FS")
+	b.ReportMetric(last.R2FS, "R2")
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + buf.String())
+}
+
+// BenchmarkTable1Heat regenerates Table I: measured vs modeled FS overhead
+// for the heat diffusion kernel.
+func BenchmarkTable1Heat(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table(cfg, "heat")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportTable(b, t)
+		}
+	}
+}
+
+// BenchmarkTable2DFT regenerates Table II for the DFT kernel.
+func BenchmarkTable2DFT(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table(cfg, "dft")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportTable(b, t)
+		}
+	}
+}
+
+// BenchmarkTable3LinReg regenerates Table III for the linear-regression
+// kernel (the paper's divergent case).
+func BenchmarkTable3LinReg(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table(cfg, "linreg")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportTable(b, t)
+		}
+	}
+}
+
+// BenchmarkTable4HeatPrediction regenerates Table IV: linear-regression
+// prediction vs full model, heat kernel, 20 chunk runs.
+func BenchmarkTable4HeatPrediction(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.PredictionTable(cfg, "heat")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPrediction(b, t)
+		}
+	}
+}
+
+// BenchmarkTable5DFTPrediction regenerates Table V (DFT, 50 chunk runs).
+func BenchmarkTable5DFTPrediction(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.PredictionTable(cfg, "dft")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPrediction(b, t)
+		}
+	}
+}
+
+// BenchmarkTable6LinRegPrediction regenerates Table VI (linreg, 10 runs).
+func BenchmarkTable6LinRegPrediction(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.PredictionTable(cfg, "linreg")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPrediction(b, t)
+		}
+	}
+}
+
+// BenchmarkFig2ChunkSweep regenerates Figure 2: execution time vs chunk
+// size for the linear-regression kernel.
+func BenchmarkFig2ChunkSweep(b *testing.B) {
+	cfg := benchConfig()
+	chunks := []int64{1, 2, 4, 8, 12, 16, 20, 24, 30}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2ChunkSweep(cfg, 8, chunks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.ImprovementPct*100, "improvement-%")
+			var buf bytes.Buffer
+			if err := res.Render(&buf); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// BenchmarkFig6Linearity regenerates Figure 6: FS cases vs chunk runs,
+// with the linearity (R²) of the series as the reported metric.
+func BenchmarkFig6Linearity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6Linearity(cfg, "heat", 8, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Series[0].Fit.R2, "R2")
+			b.ReportMetric(res.Series[0].Fit.A, "FS-per-run")
+			var buf bytes.Buffer
+			if err := res.Render(&buf); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// BenchmarkFig8HeatSummary regenerates Figure 8 (measured vs modeled vs
+// predicted, heat).
+func BenchmarkFig8HeatSummary(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FigSummary(cfg, "heat")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.Measured*100, "measured-%")
+			b.ReportMetric(last.Modeled*100, "modeled-%")
+			b.ReportMetric(last.Predicted*100, "predicted-%")
+			var buf bytes.Buffer
+			if err := res.Render(&buf); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// BenchmarkFig9DFTSummary regenerates Figure 9 (same, DFT).
+func BenchmarkFig9DFTSummary(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FigSummary(cfg, "dft")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.Measured*100, "measured-%")
+			b.ReportMetric(last.Modeled*100, "modeled-%")
+			b.ReportMetric(last.Predicted*100, "predicted-%")
+			var buf bytes.Buffer
+			if err := res.Render(&buf); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationAssociativity compares the paper's fully-associative
+// cache states against 16-way set-associative ones: the FS counts should
+// coincide (the paper's justification for the simplification), at
+// different modeling cost.
+func BenchmarkAblationAssociativity(b *testing.B) {
+	kern, err := kernels.LinReg(256, 1024, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, assoc := range []int64{0, 16} {
+		name := "fully-assoc"
+		if assoc > 0 {
+			name = "16-way"
+		}
+		b.Run(name, func(b *testing.B) {
+			var fs int64
+			for i := 0; i < b.N; i++ {
+				res, err := fsmodel.Analyze(kern.Nest, fsmodel.Options{
+					Machine: machine.Paper48(), NumThreads: 8, Chunk: 1, Associativity: assoc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs = res.FSCases
+			}
+			b.ReportMetric(float64(fs), "FS-cases")
+		})
+	}
+}
+
+// BenchmarkAblationPhiVsMESI compares the paper's ϕ counting with the
+// MESI-faithful variant on a mixed read/write victim.
+func BenchmarkAblationPhiVsMESI(b *testing.B) {
+	kern, err := kernels.Heat(48, 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []fsmodel.CountingMode{fsmodel.CountPaperPhi, fsmodel.CountMESI} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var fs, inv int64
+			for i := 0; i < b.N; i++ {
+				res, err := fsmodel.Analyze(kern.Nest, fsmodel.Options{
+					Machine: machine.Paper48(), NumThreads: 8, Chunk: 1, Counting: mode,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs, inv = res.FSCases, res.Invalidations
+			}
+			b.ReportMetric(float64(fs), "FS-cases")
+			b.ReportMetric(float64(inv), "invalidations")
+		})
+	}
+}
+
+// BenchmarkAblationPredictionSamples measures prediction error and cost as
+// the number of sampled chunk runs grows.
+func BenchmarkAblationPredictionSamples(b *testing.B) {
+	kern, err := kernels.Heat(48, 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := fsmodel.Options{Machine: machine.Paper48(), NumThreads: 8, Chunk: 1}
+	full, err := fsmodel.Analyze(kern.Nest, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, runs := range []int64{5, 20, 80} {
+		b.Run(benchName("runs", runs), func(b *testing.B) {
+			var errPct float64
+			for i := 0; i < b.N; i++ {
+				p, err := fsmodel.Predict(kern.Nest, opts, runs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				errPct = 100 * float64(p.PredictedFS-full.FSCases) / float64(full.FSCases)
+			}
+			b.ReportMetric(errPct, "error-%")
+		})
+	}
+}
+
+// BenchmarkAblationStackDepth compares unbounded cache states against the
+// machine's private-cache depth and a severely truncated one.
+func BenchmarkAblationStackDepth(b *testing.B) {
+	kern, err := kernels.DFT(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{-1, 0, 64} {
+		name := "machine"
+		switch {
+		case depth < 0:
+			name = "unbounded"
+		case depth > 0:
+			name = benchName("lines", int64(depth))
+		}
+		b.Run(name, func(b *testing.B) {
+			var fs int64
+			for i := 0; i < b.N; i++ {
+				res, err := fsmodel.Analyze(kern.Nest, fsmodel.Options{
+					Machine: machine.Paper48(), NumThreads: 8, Chunk: 1, StackDepth: depth,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs = res.FSCases
+			}
+			b.ReportMetric(float64(fs), "FS-cases")
+		})
+	}
+}
+
+// --- Hot-path micro-benchmarks ---
+
+// BenchmarkModelPerAccess measures the FS model's per-access cost, the
+// quantity that bounds how large a loop the compiler can afford to model.
+func BenchmarkModelPerAccess(b *testing.B) {
+	kern, err := kernels.Heat(48, 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := fsmodel.Analyze(kern.Nest, fsmodel.Options{Machine: machine.Paper48(), NumThreads: 8, Chunk: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	accessesPerRun := res.Accesses
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fsmodel.Analyze(kern.Nest, fsmodel.Options{Machine: machine.Paper48(), NumThreads: 8, Chunk: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(accessesPerRun), "ns/access")
+}
+
+// BenchmarkSimulatorPerAccess measures the MESI simulator's per-access
+// cost.
+func BenchmarkSimulatorPerAccess(b *testing.B) {
+	kern, err := kernels.Heat(48, 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := sim.Run(kern.Nest, sim.Options{Machine: machine.Paper48(), NumThreads: 8, Chunk: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	accesses := st.Accesses
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(kern.Nest, sim.Options{Machine: machine.Paper48(), NumThreads: 8, Chunk: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(accesses), "ns/access")
+}
+
+// BenchmarkParseAndLower measures front-end cost on the largest kernel
+// source.
+func BenchmarkParseAndLower(b *testing.B) {
+	src := kernels.LinRegSource(9600, 76800, 48)
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, v int64) string {
+	return prefix + "-" + itoa(v)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{byte('0' + v%10)}, buf...)
+		v /= 10
+	}
+	return string(buf)
+}
+
+// BenchmarkAblationCacheModel compares the Open64-style footprint cache
+// model against the stack-distance (reuse-distance) refinement on the
+// heat kernel: accuracy vs modeling cost.
+func BenchmarkAblationCacheModel(b *testing.B) {
+	kern, err := kernels.Heat(48, 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.Paper48()
+	b.Run("footprint", func(b *testing.B) {
+		var per float64
+		for i := 0; i < b.N; i++ {
+			per, _ = costmodel.CacheModel(kern.Nest, m)
+		}
+		b.ReportMetric(per, "cycles/iter")
+	})
+	b.Run("reuse-distance", func(b *testing.B) {
+		var per float64
+		for i := 0; i < b.N; i++ {
+			rd, err := costmodel.CacheModelReuseDistance(kern.Nest, m, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			per = rd.CachePerIter
+		}
+		b.ReportMetric(per, "cycles/iter")
+	})
+}
+
+// BenchmarkAblationBusContention measures the paper's future-work bus
+// interference extension: the same streaming loop with and without the
+// shared-bus model, at two team sizes.
+func BenchmarkAblationBusContention(b *testing.B) {
+	kern, err := kernels.DFT(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, threads := range []int{4, 48} {
+		for _, bus := range []bool{false, true} {
+			name := benchName("threads", int64(threads)) + "-nobus"
+			if bus {
+				name = benchName("threads", int64(threads)) + "-bus"
+			}
+			b.Run(name, func(b *testing.B) {
+				var wall float64
+				for i := 0; i < b.N; i++ {
+					st, err := sim.Run(kern.Nest, sim.Options{
+						Machine: machine.Paper48(), NumThreads: threads, Chunk: 16,
+						ModelBusContention: bus,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					wall = st.WallCycles
+				}
+				b.ReportMetric(wall, "wall-cycles")
+			})
+		}
+	}
+}

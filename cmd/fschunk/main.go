@@ -1,0 +1,113 @@
+// Command fschunk is the model-guided schedule tuner the paper proposes as
+// the compiler's use of the FS cost model: it evaluates candidate
+// schedule(static,chunk) chunk sizes with the combined cost model
+// (Equation 1) and reports the cheapest, optionally cross-checking each
+// candidate against the machine simulator.
+//
+// Usage:
+//
+//	fschunk -kernel linreg -threads 8
+//	fschunk -threads 16 -max 64 -verify file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/kernels"
+)
+
+type config struct {
+	threads  int
+	nest     int
+	maxChunk int64
+	verify   bool
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.threads, "threads", 8, "thread count")
+	kernel := flag.String("kernel", "", "tune a built-in kernel (heat, dft, linreg)")
+	flag.IntVar(&cfg.nest, "nest", 0, "loop nest index to tune")
+	flag.Int64Var(&cfg.maxChunk, "max", 128, "largest chunk size candidate (powers of two up to this)")
+	flag.BoolVar(&cfg.verify, "verify", false, "cross-check candidates on the machine simulator")
+	flag.Parse()
+
+	src, err := loadSource(*kernel, cfg.threads, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if err := tune(src, cfg, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func loadSource(kernel string, threads int, args []string) (string, error) {
+	switch {
+	case kernel != "":
+		k, err := kernels.ByName(kernel, threads)
+		if err != nil {
+			return "", err
+		}
+		return k.Source, nil
+	case len(args) == 1:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	return "", fmt.Errorf("usage: fschunk [flags] file.c  (or -kernel heat|dft|linreg)")
+}
+
+// tune evaluates the candidate chunks and writes the recommendation.
+func tune(src string, cfg config, w io.Writer) error {
+	prog, err := repro.Parse(src)
+	if err != nil {
+		return err
+	}
+	var candidates []int64
+	for c := int64(1); c <= cfg.maxChunk; c *= 2 {
+		candidates = append(candidates, c)
+	}
+	opts := repro.Options{Threads: cfg.threads}
+	rec, err := prog.RecommendChunk(cfg.nest, opts, candidates)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	if cfg.verify {
+		fmt.Fprintln(tw, "chunk\tmodeled FS cases\tmodeled cycles\tsimulated seconds\t")
+	} else {
+		fmt.Fprintln(tw, "chunk\tmodeled FS cases\tmodeled cycles\t")
+	}
+	for _, c := range rec.Evaluated {
+		if cfg.verify {
+			o := opts
+			o.Chunk = c.Chunk
+			simRep, err := prog.Simulate(cfg.nest, o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.6f\t\n", c.Chunk, c.FSCases, c.TotalCycles, simRep.Seconds)
+		} else {
+			fmt.Fprintf(tw, "%d\t%d\t%.0f\t\n", c.Chunk, c.FSCases, c.TotalCycles)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nrecommended: schedule(static,%d)  (modeled %d FS cases, %.0f cycles)\n",
+		rec.Chunk, rec.FSCases, rec.TotalCycles)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fschunk:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const victim = `
+#define N 256
+double a[N];
+#pragma omp parallel for num_threads(4)
+for (i = 0; i < N; i++) a[i] += 1.0;
+`
+
+func TestTuneRecommendsAlignedChunk(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tune(victim, config{threads: 4, maxChunk: 16}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "recommended: schedule(static,") {
+		t.Fatalf("no recommendation:\n%s", out)
+	}
+	// Chunks 8 and 16 (64- and 128-byte strides) are the FS-free options;
+	// the recommendation must be one of them.
+	if !strings.Contains(out, "schedule(static,8)") && !strings.Contains(out, "schedule(static,16)") {
+		t.Fatalf("recommendation not FS-free:\n%s", out)
+	}
+}
+
+func TestTuneVerify(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tune(victim, config{threads: 4, maxChunk: 8, verify: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "simulated seconds") {
+		t.Fatalf("verify column missing:\n%s", buf.String())
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tune("garbage(", config{threads: 4, maxChunk: 4}, &buf); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := loadSource("", 4, nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+	if _, err := loadSource("nope", 4, nil); err == nil {
+		t.Fatal("expected unknown kernel error")
+	}
+}

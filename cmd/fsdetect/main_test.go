@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDetectBuiltinLinReg(t *testing.T) {
+	src, err := loadSource("linreg", 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := detect(src, config{threads: 8, chunk: 1, recommend: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"false-sharing cases",
+		"victim: tid_args",
+		"recommendation: schedule(static,",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The points array is read-only shared and must not be blamed.
+	if strings.Contains(out, "victim: points") {
+		t.Errorf("points wrongly blamed:\n%s", out)
+	}
+}
+
+func TestDetectFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "victim.c")
+	src := `
+#define N 256
+double a[N];
+#pragma omp parallel for schedule(static,1) num_threads(4)
+for (i = 0; i < N; i++) a[i] += 1.0;
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadSource("", 4, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != src {
+		t.Fatal("file contents mismatch")
+	}
+	var buf bytes.Buffer
+	if err := detect(got, config{threads: 4, chunk: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "victim: a[i]") {
+		t.Errorf("missing victim attribution:\n%s", buf.String())
+	}
+}
+
+func TestDetectSequentialNest(t *testing.T) {
+	var buf bytes.Buffer
+	err := detect(`
+double a[8];
+for (i = 0; i < 8; i++) a[i] = 1.0;
+`, config{threads: 4, chunk: 1}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no false sharing possible") {
+		t.Errorf("sequential nest not reported:\n%s", buf.String())
+	}
+}
+
+func TestDetectParseError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := detect("for (i = 0; j < 4; i++) x = 1;", config{}, &buf); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestLoadSourceErrors(t *testing.T) {
+	if _, err := loadSource("", 4, nil); err == nil {
+		t.Fatal("no input should error")
+	}
+	if _, err := loadSource("bogus", 4, nil); err == nil {
+		t.Fatal("unknown kernel should error")
+	}
+	if _, err := loadSource("", 4, []string{"/nonexistent/file.c"}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestDetectJSON(t *testing.T) {
+	src := `
+#define N 256
+double a[N];
+#pragma omp parallel for schedule(static,1) num_threads(4)
+for (i = 0; i < N; i++) a[i] += 1.0;
+`
+	var buf bytes.Buffer
+	if err := detect(src, config{threads: 4, chunk: 1, recommend: true, jsonOut: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var reports []jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(reports) != 1 || !reports[0].Parallel {
+		t.Fatalf("reports = %+v", reports)
+	}
+	r := reports[0]
+	// The compound += issues the read first, so the read reference absorbs
+	// the FS attribution for its line.
+	if r.FSCases == 0 || r.FSShare <= 0 || len(r.Victims) != 1 || r.Victims[0].Symbol != "a" {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.RecommendedChunk < 8 {
+		t.Fatalf("recommended chunk = %d", r.RecommendedChunk)
+	}
+}
+
+func TestDetectHotLines(t *testing.T) {
+	src := `
+#define N 64
+double a[N];
+#pragma omp parallel for schedule(static,1) num_threads(4)
+for (i = 0; i < N; i++) a[i] += 1.0;
+`
+	var buf bytes.Buffer
+	if err := detect(src, config{threads: 4, chunk: 1, lines: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hot line: a+") {
+		t.Fatalf("hot lines missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,113 @@
+// Command fsrepro regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	fsrepro -exp all            # everything (Tables I–VI, Figures 2/6/8/9)
+//	fsrepro -exp table1         # one experiment
+//	fsrepro -exp fig2 -quick    # scaled-down configuration
+//
+// Experiment names: table1 table2 table3 table4 table5 table6 fig2 fig6
+// fig8 fig9 linesize modelcost all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fsmodel"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1..table6, fig2, fig6, fig8, fig9, all)")
+	quick := flag.Bool("quick", false, "use the scaled-down quick configuration")
+	mesi := flag.Bool("mesi", false, "use MESI-faithful FS counting instead of the paper's ϕ")
+	threads := flag.String("threads", "", "comma-separated thread counts (default 2,4,8,16,24,32,40,48)")
+	format := flag.String("format", "text", "output format: text, csv or json")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *mesi {
+		cfg.Counting = fsmodel.CountMESI
+	}
+	if *threads != "" {
+		cfg.Threads = nil
+		for _, f := range strings.Split(*threads, ",") {
+			var t int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &t); err != nil {
+				fatalf("bad -threads value %q: %v", f, err)
+			}
+			cfg.Threads = append(cfg.Threads, t)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig6", "fig8", "fig9", "linesize", "modelcost"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := runFormat(cfg, name, os.Stdout, *format); err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(cfg experiments.Config, name string, w io.Writer) error {
+	return runFormat(cfg, name, w, "text")
+}
+
+func runFormat(cfg experiments.Config, name string, w io.Writer, format string) error {
+	res, err := produce(cfg, name)
+	if err != nil {
+		return err
+	}
+	return experiments.Export(w, res, format)
+}
+
+// produce computes the named experiment's result.
+func produce(cfg experiments.Config, name string) (experiments.Exportable, error) {
+	switch name {
+	case "table1", "table2", "table3":
+		return experiments.Table(cfg, kernelOf(name))
+	case "table4", "table5", "table6":
+		return experiments.PredictionTable(cfg, kernelOf(name))
+	case "fig2":
+		return experiments.Fig2ChunkSweep(cfg, 8, nil)
+	case "fig6":
+		return experiments.Fig6Linearity(cfg, "heat", 8, 0)
+	case "fig8":
+		return experiments.FigSummary(cfg, "heat")
+	case "fig9":
+		return experiments.FigSummary(cfg, "dft")
+	case "linesize":
+		return experiments.LineSizeSweep(cfg, 8, 4, nil)
+	case "modelcost":
+		return experiments.ModelingCost(cfg, 8, 20, nil)
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}
+
+func kernelOf(table string) string {
+	switch table {
+	case "table1", "table4":
+		return "heat"
+	case "table2", "table5":
+		return "dft"
+	default:
+		return "linreg"
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fsrepro: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestKernelOf(t *testing.T) {
+	cases := map[string]string{
+		"table1": "heat", "table4": "heat",
+		"table2": "dft", "table5": "dft",
+		"table3": "linreg", "table6": "linreg",
+	}
+	for table, want := range cases {
+		if got := kernelOf(table); got != want {
+			t.Errorf("kernelOf(%s) = %s, want %s", table, got, want)
+		}
+	}
+}
+
+func TestRunAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment sweep in -short mode")
+	}
+	cfg := experiments.QuickConfig()
+	for _, name := range []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig6", "fig8", "fig9",
+	} {
+		if err := run(cfg, name, io.Discard); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunFig2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping fig2 sweep in -short mode")
+	}
+	// fig2 sweeps 30 chunk sizes; run it separately so failures are
+	// attributable.
+	if err := run(experiments.QuickConfig(), "fig2", io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(experiments.QuickConfig(), "table99", io.Discard); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}

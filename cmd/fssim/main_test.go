@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const victim = `
+#define N 512
+double a[N];
+#pragma omp parallel for schedule(static,1) num_threads(4)
+for (i = 0; i < N; i++) a[i] += 1.0;
+`
+
+func TestSimulateSingleChunk(t *testing.T) {
+	var buf bytes.Buffer
+	if err := simulate(victim, config{threads: 4, chunk: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"chunk=1:", "coherence misses=", "accesses="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulateCompare(t *testing.T) {
+	var buf bytes.Buffer
+	if err := simulate(victim, config{threads: 4, chunk: 1, compare: 8}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "chunk=8:") || !strings.Contains(out, "FS effect") {
+		t.Errorf("compare output incomplete:\n%s", out)
+	}
+}
+
+func TestSimulateKernelSource(t *testing.T) {
+	src, err := loadSource("heat", 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := simulate(src, config{threads: 4, chunk: 64}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := simulate("garbage(", config{}, &buf); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if err := simulate(victim, config{threads: 4, chunk: 1, nest: 3}, &buf); err == nil {
+		t.Fatal("expected nest index error")
+	}
+	if _, err := loadSource("", 4, nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+}

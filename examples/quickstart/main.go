@@ -1,0 +1,68 @@
+// Quickstart: analyze a small OpenMP loop for false sharing at compile
+// time, predict the total from a few chunk runs, and ask the model for a
+// better chunk size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The victim loop: four threads increment neighbouring elements of a
+// float64 array. With schedule(static,1) adjacent iterations — and hence
+// adjacent array elements on the same 64-byte cache line — run on
+// different threads, so every write invalidates the neighbours' caches.
+const src = `
+#define N 4096
+
+double sums[N];
+double data[N];
+
+#pragma omp parallel for private(i) schedule(static,1) num_threads(4)
+for (i = 0; i < N; i++)
+    sums[i] += data[i] * data[i];
+`
+
+func main() {
+	prog, err := repro.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. The compile-time FS cost model (paper Section III).
+	rep, err := prog.Analyze(0, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schedule(static,%d) on %d threads:\n", rep.Chunk, rep.Threads)
+	fmt.Printf("  modeled false-sharing cases: %d (%.2f per iteration)\n", rep.FSCases, rep.FSPerIteration)
+	fmt.Printf("  modeled share of time lost to false sharing: %.1f%%\n", rep.FSShare*100)
+
+	// 2. The linear-regression prediction model (Section III-E): same
+	// answer from evaluating only a few chunk runs.
+	pred, err := prog.Predict(0, repro.Options{}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  predicted from %d of %d chunk runs: %d cases (R²=%.4f, %.0fx less modeling work)\n",
+		pred.SampledRuns, pred.TotalRuns, pred.PredictedFS, pred.R2, pred.SpeedupFactor)
+
+	// 3. Model-guided tuning: what chunk size should the compiler pick?
+	rec, err := prog.RecommendChunk(0, repro.Options{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  recommended schedule(static,%d): FS cases drop to %d\n", rec.Chunk, rec.FSCases)
+
+	// 4. Cross-check on the simulated 48-core machine.
+	for _, chunk := range []int64{1, rec.Chunk} {
+		sim, err := prog.Simulate(0, repro.Options{Chunk: chunk})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  simulated chunk=%-3d : %.6f s, %d coherence misses\n",
+			chunk, sim.Seconds, sim.CoherenceMisses)
+	}
+}

@@ -1,0 +1,244 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fsmodel"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestModelEqualsSimulatorOnRandomKernels cross-validates the two halves
+// of the reproduction: for randomly generated small write-sharing loops
+// whose working sets fit in the private caches, the compile-time model's
+// FS count must equal the MESI simulator's coherence-miss count exactly —
+// both count "accesses served by a remote Modified copy".
+func TestModelEqualsSimulatorOnRandomKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(2012))
+	for trial := 0; trial < 40; trial++ {
+		n := int64(64 + r.Intn(8)*64)  // 64..512 elements
+		stride := int64(1 + r.Intn(3)) // subscript coefficient
+		chunk := int64(1 + r.Intn(4))  // schedule chunk
+		threads := 2 + r.Intn(3)       // 2..4 threads
+		writeBoth := r.Intn(2) == 1
+
+		body := fmt.Sprintf("a[%d * i] += 1.0;", stride)
+		if writeBoth {
+			body = fmt.Sprintf("a[%d * i] += 1.0;\n    b[i] = a[%d * i];", stride, stride)
+		}
+		src := fmt.Sprintf(`
+#define N %d
+double a[%d];
+double b[N];
+#pragma omp parallel for schedule(static,%d) num_threads(%d)
+for (i = 0; i < N; i++) {
+    %s
+}
+`, n, n*stride, chunk, threads, body)
+
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v", trial, err)
+		}
+		a, err := prog.Analyze(0, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: analyze: %v", trial, err)
+		}
+		s, err := prog.Simulate(0, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: simulate: %v", trial, err)
+		}
+		if a.FSCases != s.CoherenceMisses {
+			t.Fatalf("trial %d (n=%d stride=%d chunk=%d threads=%d both=%v): model %d != sim %d",
+				trial, n, stride, chunk, threads, writeBoth, a.FSCases, s.CoherenceMisses)
+		}
+	}
+}
+
+// TestSingleThreadHasNoFS: with one thread there is no other cache state
+// for ϕ to find, in either the model or the simulator.
+func TestSingleThreadHasNoFS(t *testing.T) {
+	kern, err := kernels.LinReg(32, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fsmodel.Analyze(kern.Nest, fsmodel.Options{
+		Machine: machine.Paper48(), NumThreads: 1, Chunk: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FSCases != 0 {
+		t.Fatalf("single-thread FS = %d", res.FSCases)
+	}
+	st, err := sim.Run(kern.Nest, sim.Options{Machine: machine.Paper48(), NumThreads: 1, Chunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CoherenceMisses != 0 || st.Invalidations != 0 {
+		t.Fatalf("single-thread sim coherence = %d/%d", st.CoherenceMisses, st.Invalidations)
+	}
+}
+
+// TestPaperKernelsModelVsSimulatorAgreement: on the real paper kernels the
+// FS counts and coherence misses track each other closely even where exact
+// equality is not guaranteed (reads, multi-line structs, partial chunks).
+func TestPaperKernelsModelVsSimulatorAgreement(t *testing.T) {
+	cases := []struct {
+		name  string
+		nest  func() (*kernels.Kernel, error)
+		chunk int64
+	}{
+		{"heat", func() (*kernels.Kernel, error) { return kernels.Heat(16, 512) }, 1},
+		{"dft", func() (*kernels.Kernel, error) { return kernels.DFT(128) }, 1},
+		{"linreg", func() (*kernels.Kernel, error) { return kernels.LinReg(64, 256, 4) }, 1},
+	}
+	for _, c := range cases {
+		kern, err := c.nest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fsmodel.Analyze(kern.Nest, fsmodel.Options{
+			Machine: machine.Paper48(), NumThreads: 4, Chunk: c.chunk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run(kern.Nest, sim.Options{Machine: machine.Paper48(), NumThreads: 4, Chunk: c.chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(res.FSCases) / float64(st.CoherenceMisses)
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%s: model %d vs sim %d (ratio %.3f)", c.name, res.FSCases, st.CoherenceMisses, ratio)
+		}
+	}
+}
+
+// TestRecommendationImprovesSimulatedTime closes the loop the paper
+// motivates: applying the model's recommended chunk makes the simulated
+// program faster for every kernel.
+func TestRecommendationImprovesSimulatedTime(t *testing.T) {
+	for _, name := range kernels.Names() {
+		kern, err := kernels.ByName(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Parse(kern.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Threads: 8}
+		rec, err := prog.RecommendChunk(0, opts, []int64{1, 2, 4, 8, 16, 32, 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := opts
+		bad.Chunk = 1
+		good := opts
+		good.Chunk = rec.Chunk
+		sBad, err := prog.Simulate(0, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sGood, err := prog.Simulate(0, good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sGood.Seconds >= sBad.Seconds {
+			t.Errorf("%s: recommended chunk %d (%.6fs) not faster than chunk 1 (%.6fs)",
+				name, rec.Chunk, sGood.Seconds, sBad.Seconds)
+		}
+	}
+}
+
+// TestMatMulIsFSFree: the negative control — row-parallel matrix multiply
+// shares arrays but never cache lines, so both detector and simulator
+// must report zero FS at any chunk size.
+func TestMatMulIsFSFree(t *testing.T) {
+	kern, err := kernels.MatMul(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int64{1, 3, 8} {
+		res, err := fsmodel.Analyze(kern.Nest, fsmodel.Options{
+			Machine: machine.Paper48(), NumThreads: 4, Chunk: chunk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FSCases != 0 {
+			t.Fatalf("chunk %d: model FS = %d, want 0", chunk, res.FSCases)
+		}
+		st, err := sim.Run(kern.Nest, sim.Options{Machine: machine.Paper48(), NumThreads: 4, Chunk: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CoherenceMisses != 0 {
+			t.Fatalf("chunk %d: sim coherence misses = %d, want 0", chunk, st.CoherenceMisses)
+		}
+	}
+}
+
+// TestTestdataPrograms analyzes every committed sample program and checks
+// the expected verdicts: the victims false-share, clean.c does not.
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected sample programs, found %v", files)
+	}
+	wantFS := map[string]bool{
+		"victim.c":         true,
+		"accumulators.c":   true,
+		"stencil.c":        true,
+		"clean.c":          false,
+		"runtime_bounds.c": true,
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Parse(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		base := filepath.Base(path)
+		want, known := wantFS[base]
+		if !known {
+			t.Fatalf("no expectation for %s — add one", base)
+		}
+		info, err := prog.Nest(0)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		var fs int64
+		if len(info.SymbolicParams) > 0 {
+			rate, err := prog.AnalyzeRate(0, Options{Threads: 8}, 8)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			fs = rate.FSCases
+		} else {
+			a, err := prog.Analyze(0, Options{Threads: 8})
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			fs = a.FSCases
+		}
+		if want && fs == 0 {
+			t.Errorf("%s: expected false sharing, found none", base)
+		}
+		if !want && fs != 0 {
+			t.Errorf("%s: expected clean, found %d FS cases", base, fs)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package affine implements affine (linear + constant) integer expressions
+// over named variables, the representation used for loop bounds and array
+// subscript functions throughout the loop IR.
+//
+// An affine expression has the form
+//
+//	c0 + c1*v1 + c2*v2 + ... + cn*vn
+//
+// where the ci are int64 coefficients and the vi are variable names (loop
+// induction variables in practice). The false-sharing cost model and the
+// cache cost model both rely on subscripts being affine: the byte offset of
+// every array reference must be expressible in this form so that cache-line
+// ownership can be computed at compile time.
+package affine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an immutable affine expression. The zero value is the constant 0.
+//
+// Terms maps variable name to coefficient. Variables with coefficient zero
+// are never stored, so two equal expressions always have identical maps.
+type Expr struct {
+	ConstTerm int64
+	Terms     map[string]int64
+}
+
+// Const returns the affine expression consisting of just the constant c.
+func Const(c int64) Expr { return Expr{ConstTerm: c} }
+
+// Var returns the affine expression 1*name.
+func Var(name string) Expr {
+	return Expr{Terms: map[string]int64{name: 1}}
+}
+
+// Term returns the affine expression coeff*name.
+func Term(coeff int64, name string) Expr {
+	if coeff == 0 {
+		return Expr{}
+	}
+	return Expr{Terms: map[string]int64{name: coeff}}
+}
+
+// clone returns a deep copy of e with a private Terms map that is safe to
+// mutate. The map is always non-nil in the result.
+func (e Expr) clone() Expr {
+	out := Expr{ConstTerm: e.ConstTerm, Terms: make(map[string]int64, len(e.Terms))}
+	for v, c := range e.Terms {
+		out.Terms[v] = c
+	}
+	return out
+}
+
+// normalize removes zero-coefficient terms and nils out an empty map so that
+// structurally equal expressions compare equal with Equal.
+func (e Expr) normalize() Expr {
+	for v, c := range e.Terms {
+		if c == 0 {
+			delete(e.Terms, v)
+		}
+	}
+	if len(e.Terms) == 0 {
+		e.Terms = nil
+	}
+	return e
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	out := e.clone()
+	out.ConstTerm += o.ConstTerm
+	for v, c := range o.Terms {
+		out.Terms[v] += c
+	}
+	return out.normalize()
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr {
+	out := e.clone()
+	out.ConstTerm -= o.ConstTerm
+	for v, c := range o.Terms {
+		out.Terms[v] -= c
+	}
+	return out.normalize()
+}
+
+// Neg returns -e.
+func (e Expr) Neg() Expr {
+	out := e.clone()
+	out.ConstTerm = -out.ConstTerm
+	for v := range out.Terms {
+		out.Terms[v] = -out.Terms[v]
+	}
+	return out.normalize()
+}
+
+// MulConst returns k*e.
+func (e Expr) MulConst(k int64) Expr {
+	if k == 0 {
+		return Expr{}
+	}
+	out := e.clone()
+	out.ConstTerm *= k
+	for v := range out.Terms {
+		out.Terms[v] *= k
+	}
+	return out.normalize()
+}
+
+// Mul returns e*o if at least one operand is a constant; the second result
+// reports whether the product is affine. The product of two non-constant
+// affine expressions is quadratic and therefore rejected.
+func (e Expr) Mul(o Expr) (Expr, bool) {
+	if e.IsConst() {
+		return o.MulConst(e.ConstTerm), true
+	}
+	if o.IsConst() {
+		return e.MulConst(o.ConstTerm), true
+	}
+	return Expr{}, false
+}
+
+// IsConst reports whether e has no variable terms.
+func (e Expr) IsConst() bool { return len(e.Terms) == 0 }
+
+// IsZero reports whether e is the constant 0.
+func (e Expr) IsZero() bool { return e.ConstTerm == 0 && len(e.Terms) == 0 }
+
+// ConstValue returns the constant value of e and whether e is constant.
+func (e Expr) ConstValue() (int64, bool) {
+	if e.IsConst() {
+		return e.ConstTerm, true
+	}
+	return 0, false
+}
+
+// Coeff returns the coefficient of variable name (zero if absent).
+func (e Expr) Coeff(name string) int64 { return e.Terms[name] }
+
+// Vars returns the variable names with non-zero coefficients, sorted.
+func (e Expr) Vars() []string {
+	out := make([]string, 0, len(e.Terms))
+	for v := range e.Terms {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DependsOn reports whether e mentions variable name.
+func (e Expr) DependsOn(name string) bool {
+	_, ok := e.Terms[name]
+	return ok
+}
+
+// Eval evaluates e in the given environment. Variables missing from env
+// cause an error so that lowering bugs surface instead of silently reading
+// zero.
+func (e Expr) Eval(env map[string]int64) (int64, error) {
+	total := e.ConstTerm
+	for v, c := range e.Terms {
+		val, ok := env[v]
+		if !ok {
+			return 0, fmt.Errorf("affine: variable %q not bound in environment", v)
+		}
+		total += c * val
+	}
+	return total, nil
+}
+
+// MustEval is Eval that panics on unbound variables. It is intended for hot
+// paths where the caller has already validated the environment.
+func (e Expr) MustEval(env map[string]int64) int64 {
+	total := e.ConstTerm
+	for v, c := range e.Terms {
+		val, ok := env[v]
+		if !ok {
+			panic(fmt.Sprintf("affine: variable %q not bound in environment", v))
+		}
+		total += c * val
+	}
+	return total
+}
+
+// Substitute returns e with every occurrence of name replaced by repl.
+func (e Expr) Substitute(name string, repl Expr) Expr {
+	c, ok := e.Terms[name]
+	if !ok {
+		return e
+	}
+	out := e.clone()
+	delete(out.Terms, name)
+	return out.normalize().Add(repl.MulConst(c))
+}
+
+// Equal reports whether e and o denote the same affine function.
+func (e Expr) Equal(o Expr) bool {
+	if e.ConstTerm != o.ConstTerm || len(e.Terms) != len(o.Terms) {
+		return false
+	}
+	for v, c := range e.Terms {
+		if o.Terms[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders e in canonical form, e.g. "8*i + 64*j + 16".
+func (e Expr) String() string {
+	var b strings.Builder
+	first := true
+	for _, v := range e.Vars() {
+		c := e.Terms[v]
+		switch {
+		case first && c == 1:
+			b.WriteString(v)
+		case first && c == -1:
+			b.WriteString("-" + v)
+		case first:
+			fmt.Fprintf(&b, "%d*%s", c, v)
+		case c == 1:
+			b.WriteString(" + " + v)
+		case c == -1:
+			b.WriteString(" - " + v)
+		case c > 0:
+			fmt.Fprintf(&b, " + %d*%s", c, v)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -c, v)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&b, "%d", e.ConstTerm)
+	case e.ConstTerm > 0:
+		fmt.Fprintf(&b, " + %d", e.ConstTerm)
+	case e.ConstTerm < 0:
+		fmt.Fprintf(&b, " - %d", -e.ConstTerm)
+	}
+	return b.String()
+}
+
+// Compiled is a flattened, allocation-free evaluator for an Expr against a
+// fixed variable ordering. The false-sharing model evaluates subscript
+// expressions once per array reference per iteration, so map lookups in
+// Expr.Eval would dominate; Compiled reduces evaluation to a dot product
+// against a slice of loop-variable values.
+type Compiled struct {
+	Const  int64
+	Coeffs []int64 // Coeffs[k] multiplies value k of the variable ordering
+}
+
+// Compile flattens e against the variable ordering vars. Variables of e not
+// present in vars yield an error.
+func (e Expr) Compile(vars []string) (Compiled, error) {
+	idx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	c := Compiled{Const: e.ConstTerm, Coeffs: make([]int64, len(vars))}
+	for v, coeff := range e.Terms {
+		i, ok := idx[v]
+		if !ok {
+			return Compiled{}, fmt.Errorf("affine: variable %q not in ordering %v", v, vars)
+		}
+		c.Coeffs[i] = coeff
+	}
+	return c, nil
+}
+
+// Eval evaluates the compiled expression against vals, which must have the
+// same length as the ordering passed to Compile.
+func (c Compiled) Eval(vals []int64) int64 {
+	total := c.Const
+	for i, coeff := range c.Coeffs {
+		if coeff != 0 {
+			total += coeff * vals[i]
+		}
+	}
+	return total
+}

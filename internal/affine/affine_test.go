@@ -1,0 +1,257 @@
+package affine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstAndVar(t *testing.T) {
+	c := Const(7)
+	if !c.IsConst() || c.ConstTerm != 7 {
+		t.Fatalf("Const(7) = %v", c)
+	}
+	v := Var("i")
+	if v.IsConst() {
+		t.Fatal("Var is not const")
+	}
+	if v.Coeff("i") != 1 || v.Coeff("j") != 0 {
+		t.Fatalf("Var coeffs wrong: %v", v)
+	}
+	tm := Term(3, "j")
+	if tm.Coeff("j") != 3 {
+		t.Fatalf("Term(3,j) = %v", tm)
+	}
+	if !Term(0, "k").IsZero() {
+		t.Fatal("Term(0,k) should be zero")
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	e := Var("i").MulConst(8).Add(Var("j").MulConst(64)).Add(Const(16))
+	if got := e.String(); got != "8*i + 64*j + 16" {
+		t.Fatalf("String = %q", got)
+	}
+	d := e.Sub(e)
+	if !d.IsZero() {
+		t.Fatalf("e-e = %v", d)
+	}
+	n := e.Neg().Add(e)
+	if !n.IsZero() {
+		t.Fatalf("-e+e = %v", n)
+	}
+}
+
+func TestCancellationRemovesTerms(t *testing.T) {
+	e := Var("i").Add(Var("j")).Sub(Var("j"))
+	if len(e.Terms) != 1 {
+		t.Fatalf("expected j to cancel structurally: %v", e.Terms)
+	}
+	if e.DependsOn("j") {
+		t.Fatal("cancelled variable still reported")
+	}
+}
+
+func TestMul(t *testing.T) {
+	e := Var("i").Add(Const(2))
+	p, ok := e.Mul(Const(3))
+	if !ok {
+		t.Fatal("const multiply should be affine")
+	}
+	if p.Coeff("i") != 3 || p.ConstTerm != 6 {
+		t.Fatalf("3*(i+2) = %v", p)
+	}
+	p2, ok := Const(3).Mul(e)
+	if !ok || !p2.Equal(p) {
+		t.Fatalf("commuted const multiply differs: %v vs %v", p2, p)
+	}
+	if _, ok := e.Mul(Var("j")); ok {
+		t.Fatal("variable*variable must be rejected as non-affine")
+	}
+	z, ok := e.Mul(Const(0))
+	if !ok || !z.IsZero() {
+		t.Fatalf("e*0 = %v", z)
+	}
+}
+
+func TestEval(t *testing.T) {
+	e := Var("i").MulConst(8).Add(Var("j").MulConst(-2)).Add(Const(5))
+	got, err := e.Eval(map[string]int64{"i": 3, "j": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8*3-2*4+5 {
+		t.Fatalf("Eval = %d", got)
+	}
+	if _, err := e.Eval(map[string]int64{"i": 3}); err == nil {
+		t.Fatal("expected error for unbound variable")
+	}
+}
+
+func TestMustEvalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEval should panic on unbound variable")
+		}
+	}()
+	Var("q").MustEval(map[string]int64{})
+}
+
+func TestSubstitute(t *testing.T) {
+	// i := 2*k + 1 in (8*i + j)  =>  16*k + j + 8
+	e := Var("i").MulConst(8).Add(Var("j"))
+	s := e.Substitute("i", Var("k").MulConst(2).Add(Const(1)))
+	want := Var("k").MulConst(16).Add(Var("j")).Add(Const(8))
+	if !s.Equal(want) {
+		t.Fatalf("Substitute = %v, want %v", s, want)
+	}
+	// Substituting an absent variable is a no-op.
+	if !e.Substitute("zz", Const(9)).Equal(e) {
+		t.Fatal("substituting absent variable changed expression")
+	}
+}
+
+func TestVarsSorted(t *testing.T) {
+	e := Var("z").Add(Var("a")).Add(Var("m"))
+	vars := e.Vars()
+	if len(vars) != 3 || vars[0] != "a" || vars[1] != "m" || vars[2] != "z" {
+		t.Fatalf("Vars = %v", vars)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Const(0), "0"},
+		{Const(-3), "-3"},
+		{Var("i"), "i"},
+		{Var("i").Neg(), "-i"},
+		{Var("i").Sub(Var("j")), "i - j"},
+		{Var("i").MulConst(2).Sub(Const(4)), "2*i - 4"},
+		{Var("i").MulConst(-2).Add(Const(4)), "-2*i + 4"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestCompile(t *testing.T) {
+	e := Var("i").MulConst(8).Add(Var("k").MulConst(3)).Add(Const(-2))
+	c, err := e.Compile([]string{"i", "j", "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval([]int64{5, 100, 7}); got != 8*5+3*7-2 {
+		t.Fatalf("compiled eval = %d", got)
+	}
+	if _, err := e.Compile([]string{"i", "j"}); err == nil {
+		t.Fatal("expected error for missing variable in ordering")
+	}
+}
+
+// randomExpr builds a random affine expression over {i,j,k}.
+func randomExpr(r *rand.Rand) Expr {
+	e := Const(r.Int63n(41) - 20)
+	for _, v := range []string{"i", "j", "k"} {
+		if r.Intn(2) == 1 {
+			e = e.Add(Term(r.Int63n(21)-10, v))
+		}
+	}
+	return e
+}
+
+func randomEnv(r *rand.Rand) map[string]int64 {
+	return map[string]int64{
+		"i": r.Int63n(201) - 100,
+		"j": r.Int63n(201) - 100,
+		"k": r.Int63n(201) - 100,
+	}
+}
+
+func TestPropertyAlgebraLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := randomExpr(r), randomExpr(r), randomExpr(r)
+		env := randomEnv(r)
+		ev := func(e Expr) int64 { return e.MustEval(env) }
+
+		if !a.Add(b).Equal(b.Add(a)) {
+			t.Fatalf("commutativity violated: %v + %v", a, b)
+		}
+		if !a.Add(b).Add(c).Equal(a.Add(b.Add(c))) {
+			t.Fatalf("associativity violated")
+		}
+		if ev(a.Add(b)) != ev(a)+ev(b) {
+			t.Fatalf("Eval(a+b) != Eval(a)+Eval(b)")
+		}
+		if ev(a.Sub(b)) != ev(a)-ev(b) {
+			t.Fatalf("Eval(a-b) != Eval(a)-Eval(b)")
+		}
+		k := r.Int63n(11) - 5
+		if ev(a.MulConst(k)) != k*ev(a) {
+			t.Fatalf("Eval(k*a) != k*Eval(a)")
+		}
+		if !a.Sub(a).IsZero() {
+			t.Fatalf("a-a not zero: %v", a.Sub(a))
+		}
+	}
+}
+
+func TestQuickCompiledMatchesEval(t *testing.T) {
+	f := func(ci, cj, ck, c0, vi, vj, vk int16) bool {
+		e := Term(int64(ci), "i").Add(Term(int64(cj), "j")).Add(Term(int64(ck), "k")).Add(Const(int64(c0)))
+		comp, err := e.Compile([]string{"i", "j", "k"})
+		if err != nil {
+			return false
+		}
+		env := map[string]int64{"i": int64(vi), "j": int64(vj), "k": int64(vk)}
+		return comp.Eval([]int64{int64(vi), int64(vj), int64(vk)}) == e.MustEval(env)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubstituteConsistentWithEval(t *testing.T) {
+	// Substituting i := c and evaluating equals evaluating with i=c.
+	f := func(ci, cj, c0, c, vj int16) bool {
+		e := Term(int64(ci), "i").Add(Term(int64(cj), "j")).Add(Const(int64(c0)))
+		s := e.Substitute("i", Const(int64(c)))
+		if s.DependsOn("i") {
+			return false
+		}
+		env := map[string]int64{"i": int64(c), "j": int64(vj)}
+		return s.MustEval(map[string]int64{"j": int64(vj)}) == e.MustEval(env)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompiledEval(b *testing.B) {
+	e := Term(8, "i").Add(Term(4096, "j")).Add(Const(16))
+	c, err := e.Compile([]string{"j", "i"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := []int64{3, 7}
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += c.Eval(vals)
+	}
+	_ = sink
+}
+
+func BenchmarkMapEval(b *testing.B) {
+	e := Term(8, "i").Add(Term(4096, "j")).Add(Const(16))
+	env := map[string]int64{"i": 7, "j": 3}
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += e.MustEval(env)
+	}
+	_ = sink
+}

@@ -1,0 +1,397 @@
+// Package cache provides the cache mechanics shared by the false-sharing
+// cost model and the MESI simulator: cache-line address mapping, a
+// fully-associative LRU stack with per-line dirty state (the paper's
+// per-thread "cache state", Section III-C), and a set-associative LRU cache
+// with MESI line states for the machine simulator.
+package cache
+
+import "fmt"
+
+// LineState is a MESI coherence state.
+type LineState uint8
+
+// MESI states. The paper's model only distinguishes Modified from
+// not-Modified; the simulator uses all four.
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("LineState(%d)", uint8(s))
+}
+
+// LineOf maps a byte address to its cache-line index for the given line
+// size (which must be a power of two).
+func LineOf(addr int64, lineSize int64) int64 { return addr / lineSize }
+
+// LinesTouched returns the first and last line index touched by an access
+// of size bytes at addr (an access can straddle a line boundary).
+func LinesTouched(addr int64, size int32, lineSize int64) (first, last int64) {
+	first = addr / lineSize
+	last = (addr + int64(size) - 1) / lineSize
+	return first, last
+}
+
+type faNode struct {
+	line       int64
+	modified   bool
+	prev, next *faNode
+}
+
+// FullyAssoc is a fully-associative LRU stack of cache lines with a
+// per-line modified flag. It is the paper's "cache state": inserting an
+// element moves it to the top of the stack; when the number of distinct
+// lines exceeds the capacity the bottom (LRU) line is evicted.
+//
+// The zero capacity means unbounded (an infinite stack), used to ablate
+// the effect of finite cache capacity on the model.
+type FullyAssoc struct {
+	capacity   int
+	m          map[int64]*faNode
+	head, tail *faNode // sentinels
+}
+
+// NewFullyAssoc returns an LRU stack holding at most capacity lines
+// (capacity <= 0 means unbounded).
+func NewFullyAssoc(capacity int) *FullyAssoc {
+	f := &FullyAssoc{
+		capacity: capacity,
+		m:        make(map[int64]*faNode),
+		head:     &faNode{},
+		tail:     &faNode{},
+	}
+	f.head.next = f.tail
+	f.tail.prev = f.head
+	return f
+}
+
+// Len returns the number of lines currently in the stack.
+func (f *FullyAssoc) Len() int { return len(f.m) }
+
+// Capacity returns the configured capacity (0 = unbounded).
+func (f *FullyAssoc) Capacity() int { return f.capacity }
+
+func (f *FullyAssoc) unlink(n *faNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (f *FullyAssoc) pushFront(n *faNode) {
+	n.next = f.head.next
+	n.prev = f.head
+	f.head.next.prev = n
+	f.head.next = n
+}
+
+// TouchResult reports what happened during a Touch.
+type TouchResult struct {
+	Hit          bool  // line was already present
+	WasModified  bool  // line was present with the modified flag set
+	Evicted      bool  // an LRU eviction occurred
+	EvictedLine  int64 // the evicted line (valid if Evicted)
+	EvictedDirty bool  // the evicted line was modified
+}
+
+// Touch records an access to line, moving it to the top of the stack
+// (inserting it if absent) and setting the modified flag when write is
+// true. It returns what state the stack was in before the access.
+func (f *FullyAssoc) Touch(line int64, write bool) TouchResult {
+	var res TouchResult
+	if n, ok := f.m[line]; ok {
+		res.Hit = true
+		res.WasModified = n.modified
+		f.unlink(n)
+		f.pushFront(n)
+		if write {
+			n.modified = true
+		}
+		return res
+	}
+	n := &faNode{line: line, modified: write}
+	f.m[line] = n
+	f.pushFront(n)
+	if f.capacity > 0 && len(f.m) > f.capacity {
+		lru := f.tail.prev
+		f.unlink(lru)
+		delete(f.m, lru.line)
+		res.Evicted = true
+		res.EvictedLine = lru.line
+		res.EvictedDirty = lru.modified
+	}
+	return res
+}
+
+// Contains reports whether line is present.
+func (f *FullyAssoc) Contains(line int64) bool {
+	_, ok := f.m[line]
+	return ok
+}
+
+// IsModified reports whether line is present with the modified flag set.
+// This is the paper's ϕ predicate evaluated against one cache state.
+func (f *FullyAssoc) IsModified(line int64) bool {
+	n, ok := f.m[line]
+	return ok && n.modified
+}
+
+// Downgrade clears the modified flag of line if present (a coherence
+// downgrade after a remote read of a modified line).
+func (f *FullyAssoc) Downgrade(line int64) {
+	if n, ok := f.m[line]; ok {
+		n.modified = false
+	}
+}
+
+// Invalidate removes line from the stack if present (a coherence
+// invalidation after a remote write) and reports whether it was present.
+func (f *FullyAssoc) Invalidate(line int64) bool {
+	n, ok := f.m[line]
+	if !ok {
+		return false
+	}
+	f.unlink(n)
+	delete(f.m, line)
+	return true
+}
+
+// Distance returns the stack distance of line: the number of distinct
+// lines above it in the stack (0 for the most recently used line), or -1
+// if absent. O(distance).
+func (f *FullyAssoc) Distance(line int64) int {
+	n, ok := f.m[line]
+	if !ok {
+		return -1
+	}
+	d := 0
+	for p := f.head.next; p != n; p = p.next {
+		d++
+	}
+	return d
+}
+
+// Lines returns the lines from most to least recently used. Intended for
+// tests and diagnostics.
+func (f *FullyAssoc) Lines() []int64 {
+	out := make([]int64, 0, len(f.m))
+	for p := f.head.next; p != f.tail; p = p.next {
+		out = append(out, p.line)
+	}
+	return out
+}
+
+// Reset empties the stack.
+func (f *FullyAssoc) Reset() {
+	f.m = make(map[int64]*faNode)
+	f.head.next = f.tail
+	f.tail.prev = f.head
+}
+
+// Geometry describes a cache level.
+type Geometry struct {
+	SizeBytes int64
+	LineSize  int64
+	Assoc     int64 // ways per set; 0 = fully associative
+}
+
+// NumSets returns the number of sets implied by the geometry.
+func (g Geometry) NumSets() int64 {
+	if g.LineSize <= 0 {
+		return 0
+	}
+	lines := g.SizeBytes / g.LineSize
+	if g.Assoc <= 0 || g.Assoc >= lines {
+		return 1
+	}
+	return lines / g.Assoc
+}
+
+// Lines returns the total line count of the cache.
+func (g Geometry) Lines() int64 {
+	if g.LineSize <= 0 {
+		return 0
+	}
+	return g.SizeBytes / g.LineSize
+}
+
+// Validate checks the geometry for consistency.
+func (g Geometry) Validate() error {
+	if g.SizeBytes <= 0 || g.LineSize <= 0 {
+		return fmt.Errorf("cache: geometry must have positive size and line size (got %d/%d)", g.SizeBytes, g.LineSize)
+	}
+	if g.LineSize&(g.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d is not a power of two", g.LineSize)
+	}
+	if g.SizeBytes%g.LineSize != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", g.SizeBytes, g.LineSize)
+	}
+	return nil
+}
+
+type way struct {
+	line    int64
+	state   LineState
+	lastUse uint64
+}
+
+// SetAssoc is a set-associative LRU cache with MESI line states, used for
+// the private caches of the machine simulator.
+type SetAssoc struct {
+	geom  Geometry
+	sets  [][]way
+	clock uint64
+}
+
+// NewSetAssoc builds a cache with the given geometry.
+func NewSetAssoc(geom Geometry) (*SetAssoc, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := geom.NumSets()
+	ways := geom.Lines() / numSets
+	s := &SetAssoc{geom: geom, sets: make([][]way, numSets)}
+	for i := range s.sets {
+		s.sets[i] = make([]way, ways)
+	}
+	return s, nil
+}
+
+// Geometry returns the cache geometry.
+func (s *SetAssoc) Geometry() Geometry { return s.geom }
+
+func (s *SetAssoc) setOf(line int64) []way {
+	// Set counts need not be powers of two (e.g. a 10 MB L3), so index by
+	// modulo rather than masking.
+	idx := line % int64(len(s.sets))
+	if idx < 0 {
+		idx += int64(len(s.sets))
+	}
+	return s.sets[idx]
+}
+
+// State returns the MESI state of line (Invalid if absent).
+func (s *SetAssoc) State(line int64) LineState {
+	set := s.setOf(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == line {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// Access looks up line, refreshing LRU on hit. It returns the hit state
+// (Invalid on miss).
+func (s *SetAssoc) Access(line int64) LineState {
+	s.clock++
+	set := s.setOf(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == line {
+			set[i].lastUse = s.clock
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// SetState updates the MESI state of a resident line; it reports whether
+// the line was resident.
+func (s *SetAssoc) SetState(line int64, st LineState) bool {
+	set := s.setOf(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == line {
+			if st == Invalid {
+				set[i] = way{}
+				return true
+			}
+			set[i].state = st
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a line displaced by Fill.
+type Eviction struct {
+	Line  int64
+	State LineState
+}
+
+// Fill installs line with the given state, evicting the LRU way of its set
+// if necessary. The returned eviction is valid when ok is true.
+func (s *SetAssoc) Fill(line int64, st LineState) (ev Eviction, ok bool) {
+	s.clock++
+	set := s.setOf(line)
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if set[i].lastUse < oldest {
+			oldest = set[i].lastUse
+			victim = i
+		}
+	}
+	w := &set[victim]
+	if w.state != Invalid {
+		ev = Eviction{Line: w.line, State: w.state}
+		ok = true
+	}
+	*w = way{line: line, state: st, lastUse: s.clock}
+	return ev, ok
+}
+
+// Invalidate removes line, reporting its prior state.
+func (s *SetAssoc) Invalidate(line int64) LineState {
+	set := s.setOf(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == line {
+			st := set[i].state
+			set[i] = way{}
+			return st
+		}
+	}
+	return Invalid
+}
+
+// CountState returns the number of resident lines in the given state.
+func (s *SetAssoc) CountState(st LineState) int {
+	n := 0
+	for _, set := range s.sets {
+		for i := range set {
+			if set[i].state == st {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResidentLines returns all resident line indices. For tests.
+func (s *SetAssoc) ResidentLines() []int64 {
+	var out []int64
+	for _, set := range s.sets {
+		for i := range set {
+			if set[i].state != Invalid {
+				out = append(out, set[i].line)
+			}
+		}
+	}
+	return out
+}

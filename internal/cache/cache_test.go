@@ -1,0 +1,322 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0, 64) != 0 || LineOf(63, 64) != 0 || LineOf(64, 64) != 1 {
+		t.Fatal("LineOf wrong")
+	}
+	first, last := LinesTouched(60, 8, 64)
+	if first != 0 || last != 1 {
+		t.Fatalf("straddling access lines = %d..%d", first, last)
+	}
+	first, last = LinesTouched(64, 8, 64)
+	if first != 1 || last != 1 {
+		t.Fatalf("aligned access lines = %d..%d", first, last)
+	}
+}
+
+func TestLineStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Fatal("state names wrong")
+	}
+}
+
+func TestFullyAssocBasics(t *testing.T) {
+	f := NewFullyAssoc(3)
+	r := f.Touch(1, false)
+	if r.Hit || r.Evicted {
+		t.Fatalf("first touch = %+v", r)
+	}
+	r = f.Touch(1, true)
+	if !r.Hit || r.WasModified {
+		t.Fatalf("second touch = %+v", r)
+	}
+	if !f.IsModified(1) {
+		t.Fatal("line 1 should be modified after write")
+	}
+	r = f.Touch(1, false)
+	if !r.Hit || !r.WasModified {
+		t.Fatalf("read of modified = %+v", r)
+	}
+	if !f.IsModified(1) {
+		t.Fatal("own read must not clear modified")
+	}
+}
+
+func TestFullyAssocLRUEviction(t *testing.T) {
+	f := NewFullyAssoc(2)
+	f.Touch(1, true)
+	f.Touch(2, false)
+	r := f.Touch(3, false) // evicts 1 (LRU)
+	if !r.Evicted || r.EvictedLine != 1 || !r.EvictedDirty {
+		t.Fatalf("eviction = %+v", r)
+	}
+	if f.Contains(1) {
+		t.Fatal("line 1 should be gone")
+	}
+	// Touch 2 to refresh, then insert 4: 3 is now LRU.
+	f.Touch(2, false)
+	r = f.Touch(4, false)
+	if !r.Evicted || r.EvictedLine != 3 {
+		t.Fatalf("eviction = %+v", r)
+	}
+}
+
+func TestFullyAssocMoveToFront(t *testing.T) {
+	f := NewFullyAssoc(0)
+	f.Touch(1, false)
+	f.Touch(2, false)
+	f.Touch(3, false)
+	if got := f.Lines(); got[0] != 3 || got[2] != 1 {
+		t.Fatalf("MRU order = %v", got)
+	}
+	f.Touch(1, false)
+	if got := f.Lines(); got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("after re-touch order = %v", got)
+	}
+	if f.Distance(1) != 0 || f.Distance(2) != 2 || f.Distance(99) != -1 {
+		t.Fatalf("distances = %d %d %d", f.Distance(1), f.Distance(2), f.Distance(99))
+	}
+}
+
+func TestFullyAssocUnboundedNeverEvicts(t *testing.T) {
+	f := NewFullyAssoc(0)
+	for i := int64(0); i < 10000; i++ {
+		if r := f.Touch(i, false); r.Evicted {
+			t.Fatal("unbounded stack must not evict")
+		}
+	}
+	if f.Len() != 10000 {
+		t.Fatalf("len = %d", f.Len())
+	}
+}
+
+func TestFullyAssocDowngradeInvalidate(t *testing.T) {
+	f := NewFullyAssoc(0)
+	f.Touch(7, true)
+	f.Downgrade(7)
+	if f.IsModified(7) {
+		t.Fatal("downgrade failed")
+	}
+	if !f.Contains(7) {
+		t.Fatal("downgrade must not remove the line")
+	}
+	if !f.Invalidate(7) {
+		t.Fatal("invalidate should report presence")
+	}
+	if f.Contains(7) {
+		t.Fatal("invalidate failed")
+	}
+	if f.Invalidate(7) {
+		t.Fatal("double invalidate should report absence")
+	}
+	// Downgrade/invalidate of absent lines are no-ops.
+	f.Downgrade(123)
+}
+
+func TestFullyAssocReset(t *testing.T) {
+	f := NewFullyAssoc(4)
+	f.Touch(1, true)
+	f.Touch(2, false)
+	f.Reset()
+	if f.Len() != 0 || f.Contains(1) {
+		t.Fatal("reset failed")
+	}
+	f.Touch(3, false)
+	if f.Len() != 1 {
+		t.Fatal("stack unusable after reset")
+	}
+}
+
+// TestPropertyFullyAssocMatchesNaive compares the DLL implementation with a
+// naive slice-based LRU on random access streams.
+func TestPropertyFullyAssocMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		capacity := r.Intn(8) + 1
+		f := NewFullyAssoc(capacity)
+		type entry struct {
+			line int64
+			mod  bool
+		}
+		var naive []entry // index 0 = MRU
+		find := func(line int64) int {
+			for i := range naive {
+				if naive[i].line == line {
+					return i
+				}
+			}
+			return -1
+		}
+		for step := 0; step < 500; step++ {
+			line := int64(r.Intn(12))
+			write := r.Intn(2) == 1
+			res := f.Touch(line, write)
+
+			idx := find(line)
+			wantHit := idx >= 0
+			if res.Hit != wantHit {
+				t.Fatalf("hit mismatch on line %d", line)
+			}
+			if wantHit {
+				e := naive[idx]
+				if res.WasModified != e.mod {
+					t.Fatalf("modified mismatch on line %d", line)
+				}
+				naive = append(naive[:idx], naive[idx+1:]...)
+				e.mod = e.mod || write
+				naive = append([]entry{e}, naive...)
+			} else {
+				naive = append([]entry{{line: line, mod: write}}, naive...)
+				if len(naive) > capacity {
+					victim := naive[len(naive)-1]
+					naive = naive[:len(naive)-1]
+					if !res.Evicted || res.EvictedLine != victim.line || res.EvictedDirty != victim.mod {
+						t.Fatalf("eviction mismatch: got %+v want %+v", res, victim)
+					}
+				} else if res.Evicted {
+					t.Fatal("unexpected eviction")
+				}
+			}
+			if f.Len() != len(naive) {
+				t.Fatalf("len mismatch: %d vs %d", f.Len(), len(naive))
+			}
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	g := Geometry{SizeBytes: 64 << 10, LineSize: 64, Assoc: 2}
+	if g.Lines() != 1024 || g.NumSets() != 512 {
+		t.Fatalf("lines/sets = %d/%d", g.Lines(), g.NumSets())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Fully associative geometry: one set.
+	fa := Geometry{SizeBytes: 4096, LineSize: 64, Assoc: 0}
+	if fa.NumSets() != 1 {
+		t.Fatalf("fully assoc sets = %d", fa.NumSets())
+	}
+	bad := []Geometry{
+		{SizeBytes: 0, LineSize: 64},
+		{SizeBytes: 4096, LineSize: 60},
+		{SizeBytes: 4100, LineSize: 64},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("geometry %+v should be invalid", b)
+		}
+	}
+	// Non-power-of-two set counts are allowed (10 MB L3).
+	l3 := Geometry{SizeBytes: 10240 << 10, LineSize: 64, Assoc: 16}
+	if err := l3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSetAssoc(l3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAssocBasics(t *testing.T) {
+	sa, err := NewSetAssoc(Geometry{SizeBytes: 512, LineSize: 64, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 lines, 2-way → 4 sets. Lines 0 and 4 map to set 0.
+	if sa.Access(0) != Invalid {
+		t.Fatal("cold access should miss")
+	}
+	sa.Fill(0, Exclusive)
+	if sa.Access(0) != Exclusive {
+		t.Fatal("hit should return state")
+	}
+	sa.Fill(4, Shared)
+	// Both ways of set 0 full; filling line 8 evicts LRU (line 0).
+	ev, ok := sa.Fill(8, Modified)
+	if !ok || ev.Line != 0 || ev.State != Exclusive {
+		t.Fatalf("eviction = %+v, %v", ev, ok)
+	}
+	if sa.State(0) != Invalid || sa.State(8) != Modified {
+		t.Fatal("post-eviction states wrong")
+	}
+}
+
+func TestSetAssocLRUWithinSet(t *testing.T) {
+	sa, _ := NewSetAssoc(Geometry{SizeBytes: 256, LineSize: 64, Assoc: 4})
+	// One set of 4 ways (4 lines total, assoc 4 → 1 set).
+	for _, l := range []int64{1, 2, 3, 4} {
+		sa.Fill(l, Shared)
+	}
+	sa.Access(1) // refresh 1; LRU is now 2
+	ev, ok := sa.Fill(5, Shared)
+	if !ok || ev.Line != 2 {
+		t.Fatalf("evicted %+v, want line 2", ev)
+	}
+}
+
+func TestSetAssocStateOps(t *testing.T) {
+	sa, _ := NewSetAssoc(Geometry{SizeBytes: 512, LineSize: 64, Assoc: 2})
+	sa.Fill(3, Shared)
+	if !sa.SetState(3, Modified) || sa.State(3) != Modified {
+		t.Fatal("SetState failed")
+	}
+	if sa.CountState(Modified) != 1 {
+		t.Fatal("CountState wrong")
+	}
+	if st := sa.Invalidate(3); st != Modified {
+		t.Fatalf("Invalidate returned %v", st)
+	}
+	if sa.Invalidate(3) != Invalid {
+		t.Fatal("second invalidate should return Invalid")
+	}
+	if sa.SetState(99, Shared) {
+		t.Fatal("SetState on absent line should fail")
+	}
+	// SetState to Invalid removes the line.
+	sa.Fill(5, Shared)
+	sa.SetState(5, Invalid)
+	if sa.State(5) != Invalid {
+		t.Fatal("SetState(Invalid) should remove")
+	}
+	if lines := sa.ResidentLines(); len(lines) != 0 {
+		t.Fatalf("resident = %v", lines)
+	}
+}
+
+// TestQuickSetAssocNeverExceedsWays checks the structural invariant that a
+// set never holds more valid lines than its associativity.
+func TestQuickSetAssocNeverExceedsWays(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sa, err := NewSetAssoc(Geometry{SizeBytes: 1024, LineSize: 64, Assoc: 2})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			line := int64(r.Intn(64))
+			if sa.Access(line) == Invalid {
+				sa.Fill(line, Shared)
+			}
+		}
+		return len(sa.ResidentLines()) <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAssocNegativeLineIndex(t *testing.T) {
+	sa, _ := NewSetAssoc(Geometry{SizeBytes: 512, LineSize: 64, Assoc: 2})
+	// Negative line indices (possible for addresses below the base) must
+	// not panic and must round-trip.
+	sa.Fill(-5, Shared)
+	if sa.State(-5) != Shared {
+		t.Fatal("negative line index lookup failed")
+	}
+}

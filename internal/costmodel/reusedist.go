@@ -1,0 +1,84 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/stackdist"
+	"repro/internal/trace"
+)
+
+// ReuseDistanceEstimate is the outcome of the stack-distance cache model.
+type ReuseDistanceEstimate struct {
+	CachePerIter float64
+	TLBPerIter   float64
+
+	Iterations int64
+	Accesses   int64
+	Truncated  bool
+
+	// Per-level miss counts over the analyzed trace prefix (cold misses
+	// included in every level).
+	L1Misses  int64
+	L2Misses  int64
+	L3Misses  int64
+	TLBMisses int64
+}
+
+// CacheModelReuseDistance estimates Cache_c and TLB_c per innermost
+// iteration by stack distance analysis over the loop's sequential access
+// trace — the more precise (and more expensive) alternative to the
+// footprint model, included as an ablation of the Open64-style design.
+// A positive maxIters truncates the analyzed trace, trading accuracy for
+// modeling time exactly like the paper's chunk-run sampling.
+func CacheModelReuseDistance(nest *loopir.Nest, m *machine.Desc, maxIters int64) (*ReuseDistanceEstimate, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := trace.NewSequentialGenerator(nest)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: reuse-distance trace: %w", err)
+	}
+	lineAn := stackdist.New()
+	pageAn := stackdist.New()
+	var lineHist, pageHist stackdist.Histogram
+
+	cur := gen.Cursor(0)
+	var accBuf []trace.Access
+	est := &ReuseDistanceEstimate{}
+	for cur.Next() {
+		if maxIters > 0 && est.Iterations >= maxIters {
+			est.Truncated = true
+			break
+		}
+		est.Iterations++
+		accBuf = gen.Accesses(cur.Vals(), accBuf)
+		for i := range accBuf {
+			a := &accBuf[i]
+			first, last := a.Addr/m.LineSize, (a.Addr+int64(a.Size)-1)/m.LineSize
+			for line := first; line <= last; line++ {
+				est.Accesses++
+				lineHist.Add(lineAn.Access(line))
+				pageHist.Add(pageAn.Access(a.Addr / m.PageSize))
+			}
+		}
+	}
+	if est.Iterations == 0 {
+		return est, nil
+	}
+
+	est.L1Misses = lineHist.MissesAtCapacity(m.L1.Lines())
+	est.L2Misses = lineHist.MissesAtCapacity(m.L2.Lines())
+	est.L3Misses = lineHist.MissesAtCapacity(m.L3.Lines())
+	est.TLBMisses = pageHist.MissesAtCapacity(m.TLBEntries)
+
+	// An access missing L1 but hitting L2 costs the L2 latency, and so on
+	// outward; everything missing L3 comes from memory.
+	cycles := float64(est.L1Misses-est.L2Misses)*float64(m.L2Latency) +
+		float64(est.L2Misses-est.L3Misses)*float64(m.L3Latency) +
+		float64(est.L3Misses)*float64(m.MemLatency)
+	est.CachePerIter = cycles / float64(est.Iterations)
+	est.TLBPerIter = float64(est.TLBMisses) * float64(m.TLBLatency) / float64(est.Iterations)
+	return est, nil
+}

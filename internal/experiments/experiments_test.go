@@ -1,0 +1,465 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/fsmodel"
+)
+
+func quick(t *testing.T) Config {
+	t.Helper()
+	cfg := QuickConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Threads = []int{0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero threads should fail")
+	}
+	bad = cfg
+	bad.Threads = []int{100}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("threads beyond cores should fail")
+	}
+	bad = cfg
+	bad.Machine = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nil machine should fail")
+	}
+	bad = cfg
+	bad.Threads = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty thread list should fail")
+	}
+}
+
+func TestCaseLookup(t *testing.T) {
+	cfg := quick(t)
+	for _, name := range []string{"heat", "dft", "linreg"} {
+		if _, err := cfg.caseByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := cfg.caseByName("zzz"); err == nil {
+		t.Fatal("unknown kernel should fail")
+	}
+	if _, err := Table(cfg, "zzz"); err == nil {
+		t.Fatal("Table with unknown kernel should fail")
+	}
+}
+
+// TestTableHeatShape reproduces Table I's qualitative content: modeled and
+// measured FS percentages agree within a band and are roughly flat across
+// thread counts.
+func TestTableHeatShape(t *testing.T) {
+	res, err := Table(quick(t), "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.TimeFS <= r.TimeNFS {
+			t.Fatalf("threads=%d: FS run (%f) not slower than non-FS (%f)", r.Threads, r.TimeFS, r.TimeNFS)
+		}
+		if r.MeasuredPct <= 0.2 || r.ModeledPct <= 0.2 {
+			t.Fatalf("threads=%d: FS effect too small (measured %.2f, modeled %.2f)",
+				r.Threads, r.MeasuredPct, r.ModeledPct)
+		}
+		if diff := r.MeasuredPct - r.ModeledPct; diff < -0.35 || diff > 0.35 {
+			t.Fatalf("threads=%d: measured %.2f vs modeled %.2f diverge",
+				r.Threads, r.MeasuredPct, r.ModeledPct)
+		}
+		if r.NFS <= r.NNFS {
+			t.Fatalf("threads=%d: N_fs (%d) not above N_nfs (%d)", r.Threads, r.NFS, r.NNFS)
+		}
+	}
+	// Flat across threads: modeled percentages within 30% of each other.
+	first := res.Rows[0].ModeledPct
+	for _, r := range res.Rows {
+		if r.ModeledPct < first*0.7 || r.ModeledPct > first*1.3 {
+			t.Fatalf("heat modeled pct not flat: %f vs %f", r.ModeledPct, first)
+		}
+	}
+}
+
+// TestTableLinRegDivergence reproduces Table III's key (negative) finding:
+// the modeled percentage decays with thread count while the measured one
+// stays roughly flat.
+func TestTableLinRegDivergence(t *testing.T) {
+	res, err := Table(quick(t), "linreg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.ModeledPct >= first.ModeledPct*0.7 {
+		t.Fatalf("modeled pct should decay: %f -> %f", first.ModeledPct, last.ModeledPct)
+	}
+	if last.NFS >= first.NFS {
+		t.Fatalf("modeled FS count should decay: %d -> %d", first.NFS, last.NFS)
+	}
+	if last.MeasuredPct < first.MeasuredPct*0.5 {
+		t.Fatalf("measured pct should stay roughly flat: %f -> %f", first.MeasuredPct, last.MeasuredPct)
+	}
+}
+
+// TestDFTAboveHeat reproduces the ordering of Tables I and II: DFT suffers
+// more than heat.
+func TestDFTAboveHeat(t *testing.T) {
+	cfg := quick(t)
+	cfg.Threads = []int{4}
+	heat, err := Table(cfg, "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dft, err := Table(cfg, "dft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dft.Rows[0].ModeledPct <= heat.Rows[0].ModeledPct {
+		t.Fatalf("DFT modeled (%f) should exceed heat (%f)",
+			dft.Rows[0].ModeledPct, heat.Rows[0].ModeledPct)
+	}
+}
+
+func TestPredictionTableAccuracy(t *testing.T) {
+	cfg := quick(t)
+	cfg.Threads = []int{2, 4}
+	res, err := PredictionTable(cfg, "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.ModelFS == 0 {
+			t.Fatalf("threads=%d: model found no FS", r.Threads)
+		}
+		rel := float64(r.PredFS-r.ModelFS) / float64(r.ModelFS)
+		if rel < -0.25 || rel > 0.25 {
+			t.Fatalf("threads=%d: prediction %d vs model %d (%.0f%% off)",
+				r.Threads, r.PredFS, r.ModelFS, rel*100)
+		}
+		if r.SampledIterations >= r.FullIterations {
+			t.Fatalf("threads=%d: prediction did not save work", r.Threads)
+		}
+		if r.R2FS < 0.99 {
+			t.Fatalf("threads=%d: R2 = %f", r.Threads, r.R2FS)
+		}
+	}
+}
+
+func TestFig2ChunkSweepShape(t *testing.T) {
+	cfg := quick(t)
+	res, err := Fig2ChunkSweep(cfg, 8, []int64{1, 2, 4, 8, 16, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.Seconds >= first.Seconds {
+		t.Fatalf("time should fall with chunk size: %f -> %f", first.Seconds, last.Seconds)
+	}
+	if res.ImprovementPct < 0.1 {
+		t.Fatalf("improvement = %f, want >= 10%% (paper reports ~30%%)", res.ImprovementPct)
+	}
+	if last.ModelFSCases >= first.ModelFSCases {
+		t.Fatal("model FS cases should fall with chunk size")
+	}
+}
+
+func TestFig6Linearity(t *testing.T) {
+	res, err := Fig6Linearity(quick(t), "heat", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	fsSeries := res.Series[0]
+	if fsSeries.Fit.R2 < 0.999 {
+		t.Fatalf("FS-chunk series R2 = %f, want ~1 (paper Fig. 6)", fsSeries.Fit.R2)
+	}
+	if fsSeries.Fit.A <= 0 {
+		t.Fatalf("slope = %f", fsSeries.Fit.A)
+	}
+}
+
+func TestFigSummaryCombines(t *testing.T) {
+	cfg := quick(t)
+	cfg.Threads = []int{2, 4}
+	res, err := FigSummary(cfg, "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Measured <= 0 || r.Modeled <= 0 || r.Predicted <= 0 {
+			t.Fatalf("summary row degenerate: %+v", r)
+		}
+		// Modeled and predicted must agree closely (same model, sampled).
+		if rel := (r.Predicted - r.Modeled) / r.Modeled; rel < -0.3 || rel > 0.3 {
+			t.Fatalf("predicted %.3f vs modeled %.3f", r.Predicted, r.Modeled)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	cfg := quick(t)
+	cfg.Threads = []int{2}
+
+	var buf bytes.Buffer
+	tab, err := Table(cfg, "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "heat kernel") || !strings.Contains(buf.String(), "%") {
+		t.Fatalf("table render:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	pred, err := PredictionTable(cfg, "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pred.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Predicted vs. modeled") {
+		t.Fatalf("prediction render:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	sweep, err := Fig2ChunkSweep(cfg, 4, []int64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "improvement") {
+		t.Fatalf("sweep render:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	lin, err := Fig6Linearity(cfg, "heat", 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lin.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "R2") {
+		t.Fatalf("linearity render:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	sum, err := FigSummary(cfg, "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "measured") {
+		t.Fatalf("summary render:\n%s", buf.String())
+	}
+}
+
+func TestMESIModeRuns(t *testing.T) {
+	cfg := quick(t)
+	cfg.Threads = []int{2}
+	cfg.Counting = fsmodel.CountMESI
+	res, err := Table(cfg, "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0].NFS == 0 {
+		t.Fatal("MESI counting found no FS")
+	}
+}
+
+func TestCountHelper(t *testing.T) {
+	for _, c := range []struct {
+		v    int64
+		want string
+	}{{5, "5"}, {9999, "9999"}, {10000, "10K"}, {2_500_000, "2500K"}, {10_000_000, "10M"}} {
+		if got := count(c.v); got != c.want {
+			t.Errorf("count(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	cfg := quick(t)
+	cfg.Threads = []int{2}
+	tab, err := Table(cfg, "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Export(&buf, tab, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 { // header + one row
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "kernel,threads,") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "heat,2,1,64,") {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+
+	buf.Reset()
+	if err := Export(&buf, tab, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var decoded TableResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("json round-trip: %v", err)
+	}
+	if decoded.Kernel != "heat" || len(decoded.Rows) != 1 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+
+	buf.Reset()
+	if err := Export(&buf, tab, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "heat kernel") {
+		t.Fatal("text export wrong")
+	}
+	if err := Export(&buf, tab, "yaml"); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}
+
+func TestCSVAllResultTypes(t *testing.T) {
+	cfg := quick(t)
+	cfg.Threads = []int{2}
+	var buf bytes.Buffer
+
+	pred, err := PredictionTable(cfg, "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pred.CSV(&buf); err != nil || !strings.Contains(buf.String(), "pred_fs") {
+		t.Fatalf("prediction csv: %v\n%s", err, buf.String())
+	}
+
+	buf.Reset()
+	sweep, err := Fig2ChunkSweep(cfg, 4, []int64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.CSV(&buf); err != nil || strings.Count(buf.String(), "\n") != 3 {
+		t.Fatalf("sweep csv: %v\n%s", err, buf.String())
+	}
+
+	buf.Reset()
+	lin, err := Fig6Linearity(cfg, "heat", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lin.CSV(&buf); err != nil || !strings.Contains(buf.String(), "cumulative_fs") {
+		t.Fatalf("linearity csv: %v", err)
+	}
+
+	buf.Reset()
+	sum, err := FigSummary(cfg, "heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.CSV(&buf); err != nil || !strings.Contains(buf.String(), "predicted_pct") {
+		t.Fatalf("summary csv: %v", err)
+	}
+}
+
+// TestLineSizeSweep: with chunk 4 over 40-byte structs (160 B per chunk),
+// 32-byte lines fit inside one chunk (zero FS) while 256-byte lines span
+// multiple threads' chunks (massive FS) — and the model must equal the
+// simulator's coherence misses at every point.
+func TestLineSizeSweep(t *testing.T) {
+	cfg := quick(t)
+	res, err := LineSizeSweep(cfg, 8, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Points[0].FSCases != 0 {
+		t.Fatalf("32-byte lines: FS = %d, want 0", res.Points[0].FSCases)
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.FSCases <= res.Points[1].FSCases*10 {
+		t.Fatalf("256-byte lines should explode FS: %d vs %d", last.FSCases, res.Points[1].FSCases)
+	}
+	for _, p := range res.Points {
+		if p.FSCases != p.CoherenceMisses {
+			t.Fatalf("line %d: model %d != sim %d", p.LineSize, p.FSCases, p.CoherenceMisses)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil || !strings.Contains(buf.String(), "line size") {
+		t.Fatalf("render: %v", err)
+	}
+	buf.Reset()
+	if err := res.CSV(&buf); err != nil || !strings.Contains(buf.String(), "line_size") {
+		t.Fatalf("csv: %v", err)
+	}
+}
+
+// TestModelingCost: the predictor's cost must not grow with the loop while
+// the full model's does, and its error must stay small.
+func TestModelingCost(t *testing.T) {
+	cfg := quick(t)
+	res, err := ModelingCost(cfg, 4, 10, [][2]int64{{8, 256}, {16, 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	small, big := res.Points[0], res.Points[1]
+	if big.FullIterations <= small.FullIterations {
+		t.Fatal("full model iterations should grow with the grid")
+	}
+	for _, p := range res.Points {
+		if p.SampledIterations >= p.FullIterations {
+			t.Fatalf("%dx%d: sampling did not save work", p.Rows, p.Cols)
+		}
+		if p.ErrorPct < -10 || p.ErrorPct > 10 {
+			t.Fatalf("%dx%d: prediction error %.1f%%", p.Rows, p.Cols, p.ErrorPct)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil || !strings.Contains(buf.String(), "Modeling cost") {
+		t.Fatalf("render: %v", err)
+	}
+	buf.Reset()
+	if err := res.CSV(&buf); err != nil || !strings.Contains(buf.String(), "full_iterations") {
+		t.Fatalf("csv: %v", err)
+	}
+}

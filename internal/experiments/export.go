@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Exportable is implemented by every experiment result: rendering as an
+// aligned text table, as CSV rows, or as JSON.
+type Exportable interface {
+	Render(w io.Writer) error
+	CSV(w io.Writer) error
+}
+
+// Compile-time checks that every result type is exportable.
+var (
+	_ Exportable = (*ModelCostResult)(nil)
+	_ Exportable = (*LineSizeResult)(nil)
+	_ Exportable = (*TableResult)(nil)
+	_ Exportable = (*PredictionTableResult)(nil)
+	_ Exportable = (*ChunkSweepResult)(nil)
+	_ Exportable = (*LinearityResult)(nil)
+	_ Exportable = (*SummaryResult)(nil)
+)
+
+// WriteJSON marshals any experiment result with indentation.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func writeAllCSV(w io.Writer, rows [][]string) error {
+	return writeAll(csv.NewWriter(w), rows)
+}
+
+func writeAll(cw *csv.Writer, rows [][]string) error {
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func d(v int64) string   { return strconv.FormatInt(v, 10) }
+
+// CSV writes the measured-vs-modeled table (Tables I–III).
+func (t *TableResult) CSV(w io.Writer) error {
+	rows := [][]string{{
+		"kernel", "threads", "fs_chunk", "nfs_chunk",
+		"time_fs_s", "time_nfs_s", "measured_pct", "modeled_pct",
+		"n_fs", "n_nfs", "coherence_misses_fs", "coherence_misses_nfs",
+	}}
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			t.Kernel, strconv.Itoa(r.Threads), d(t.FSChunk), d(t.NFSChunk),
+			f(r.TimeFS), f(r.TimeNFS), f(r.MeasuredPct), f(r.ModeledPct),
+			d(r.NFS), d(r.NNFS), d(r.CoherenceMissesFS), d(r.CoherenceMissesNFS),
+		})
+	}
+	return writeAll(csv.NewWriter(w), rows)
+}
+
+// CSV writes the prediction table (Tables IV–VI).
+func (t *PredictionTableResult) CSV(w io.Writer) error {
+	rows := [][]string{{
+		"kernel", "threads", "chunk_runs",
+		"pred_fs", "pred_nfs", "pred_pct",
+		"model_fs", "model_nfs", "model_pct", "r2",
+	}}
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			t.Kernel, strconv.Itoa(r.Threads), d(t.ChunkRuns),
+			d(r.PredFS), d(r.PredNFS), f(r.PredPct),
+			d(r.ModelFS), d(r.ModelNFS), f(r.ModelPct), f(r.R2FS),
+		})
+	}
+	return writeAll(csv.NewWriter(w), rows)
+}
+
+// CSV writes the chunk sweep (Figure 2).
+func (c *ChunkSweepResult) CSV(w io.Writer) error {
+	rows := [][]string{{"kernel", "threads", "chunk", "seconds", "coherence_misses", "model_fs_cases"}}
+	for _, p := range c.Points {
+		rows = append(rows, []string{
+			c.Kernel, strconv.Itoa(c.Threads), d(p.Chunk), f(p.Seconds),
+			d(p.CoherenceMisses), d(p.ModelFSCases),
+		})
+	}
+	return writeAll(csv.NewWriter(w), rows)
+}
+
+// CSV writes the linearity series (Figure 6), one row per chunk run.
+func (l *LinearityResult) CSV(w io.Writer) error {
+	rows := [][]string{{"kernel", "threads", "chunk", "chunk_run", "cumulative_fs"}}
+	for _, s := range l.Series {
+		for i, v := range s.PerRun {
+			rows = append(rows, []string{
+				l.Kernel, strconv.Itoa(l.Threads), d(s.Chunk), strconv.Itoa(i + 1), d(v),
+			})
+		}
+	}
+	return writeAll(csv.NewWriter(w), rows)
+}
+
+// CSV writes the summary series (Figures 8–9).
+func (s *SummaryResult) CSV(w io.Writer) error {
+	rows := [][]string{{"kernel", "threads", "measured_pct", "modeled_pct", "predicted_pct"}}
+	for _, r := range s.Rows {
+		rows = append(rows, []string{
+			s.Kernel, strconv.Itoa(r.Threads), f(r.Measured), f(r.Modeled), f(r.Predicted),
+		})
+	}
+	return writeAll(csv.NewWriter(w), rows)
+}
+
+// Export writes v in the requested format: "text" (default), "csv" or
+// "json".
+func Export(w io.Writer, v Exportable, format string) error {
+	switch format {
+	case "", "text":
+		return v.Render(w)
+	case "csv":
+		return v.CSV(w)
+	case "json":
+		return WriteJSON(w, v)
+	}
+	return fmt.Errorf("experiments: unknown format %q (want text, csv or json)", format)
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/kernels"
+)
+
+func kernelsLinReg(cfg Config, threads int) (*kernels.Kernel, error) {
+	return kernels.LinReg(cfg.LinRegTasks, cfg.LinRegPoints, threads)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+func count(v int64) string {
+	switch {
+	case v >= 10_000_000:
+		return fmt.Sprintf("%dM", v/1_000_000)
+	case v >= 10_000:
+		return fmt.Sprintf("%dK", v/1_000)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// Render writes the table in the paper's column layout (Tables I–III).
+func (t *TableResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Comparison of %% of false sharing overheads incurred in %s kernel\n", t.Kernel)
+	fmt.Fprintf(w, "(FS case: chunk=%d; non-FS case: chunk=%d; times from the MESI simulator)\n", t.FSChunk, t.NFSChunk)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "threads\ttime FS (s)\ttime non-FS (s)\tmeasured FS\tmodeled FS\tN_fs\tN_nfs\t")
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%s\t%s\t%s\t%s\t\n",
+			r.Threads, r.TimeFS, r.TimeNFS, pct(r.MeasuredPct), pct(r.ModeledPct), count(r.NFS), count(r.NNFS))
+	}
+	return tw.Flush()
+}
+
+// Render writes the prediction table (Tables IV–VI).
+func (t *PredictionTableResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Predicted vs. modeled false sharing cases and their overhead %%s in %s kernel\n", t.Kernel)
+	fmt.Fprintf(w, "(prediction from %d chunk runs; chunks %d vs %d)\n", t.ChunkRuns, t.FSChunk, t.NFSChunk)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "threads\tpred FS cases\tpred non-FS\tpred FS%\tmodeled FS cases\tmodeled non-FS\tmodeled FS%\tR2\t")
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%.4f\t\n",
+			r.Threads, count(r.PredFS), count(r.PredNFS), pct(r.PredPct),
+			count(r.ModelFS), count(r.ModelNFS), pct(r.ModelPct), r.R2FS)
+	}
+	return tw.Flush()
+}
+
+// Render writes the chunk sweep (Figure 2) as a table with a text bar per
+// point.
+func (c *ChunkSweepResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Execution time vs. chunk size, %s kernel, %d threads (Figure 2)\n", c.Kernel, c.Threads)
+	var max float64
+	for _, p := range c.Points {
+		if p.Seconds > max {
+			max = p.Seconds
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "chunk\ttime (s)\tcoherence misses\tmodel FS cases\t")
+	for _, p := range c.Points {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(p.Seconds/max*40+0.5))
+		}
+		fmt.Fprintf(tw, "%d\t%.5f\t%s\t%s\t%s\n", p.Chunk, p.Seconds, count(p.CoherenceMisses), count(p.ModelFSCases), bar)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "improvement from chunk tuning: %s\n", pct(c.ImprovementPct))
+	return nil
+}
+
+// Render writes the linearity series (Figure 6).
+func (l *LinearityResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "False sharing cases vs. chunk runs, %s kernel, %d threads (Figure 6)\n", l.Kernel, l.Threads)
+	for _, s := range l.Series {
+		fmt.Fprintf(w, "chunk=%d: fit y = %.1f*x %+.1f, R2=%.6f over %d runs\n",
+			s.Chunk, s.Fit.A, s.Fit.B, s.Fit.R2, len(s.PerRun))
+		n := len(s.PerRun)
+		step := 1
+		if n > 10 {
+			step = n / 10
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "chunk run\tcumulative FS cases\t")
+		for i := 0; i < n; i += step {
+			fmt.Fprintf(tw, "%d\t%s\t\n", i+1, count(s.PerRun[i]))
+		}
+		if (n-1)%step != 0 {
+			fmt.Fprintf(tw, "%d\t%s\t\n", n, count(s.PerRun[n-1]))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render writes the summary (Figures 8–9).
+func (s *SummaryResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "False sharing effect: measured vs. modeled vs. predicted, %s kernel (Figures 8/9)\n", s.Kernel)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "threads\tmeasured\tmodeled\tpredicted\t")
+	for _, r := range s.Rows {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t\n", r.Threads, pct(r.Measured), pct(r.Modeled), pct(r.Predicted))
+	}
+	return tw.Flush()
+}

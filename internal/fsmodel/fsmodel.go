@@ -1,0 +1,537 @@
+// Package fsmodel implements the paper's contribution: the compile-time
+// false-sharing cost model for OpenMP parallel loops (Section III).
+//
+// Given a lowered loop nest, the model
+//
+//  1. takes the array references of the innermost loop (collected during
+//     lowering),
+//  2. generates, per lockstep iteration, a cache-line ownership list for
+//     each thread under static round-robin chunk scheduling,
+//  3. maintains a per-thread cache state — a fully-associative LRU stack
+//     (stack distance analysis) — and
+//  4. detects false sharing with the paper's 1-to-All comparison: when
+//     thread j touches cache line cl, one FS case is counted for every
+//     other thread whose cache state holds cl in Modified state (the ϕ
+//     function of Eq. 3, masked to exclude j's own state per Eq. 4).
+//
+// Counting modes: CountPaperPhi reproduces the paper's ϕ exactly, with a
+// Modified copy downgraded once it has been counted against (so each
+// coherence event is counted once, matching "an FS case" = one
+// unnecessary coherence miss). CountMESI additionally invalidates remote
+// copies on writes, the behaviour of a real write-invalidate protocol;
+// the difference between the two is an ablation the benchmarks measure.
+package fsmodel
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// CountingMode selects how FS cases are detected and how remote copies are
+// treated after detection.
+type CountingMode int
+
+const (
+	// CountPaperPhi is the paper's ϕ/mask counting (Equations 3–4): an FS
+	// case whenever the accessed line is held Modified by another thread;
+	// the remote copy is downgraded to clean after being counted.
+	CountPaperPhi CountingMode = iota
+	// CountMESI is write-invalidate-faithful: reads of a remotely
+	// Modified line count and downgrade (as above); writes additionally
+	// invalidate every remote copy of the line.
+	CountMESI
+)
+
+// String names the mode.
+func (m CountingMode) String() string {
+	switch m {
+	case CountPaperPhi:
+		return "paper-phi"
+	case CountMESI:
+		return "mesi"
+	}
+	return fmt.Sprintf("CountingMode(%d)", int(m))
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// Machine supplies line size and private-cache capacity. Defaults to
+	// machine.Paper48().
+	Machine *machine.Desc
+	// NumThreads is the thread count when the pragma does not fix one.
+	NumThreads int
+	// Chunk overrides the schedule chunk when the pragma does not fix one
+	// (0 keeps the OpenMP static default of one block per thread).
+	Chunk int64
+	// StackDepth is the per-thread cache-state capacity in lines.
+	// 0 uses the machine's largest private cache; negative means
+	// unbounded (infinite stack).
+	StackDepth int
+	// Associativity > 0 switches the per-thread cache state from the
+	// paper's fully-associative stack to a set-associative array with
+	// that many ways (an ablation; the paper argues fully-associative is
+	// a valid approximation for highly associative caches).
+	Associativity int64
+	// Counting selects the FS detection semantics.
+	Counting CountingMode
+	// MaxChunkRuns, when positive, stops the analysis after that many
+	// chunk runs of the thread team (the prediction model's sampling).
+	MaxChunkRuns int64
+	// RecordPerRun records the cumulative FS count after every chunk run
+	// (needed for Fig. 6 and the prediction model). Enabled implicitly
+	// when MaxChunkRuns is set.
+	RecordPerRun bool
+	// TrackHotLines additionally attributes FS cases to individual cache
+	// lines (Result.HotLines), at a small per-FS-event cost.
+	TrackHotLines bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machine == nil {
+		o.Machine = machine.Paper48()
+	}
+	if o.StackDepth == 0 {
+		o.StackDepth = o.Machine.PrivateCacheLines()
+	}
+	if o.StackDepth < 0 {
+		o.StackDepth = 0 // unbounded for cache.NewFullyAssoc
+	}
+	if o.MaxChunkRuns > 0 {
+		o.RecordPerRun = true
+	}
+	return o
+}
+
+// Result is the outcome of one model run.
+type Result struct {
+	// FSCases is the total number of false sharing cases detected
+	// (the paper's N_fs / N_nfs depending on the chunk size analyzed).
+	FSCases int64
+	// Invalidations counts remote-copy invalidations (CountMESI only).
+	Invalidations int64
+
+	// Iterations is the total number of innermost-loop iterations
+	// executed across all threads; Steps is the lockstep horizon (the
+	// All_num_of_iters / num_of_threads of the paper).
+	Iterations int64
+	Steps      int64
+	Accesses   int64
+
+	// ColdMisses and CapacityEvictions summarize per-thread cache-state
+	// behaviour (inputs to diagnostics, not to FS counting).
+	ColdMisses        int64
+	CapacityEvictions int64
+
+	// ChunkRunsEvaluated is how many full team cycles were processed;
+	// ChunkRunsTotal is how many the complete loop contains.
+	ChunkRunsEvaluated int64
+	ChunkRunsTotal     int64
+	// PerRun[i] is the cumulative FS count after chunk run i+1 (present
+	// when Options.RecordPerRun).
+	PerRun []int64
+	// Truncated reports that MaxChunkRuns stopped the run early.
+	Truncated bool
+
+	Plan sched.Plan
+	Mode CountingMode
+	// SkippedRefs lists non-affine references excluded from the model.
+	SkippedRefs []string
+	// ByRef attributes FS cases to the source reference whose access
+	// detected them, index-aligned with the nest's analyzable refs. This
+	// is the "identify the victim data structure" output the paper calls
+	// hard to obtain by hand (Section II-A).
+	ByRef []RefAttribution
+	// hotLines maps cache line -> FS count (Options.TrackHotLines).
+	hotLines map[int64]int64
+}
+
+// RefAttribution is the FS share of one source-level reference.
+type RefAttribution struct {
+	Src     string // source text, e.g. "tid_args[j].sx"
+	Symbol  string // array/struct name
+	Write   bool
+	FSCases int64
+}
+
+// LineAttribution is the FS share of one cache line (Options.TrackHotLines).
+type LineAttribution struct {
+	Line    int64  // cache-line index (address / line size)
+	Symbol  string // symbol owning the line, if any
+	Offset  int64  // byte offset of the line within the symbol
+	FSCases int64
+}
+
+// Victims returns the attribution entries with nonzero FS counts, sorted
+// by descending count (stable on ties).
+func (r *Result) Victims() []RefAttribution {
+	out := make([]RefAttribution, 0, len(r.ByRef))
+	for _, a := range r.ByRef {
+		if a.FSCases > 0 {
+			out = append(out, a)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].FSCases > out[j].FSCases })
+	return out
+}
+
+// HotLines returns the top-n cache lines by FS count, each resolved to
+// the symbol whose storage contains it (Options.TrackHotLines must have
+// been set; nil otherwise). This is the per-line view a runtime detector
+// like the authors' DARWIN reports, obtained here without executing the
+// program.
+func (r *Result) HotLines(nest *loopir.Nest, lineSize int64, n int) []LineAttribution {
+	if r.hotLines == nil {
+		return nil
+	}
+	out := make([]LineAttribution, 0, len(r.hotLines))
+	for line, cases := range r.hotLines {
+		la := LineAttribution{Line: line, FSCases: cases}
+		addr := line * lineSize
+		for _, ref := range nest.Refs {
+			if ref.Sym != nil && addr >= ref.Sym.Base && addr < ref.Sym.Base+ref.Sym.Size() {
+				la.Symbol = ref.Sym.Name
+				la.Offset = addr - ref.Sym.Base
+				break
+			}
+		}
+		out = append(out, la)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FSCases != out[j].FSCases {
+			return out[i].FSCases > out[j].FSCases
+		}
+		return out[i].Line < out[j].Line
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// VictimSymbols aggregates FS counts per symbol, sorted by descending
+// count.
+func (r *Result) VictimSymbols() []RefAttribution {
+	bySym := map[string]int64{}
+	order := []string{}
+	for _, a := range r.ByRef {
+		if a.FSCases == 0 {
+			continue
+		}
+		if _, seen := bySym[a.Symbol]; !seen {
+			order = append(order, a.Symbol)
+		}
+		bySym[a.Symbol] += a.FSCases
+	}
+	out := make([]RefAttribution, 0, len(order))
+	for _, s := range order {
+		out = append(out, RefAttribution{Src: s, Symbol: s, FSCases: bySym[s]})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].FSCases > out[j].FSCases })
+	return out
+}
+
+// FSPerIteration returns FS cases per innermost iteration.
+func (r *Result) FSPerIteration() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return float64(r.FSCases) / float64(r.Iterations)
+}
+
+// threadState abstracts the per-thread cache state so the fully
+// associative stack and the set-associative ablation share the hot loop.
+type threadState interface {
+	Touch(line int64, write bool) cache.TouchResult
+	Downgrade(line int64)
+	Invalidate(line int64) bool
+}
+
+// setAssocState adapts cache.SetAssoc to the threadState interface.
+type setAssocState struct{ c *cache.SetAssoc }
+
+func (s setAssocState) Touch(line int64, write bool) cache.TouchResult {
+	var res cache.TouchResult
+	st := s.c.Access(line)
+	if st != cache.Invalid {
+		res.Hit = true
+		res.WasModified = st == cache.Modified
+		if write {
+			s.c.SetState(line, cache.Modified)
+		}
+		return res
+	}
+	newState := cache.Shared
+	if write {
+		newState = cache.Modified
+	}
+	if ev, ok := s.c.Fill(line, newState); ok {
+		res.Evicted = true
+		res.EvictedLine = ev.Line
+		res.EvictedDirty = ev.State == cache.Modified
+	}
+	return res
+}
+
+func (s setAssocState) Downgrade(line int64) {
+	if s.c.State(line) == cache.Modified {
+		s.c.SetState(line, cache.Shared)
+	}
+}
+
+func (s setAssocState) Invalidate(line int64) bool {
+	return s.c.Invalidate(line) != cache.Invalid
+}
+
+// dirEntry tracks, per cache line, which threads hold a copy (bitmask) and
+// which single thread holds it Modified (-1 if none). Maintaining the
+// directory alongside the per-thread stacks makes the 1-to-All comparison
+// O(1) per access instead of O(threads).
+type dirEntry struct {
+	holders uint64
+	owner   int8
+}
+
+// Analyze runs the false-sharing cost model over the nest.
+func Analyze(nest *loopir.Nest, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	plan, gen, err := prepare(nest, opts)
+	if err != nil {
+		return nil, err
+	}
+	if plan.NumThreads > 64 {
+		return nil, fmt.Errorf("fsmodel: at most 64 threads supported, got %d", plan.NumThreads)
+	}
+
+	res := &Result{Plan: plan, Mode: opts.Counting, SkippedRefs: gen.Skipped}
+	res.ChunkRunsTotal = totalChunkRuns(nest, plan)
+	if opts.TrackHotLines {
+		res.hotLines = make(map[int64]int64)
+	}
+	for _, r := range nest.AnalyzableRefs() {
+		res.ByRef = append(res.ByRef, RefAttribution{Src: r.Src, Symbol: r.Sym.Name, Write: r.Write})
+	}
+
+	states := make([]threadState, plan.NumThreads)
+	for t := range states {
+		if opts.Associativity > 0 {
+			geom := cache.Geometry{
+				SizeBytes: int64(opts.StackDepth) * opts.Machine.LineSize,
+				LineSize:  opts.Machine.LineSize,
+				Assoc:     opts.Associativity,
+			}
+			sa, err := cache.NewSetAssoc(geom)
+			if err != nil {
+				return nil, fmt.Errorf("fsmodel: set-associative ablation: %w", err)
+			}
+			states[t] = setAssocState{c: sa}
+		} else {
+			states[t] = cache.NewFullyAssoc(opts.StackDepth)
+		}
+	}
+
+	dir := make(map[int64]dirEntry)
+	cursors := gen.Cursors()
+	lineSize := opts.Machine.LineSize
+	active := plan.NumThreads
+	var accBuf []trace.Access
+
+	// Chunk-run tracking piggybacks on thread 0: a chunk run completes
+	// when thread 0 finishes each of its chunks (lockstep execution means
+	// all threads finish theirs at the same step).
+	var t0Trips int64 // parallel-loop trips consumed by thread 0
+	var t0PrevKey [2]int64
+	t0HaveKey := false
+
+	for active > 0 {
+		res.Steps++
+		for t := 0; t < plan.NumThreads; t++ {
+			cur := cursors[t]
+			if cur.Done() {
+				continue
+			}
+			if !cur.Next() {
+				active--
+				continue
+			}
+			res.Iterations++
+			if t == 0 {
+				key := [2]int64{prefixFingerprint(cur, nest.ParLevel), cur.ParallelTrip()}
+				if !t0HaveKey || key != t0PrevKey {
+					t0Trips++
+					t0PrevKey = key
+					t0HaveKey = true
+					// Thread 0 runs first within a lockstep step, so at the
+					// moment it begins a new chunk every thread has finished
+					// the previous chunk run and none of the new run's
+					// accesses have been processed: snapshot here.
+					if opts.RecordPerRun || opts.MaxChunkRuns > 0 {
+						for completed := (t0Trips - 1) / plan.Chunk; res.ChunkRunsEvaluated < completed; {
+							res.ChunkRunsEvaluated++
+							if opts.RecordPerRun {
+								res.PerRun = append(res.PerRun, res.FSCases)
+							}
+							if opts.MaxChunkRuns > 0 && res.ChunkRunsEvaluated >= opts.MaxChunkRuns {
+								res.Truncated = true
+								return res, nil
+							}
+						}
+					}
+				}
+			}
+			accBuf = gen.Accesses(cur.Vals(), accBuf)
+			for i := range accBuf {
+				a := &accBuf[i]
+				first, last := cache.LinesTouched(a.Addr, a.Size, lineSize)
+				for line := first; line <= last; line++ {
+					res.Accesses++
+					processAccess(res, dir, states, t, line, a.Write, int(a.Ref), opts.Counting)
+				}
+			}
+		}
+	}
+	// Close out the final (possibly partial) chunk run(s).
+	if opts.RecordPerRun && plan.Chunk > 0 {
+		finalRuns := (t0Trips + plan.Chunk - 1) / plan.Chunk
+		for res.ChunkRunsEvaluated < finalRuns {
+			res.ChunkRunsEvaluated++
+			res.PerRun = append(res.PerRun, res.FSCases)
+		}
+	}
+	return res, nil
+}
+
+// processAccess performs steps 3–4 of the model for one (thread, line)
+// access: the 1-to-All ϕ comparison against the directory, coherence
+// bookkeeping per the counting mode, and the LRU stack update.
+func processAccess(res *Result, dir map[int64]dirEntry, states []threadState, t int, line int64, write bool, refIdx int, mode CountingMode) {
+	e, known := dir[line]
+	if !known {
+		e.owner = -1
+	}
+	tBit := uint64(1) << uint(t)
+
+	// ϕ with mask: another thread holds this line Modified.
+	if e.owner >= 0 && int(e.owner) != t {
+		res.FSCases++
+		if refIdx >= 0 && refIdx < len(res.ByRef) {
+			res.ByRef[refIdx].FSCases++
+		}
+		if res.hotLines != nil {
+			res.hotLines[line]++
+		}
+		states[e.owner].Downgrade(line)
+		e.owner = -1
+	}
+
+	if mode == CountMESI && write {
+		others := e.holders &^ tBit
+		for others != 0 {
+			u := bits.TrailingZeros64(others)
+			others &^= 1 << uint(u)
+			states[u].Invalidate(line)
+			e.holders &^= 1 << uint(u)
+			res.Invalidations++
+		}
+	}
+
+	tr := states[t].Touch(line, write)
+	if !tr.Hit {
+		res.ColdMisses++
+		e.holders |= tBit
+	}
+	if tr.Evicted {
+		res.CapacityEvictions++
+		evicted := dir[tr.EvictedLine]
+		evicted.holders &^= tBit
+		if int(evicted.owner) == t {
+			evicted.owner = -1
+		}
+		if evicted.holders == 0 {
+			delete(dir, tr.EvictedLine)
+		} else {
+			dir[tr.EvictedLine] = evicted
+		}
+	}
+	if write {
+		e.owner = int8(t)
+	}
+	dir[line] = e
+}
+
+// prefixFingerprint summarizes the loop-variable values above the parallel
+// level so chunk-run counting notices when a new parallel-loop instance
+// begins. Values are folded; collisions would only perturb run sampling,
+// not FS counts.
+func prefixFingerprint(c *trace.ThreadCursor, parLevel int) int64 {
+	if parLevel <= 0 {
+		return 0
+	}
+	var h int64 = 1469598103934665603
+	vals := c.Vals()
+	for i := 0; i < parLevel; i++ {
+		h = h*1099511628211 + vals[i]
+	}
+	return h
+}
+
+// prepare resolves the scheduling plan and builds the trace generator.
+func prepare(nest *loopir.Nest, opts Options) (sched.Plan, *trace.Generator, error) {
+	par := nest.Parallelized()
+	if par == nil {
+		return sched.Plan{}, nil, fmt.Errorf("fsmodel: nest has no parallel loop (missing omp pragma)")
+	}
+	// Explicit options win over the source pragma: the analysis explores
+	// schedules the compiler might substitute. The pragma supplies
+	// defaults when options leave a knob unset.
+	threads := opts.NumThreads
+	if threads <= 0 && par.Parallel.NumThreads > 0 {
+		threads = par.Parallel.NumThreads
+	}
+	if threads <= 0 {
+		threads = opts.Machine.Cores
+	}
+	chunk := opts.Chunk
+	if chunk <= 0 && par.Parallel.Chunk > 0 {
+		chunk = par.Parallel.Chunk
+	}
+	kind, err := sched.KindFromString(par.Parallel.Schedule)
+	if err != nil {
+		return sched.Plan{}, nil, err
+	}
+	trip, _ := par.ConstTripCount()
+	plan, err := sched.Resolve(kind, threads, chunk, trip)
+	if err != nil {
+		return sched.Plan{}, nil, err
+	}
+	gen, err := trace.NewGenerator(nest, plan)
+	if err != nil {
+		return sched.Plan{}, nil, err
+	}
+	return plan, gen, nil
+}
+
+// totalChunkRuns computes how many full team cycles the complete loop
+// contains: the paper's x_max. For a rectangular nest this is
+// instances(outer loops) × ceil(parallel trips / (chunk·threads)).
+func totalChunkRuns(nest *loopir.Nest, plan sched.Plan) int64 {
+	instances := int64(1)
+	for i := 0; i < nest.ParLevel; i++ {
+		t, ok := nest.Loops[i].ConstTripCount()
+		if !ok {
+			return 0 // unknown bounds: the model reports per-cycle rates only
+		}
+		instances *= t
+	}
+	parTrips, ok := nest.Loops[nest.ParLevel].ConstTripCount()
+	if !ok {
+		return 0
+	}
+	return instances * plan.Cycles(parTrips)
+}

@@ -1,0 +1,66 @@
+package fsmodel
+
+import (
+	"fmt"
+
+	"repro/internal/linreg"
+	"repro/internal/loopir"
+)
+
+// Prediction is the outcome of the linear-regression prediction model
+// (paper Section III-E): the total FS count of the loop extrapolated from
+// a small number of evaluated chunk runs.
+type Prediction struct {
+	// Fit is the least-squares line over (chunk run index, cumulative FS
+	// cases).
+	Fit linreg.Model
+	// SampledRuns is how many chunk runs were actually evaluated;
+	// TotalRuns is the loop's x_max.
+	SampledRuns int64
+	TotalRuns   int64
+	// SampledFS is the FS count observed during the sampled prefix;
+	// PredictedFS is the extrapolated total (the paper's y_max).
+	PredictedFS int64
+	SampledFS   int64
+	// IterationsEvaluated counts innermost iterations the sampler
+	// actually executed — the cost saved versus a full model run.
+	IterationsEvaluated int64
+	// Sample is the per-run cumulative series the fit was computed from.
+	Sample []int64
+}
+
+// Predict runs the model for sampleRuns chunk runs, fits y = a·x + b to
+// the cumulative FS series, and extrapolates to the loop's total chunk-run
+// count.
+func Predict(nest *loopir.Nest, opts Options, sampleRuns int64) (*Prediction, error) {
+	if sampleRuns < 2 {
+		return nil, fmt.Errorf("fsmodel: prediction needs at least 2 chunk runs, got %d", sampleRuns)
+	}
+	opts.MaxChunkRuns = sampleRuns
+	opts.RecordPerRun = true
+	res, err := Analyze(nest, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.ChunkRunsTotal == 0 {
+		return nil, fmt.Errorf("fsmodel: loop bounds unknown; cannot determine total chunk runs (x_max)")
+	}
+	series := make([]float64, len(res.PerRun))
+	for i, v := range res.PerRun {
+		series[i] = float64(v)
+	}
+	fit, err := linreg.FitPrefix(series, len(series))
+	if err != nil {
+		return nil, fmt.Errorf("fsmodel: fitting FS series: %w", err)
+	}
+	p := &Prediction{
+		Fit:                 fit,
+		SampledRuns:         res.ChunkRunsEvaluated,
+		TotalRuns:           res.ChunkRunsTotal,
+		SampledFS:           res.FSCases,
+		IterationsEvaluated: res.Iterations,
+		Sample:              res.PerRun,
+	}
+	p.PredictedFS = fit.PredictCount(float64(p.TotalRuns))
+	return p, nil
+}

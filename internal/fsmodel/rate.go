@@ -1,0 +1,139 @@
+package fsmodel
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/loopir"
+)
+
+// RateResult is the model's output for loops whose bounds are unknown at
+// compile time: the paper's fallback of reporting the FS rate per full
+// cycle of iterations executed by the thread team (Section III), instead
+// of a whole-loop total.
+type RateResult struct {
+	*Result
+	// FSPerChunkRun is the steady-state FS rate: cases per full team
+	// cycle, measured over the evaluated prefix.
+	FSPerChunkRun float64
+	// Assumed records the synthetic value substituted for each symbolic
+	// bound parameter so that `runs` chunk runs could be evaluated.
+	Assumed map[string]int64
+}
+
+// AnalyzeRate analyzes a nest whose parallel-loop bound is a symbolic
+// parameter (lowered with loopir.LowerOptions.SymbolicBounds): it
+// substitutes a synthetic bound large enough to cover `runs` chunk runs,
+// evaluates that prefix, and reports the per-chunk-run FS rate. Nests with
+// fully constant bounds are accepted too (the substitution is a no-op and
+// the evaluation is truncated to `runs` runs).
+//
+// Only the parallelized loop's bounds may reference a parameter, and its
+// limit must depend on exactly one parameter with a positive coefficient —
+// the common `for (i = 0; i < n; i++)` shape.
+func AnalyzeRate(nest *loopir.Nest, opts Options, runs int64) (*RateResult, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("fsmodel: rate analysis needs at least 1 chunk run, got %d", runs)
+	}
+	opts = opts.withDefaults()
+	params := nest.Params()
+	assumed := map[string]int64{}
+
+	analyzed := nest
+	if len(params) > 0 {
+		par := nest.Parallelized()
+		if par == nil {
+			return nil, fmt.Errorf("fsmodel: nest has no parallel loop")
+		}
+		// Parameters may appear only in the parallel loop's bounds.
+		for i, l := range nest.Loops {
+			if i == nest.ParLevel {
+				continue
+			}
+			for _, p := range params {
+				if l.First.DependsOn(p) || l.Limit.DependsOn(p) {
+					return nil, fmt.Errorf("fsmodel: loop %q bound depends on unknown %q; only the parallel loop may have symbolic bounds", l.Var, p[1:])
+				}
+			}
+		}
+		first, ok := par.First.ConstValue()
+		if !ok {
+			return nil, fmt.Errorf("fsmodel: parallel loop %q lower bound must be constant for rate analysis", par.Var)
+		}
+		var param string
+		var coeff int64
+		for _, p := range params {
+			if c := par.Limit.Coeff(p); c != 0 {
+				if param != "" {
+					return nil, fmt.Errorf("fsmodel: parallel loop limit depends on multiple unknowns (%s, %s)", param[1:], p[1:])
+				}
+				param, coeff = p, c
+			}
+		}
+		if param == "" {
+			return nil, fmt.Errorf("fsmodel: parallel loop limit has no symbolic dependence to solve for")
+		}
+		if coeff < 0 {
+			return nil, fmt.Errorf("fsmodel: parallel loop limit has negative dependence on %q", param[1:])
+		}
+
+		// Choose the parameter value so the loop runs `runs` full cycles:
+		// limit_target = first + step·chunk·threads·runs.
+		threads := int64(opts.NumThreads)
+		if par.Parallel.NumThreads > 0 {
+			threads = int64(par.Parallel.NumThreads)
+		}
+		if threads <= 0 {
+			threads = int64(opts.Machine.Cores)
+		}
+		chunk := opts.Chunk
+		if par.Parallel.Chunk > 0 {
+			chunk = par.Parallel.Chunk
+		}
+		if chunk <= 0 {
+			chunk = 1 // unknown trip count: the paper's round-robin default
+		}
+		limitTarget := first + par.Step*chunk*threads*runs
+		rest := par.Limit.Substitute(param, affine.Const(0))
+		restC, ok := rest.ConstValue()
+		if !ok {
+			return nil, fmt.Errorf("fsmodel: parallel loop limit too complex for rate analysis: %s", par.Limit.String())
+		}
+		value := (limitTarget - restC + coeff - 1) / coeff
+		if value < 1 {
+			value = 1
+		}
+		assumed[param[1:]] = value
+
+		sub := *par
+		sub.First = par.First.Substitute(param, affine.Const(value))
+		sub.Limit = par.Limit.Substitute(param, affine.Const(value))
+		loops := make([]*loopir.Loop, len(nest.Loops))
+		copy(loops, nest.Loops)
+		loops[nest.ParLevel] = &sub
+		clone := *nest
+		clone.Loops = loops
+		analyzed = &clone
+	}
+
+	opts.MaxChunkRuns = runs
+	opts.RecordPerRun = true
+	res, err := Analyze(analyzed, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &RateResult{Result: res, Assumed: assumed}
+	if len(params) > 0 {
+		out.ChunkRunsTotal = 0 // the real total is unknowable
+	}
+	if res.ChunkRunsEvaluated > 0 {
+		// Steady-state rate: prefer the increment between the last two
+		// recorded runs (skipping the cold first run) over the mean.
+		if n := len(res.PerRun); n >= 2 {
+			out.FSPerChunkRun = float64(res.PerRun[n-1] - res.PerRun[n-2])
+		} else {
+			out.FSPerChunkRun = float64(res.FSCases) / float64(res.ChunkRunsEvaluated)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package fsmodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/minic"
+)
+
+func loadSymbolic(t *testing.T, src string) *loopir.Nest {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	unit, err := loopir.Lower(prog, loopir.LowerOptions{AllowNonAffine: true, SymbolicBounds: true})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return unit.Nests[0]
+}
+
+// The paper's fallback: a loop whose trip count is unknown at compile time
+// still yields an FS rate per chunk run.
+func TestAnalyzeRateSymbolicBound(t *testing.T) {
+	nest := loadSymbolic(t, `
+double a[65536];
+#pragma omp parallel for schedule(static,1) num_threads(8)
+for (i = 0; i < n; i++) a[i] += 1.0;
+`)
+	if got := nest.Params(); len(got) != 1 || got[0] != "$n" {
+		t.Fatalf("params = %v", got)
+	}
+	if _, ok := nest.TotalIterations(); ok {
+		t.Fatal("symbolic nest must not report a constant total")
+	}
+	res, err := AnalyzeRate(nest, Options{Machine: machine.Paper48()}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChunkRunsEvaluated != 16 {
+		t.Fatalf("evaluated %d runs", res.ChunkRunsEvaluated)
+	}
+	if res.ChunkRunsTotal != 0 {
+		t.Fatal("total must be unknown")
+	}
+	// 8 threads × chunk 1 = one 64-byte line per run: steady state is 7
+	// FS cases per run.
+	if res.FSPerChunkRun != 7 {
+		t.Fatalf("rate = %f, want 7", res.FSPerChunkRun)
+	}
+	if res.Assumed["n"] < 16*8 {
+		t.Fatalf("assumed n = %d", res.Assumed["n"])
+	}
+}
+
+// Against a known-bounds nest, the rate analysis must agree with the full
+// model's per-run behaviour.
+func TestAnalyzeRateMatchesFullModel(t *testing.T) {
+	src := `
+#define N 1024
+double a[N];
+#pragma omp parallel for schedule(static,1) num_threads(8)
+for (i = 0; i < N; i++) a[i] += 1.0;
+`
+	symbolic := loadSymbolic(t, strings.Replace(src, "i < N", "i < n", 1))
+	known := loadNest(t, src)
+	full, err := Analyze(known, Options{Machine: machine.Paper48()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := AnalyzeRate(symbolic, Options{Machine: machine.Paper48()}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extrapolated := rate.FSPerChunkRun * float64(full.ChunkRunsTotal)
+	rel := (extrapolated - float64(full.FSCases)) / float64(full.FSCases)
+	if rel < -0.05 || rel > 0.05 {
+		t.Fatalf("rate-extrapolated %f vs full %d (%.1f%%)", extrapolated, full.FSCases, rel*100)
+	}
+}
+
+func TestAnalyzeRateConstantBoundsStillWork(t *testing.T) {
+	nest := loadNest(t, `
+#define N 512
+double a[N];
+#pragma omp parallel for schedule(static,1) num_threads(4)
+for (i = 0; i < N; i++) a[i] += 1.0;
+`)
+	res, err := AnalyzeRate(nest, Options{Machine: machine.Paper48()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChunkRunsEvaluated != 4 || len(res.Assumed) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.FSPerChunkRun <= 0 {
+		t.Fatal("rate missing")
+	}
+}
+
+func TestAnalyzeRateErrors(t *testing.T) {
+	// Symbolic bound on a non-parallel loop is rejected.
+	inner := loadSymbolic(t, `
+double a[4096];
+#pragma omp parallel for num_threads(2)
+for (j = 0; j < 64; j++)
+  for (i = 0; i < m; i++)
+    a[i] = 1.0;
+`)
+	if _, err := AnalyzeRate(inner, Options{Machine: machine.Paper48()}, 4); err == nil ||
+		!strings.Contains(err.Error(), "only the parallel loop") {
+		t.Fatalf("err = %v", err)
+	}
+	// runs < 1 rejected.
+	ok := loadSymbolic(t, `
+double a[4096];
+#pragma omp parallel for num_threads(2)
+for (i = 0; i < n; i++) a[i] = 1.0;
+`)
+	if _, err := AnalyzeRate(ok, Options{Machine: machine.Paper48()}, 0); err == nil {
+		t.Fatal("runs=0 should error")
+	}
+	// Two unknowns in the limit are rejected.
+	two := loadSymbolic(t, `
+double a[4096];
+#pragma omp parallel for num_threads(2)
+for (i = 0; i < n + m; i++) a[i] = 1.0;
+`)
+	if _, err := AnalyzeRate(two, Options{Machine: machine.Paper48()}, 4); err == nil ||
+		!strings.Contains(err.Error(), "multiple unknowns") {
+		t.Fatalf("err = %v", err)
+	}
+}

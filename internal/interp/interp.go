@@ -1,0 +1,339 @@
+// Package interp is a reference interpreter for lowered mini-C programs.
+// It executes loop nests sequentially with real floating-point arithmetic
+// and bounds-checked addressing, providing the ground truth used to verify
+// that the kernel sources fed to the cost models compute what their native
+// Go counterparts compute (and that the front end parsed them correctly).
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+	"repro/internal/minic"
+)
+
+// Machine executes a lowered unit. Memory is element-addressed by virtual
+// byte address; every element behaves as a float64 regardless of its
+// declared C type (sufficient for the numeric kernels modeled here).
+type Machine struct {
+	unit *loopir.Unit
+	mem  map[int64]float64
+	// Steps counts executed assignments, as a runaway guard for tests.
+	Steps int64
+	// MaxSteps aborts execution when positive and exceeded.
+	MaxSteps int64
+}
+
+// New returns a machine with zeroed memory.
+func New(unit *loopir.Unit) *Machine {
+	return &Machine{unit: unit, mem: make(map[int64]float64)}
+}
+
+// Run executes every top-level statement of the program in source order.
+func (m *Machine) Run() error {
+	env := map[string]int64{}
+	for _, d := range m.unit.Prog.Defines {
+		env[d.Name] = d.Value
+	}
+	for _, s := range m.unit.Prog.Stmts {
+		if err := m.exec(s, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) exec(s minic.Stmt, env map[string]int64) error {
+	switch v := s.(type) {
+	case *minic.ForStmt:
+		return m.execFor(v, env)
+	case *minic.AssignStmt:
+		return m.execAssign(v, env)
+	}
+	return fmt.Errorf("interp: %s: unsupported statement", s.Pos())
+}
+
+func (m *Machine) execFor(f *minic.ForStmt, env map[string]int64) error {
+	init, err := m.evalInt(f.Init, env)
+	if err != nil {
+		return err
+	}
+	step, err := m.evalInt(f.Step, env)
+	if err != nil {
+		return err
+	}
+	if step == 0 {
+		return fmt.Errorf("interp: %s: zero loop step", f.P)
+	}
+	saved, had := env[f.Var]
+	defer func() {
+		if had {
+			env[f.Var] = saved
+		} else {
+			delete(env, f.Var)
+		}
+	}()
+	for v := init; ; v += step {
+		env[f.Var] = v
+		bound, err := m.evalInt(f.Bound, env)
+		if err != nil {
+			return err
+		}
+		ok := false
+		switch f.CondOp {
+		case minic.LT:
+			ok = v < bound
+		case minic.LE:
+			ok = v <= bound
+		case minic.GT:
+			ok = v > bound
+		case minic.GE:
+			ok = v >= bound
+		case minic.NEQ:
+			ok = v != bound
+		}
+		if !ok {
+			return nil
+		}
+		for _, s := range f.Body {
+			if err := m.exec(s, env); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (m *Machine) execAssign(a *minic.AssignStmt, env map[string]int64) error {
+	m.Steps++
+	if m.MaxSteps > 0 && m.Steps > m.MaxSteps {
+		return fmt.Errorf("interp: step limit %d exceeded", m.MaxSteps)
+	}
+	rhs, err := m.evalFloat(a.RHS, env)
+	if err != nil {
+		return err
+	}
+	addr, _, err := m.resolveAddr(a.LHS, env)
+	if err != nil {
+		return err
+	}
+	switch a.Op {
+	case minic.ASSIGN:
+		m.mem[addr] = rhs
+	case minic.PLUSASSIGN:
+		m.mem[addr] += rhs
+	case minic.MINUSASSIGN:
+		m.mem[addr] -= rhs
+	case minic.STARASSIGN:
+		m.mem[addr] *= rhs
+	case minic.SLASHASSIGN:
+		m.mem[addr] /= rhs
+	default:
+		return fmt.Errorf("interp: %s: unsupported assignment operator", a.P)
+	}
+	return nil
+}
+
+// resolveAddr walks a reference's accessor chain with runtime index values
+// and bounds checking, returning the element's virtual address and type.
+func (m *Machine) resolveAddr(ref *minic.RefExpr, env map[string]int64) (int64, loopir.Type, error) {
+	sym, ok := m.unit.Syms[ref.Name]
+	if !ok {
+		return 0, nil, fmt.Errorf("interp: %s: undeclared identifier %q", ref.P, ref.Name)
+	}
+	addr := sym.Base
+	var t loopir.Type = sym.Type
+	for _, p := range ref.Post {
+		if p.Index != nil {
+			arr, ok := t.(*loopir.Array)
+			if !ok {
+				return 0, nil, fmt.Errorf("interp: %s: indexing non-array in %s", ref.P, ref)
+			}
+			idx, err := m.evalInt(p.Index, env)
+			if err != nil {
+				return 0, nil, err
+			}
+			if idx < 0 || idx >= arr.Len {
+				return 0, nil, fmt.Errorf("interp: %s: index %d out of bounds [0,%d) in %s", ref.P, idx, arr.Len, ref)
+			}
+			addr += idx * arr.Elem.Size()
+			t = arr.Elem
+		} else {
+			st, ok := t.(*loopir.Struct)
+			if !ok {
+				return 0, nil, fmt.Errorf("interp: %s: member access on non-struct in %s", ref.P, ref)
+			}
+			f, ok := st.FieldByName(p.Field)
+			if !ok {
+				return 0, nil, fmt.Errorf("interp: %s: no field %q in struct %s", ref.P, p.Field, st.Name)
+			}
+			addr += f.Offset
+			t = f.Type
+		}
+	}
+	return addr, t, nil
+}
+
+// evalInt evaluates an integer-valued expression (loop bounds, subscripts).
+func (m *Machine) evalInt(e minic.Expr, env map[string]int64) (int64, error) {
+	switch v := e.(type) {
+	case *minic.IntLit:
+		return v.Value, nil
+	case *minic.FloatLit:
+		return int64(v.Value), nil
+	case *minic.RefExpr:
+		if v.IsScalar() {
+			if val, ok := env[v.Name]; ok {
+				return val, nil
+			}
+			if val, ok := m.unit.Prog.DefineValue(v.Name); ok {
+				return val, nil
+			}
+		}
+		f, err := m.evalFloat(v, env)
+		if err != nil {
+			return 0, err
+		}
+		return int64(f), nil
+	case *minic.UnaryExpr:
+		x, err := m.evalInt(v.X, env)
+		if err != nil {
+			return 0, err
+		}
+		return -x, nil
+	case *minic.BinaryExpr:
+		x, err := m.evalInt(v.X, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := m.evalInt(v.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case minic.PLUS:
+			return x + y, nil
+		case minic.MINUS:
+			return x - y, nil
+		case minic.STAR:
+			return x * y, nil
+		case minic.SLASH:
+			if y == 0 {
+				return 0, fmt.Errorf("interp: %s: division by zero", v.P)
+			}
+			return x / y, nil
+		case minic.PERCENT:
+			if y == 0 {
+				return 0, fmt.Errorf("interp: %s: modulo by zero", v.P)
+			}
+			return x % y, nil
+		}
+	}
+	return 0, fmt.Errorf("interp: %s: unsupported integer expression", e.Pos())
+}
+
+// evalFloat evaluates a value expression.
+func (m *Machine) evalFloat(e minic.Expr, env map[string]int64) (float64, error) {
+	switch v := e.(type) {
+	case *minic.IntLit:
+		return float64(v.Value), nil
+	case *minic.FloatLit:
+		return v.Value, nil
+	case *minic.RefExpr:
+		if v.IsScalar() {
+			if val, ok := env[v.Name]; ok {
+				return float64(val), nil
+			}
+			if val, ok := m.unit.Prog.DefineValue(v.Name); ok {
+				return float64(val), nil
+			}
+		}
+		addr, _, err := m.resolveAddr(v, env)
+		if err != nil {
+			return 0, err
+		}
+		return m.mem[addr], nil
+	case *minic.UnaryExpr:
+		x, err := m.evalFloat(v.X, env)
+		if err != nil {
+			return 0, err
+		}
+		return -x, nil
+	case *minic.BinaryExpr:
+		x, err := m.evalFloat(v.X, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := m.evalFloat(v.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case minic.PLUS:
+			return x + y, nil
+		case minic.MINUS:
+			return x - y, nil
+		case minic.STAR:
+			return x * y, nil
+		case minic.SLASH:
+			if y == 0 {
+				return 0, fmt.Errorf("interp: %s: division by zero", v.P)
+			}
+			return x / y, nil
+		case minic.PERCENT:
+			yi := int64(y)
+			if yi == 0 {
+				return 0, fmt.Errorf("interp: %s: modulo by zero", v.P)
+			}
+			return float64(int64(x) % yi), nil
+		}
+	}
+	return 0, fmt.Errorf("interp: %s: unsupported expression", e.Pos())
+}
+
+// Read parses expr (e.g. "tid_args[3].sx") and returns the stored value.
+func (m *Machine) Read(expr string) (float64, error) {
+	ref, err := parseRef(expr)
+	if err != nil {
+		return 0, err
+	}
+	addr, _, err := m.resolveAddr(ref, map[string]int64{})
+	if err != nil {
+		return 0, err
+	}
+	return m.mem[addr], nil
+}
+
+// Write parses expr and stores v there (used to initialize inputs).
+func (m *Machine) Write(expr string, v float64) error {
+	ref, err := parseRef(expr)
+	if err != nil {
+		return err
+	}
+	addr, _, err := m.resolveAddr(ref, map[string]int64{})
+	if err != nil {
+		return err
+	}
+	m.mem[addr] = v
+	return nil
+}
+
+// WriteAddr stores v at a raw virtual address (used by bulk initializers).
+func (m *Machine) WriteAddr(addr int64, v float64) { m.mem[addr] = v }
+
+// ReadAddr loads the value at a raw virtual address.
+func (m *Machine) ReadAddr(addr int64) float64 { return m.mem[addr] }
+
+func parseRef(expr string) (*minic.RefExpr, error) {
+	prog, err := minic.Parse(expr + " = 0;")
+	if err != nil {
+		return nil, fmt.Errorf("interp: bad reference %q: %w", expr, err)
+	}
+	if len(prog.Stmts) != 1 {
+		return nil, fmt.Errorf("interp: bad reference %q", expr)
+	}
+	as, ok := prog.Stmts[0].(*minic.AssignStmt)
+	if !ok {
+		return nil, fmt.Errorf("interp: bad reference %q", expr)
+	}
+	return as.LHS, nil
+}

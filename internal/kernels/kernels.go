@@ -1,0 +1,207 @@
+// Package kernels provides the paper's three evaluation workloads — heat
+// diffusion, discrete Fourier transform, and the Phoenix linear regression
+// kernel — in two forms each:
+//
+//   - as mini-C source (the form the compile-time analysis consumes),
+//     matching the loop structure, data layout and parallelization level
+//     the paper describes: heat and DFT are parallelized at the innermost
+//     loop level, linear regression at the outermost level over an array
+//     of 40-byte accumulator structs (the paper's Fig. 1); and
+//   - as native Go implementations running on real goroutines with the
+//     same static round-robin schedule, used by the examples to show the
+//     effect on actual hardware.
+//
+// Sizes are parameters; the defaults are scaled down from the paper's so
+// the full table sweeps run in seconds. The linear-regression kernel's
+// inner trip count is M/num_threads, faithful to the paper's listing —
+// that detail is what makes its total iteration count (and hence its
+// modeled FS count) shrink as threads are added, reproducing the paper's
+// Table III/VI divergence.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+	"repro/internal/minic"
+)
+
+// Kernel bundles a workload's source with its lowered IR.
+type Kernel struct {
+	Name   string
+	Source string
+	Unit   *loopir.Unit
+	Nest   *loopir.Nest
+}
+
+// Load parses and lowers src, selecting the single top-level loop nest.
+func Load(name, src string) (*Kernel, error) {
+	return LoadOpts(name, src, loopir.LowerOptions{})
+}
+
+// LoadOpts is Load with explicit lowering options (e.g. a non-default
+// cache-line size for alignment).
+func LoadOpts(name, src string, opts loopir.LowerOptions) (*Kernel, error) {
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: parsing %s: %w", name, err)
+	}
+	unit, err := loopir.Lower(prog, opts)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: lowering %s: %w", name, err)
+	}
+	if len(unit.Nests) != 1 {
+		return nil, fmt.Errorf("kernels: %s has %d loop nests, expected 1", name, len(unit.Nests))
+	}
+	return &Kernel{Name: name, Source: src, Unit: unit, Nest: unit.Nests[0]}, nil
+}
+
+// Default problem sizes (scaled down from the paper's; see EXPERIMENTS.md).
+const (
+	DefaultHeatRows = 96
+	DefaultHeatCols = 4096
+
+	DefaultDFTN = 768
+
+	DefaultLinRegTasks  = 512
+	DefaultLinRegPoints = 3072
+)
+
+// Paper chunk-size pairs (FS-inducing vs FS-free), per Tables I–III.
+const (
+	HeatFSChunk    = 1
+	HeatNFSChunk   = 64
+	DFTFSChunk     = 1
+	DFTNFSChunk    = 16
+	LinRegFSChunk  = 1
+	LinRegNFSChunk = 10
+)
+
+// HeatSource renders the heat-diffusion kernel: a five-point stencil over
+// a rows×cols grid, parallelized at the innermost (column) loop.
+func HeatSource(rows, cols int64) string {
+	return fmt.Sprintf(`
+#define M %d
+#define N %d
+
+double A[M][N];
+double B[M][N];
+
+for (j = 1; j < M - 1; j++)
+  #pragma omp parallel for private(i)
+  for (i = 1; i < N - 1; i++)
+    B[j][i] = 0.25 * (A[j][i-1] + A[j][i+1] + A[j-1][i] + A[j+1][i]);
+`, rows, cols)
+}
+
+// Heat loads the heat-diffusion kernel.
+func Heat(rows, cols int64) (*Kernel, error) {
+	return Load("heat", HeatSource(rows, cols))
+}
+
+// DFTSource renders the discrete-Fourier-transform kernel: accumulation of
+// each input sample into every output bin through precomputed twiddle
+// tables, parallelized at the innermost (output-bin) loop. Both output
+// arrays are written every iteration, which is why the paper measures a
+// much larger FS effect here than for heat.
+func DFTSource(n int64) string {
+	return fmt.Sprintf(`
+#define N %d
+
+double x[N];
+double Xre[N];
+double Xim[N];
+double costab[N][N];
+double sintab[N][N];
+
+for (k = 0; k < N; k++)
+  #pragma omp parallel for private(n)
+  for (n = 0; n < N; n++) {
+    Xre[n] += x[k] * costab[k][n];
+    Xim[n] -= x[k] * sintab[k][n];
+  }
+`, n)
+}
+
+// DFT loads the DFT kernel.
+func DFT(n int64) (*Kernel, error) {
+	return Load("dft", DFTSource(n))
+}
+
+// LinRegSource renders the Phoenix linear-regression kernel of the paper's
+// Fig. 1: an array of per-task accumulator structs updated in the
+// innermost loop, parallelized at the outermost (task) loop. The inner
+// trip count is points/threads, as in the paper's listing.
+func LinRegSource(tasks, points int64, threads int) string {
+	return fmt.Sprintf(`
+#define N %d
+#define M %d
+#define NTHREADS %d
+#define K (M / NTHREADS)
+
+struct Point { double x; double y; };
+struct Args { double sx; double sxx; double sy; double syy; double sxy; };
+
+struct Args tid_args[N];
+struct Point points[N][K];
+
+#pragma omp parallel for private(i,j)
+for (j = 0; j < N; j++)
+  for (i = 0; i < K; i++) {
+    tid_args[j].sx  += points[j][i].x;
+    tid_args[j].sxx += points[j][i].x * points[j][i].x;
+    tid_args[j].sy  += points[j][i].y;
+    tid_args[j].syy += points[j][i].y * points[j][i].y;
+    tid_args[j].sxy += points[j][i].x * points[j][i].y;
+  }
+`, tasks, points, threads)
+}
+
+// LinReg loads the linear-regression kernel for a given thread count (the
+// thread count shapes the data layout per the paper's listing).
+func LinReg(tasks, points int64, threads int) (*Kernel, error) {
+	return Load("linreg", LinRegSource(tasks, points, threads))
+}
+
+// ByName loads a kernel by name at its default size. Thread-dependent
+// kernels (linreg) use the supplied thread count.
+func ByName(name string, threads int) (*Kernel, error) {
+	switch name {
+	case "heat":
+		return Heat(DefaultHeatRows, DefaultHeatCols)
+	case "dft":
+		return DFT(DefaultDFTN)
+	case "linreg":
+		return LinReg(DefaultLinRegTasks, DefaultLinRegPoints, threads)
+	}
+	return nil, fmt.Errorf("kernels: unknown kernel %q (want heat, dft or linreg)", name)
+}
+
+// Names lists the available kernels.
+func Names() []string { return []string{"heat", "dft", "linreg"} }
+
+// MatMulSource renders a square matrix multiplication parallelized at the
+// outermost (row) loop. With N a multiple of 8 every row is a whole number
+// of 64-byte lines, so no two threads ever write the same line: a negative
+// control for the FS model (the paper's detector must stay silent on loops
+// that merely share arrays without sharing lines).
+func MatMulSource(n int64) string {
+	return fmt.Sprintf(`
+#define N %d
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+#pragma omp parallel for private(i, j, k)
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    for (k = 0; k < N; k++)
+      C[i][j] += A[i][k] * B[k][j];
+`, n)
+}
+
+// MatMul loads the matrix-multiplication kernel.
+func MatMul(n int64) (*Kernel, error) {
+	return Load("matmul", MatMulSource(n))
+}

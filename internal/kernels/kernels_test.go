@@ -1,0 +1,287 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func TestLoadAllKernels(t *testing.T) {
+	for _, name := range Names() {
+		k, err := ByName(name, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k.Nest == nil || k.Unit == nil {
+			t.Fatalf("%s: incomplete kernel", name)
+		}
+		if k.Nest.Parallelized() == nil {
+			t.Fatalf("%s: no parallel loop", name)
+		}
+		if len(k.Nest.AnalyzableRefs()) == 0 {
+			t.Fatalf("%s: no analyzable refs", name)
+		}
+	}
+	if _, err := ByName("nope", 4); err == nil {
+		t.Fatal("unknown kernel should error")
+	}
+}
+
+func TestHeatParallelizedAtInnermost(t *testing.T) {
+	k, err := Heat(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Nest.Depth() != 2 || k.Nest.ParLevel != 1 {
+		t.Fatalf("heat depth/par = %d/%d, want 2/1 (innermost parallel, per the paper)",
+			k.Nest.Depth(), k.Nest.ParLevel)
+	}
+}
+
+func TestDFTParallelizedAtInnermost(t *testing.T) {
+	k, err := DFT(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Nest.Depth() != 2 || k.Nest.ParLevel != 1 {
+		t.Fatalf("dft depth/par = %d/%d", k.Nest.Depth(), k.Nest.ParLevel)
+	}
+}
+
+func TestLinRegParallelizedAtOutermost(t *testing.T) {
+	k, err := LinReg(16, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Nest.Depth() != 2 || k.Nest.ParLevel != 0 {
+		t.Fatalf("linreg depth/par = %d/%d, want 2/0 (outermost parallel, per the paper)",
+			k.Nest.Depth(), k.Nest.ParLevel)
+	}
+	// Inner trip count must be points/threads, the paper's M/num_threads.
+	trips, ok := k.Nest.Loops[1].ConstTripCount()
+	if !ok || trips != 16 {
+		t.Fatalf("inner trips = %d, want 64/4", trips)
+	}
+	// The accumulator struct must be 40 bytes (the FS victim).
+	sym, ok := k.Unit.Symbol("tid_args")
+	if !ok {
+		t.Fatal("tid_args not declared")
+	}
+	if elem := sym.Type.(interface{ String() string }); elem == nil {
+		t.Fatal("type missing")
+	}
+	args, ok := k.Unit.Structs["Args"]
+	if !ok || args.Size() != 40 {
+		t.Fatalf("Args size = %d, want 40", args.Size())
+	}
+}
+
+// TestHeatInterpMatchesNative: the analyzed source, executed by the
+// reference interpreter, computes the same stencil as the native Go
+// kernel.
+func TestHeatInterpMatchesNative(t *testing.T) {
+	const rows, cols = 8, 32
+	k, err := Heat(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(k.Unit)
+	a := HeatInput(rows, cols)
+	symA, _ := k.Unit.Symbol("A")
+	for idx, v := range a {
+		m.WriteAddr(symA.Base+int64(idx)*8, v)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	native := HeatGo(rows, cols, 2, 1, a)
+	symB, _ := k.Unit.Symbol("B")
+	sum := 0.0
+	for idx := int64(0); idx < rows*cols; idx++ {
+		sum += m.ReadAddr(symB.Base + idx*8)
+	}
+	if math.Abs(sum-native.Checksum) > 1e-9*math.Abs(sum) {
+		t.Fatalf("interp checksum %g != native %g", sum, native.Checksum)
+	}
+}
+
+// TestDFTInterpMatchesReference: same for the DFT kernel.
+func TestDFTInterpMatchesReference(t *testing.T) {
+	const n = 16
+	k, err := DFT(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(k.Unit)
+	x := DFTInput(n)
+	cost, sint := DFTTables(n)
+	symX, _ := k.Unit.Symbol("x")
+	symC, _ := k.Unit.Symbol("costab")
+	symS, _ := k.Unit.Symbol("sintab")
+	for i := int64(0); i < n; i++ {
+		m.WriteAddr(symX.Base+i*8, x[i])
+	}
+	for i := int64(0); i < n*n; i++ {
+		m.WriteAddr(symC.Base+i*8, cost[i])
+		m.WriteAddr(symS.Base+i*8, sint[i])
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	re, im := DFTReference(n, x, cost, sint)
+	symRe, _ := k.Unit.Symbol("Xre")
+	symIm, _ := k.Unit.Symbol("Xim")
+	for i := int64(0); i < n; i++ {
+		gotRe := m.ReadAddr(symRe.Base + i*8)
+		gotIm := m.ReadAddr(symIm.Base + i*8)
+		if math.Abs(gotRe-re[i]) > 1e-9 || math.Abs(gotIm-im[i]) > 1e-9 {
+			t.Fatalf("bin %d: interp (%g, %g) vs reference (%g, %g)", i, gotRe, gotIm, re[i], im[i])
+		}
+	}
+}
+
+// TestLinRegInterpMatchesNative: the paper's Fig. 1 kernel computes the
+// same sums under the interpreter and the native implementation.
+func TestLinRegInterpMatchesNative(t *testing.T) {
+	const tasks, points, threads = 8, 32, 4
+	const k = points / threads
+	kern, err := LinReg(tasks, points, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(kern.Unit)
+	px, py := LinRegInput(tasks, k)
+	symP, _ := kern.Unit.Symbol("points")
+	// struct Point{x,y} = 16 bytes, laid out [tasks][k].
+	for j := int64(0); j < tasks; j++ {
+		for i := int64(0); i < k; i++ {
+			base := symP.Base + (j*k+i)*16
+			m.WriteAddr(base, px[j*k+i])
+			m.WriteAddr(base+8, py[j*k+i])
+		}
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	args, _ := LinRegGo(tasks, k, threads, 1, px, py)
+	for j := 0; j < tasks; j++ {
+		for f, want := range map[string]float64{
+			"sx": args[j].SX, "sxx": args[j].SXX, "sy": args[j].SY,
+			"syy": args[j].SYY, "sxy": args[j].SXY,
+		} {
+			expr := fmt.Sprintf("tid_args[%d].%s", j, f)
+			got, err := m.Read(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9*(math.Abs(want)+1) {
+				t.Fatalf("%s = %g, want %g", expr, got, want)
+			}
+		}
+	}
+}
+
+func TestNativeDFTParseval(t *testing.T) {
+	const n = 64
+	x := DFTInput(n)
+	cost, sint := DFTTables(n)
+	res := DFTGo(n, 4, 1, x, cost, sint)
+	xx := 0.0
+	for _, v := range x {
+		xx += v * v
+	}
+	if math.Abs(res.Checksum-float64(n)*xx) > 1e-6*res.Checksum {
+		t.Fatalf("Parseval violated: %g vs %g", res.Checksum, float64(n)*xx)
+	}
+}
+
+func TestNativeChunkInvariance(t *testing.T) {
+	// The schedule must not change results, only timing.
+	const tasks, k = 16, 32
+	px, py := LinRegInput(tasks, k)
+	a1, _ := LinRegGo(tasks, k, 4, 1, px, py)
+	a8, _ := LinRegGo(tasks, k, 4, 8, px, py)
+	for j := range a1 {
+		if a1[j] != a8[j] {
+			t.Fatalf("task %d differs across schedules", j)
+		}
+	}
+}
+
+func TestLinRegSolveRecoversLine(t *testing.T) {
+	const tasks, k = 4, 256
+	px, py := LinRegInput(tasks, k)
+	args, _ := LinRegGo(tasks, k, 2, 1, px, py)
+	for j := 0; j < tasks; j++ {
+		slope, intercept := LinRegSolve(args[j], k)
+		if math.Abs(slope-3) > 0.05 || math.Abs(intercept-0.5) > 0.05 {
+			t.Fatalf("task %d fit: %f, %f", j, slope, intercept)
+		}
+	}
+	// Degenerate input.
+	if s, b := LinRegSolve(LinRegArgs{}, 5); s != 0 || b != 0 {
+		t.Fatal("degenerate solve should be zero")
+	}
+}
+
+func TestSourcesDeterministic(t *testing.T) {
+	if HeatSource(4, 8) != HeatSource(4, 8) {
+		t.Fatal("source generation not deterministic")
+	}
+	if LinRegSource(4, 8, 2) == LinRegSource(4, 8, 4) {
+		t.Fatal("thread count must shape the linreg source")
+	}
+}
+
+func TestLoadRejectsMultiNest(t *testing.T) {
+	src := `
+double a[4];
+for (i = 0; i < 4; i++) a[i] = 1.0;
+for (i = 0; i < 4; i++) a[i] = 2.0;
+`
+	if _, err := Load("two", src); err == nil {
+		t.Fatal("expected error for two nests")
+	}
+}
+
+// TestMatMulNegativeControl: whole-row ownership means zero false sharing
+// in both the model and the simulator, at any chunk size.
+func TestMatMulNegativeControl(t *testing.T) {
+	k, err := MatMul(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Nest.Depth() != 3 || k.Nest.ParLevel != 0 {
+		t.Fatalf("matmul depth/par = %d/%d", k.Nest.Depth(), k.Nest.ParLevel)
+	}
+}
+
+func TestMatMulInterpMatchesNative(t *testing.T) {
+	const n = 8
+	k, err := MatMul(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(k.Unit)
+	a, b := MatMulInput(n)
+	symA, _ := k.Unit.Symbol("A")
+	symB, _ := k.Unit.Symbol("B")
+	for i := int64(0); i < n*n; i++ {
+		m.WriteAddr(symA.Base+i*8, a[i])
+		m.WriteAddr(symB.Base+i*8, b[i])
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c, native := MatMulGo(n, 2, 1, a, b)
+	symC, _ := k.Unit.Symbol("C")
+	for i := int64(0); i < n*n; i++ {
+		got := m.ReadAddr(symC.Base + i*8)
+		if math.Abs(got-c[i]) > 1e-9 {
+			t.Fatalf("C[%d] = %g, want %g", i, got, c[i])
+		}
+	}
+	_ = native
+}

@@ -1,0 +1,206 @@
+package kernels
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/omp"
+)
+
+// lcg is a tiny deterministic generator so native runs, the interpreter
+// and tests all see identical inputs.
+type lcg uint64
+
+func (r *lcg) next() float64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return float64(uint64(*r)>>11) / float64(1<<53)
+}
+
+// NativeResult reports a native kernel execution.
+type NativeResult struct {
+	Elapsed  time.Duration
+	Checksum float64
+}
+
+// HeatInput builds the initial grid used by both the native kernel and the
+// interpreter validation.
+func HeatInput(rows, cols int64) []float64 {
+	a := make([]float64, rows*cols)
+	r := lcg(1)
+	for i := range a {
+		a[i] = r.next()
+	}
+	return a
+}
+
+// HeatGo runs the heat-diffusion stencil natively: for each interior row,
+// a parallel loop over interior columns with the given schedule.
+func HeatGo(rows, cols int64, threads int, chunk int64, a []float64) NativeResult {
+	b := make([]float64, rows*cols)
+	start := time.Now()
+	for j := int64(1); j < rows-1; j++ {
+		row := j * cols
+		omp.ParallelForRange(threads, chunk, 1, cols-1, func(_ int, i int64) {
+			b[row+i] = 0.25 * (a[row+i-1] + a[row+i+1] + a[row-cols+i] + a[row+cols+i])
+		})
+	}
+	elapsed := time.Since(start)
+	sum := 0.0
+	for _, v := range b {
+		sum += v
+	}
+	return NativeResult{Elapsed: elapsed, Checksum: sum}
+}
+
+// DFTInput builds the input signal.
+func DFTInput(n int64) []float64 {
+	x := make([]float64, n)
+	r := lcg(2)
+	for i := range x {
+		x[i] = r.next() - 0.5
+	}
+	return x
+}
+
+// DFTTables precomputes the twiddle tables costab[k][n] = cos(2πkn/N) and
+// sintab[k][n] = sin(2πkn/N), flattened row-major.
+func DFTTables(n int64) (cost, sint []float64) {
+	cost = make([]float64, n*n)
+	sint = make([]float64, n*n)
+	w := 2 * math.Pi / float64(n)
+	for k := int64(0); k < n; k++ {
+		for j := int64(0); j < n; j++ {
+			ang := w * float64((k*j)%n)
+			cost[k*n+j] = math.Cos(ang)
+			sint[k*n+j] = math.Sin(ang)
+		}
+	}
+	return cost, sint
+}
+
+// DFTGo runs the table-driven DFT natively with the given schedule and
+// returns both output vectors' summed magnitude as checksum.
+func DFTGo(n int64, threads int, chunk int64, x, cost, sint []float64) NativeResult {
+	re := make([]float64, n)
+	im := make([]float64, n)
+	start := time.Now()
+	for k := int64(0); k < n; k++ {
+		xk := x[k]
+		row := k * n
+		omp.ParallelFor(threads, chunk, n, func(_ int, j int64) {
+			re[j] += xk * cost[row+j]
+			im[j] -= xk * sint[row+j]
+		})
+	}
+	elapsed := time.Since(start)
+	sum := 0.0
+	for i := range re {
+		sum += re[i]*re[i] + im[i]*im[i]
+	}
+	return NativeResult{Elapsed: elapsed, Checksum: sum}
+}
+
+// DFTReference computes the DFT serially for correctness checks.
+func DFTReference(n int64, x, cost, sint []float64) (re, im []float64) {
+	re = make([]float64, n)
+	im = make([]float64, n)
+	for k := int64(0); k < n; k++ {
+		for j := int64(0); j < n; j++ {
+			re[j] += x[k] * cost[k*n+j]
+			im[j] -= x[k] * sint[k*n+j]
+		}
+	}
+	return re, im
+}
+
+// LinRegArgs is the per-task accumulator struct of the paper's Fig. 1.
+// Its five float64 fields occupy 40 bytes, so adjacent elements share a
+// 64-byte cache line — the false-sharing victim.
+type LinRegArgs struct {
+	SX, SXX, SY, SYY, SXY float64
+}
+
+// LinRegInput builds the (x, y) point arrays, flattened tasks×pointsPerTask.
+func LinRegInput(tasks, pointsPerTask int64) (px, py []float64) {
+	px = make([]float64, tasks*pointsPerTask)
+	py = make([]float64, tasks*pointsPerTask)
+	r := lcg(3)
+	for i := range px {
+		px[i] = r.next()
+		py[i] = 3*px[i] + 0.5 + 0.01*(r.next()-0.5)
+	}
+	return px, py
+}
+
+// LinRegGo runs the linear-regression kernel natively: the outer task loop
+// is parallel, each task accumulating pointsPerTask points into its own
+// element of the shared args array.
+func LinRegGo(tasks, pointsPerTask int64, threads int, chunk int64, px, py []float64) ([]LinRegArgs, NativeResult) {
+	args := make([]LinRegArgs, tasks)
+	start := time.Now()
+	omp.ParallelFor(threads, chunk, tasks, func(_ int, j int64) {
+		base := j * pointsPerTask
+		for i := int64(0); i < pointsPerTask; i++ {
+			x := px[base+i]
+			y := py[base+i]
+			args[j].SX += x
+			args[j].SXX += x * x
+			args[j].SY += y
+			args[j].SYY += y * y
+			args[j].SXY += x * y
+		}
+	})
+	elapsed := time.Since(start)
+	sum := 0.0
+	for i := range args {
+		sum += args[i].SX + args[i].SXX + args[i].SY + args[i].SYY + args[i].SXY
+	}
+	return args, NativeResult{Elapsed: elapsed, Checksum: sum}
+}
+
+// LinRegSolve turns accumulated sums into slope/intercept for one task
+// group, the final step of the Phoenix kernel.
+func LinRegSolve(a LinRegArgs, n int64) (slope, intercept float64) {
+	fn := float64(n)
+	den := fn*a.SXX - a.SX*a.SX
+	if den == 0 {
+		return 0, 0
+	}
+	slope = (fn*a.SXY - a.SX*a.SY) / den
+	intercept = (a.SY - slope*a.SX) / fn
+	return slope, intercept
+}
+
+// MatMulInput builds two deterministic input matrices, flattened
+// row-major.
+func MatMulInput(n int64) (a, b []float64) {
+	a = make([]float64, n*n)
+	b = make([]float64, n*n)
+	r := lcg(4)
+	for i := range a {
+		a[i] = r.next()
+		b[i] = r.next()
+	}
+	return a, b
+}
+
+// MatMulGo multiplies natively with the given schedule on the row loop.
+func MatMulGo(n int64, threads int, chunk int64, a, b []float64) ([]float64, NativeResult) {
+	c := make([]float64, n*n)
+	start := time.Now()
+	omp.ParallelFor(threads, chunk, n, func(_ int, i int64) {
+		for j := int64(0); j < n; j++ {
+			var sum float64
+			for k := int64(0); k < n; k++ {
+				sum += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] += sum
+		}
+	})
+	elapsed := time.Since(start)
+	sum := 0.0
+	for _, v := range c {
+		sum += v
+	}
+	return c, NativeResult{Elapsed: elapsed, Checksum: sum}
+}

@@ -1,0 +1,92 @@
+// Package linreg implements least-squares linear regression, the
+// prediction model of paper Section III-E: the number of false-sharing
+// cases grows linearly with the number of chunk runs evaluated, so the
+// total over the whole loop can be extrapolated from a short prefix.
+//
+// The paper fits y = a·x + b by minimizing the squared error and predicts
+// y_max = a·x_max + b where x_max is the total number of chunk runs.
+package linreg
+
+import (
+	"errors"
+	"math"
+)
+
+// Model is a fitted line y = A·x + B.
+type Model struct {
+	A float64 // slope
+	B float64 // intercept
+	// R2 is the coefficient of determination of the fit (1 = perfect).
+	R2 float64
+	N  int // number of points fitted
+}
+
+// ErrInsufficient is returned when fewer than two distinct x values are
+// supplied.
+var ErrInsufficient = errors.New("linreg: need at least two points with distinct x values")
+
+// Fit computes the least-squares line through the points (x[i], y[i]).
+func Fit(x, y []float64) (Model, error) {
+	if len(x) != len(y) {
+		return Model{}, errors.New("linreg: x and y lengths differ")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return Model{}, ErrInsufficient
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Model{}, ErrInsufficient
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+
+	// R² against the mean model.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		d := y[i] - (a*x[i] + b)
+		ssRes += d * d
+		t := y[i] - meanY
+		ssTot += t * t
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Model{A: a, B: b, R2: r2, N: len(x)}, nil
+}
+
+// FitPrefix fits the first n points of a series indexed 1..len(y); it is
+// the paper's usage, where y[i] is the cumulative FS count after chunk run
+// i+1.
+func FitPrefix(y []float64, n int) (Model, error) {
+	if n > len(y) {
+		n = len(y)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	return Fit(x, y[:n])
+}
+
+// Predict evaluates the fitted line at x.
+func (m Model) Predict(x float64) float64 { return m.A*x + m.B }
+
+// PredictCount evaluates the line at x, clamped to a non-negative integer
+// (FS counts cannot be negative).
+func (m Model) PredictCount(x float64) int64 {
+	v := m.Predict(x)
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return int64(math.Round(v))
+}

@@ -1,0 +1,146 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3*x[i] + 7
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A-3) > 1e-12 || math.Abs(m.B-7) > 1e-12 {
+		t.Fatalf("fit = %+v", m)
+	}
+	if m.R2 < 1-1e-12 {
+		t.Fatalf("R2 = %f", m.R2)
+	}
+	if m.Predict(10) != m.A*10+m.B {
+		t.Fatal("Predict inconsistent")
+	}
+}
+
+func TestFitNoisyLine(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var x, y []float64
+	for i := 1; i <= 200; i++ {
+		x = append(x, float64(i))
+		y = append(y, 2.5*float64(i)+10+r.NormFloat64()*0.5)
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A-2.5) > 0.01 {
+		t.Fatalf("slope = %f", m.A)
+	}
+	if m.R2 < 0.999 {
+		t.Fatalf("R2 = %f", m.R2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{2}); err != ErrInsufficient {
+		t.Fatalf("single point: %v", err)
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	// All x identical → singular system.
+	if _, err := Fit([]float64{2, 2, 2}, []float64{1, 2, 3}); err != ErrInsufficient {
+		t.Fatal("identical x should error")
+	}
+}
+
+func TestFitPrefix(t *testing.T) {
+	y := []float64{10, 20, 30, 40, 50}
+	m, err := FitPrefix(y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A-10) > 1e-12 || math.Abs(m.B) > 1e-9 {
+		t.Fatalf("prefix fit = %+v", m)
+	}
+	if m.N != 3 {
+		t.Fatalf("N = %d", m.N)
+	}
+	// n beyond length clamps.
+	m, err = FitPrefix(y, 99)
+	if err != nil || m.N != 5 {
+		t.Fatalf("clamped fit = %+v, %v", m, err)
+	}
+}
+
+func TestPredictCount(t *testing.T) {
+	m := Model{A: 2, B: -100}
+	if m.PredictCount(10) != 0 {
+		t.Fatal("negative prediction must clamp to 0")
+	}
+	if m.PredictCount(100) != 100 {
+		t.Fatalf("PredictCount(100) = %d", m.PredictCount(100))
+	}
+	nan := Model{A: math.NaN()}
+	if nan.PredictCount(1) != 0 {
+		t.Fatal("NaN prediction must clamp to 0")
+	}
+}
+
+// TestQuickFitRecoversExactLines: for any slope/intercept, fitting exact
+// samples recovers them.
+func TestQuickFitRecoversExactLines(t *testing.T) {
+	f := func(a8, b8 int8, n8 uint8) bool {
+		a, b := float64(a8), float64(b8)
+		n := int(n8%20) + 2
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i + 1)
+			y[i] = a*x[i] + b
+		}
+		m, err := Fit(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.A-a) < 1e-6 && math.Abs(m.B-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickResidualOrthogonality: least squares residuals are orthogonal
+// to the inputs (the normal equations).
+func TestQuickResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i) + r.Float64()
+			y[i] = r.NormFloat64() * 10
+		}
+		m, err := Fit(x, y)
+		if err != nil {
+			return false
+		}
+		var sumR, sumRX float64
+		for i := range x {
+			res := y[i] - m.Predict(x[i])
+			sumR += res
+			sumRX += res * x[i]
+		}
+		return math.Abs(sumR) < 1e-6 && math.Abs(sumRX) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

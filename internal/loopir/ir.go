@@ -1,0 +1,263 @@
+package loopir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/affine"
+	"repro/internal/minic"
+)
+
+// Symbol is a global data object with an assigned virtual base address.
+// Per the paper's assumption (Section III-B), every base address is aligned
+// to a cache-line boundary so relative cache lines are known at compile
+// time.
+type Symbol struct {
+	Name string
+	Type Type
+	Base int64 // virtual byte address, cache-line aligned
+}
+
+// Size returns the symbol's storage size in bytes.
+func (s *Symbol) Size() int64 { return s.Type.Size() }
+
+// Ref is a memory reference appearing in the innermost loop body.
+type Ref struct {
+	Sym    *Symbol
+	Offset affine.Expr // byte offset from Sym.Base as a function of loop vars
+	Write  bool
+	Size   int64 // bytes accessed (size of the referenced element)
+	Src    string
+	P      minic.Pos
+	// NonAffine marks references whose subscripts could not be expressed
+	// as affine functions; such references are excluded from modeling and
+	// reported as diagnostics, mirroring a compiler's "not analyzable".
+	NonAffine bool
+}
+
+// Addr evaluates the absolute virtual byte address of the reference under
+// the given loop-variable environment.
+func (r *Ref) Addr(env map[string]int64) (int64, error) {
+	off, err := r.Offset.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return r.Sym.Base + off, nil
+}
+
+// String renders the reference for diagnostics.
+func (r *Ref) String() string {
+	mode := "R"
+	if r.Write {
+		mode = "W"
+	}
+	if r.NonAffine {
+		return fmt.Sprintf("%s %s (non-affine)", mode, r.Src)
+	}
+	return fmt.Sprintf("%s %s @ %s + (%s)", mode, r.Src, r.Sym.Name, r.Offset.String())
+}
+
+// Parallel describes the OpenMP work-sharing annotation on a loop.
+type Parallel struct {
+	Schedule   string // "static"; "dynamic"/"guided" are accepted but modeled as static
+	Chunk      int64  // 0 means unspecified (block schedule: one contiguous chunk per thread)
+	NumThreads int    // 0 means unspecified (taken from the analysis config)
+	Private    []string
+}
+
+// Loop is one level of a loop nest, normalized to:
+//
+//	for (Var = First; Step>0 ? Var < Limit : Var > Limit; Var += Step)
+//
+// First and Limit may reference outer loop variables (affine bounds), which
+// covers triangular nests; Step must be a non-zero compile-time constant.
+type Loop struct {
+	Var      string
+	First    affine.Expr
+	Limit    affine.Expr // exclusive in the direction of travel
+	Step     int64
+	Parallel *Parallel // non-nil if this level carries the omp pragma
+	P        minic.Pos
+}
+
+// TripCount returns the number of iterations for the given outer-variable
+// environment (0 if the loop is zero-trip).
+func (l *Loop) TripCount(env map[string]int64) (int64, error) {
+	first, err := l.First.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	limit, err := l.Limit.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return tripCount(first, limit, l.Step), nil
+}
+
+func tripCount(first, limit, step int64) int64 {
+	if step > 0 {
+		if first >= limit {
+			return 0
+		}
+		return (limit - first + step - 1) / step
+	}
+	if first <= limit {
+		return 0
+	}
+	return (first - limit + (-step) - 1) / (-step)
+}
+
+// ConstTripCount returns the trip count when both bounds are constants.
+func (l *Loop) ConstTripCount() (int64, bool) {
+	f, ok1 := l.First.ConstValue()
+	u, ok2 := l.Limit.ConstValue()
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return tripCount(f, u, l.Step), true
+}
+
+// Value returns the induction-variable value at trip k (0-based).
+func (l *Loop) Value(first int64, k int64) int64 { return first + k*l.Step }
+
+// Nest is a perfect loop nest with memory references in its innermost body.
+type Nest struct {
+	Loops    []*Loop // outermost first
+	ParLevel int     // index into Loops of the parallelized loop; -1 if none
+	Refs     []Ref   // innermost-body references in access order
+	Body     []minic.Stmt
+	// OpCounts summarizes the innermost body for the processor model.
+	Ops OpCounts
+}
+
+// OpCounts tallies per-innermost-iteration operations, the inputs to the
+// processor model.
+type OpCounts struct {
+	Loads    int
+	Stores   int
+	FPAdds   int // additions/subtractions on floating data
+	FPMuls   int
+	FPDivs   int
+	IntOps   int // integer ALU ops (address arithmetic in subscripts)
+	Assigns  int
+	MaxChain int // longest dependence chain of FP ops through one statement
+}
+
+// Parallelized returns the parallel loop, or nil if the nest is sequential.
+func (n *Nest) Parallelized() *Loop {
+	if n.ParLevel < 0 || n.ParLevel >= len(n.Loops) {
+		return nil
+	}
+	return n.Loops[n.ParLevel]
+}
+
+// Innermost returns the innermost loop of the nest.
+func (n *Nest) Innermost() *Loop { return n.Loops[len(n.Loops)-1] }
+
+// Depth returns the nest depth.
+func (n *Nest) Depth() int { return len(n.Loops) }
+
+// Vars returns induction variable names, outermost first.
+func (n *Nest) Vars() []string {
+	out := make([]string, len(n.Loops))
+	for i, l := range n.Loops {
+		out[i] = l.Var
+	}
+	return out
+}
+
+// TotalIterations returns the product of all trip counts when every bound
+// is constant (rectangular nest); ok is false otherwise.
+func (n *Nest) TotalIterations() (int64, bool) {
+	total := int64(1)
+	for _, l := range n.Loops {
+		t, ok := l.ConstTripCount()
+		if !ok {
+			return 0, false
+		}
+		total *= t
+	}
+	return total, true
+}
+
+// Params returns the symbolic bound parameters ("$name" variables) used
+// in the nest's loop bounds, sorted and de-duplicated; empty for fully
+// constant-bounded nests.
+func (n *Nest) Params() []string {
+	seen := map[string]bool{}
+	loopVars := map[string]bool{}
+	for _, l := range n.Loops {
+		loopVars[l.Var] = true
+	}
+	var out []string
+	for _, l := range n.Loops {
+		for _, e := range []affine.Expr{l.First, l.Limit} {
+			for _, v := range e.Vars() {
+				if !loopVars[v] && !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AnalyzableRefs returns the refs with affine subscripts.
+func (n *Nest) AnalyzableRefs() []Ref {
+	out := make([]Ref, 0, len(n.Refs))
+	for _, r := range n.Refs {
+		if !r.NonAffine {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders a compact summary of the nest.
+func (n *Nest) String() string {
+	var b strings.Builder
+	for i, l := range n.Loops {
+		par := ""
+		if p := l.Parallel; p != nil {
+			par = fmt.Sprintf("  [parallel %s chunk=%d threads=%d]", p.Schedule, p.Chunk, p.NumThreads)
+		}
+		fmt.Fprintf(&b, "%sfor %s = %s; %s; step %+d%s\n",
+			strings.Repeat("  ", i), l.Var, l.First.String(), l.Limit.String(), l.Step, par)
+	}
+	for _, r := range n.Refs {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", len(n.Loops)), r.String())
+	}
+	return b.String()
+}
+
+// Unit is a fully lowered translation unit: the data layout plus every
+// top-level loop nest of the program.
+type Unit struct {
+	Prog     *minic.Program
+	Structs  map[string]*Struct
+	Syms     map[string]*Symbol
+	SymOrder []*Symbol
+	Nests    []*Nest
+	LineSize int64
+	// Warnings collects non-fatal lowering diagnostics (e.g. non-affine
+	// subscripts that were excluded from modeling).
+	Warnings []string
+}
+
+// TotalDataBytes returns the summed size of all symbols.
+func (u *Unit) TotalDataBytes() int64 {
+	var total int64
+	for _, s := range u.SymOrder {
+		total += s.Size()
+	}
+	return total
+}
+
+// Symbol returns the named symbol, if declared.
+func (u *Unit) Symbol(name string) (*Symbol, bool) {
+	s, ok := u.Syms[name]
+	return s, ok
+}

@@ -1,0 +1,600 @@
+package loopir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+func lower(t *testing.T, src string, opts LowerOptions) *Unit {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	unit, err := Lower(prog, opts)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return unit
+}
+
+func lowerErr(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Lower(prog, LowerOptions{})
+	if err == nil {
+		t.Fatal("expected lowering error")
+	}
+	return err
+}
+
+func TestBasicTypeSizes(t *testing.T) {
+	cases := []struct {
+		t     Type
+		size  int64
+		align int64
+	}{
+		{Char, 1, 1}, {Short, 2, 2}, {Int, 4, 4}, {Long, 8, 8},
+		{Float, 4, 4}, {Double, 8, 8}, {SizeT, 8, 8},
+	}
+	for _, c := range cases {
+		if c.t.Size() != c.size || c.t.Align() != c.align {
+			t.Errorf("%s: size/align = %d/%d, want %d/%d",
+				c.t.String(), c.t.Size(), c.t.Align(), c.size, c.align)
+		}
+	}
+}
+
+func TestStructLayoutCRules(t *testing.T) {
+	// struct { char c; double d; short s; } — C says offsets 0, 8, 16,
+	// size 24 (tail padded to 8).
+	s := NewStruct("X", []Field{
+		{Name: "c", Type: Char},
+		{Name: "d", Type: Double},
+		{Name: "s", Type: Short},
+	})
+	want := []int64{0, 8, 16}
+	for i, f := range s.Fields {
+		if f.Offset != want[i] {
+			t.Errorf("field %s offset = %d, want %d", f.Name, f.Offset, want[i])
+		}
+	}
+	if s.Size() != 24 {
+		t.Errorf("size = %d, want 24", s.Size())
+	}
+	if s.Align() != 8 {
+		t.Errorf("align = %d, want 8", s.Align())
+	}
+}
+
+func TestStructLayoutPaperArgs(t *testing.T) {
+	// The paper's accumulator struct: five doubles = 40 bytes, so adjacent
+	// elements share a 64-byte line — the linchpin of the linreg victim.
+	s := NewStruct("Args", []Field{
+		{Name: "sx", Type: Double}, {Name: "sxx", Type: Double},
+		{Name: "sy", Type: Double}, {Name: "syy", Type: Double},
+		{Name: "sxy", Type: Double},
+	})
+	if s.Size() != 40 {
+		t.Fatalf("Args size = %d, want 40", s.Size())
+	}
+}
+
+func TestArrayTypes(t *testing.T) {
+	a := MakeArray(Double, []int64{3, 4})
+	if a.Size() != 3*4*8 {
+		t.Fatalf("array size = %d", a.Size())
+	}
+	if a.String() != "double[4][3]" && a.String() != "double[3][4]" {
+		// Outer dimension wraps last; representation is elem-first.
+		t.Logf("array string: %s", a.String())
+	}
+	if ElemType(a) != Double {
+		t.Fatal("ElemType should strip arrays")
+	}
+	if !IsFloatType(a) {
+		t.Fatal("double array is float type")
+	}
+	if IsFloatType(MakeArray(Int, []int64{2})) {
+		t.Fatal("int array is not float type")
+	}
+}
+
+func TestSymbolAddressesLineAligned(t *testing.T) {
+	unit := lower(t, `
+double a[3];
+char pad[5];
+double b[7];
+`, LowerOptions{LineSize: 64})
+	for _, sym := range unit.SymOrder {
+		if sym.Base%64 != 0 {
+			t.Errorf("symbol %s base %d not 64-aligned", sym.Name, sym.Base)
+		}
+	}
+	// Symbols must not overlap.
+	for i := 0; i < len(unit.SymOrder)-1; i++ {
+		s, next := unit.SymOrder[i], unit.SymOrder[i+1]
+		if s.Base+s.Size() > next.Base {
+			t.Errorf("symbols %s and %s overlap", s.Name, next.Name)
+		}
+	}
+}
+
+func TestLowerOffsetsStructArray(t *testing.T) {
+	unit := lower(t, `
+#define N 8
+struct P { double x; double y; };
+struct A { double s; struct P pts[4]; };
+struct A args[N];
+for (j = 0; j < N; j++)
+  for (i = 0; i < 4; i++)
+    args[j].s += args[j].pts[i].y;
+`, LowerOptions{})
+	nest := unit.Nests[0]
+	// struct P = 16 bytes; struct A = 8 + 4*16 = 72 bytes.
+	// args[j].s → 72*j; args[j].pts[i].y → 72*j + 8 + 16*i + 8.
+	var sOff, yOff string
+	for _, r := range nest.Refs {
+		switch r.Src {
+		case "args[j].s":
+			sOff = r.Offset.String()
+		case "args[j].pts[i].y":
+			yOff = r.Offset.String()
+		}
+	}
+	if sOff != "72*j" {
+		t.Errorf("args[j].s offset = %s, want 72*j", sOff)
+	}
+	if yOff != "16*i + 72*j + 16" {
+		t.Errorf("args[j].pts[i].y offset = %s, want 16*i + 72*j + 16", yOff)
+	}
+}
+
+func TestLowerRefOrderAndKinds(t *testing.T) {
+	unit := lower(t, `
+#define N 8
+double a[N];
+double b[N];
+for (i = 0; i < N; i++)
+    a[i] += b[i] * 2.0;
+`, LowerOptions{})
+	nest := unit.Nests[0]
+	// Expected: read b[i], read a[i] (compound), write a[i].
+	if len(nest.Refs) != 3 {
+		t.Fatalf("refs = %d: %v", len(nest.Refs), nest.Refs)
+	}
+	if nest.Refs[0].Src != "b[i]" || nest.Refs[0].Write {
+		t.Errorf("ref 0 = %v", nest.Refs[0])
+	}
+	if nest.Refs[1].Src != "a[i]" || nest.Refs[1].Write {
+		t.Errorf("ref 1 = %v", nest.Refs[1])
+	}
+	if nest.Refs[2].Src != "a[i]" || !nest.Refs[2].Write {
+		t.Errorf("ref 2 = %v", nest.Refs[2])
+	}
+}
+
+func TestLowerOpCounts(t *testing.T) {
+	unit := lower(t, `
+#define N 8
+double a[N];
+double b[N];
+double c[N];
+for (i = 0; i < N; i++)
+    a[i] = b[i] * c[i] + 2.0;
+`, LowerOptions{})
+	ops := unit.Nests[0].Ops
+	if ops.Loads != 2 || ops.Stores != 1 {
+		t.Errorf("loads/stores = %d/%d", ops.Loads, ops.Stores)
+	}
+	if ops.FPMuls != 1 || ops.FPAdds != 1 {
+		t.Errorf("fp ops = %d muls, %d adds", ops.FPMuls, ops.FPAdds)
+	}
+	if ops.Assigns != 1 {
+		t.Errorf("assigns = %d", ops.Assigns)
+	}
+	if ops.MaxChain != 2 {
+		t.Errorf("max chain = %d, want 2", ops.MaxChain)
+	}
+}
+
+func TestLowerLoopNormalization(t *testing.T) {
+	unit := lower(t, `
+#define N 10
+double a[N];
+for (i = 0; i <= N - 2; i++) a[i] = 1.0;
+`, LowerOptions{})
+	l := unit.Nests[0].Loops[0]
+	trips, ok := l.ConstTripCount()
+	if !ok || trips != 9 {
+		t.Fatalf("<= loop trips = %d,%v want 9", trips, ok)
+	}
+
+	unit = lower(t, `
+#define N 10
+double a[N];
+for (i = N - 1; i >= 0; i--) a[i] = 1.0;
+`, LowerOptions{})
+	l = unit.Nests[0].Loops[0]
+	if l.Step != -1 {
+		t.Fatalf("step = %d", l.Step)
+	}
+	trips, ok = l.ConstTripCount()
+	if !ok || trips != 10 {
+		t.Fatalf(">= downward loop trips = %d,%v want 10", trips, ok)
+	}
+
+	unit = lower(t, `
+#define N 9
+double a[N];
+for (i = 0; i < N; i += 2) a[i] = 1.0;
+`, LowerOptions{})
+	trips, _ = unit.Nests[0].Loops[0].ConstTripCount()
+	if trips != 5 {
+		t.Fatalf("stride-2 trips = %d, want 5", trips)
+	}
+}
+
+func TestLowerZeroTripLoop(t *testing.T) {
+	unit := lower(t, `
+double a[4];
+for (i = 5; i < 5; i++) a[0] = 1.0;
+`, LowerOptions{})
+	trips, ok := unit.Nests[0].Loops[0].ConstTripCount()
+	if !ok || trips != 0 {
+		t.Fatalf("zero-trip loop trips = %d", trips)
+	}
+}
+
+func TestLowerTriangularBounds(t *testing.T) {
+	unit := lower(t, `
+#define N 6
+double a[N][N];
+for (j = 0; j < N; j++)
+  for (i = j; i < N; i++)
+    a[j][i] = 1.0;
+`, LowerOptions{})
+	nest := unit.Nests[0]
+	inner := nest.Loops[1]
+	if inner.First.String() != "j" {
+		t.Fatalf("triangular lower bound = %s", inner.First.String())
+	}
+	if _, ok := nest.TotalIterations(); ok {
+		t.Fatal("triangular nest must not report constant total")
+	}
+	got, err := inner.TripCount(map[string]int64{"j": 2})
+	if err != nil || got != 4 {
+		t.Fatalf("trip(j=2) = %d, %v", got, err)
+	}
+}
+
+func TestLowerParallelInfo(t *testing.T) {
+	unit := lower(t, `
+#define N 32
+double a[N];
+#pragma omp parallel for schedule(static, 4) num_threads(6)
+for (i = 0; i < N; i++) a[i] = 1.0;
+`, LowerOptions{})
+	nest := unit.Nests[0]
+	if nest.ParLevel != 0 {
+		t.Fatalf("par level = %d", nest.ParLevel)
+	}
+	p := nest.Parallelized().Parallel
+	if p.Chunk != 4 || p.NumThreads != 6 || p.Schedule != "static" {
+		t.Fatalf("parallel = %+v", p)
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undeclared", "for (i = 0; i < 4; i++) zz[i] = 1.0;", "undeclared"},
+		{"redeclared var", "double a[4];\ndouble a[4];", "redeclared"},
+		{"redeclared struct", "struct S { double x; };\nstruct S { double y; };", "redeclared"},
+		{"unknown struct", "struct Missing m[4];", "undefined struct"},
+		{"no field", "struct S { double x; };\nstruct S s[4];\nfor (i = 0; i < 4; i++) s[i].y = 1.0;", "no field"},
+		{"index scalar", "double a[4];\nfor (i = 0; i < 4; i++) a[i][0] = 1.0;", "indexing non-array"},
+		{"member on array", "double a[4];\nfor (i = 0; i < 4; i++) a.x = 1.0;", "member access on non-struct"},
+		{"non-affine strict", "#define N 4\ndouble a[N][N];\nfor (i = 0; i < N; i++)\nfor (j = 0; j < N; j++) a[i][i * j] = 1.0;", "non-affine"},
+		{"variable step", "double a[16];\nfor (i = 0; i < 16; i += k) a[i] = 1.0;", "unknown name"},
+		{"zero step", "#define Z 0\ndouble a[16];\nfor (i = 0; i < 16; i += Z) a[i] = 1.0;", "zero step"},
+		{"direction contradiction", "double a[4];\nfor (i = 0; i > 4; i++) a[i] = 1.0;", "contradicts"},
+		{"imperfect nest", "double a[4];\nfor (i = 0; i < 4; i++) { a[i] = 1.0; for (j = 0; j < 4; j++) a[j] = 2.0; }", "imperfect"},
+		{"multiple parallel", "double a[4][4];\n#pragma omp parallel for\nfor (i = 0; i < 4; i++)\n#pragma omp parallel for\nfor (j = 0; j < 4; j++) a[i][j] = 1.0;", "multiple parallel"},
+		{"whole struct assign", "struct S { double x; };\nstruct S s[4];\nstruct S q[4];\nfor (i = 0; i < 4; i++) s[i] = 1.0;", "scalar element"},
+	}
+	for _, c := range cases {
+		err := lowerErr(t, c.src)
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLowerNonAffineAllowed(t *testing.T) {
+	unit := lower(t, `
+#define N 4
+double a[N][N];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    a[i][i * j] = 1.0;
+`, LowerOptions{AllowNonAffine: true})
+	nest := unit.Nests[0]
+	if len(unit.Warnings) == 0 {
+		t.Fatal("expected non-affine warning")
+	}
+	var nonAffine int
+	for _, r := range nest.Refs {
+		if r.NonAffine {
+			nonAffine++
+		}
+	}
+	if nonAffine != 1 {
+		t.Fatalf("non-affine refs = %d", nonAffine)
+	}
+	if len(nest.AnalyzableRefs()) != len(nest.Refs)-1 {
+		t.Fatal("AnalyzableRefs should exclude the non-affine ref")
+	}
+}
+
+func TestLowerScalarGlobalIsMemoryRef(t *testing.T) {
+	unit := lower(t, `
+double s;
+double a[8];
+for (i = 0; i < 8; i++) s += a[i];
+`, LowerOptions{})
+	nest := unit.Nests[0]
+	var sRefs int
+	for _, r := range nest.Refs {
+		if r.Sym.Name == "s" {
+			sRefs++
+			if !r.Offset.IsConst() {
+				t.Error("scalar ref offset must be constant")
+			}
+		}
+	}
+	if sRefs != 2 { // read + write of the compound assignment
+		t.Fatalf("scalar refs = %d, want 2", sRefs)
+	}
+}
+
+func TestLowerDivModConstantFolding(t *testing.T) {
+	unit := lower(t, `
+#define N 16
+#define HALF N / 2
+double a[N];
+for (i = 0; i < HALF; i++) a[i + N % 3] = 1.0;
+`, LowerOptions{})
+	nest := unit.Nests[0]
+	trips, _ := nest.Loops[0].ConstTripCount()
+	if trips != 8 {
+		t.Fatalf("trips = %d", trips)
+	}
+	if got := nest.Refs[0].Offset.String(); got != "8*i + 8" {
+		t.Fatalf("offset = %s", got)
+	}
+}
+
+func TestNestAccessors(t *testing.T) {
+	unit := lower(t, `
+#define N 4
+#define M 3
+double a[M][N];
+#pragma omp parallel for
+for (j = 0; j < M; j++)
+  for (i = 0; i < N; i++)
+    a[j][i] = 1.0;
+`, LowerOptions{})
+	nest := unit.Nests[0]
+	if nest.Depth() != 2 {
+		t.Fatalf("depth = %d", nest.Depth())
+	}
+	if vars := nest.Vars(); vars[0] != "j" || vars[1] != "i" {
+		t.Fatalf("vars = %v", vars)
+	}
+	total, ok := nest.TotalIterations()
+	if !ok || total != 12 {
+		t.Fatalf("total = %d", total)
+	}
+	if nest.Innermost().Var != "i" {
+		t.Fatal("innermost wrong")
+	}
+	if !strings.Contains(nest.String(), "parallel") {
+		t.Fatal("String should mention parallel level")
+	}
+	if unit.TotalDataBytes() != 12*8 {
+		t.Fatalf("data bytes = %d", unit.TotalDataBytes())
+	}
+	if _, ok := unit.Symbol("a"); !ok {
+		t.Fatal("Symbol lookup failed")
+	}
+}
+
+func TestRefAddr(t *testing.T) {
+	unit := lower(t, `
+#define N 8
+double a[N];
+for (i = 0; i < N; i++) a[i] = 1.0;
+`, LowerOptions{BaseAddress: 0x1000})
+	r := unit.Nests[0].Refs[0]
+	addr, err := r.Addr(map[string]int64{"i": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != 0x1000+24 {
+		t.Fatalf("addr = %#x", addr)
+	}
+	if _, err := r.Addr(map[string]int64{}); err == nil {
+		t.Fatal("expected unbound-variable error")
+	}
+}
+
+func TestBasicByNameAll(t *testing.T) {
+	for name, want := range map[string]*Basic{
+		"char": Char, "short": Short, "int": Int, "long": Long,
+		"size_t": SizeT, "float": Float, "double": Double,
+	} {
+		got, ok := BasicByName(name)
+		if !ok || got != want {
+			t.Errorf("BasicByName(%s) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := BasicByName("quaternion"); ok {
+		t.Fatal("unknown type should not resolve")
+	}
+}
+
+func TestStructDescribe(t *testing.T) {
+	s := NewStruct("P", []Field{{Name: "x", Type: Double}, {Name: "c", Type: Char}})
+	d := s.Describe()
+	for _, want := range []string{"struct P", "offset=0", "offset=8", "size=16"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestLoopValueAndTripCount(t *testing.T) {
+	unit := lower(t, `
+#define N 20
+double a[N];
+for (i = 2; i < N; i += 3) a[i] = 1.0;
+`, LowerOptions{})
+	l := unit.Nests[0].Loops[0]
+	if l.Value(2, 0) != 2 || l.Value(2, 3) != 11 {
+		t.Fatalf("Value wrong: %d, %d", l.Value(2, 0), l.Value(2, 3))
+	}
+	got, err := l.TripCount(map[string]int64{})
+	if err != nil || got != 6 {
+		t.Fatalf("TripCount = %d, %v", got, err)
+	}
+	// TripCount with unbound variables errors.
+	tri := lower(t, `
+#define N 6
+double a[N][N];
+for (j = 0; j < N; j++)
+  for (i = j; i < N; i++)
+    a[j][i] = 1.0;
+`, LowerOptions{})
+	if _, err := tri.Nests[0].Loops[1].TripCount(map[string]int64{}); err == nil {
+		t.Fatal("expected unbound-variable error")
+	}
+}
+
+func TestParallelizedNilForSequential(t *testing.T) {
+	unit := lower(t, `
+double a[4];
+for (i = 0; i < 4; i++) a[i] = 1.0;
+`, LowerOptions{})
+	if unit.Nests[0].Parallelized() != nil {
+		t.Fatal("sequential nest reports a parallel loop")
+	}
+}
+
+func TestFloatClassificationMixed(t *testing.T) {
+	// int ops on int arrays must be counted as IntOps, not FP.
+	unit := lower(t, `
+#define N 8
+int counts[N];
+double vals[N];
+for (i = 0; i < N; i++) {
+    counts[i] = counts[i] + 1;
+    vals[i] = vals[i] * 2.0 + counts[i];
+}
+`, LowerOptions{})
+	ops := unit.Nests[0].Ops
+	if ops.FPAdds < 1 || ops.FPMuls < 1 {
+		t.Fatalf("fp ops = %+v", ops)
+	}
+	// The counts[i]+1 addition is integer.
+	if ops.IntOps == 0 {
+		t.Fatalf("int add not classified: %+v", ops)
+	}
+}
+
+func TestCompoundDivAndMulOnFloats(t *testing.T) {
+	unit := lower(t, `
+#define N 8
+double a[N];
+for (i = 0; i < N; i++) {
+    a[i] *= 3.0;
+    a[i] /= 2.0;
+}
+`, LowerOptions{})
+	ops := unit.Nests[0].Ops
+	if ops.FPMuls != 1 || ops.FPDivs != 1 {
+		t.Fatalf("compound fp ops = %+v", ops)
+	}
+	if ops.Loads != 2 || ops.Stores != 2 {
+		t.Fatalf("compound loads/stores = %d/%d", ops.Loads, ops.Stores)
+	}
+}
+
+func TestCompoundIntOps(t *testing.T) {
+	unit := lower(t, `
+#define N 8
+int a[N];
+for (i = 0; i < N; i++) {
+    a[i] += 1;
+    a[i] *= 2;
+    a[i] /= 3;
+}
+`, LowerOptions{})
+	ops := unit.Nests[0].Ops
+	if ops.FPAdds+ops.FPMuls+ops.FPDivs != 0 {
+		t.Fatalf("integer compounds misclassified: %+v", ops)
+	}
+	if ops.IntOps < 3 {
+		t.Fatalf("int ops = %d", ops.IntOps)
+	}
+}
+
+func TestToAffineNegativeAndDivision(t *testing.T) {
+	unit := lower(t, `
+#define N 16
+#define HALF N / 2
+#define REM N % 5
+double a[N];
+for (i = 0; i < N; i++) a[(-i + N) - HALF + REM - 1] = 1.0;
+`, LowerOptions{})
+	ref := unit.Nests[0].Refs[0]
+	// -i + 16 - 8 + 1 - 1 = -i + 8 elements → bytes: -8i + 64.
+	if got := ref.Offset.String(); got != "-8*i + 64" {
+		t.Fatalf("offset = %s", got)
+	}
+}
+
+func TestNonAffineDivisionByVariable(t *testing.T) {
+	err := lowerErr(t, `
+double a[16];
+for (i = 1; i < 16; i++) a[16 / i] = 1.0;
+`)
+	if !strings.Contains(err.Error(), "non-affine") {
+		t.Fatalf("err = %v", err)
+	}
+	err = lowerErr(t, `
+double a[16];
+for (i = 1; i < 16; i++) a[i % 3] = 1.0;
+`)
+	if !strings.Contains(err.Error(), "non-affine") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFloatLiteralSubscriptRejected(t *testing.T) {
+	err := lowerErr(t, `
+double a[16];
+for (i = 0; i < 16; i++) a[1.5] = 1.0;
+`)
+	if !strings.Contains(err.Error(), "non-affine") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,585 @@
+package loopir
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/minic"
+)
+
+// LowerOptions configures lowering from the minic AST.
+type LowerOptions struct {
+	// LineSize is the cache-line size every symbol is aligned to
+	// (paper assumption III-B). Defaults to 64.
+	LineSize int64
+	// BaseAddress is the virtual address of the first symbol. Defaults to
+	// 0x100000 so address zero never aliases a real reference.
+	BaseAddress int64
+	// AllowNonAffine records references with non-affine subscripts as
+	// unanalyzable warnings instead of failing the whole lowering.
+	AllowNonAffine bool
+	// SymbolicBounds accepts unknown identifiers in LOOP BOUNDS as
+	// symbolic parameters (affine variables named "$<ident>"): the
+	// paper's "loop boundaries not known at compile time" case, where
+	// the model reports an FS rate per chunk run instead of a total.
+	// Subscripts may not reference parameters.
+	SymbolicBounds bool
+}
+
+func (o LowerOptions) withDefaults() LowerOptions {
+	if o.LineSize <= 0 {
+		o.LineSize = 64
+	}
+	if o.BaseAddress <= 0 {
+		o.BaseAddress = 0x100000
+	}
+	return o
+}
+
+type lowerer struct {
+	opts    LowerOptions
+	unit    *Unit
+	defines map[string]int64
+}
+
+// Lower converts a parsed program into the loop IR, assigning cache-line
+// aligned virtual addresses to every global and extracting one Nest per
+// top-level loop.
+func Lower(prog *minic.Program, opts LowerOptions) (*Unit, error) {
+	opts = opts.withDefaults()
+	lw := &lowerer{
+		opts: opts,
+		unit: &Unit{
+			Prog:     prog,
+			Structs:  make(map[string]*Struct),
+			Syms:     make(map[string]*Symbol),
+			LineSize: opts.LineSize,
+		},
+		defines: make(map[string]int64),
+	}
+	for _, d := range prog.Defines {
+		lw.defines[d.Name] = d.Value
+	}
+	if err := lw.lowerStructs(); err != nil {
+		return nil, err
+	}
+	if err := lw.lowerSymbols(); err != nil {
+		return nil, err
+	}
+	for _, f := range prog.Loops() {
+		nest, err := lw.lowerNest(f)
+		if err != nil {
+			return nil, err
+		}
+		lw.unit.Nests = append(lw.unit.Nests, nest)
+	}
+	return lw.unit, nil
+}
+
+func (lw *lowerer) resolveType(ts minic.TypeSpec, pos minic.Pos) (Type, error) {
+	if ts.Struct != "" {
+		st, ok := lw.unit.Structs[ts.Struct]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined struct %q", pos, ts.Struct)
+		}
+		return st, nil
+	}
+	b, ok := BasicByName(ts.Basic)
+	if !ok {
+		return nil, fmt.Errorf("%s: unknown type %q", pos, ts.Basic)
+	}
+	return b, nil
+}
+
+func (lw *lowerer) lowerStructs() error {
+	for _, sd := range lw.unit.Prog.Structs {
+		if _, dup := lw.unit.Structs[sd.Name]; dup {
+			return fmt.Errorf("%s: struct %q redeclared", sd.P, sd.Name)
+		}
+		var fields []Field
+		for _, fd := range sd.Fields {
+			t, err := lw.resolveType(fd.Type, fd.P)
+			if err != nil {
+				return err
+			}
+			fields = append(fields, Field{Name: fd.Name, Type: MakeArray(t, fd.ArrayLens)})
+		}
+		lw.unit.Structs[sd.Name] = NewStruct(sd.Name, fields)
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerSymbols() error {
+	addr := lw.opts.BaseAddress
+	line := lw.opts.LineSize
+	for _, vd := range lw.unit.Prog.Vars {
+		if _, dup := lw.unit.Syms[vd.Name]; dup {
+			return fmt.Errorf("%s: variable %q redeclared", vd.P, vd.Name)
+		}
+		t, err := lw.resolveType(vd.Type, vd.P)
+		if err != nil {
+			return err
+		}
+		full := MakeArray(t, vd.ArrayLens)
+		addr = alignUp(addr, line)
+		sym := &Symbol{Name: vd.Name, Type: full, Base: addr}
+		addr += full.Size()
+		lw.unit.Syms[vd.Name] = sym
+		lw.unit.SymOrder = append(lw.unit.SymOrder, sym)
+	}
+	return nil
+}
+
+// lowerNest walks a chain of perfectly nested for statements and lowers the
+// innermost body's references.
+func (lw *lowerer) lowerNest(f *minic.ForStmt) (*Nest, error) {
+	nest := &Nest{ParLevel: -1}
+	outerVars := map[string]bool{}
+	cur := f
+	for {
+		loop, err := lw.lowerLoop(cur, outerVars)
+		if err != nil {
+			return nil, err
+		}
+		if loop.Parallel != nil {
+			if nest.ParLevel >= 0 {
+				return nil, fmt.Errorf("%s: multiple parallel levels in one nest", cur.P)
+			}
+			nest.ParLevel = len(nest.Loops)
+		}
+		nest.Loops = append(nest.Loops, loop)
+		outerVars[cur.Var] = true
+
+		// Perfect nesting: descend while the body is exactly one for loop.
+		if len(cur.Body) == 1 {
+			if inner, ok := cur.Body[0].(*minic.ForStmt); ok {
+				cur = inner
+				continue
+			}
+		}
+		// Otherwise this is the innermost body; it must not contain loops.
+		for _, s := range cur.Body {
+			if _, bad := s.(*minic.ForStmt); bad {
+				return nil, fmt.Errorf("%s: imperfect loop nest (loop mixed with statements) is not supported", s.Pos())
+			}
+		}
+		nest.Body = cur.Body
+		break
+	}
+	if err := lw.lowerBody(nest, outerVars); err != nil {
+		return nil, err
+	}
+	return nest, nil
+}
+
+func (lw *lowerer) lowerLoop(f *minic.ForStmt, outerVars map[string]bool) (*Loop, error) {
+	first, err := lw.toAffineOpt(f.Init, outerVars, lw.opts.SymbolicBounds)
+	if err != nil {
+		return nil, fmt.Errorf("loop %q lower bound: %w", f.Var, err)
+	}
+	bound, err := lw.toAffineOpt(f.Bound, outerVars, lw.opts.SymbolicBounds)
+	if err != nil {
+		return nil, fmt.Errorf("loop %q upper bound: %w", f.Var, err)
+	}
+	stepA, err := lw.toAffine(f.Step, outerVars)
+	if err != nil {
+		return nil, fmt.Errorf("loop %q step: %w", f.Var, err)
+	}
+	step, ok := stepA.ConstValue()
+	if !ok {
+		return nil, fmt.Errorf("%s: loop %q step must be a compile-time constant", f.P, f.Var)
+	}
+	if step == 0 {
+		return nil, fmt.Errorf("%s: loop %q has zero step", f.P, f.Var)
+	}
+
+	// Normalize the condition to an exclusive limit in the travel direction.
+	limit := bound
+	switch f.CondOp {
+	case minic.LT, minic.GT:
+		// already exclusive
+	case minic.LE:
+		limit = bound.Add(affine.Const(1))
+	case minic.GE:
+		limit = bound.Sub(affine.Const(1))
+	case minic.NEQ:
+		// i != bound with unit steps behaves like an exclusive limit.
+	default:
+		return nil, fmt.Errorf("%s: unsupported condition on loop %q", f.P, f.Var)
+	}
+	if (step > 0 && (f.CondOp == minic.GT || f.CondOp == minic.GE)) ||
+		(step < 0 && (f.CondOp == minic.LT || f.CondOp == minic.LE)) {
+		return nil, fmt.Errorf("%s: loop %q condition direction contradicts step %d", f.P, f.Var, step)
+	}
+
+	loop := &Loop{Var: f.Var, First: first, Limit: limit, Step: step, P: f.P}
+	if f.Pragma != nil {
+		par := &Parallel{Schedule: f.Pragma.Schedule, Private: f.Pragma.Private}
+		if f.Pragma.Chunk != nil {
+			c, err := lw.constExpr(f.Pragma.Chunk)
+			if err != nil {
+				return nil, fmt.Errorf("%s: schedule chunk: %w", f.Pragma.P, err)
+			}
+			if c <= 0 {
+				return nil, fmt.Errorf("%s: schedule chunk must be positive, got %d", f.Pragma.P, c)
+			}
+			par.Chunk = c
+		}
+		if f.Pragma.NumThreads != nil {
+			n, err := lw.constExpr(f.Pragma.NumThreads)
+			if err != nil {
+				return nil, fmt.Errorf("%s: num_threads: %w", f.Pragma.P, err)
+			}
+			if n <= 0 {
+				return nil, fmt.Errorf("%s: num_threads must be positive, got %d", f.Pragma.P, n)
+			}
+			par.NumThreads = int(n)
+		}
+		loop.Parallel = par
+	}
+	return loop, nil
+}
+
+// nonAffineError marks subscripts that cannot be expressed affinely.
+type nonAffineError struct{ reason string }
+
+func (e *nonAffineError) Error() string { return "non-affine expression: " + e.reason }
+
+// toAffine converts an expression over loop variables and #define constants
+// into an affine expression. vars is the set of in-scope loop variables.
+// When allowParams is true (loop bounds under LowerOptions.SymbolicBounds),
+// unknown identifiers become symbolic parameters named "$<ident>".
+func (lw *lowerer) toAffine(e minic.Expr, vars map[string]bool) (affine.Expr, error) {
+	return lw.toAffineOpt(e, vars, false)
+}
+
+func (lw *lowerer) toAffineOpt(e minic.Expr, vars map[string]bool, allowParams bool) (affine.Expr, error) {
+	switch v := e.(type) {
+	case *minic.IntLit:
+		return affine.Const(v.Value), nil
+	case *minic.FloatLit:
+		return affine.Expr{}, &nonAffineError{reason: "floating point value in subscript"}
+	case *minic.RefExpr:
+		if !v.IsScalar() {
+			return affine.Expr{}, &nonAffineError{reason: fmt.Sprintf("indirect reference %s in subscript", v)}
+		}
+		if c, ok := lw.defines[v.Name]; ok {
+			return affine.Const(c), nil
+		}
+		if vars[v.Name] {
+			return affine.Var(v.Name), nil
+		}
+		if allowParams {
+			return affine.Var("$" + v.Name), nil
+		}
+		return affine.Expr{}, &nonAffineError{reason: fmt.Sprintf("unknown name %q (not a loop variable or #define)", v.Name)}
+	case *minic.UnaryExpr:
+		x, err := lw.toAffineOpt(v.X, vars, allowParams)
+		if err != nil {
+			return affine.Expr{}, err
+		}
+		return x.Neg(), nil
+	case *minic.BinaryExpr:
+		x, err := lw.toAffineOpt(v.X, vars, allowParams)
+		if err != nil {
+			return affine.Expr{}, err
+		}
+		y, err := lw.toAffineOpt(v.Y, vars, allowParams)
+		if err != nil {
+			return affine.Expr{}, err
+		}
+		switch v.Op {
+		case minic.PLUS:
+			return x.Add(y), nil
+		case minic.MINUS:
+			return x.Sub(y), nil
+		case minic.STAR:
+			p, ok := x.Mul(y)
+			if !ok {
+				return affine.Expr{}, &nonAffineError{reason: "product of two loop-variant expressions"}
+			}
+			return p, nil
+		case minic.SLASH:
+			xc, ok1 := x.ConstValue()
+			yc, ok2 := y.ConstValue()
+			if !ok1 || !ok2 {
+				return affine.Expr{}, &nonAffineError{reason: "division by or of a loop-variant expression"}
+			}
+			if yc == 0 {
+				return affine.Expr{}, fmt.Errorf("%s: division by zero", v.P)
+			}
+			return affine.Const(xc / yc), nil
+		case minic.PERCENT:
+			xc, ok1 := x.ConstValue()
+			yc, ok2 := y.ConstValue()
+			if !ok1 || !ok2 {
+				return affine.Expr{}, &nonAffineError{reason: "modulo of a loop-variant expression"}
+			}
+			if yc == 0 {
+				return affine.Expr{}, fmt.Errorf("%s: modulo by zero", v.P)
+			}
+			return affine.Const(xc % yc), nil
+		}
+	}
+	return affine.Expr{}, &nonAffineError{reason: "unsupported expression form"}
+}
+
+func (lw *lowerer) constExpr(e minic.Expr) (int64, error) {
+	a, err := lw.toAffine(e, nil)
+	if err != nil {
+		return 0, err
+	}
+	c, ok := a.ConstValue()
+	if !ok {
+		return 0, fmt.Errorf("expression %s is not constant", e.String())
+	}
+	return c, nil
+}
+
+// lowerBody collects memory references and operation counts from the
+// innermost loop body (paper step 1: "obtain array references made in the
+// innermost loop").
+func (lw *lowerer) lowerBody(nest *Nest, vars map[string]bool) error {
+	for _, s := range nest.Body {
+		as, ok := s.(*minic.AssignStmt)
+		if !ok {
+			return fmt.Errorf("%s: unsupported statement in loop body", s.Pos())
+		}
+		stmtFP := 0
+
+		// RHS reads first (source order), then the LHS read for compound
+		// assignments, then the LHS write — the order a compiled load/store
+		// sequence would issue them.
+		if err := lw.collectReads(nest, as.RHS, vars, &stmtFP); err != nil {
+			return err
+		}
+		lhsRef, isMem, err := lw.memRef(nest, as.LHS, vars)
+		if err != nil {
+			return err
+		}
+		fp := lw.refIsFloat(as.LHS, vars)
+		if as.Op != minic.ASSIGN {
+			if isMem {
+				r := lhsRef
+				r.Write = false
+				nest.Refs = append(nest.Refs, r)
+				nest.Ops.Loads++
+			}
+			// The compound op itself.
+			switch as.Op {
+			case minic.PLUSASSIGN, minic.MINUSASSIGN:
+				if fp {
+					nest.Ops.FPAdds++
+					stmtFP++
+				} else {
+					nest.Ops.IntOps++
+				}
+			case minic.STARASSIGN:
+				if fp {
+					nest.Ops.FPMuls++
+					stmtFP++
+				} else {
+					nest.Ops.IntOps++
+				}
+			case minic.SLASHASSIGN:
+				if fp {
+					nest.Ops.FPDivs++
+					stmtFP++
+				} else {
+					nest.Ops.IntOps++
+				}
+			}
+		}
+		if isMem {
+			lhsRef.Write = true
+			nest.Refs = append(nest.Refs, lhsRef)
+			nest.Ops.Stores++
+		}
+		nest.Ops.Assigns++
+		if stmtFP > nest.Ops.MaxChain {
+			nest.Ops.MaxChain = stmtFP
+		}
+	}
+	return nil
+}
+
+// collectReads walks an expression, emitting read Refs for memory
+// references and tallying arithmetic ops.
+func (lw *lowerer) collectReads(nest *Nest, e minic.Expr, vars map[string]bool, stmtFP *int) error {
+	switch v := e.(type) {
+	case *minic.IntLit, *minic.FloatLit:
+		return nil
+	case *minic.RefExpr:
+		r, isMem, err := lw.memRef(nest, v, vars)
+		if err != nil {
+			return err
+		}
+		if isMem {
+			nest.Refs = append(nest.Refs, r)
+			nest.Ops.Loads++
+		}
+		return nil
+	case *minic.UnaryExpr:
+		return lw.collectReads(nest, v.X, vars, stmtFP)
+	case *minic.BinaryExpr:
+		if err := lw.collectReads(nest, v.X, vars, stmtFP); err != nil {
+			return err
+		}
+		if err := lw.collectReads(nest, v.Y, vars, stmtFP); err != nil {
+			return err
+		}
+		fp := lw.exprIsFloat(v, vars)
+		switch v.Op {
+		case minic.PLUS, minic.MINUS:
+			if fp {
+				nest.Ops.FPAdds++
+				*stmtFP++
+			} else {
+				nest.Ops.IntOps++
+			}
+		case minic.STAR:
+			if fp {
+				nest.Ops.FPMuls++
+				*stmtFP++
+			} else {
+				nest.Ops.IntOps++
+			}
+		case minic.SLASH, minic.PERCENT:
+			if fp {
+				nest.Ops.FPDivs++
+				*stmtFP++
+			} else {
+				nest.Ops.IntOps++
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%s: unsupported expression", e.Pos())
+}
+
+// memRef resolves a RefExpr to a memory Ref. The second result is false for
+// non-memory references (loop variables and #define constants).
+func (lw *lowerer) memRef(nest *Nest, e *minic.RefExpr, vars map[string]bool) (Ref, bool, error) {
+	if e.IsScalar() {
+		if vars[e.Name] {
+			return Ref{}, false, nil // private induction variable
+		}
+		if _, isDef := lw.defines[e.Name]; isDef {
+			return Ref{}, false, nil // compile-time constant
+		}
+		sym, ok := lw.unit.Syms[e.Name]
+		if !ok {
+			return Ref{}, false, fmt.Errorf("%s: undeclared identifier %q", e.P, e.Name)
+		}
+		// A shared global scalar: a memory reference at constant offset 0.
+		return Ref{Sym: sym, Offset: affine.Const(0), Size: sym.Type.Size(), Src: e.String(), P: e.P}, true, nil
+	}
+
+	sym, ok := lw.unit.Syms[e.Name]
+	if !ok {
+		return Ref{}, false, fmt.Errorf("%s: undeclared identifier %q", e.P, e.Name)
+	}
+	offset := affine.Const(0)
+	t := sym.Type
+	for _, post := range e.Post {
+		if post.Index != nil {
+			arr, ok := t.(*Array)
+			if !ok {
+				return Ref{}, false, fmt.Errorf("%s: indexing non-array type %s in %s", e.P, t.String(), e)
+			}
+			idx, err := lw.toAffine(post.Index, vars)
+			if err != nil {
+				var na *nonAffineError
+				if asNonAffine(err, &na) && lw.opts.AllowNonAffine {
+					lw.unit.Warnings = append(lw.unit.Warnings,
+						fmt.Sprintf("%s: reference %s excluded: %v", e.P, e, err))
+					return Ref{Sym: sym, Src: e.String(), P: e.P, NonAffine: true, Size: ElemType(t).Size()}, true, nil
+				}
+				return Ref{}, false, fmt.Errorf("%s: subscript of %s: %w", e.P, e, err)
+			}
+			offset = offset.Add(idx.MulConst(arr.Elem.Size()))
+			t = arr.Elem
+		} else {
+			st, ok := t.(*Struct)
+			if !ok {
+				return Ref{}, false, fmt.Errorf("%s: member access on non-struct type %s in %s", e.P, t.String(), e)
+			}
+			f, ok := st.FieldByName(post.Field)
+			if !ok {
+				return Ref{}, false, fmt.Errorf("%s: struct %s has no field %q", e.P, st.Name, post.Field)
+			}
+			offset = offset.Add(affine.Const(f.Offset))
+			t = f.Type
+		}
+	}
+	if _, isBasic := t.(*Basic); !isBasic {
+		return Ref{}, false, fmt.Errorf("%s: reference %s does not resolve to a scalar element (type %s)", e.P, e, t.String())
+	}
+	return Ref{Sym: sym, Offset: offset, Size: t.Size(), Src: e.String(), P: e.P}, true, nil
+}
+
+func asNonAffine(err error, target **nonAffineError) bool {
+	for err != nil {
+		if na, ok := err.(*nonAffineError); ok {
+			*target = na
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// refIsFloat reports whether a reference's element type is floating point.
+func (lw *lowerer) refIsFloat(e *minic.RefExpr, vars map[string]bool) bool {
+	if e.IsScalar() {
+		if vars[e.Name] {
+			return false
+		}
+		if _, isDef := lw.defines[e.Name]; isDef {
+			return false
+		}
+	}
+	sym, ok := lw.unit.Syms[e.Name]
+	if !ok {
+		return false
+	}
+	t := sym.Type
+	for _, post := range e.Post {
+		switch v := t.(type) {
+		case *Array:
+			if post.Index != nil {
+				t = v.Elem
+			}
+		case *Struct:
+			if post.Field != "" {
+				if f, ok := v.FieldByName(post.Field); ok {
+					t = f.Type
+				}
+			}
+		}
+	}
+	return IsFloatType(t)
+}
+
+// exprIsFloat reports whether an expression has floating type (any float
+// operand makes the whole expression float, per C promotion).
+func (lw *lowerer) exprIsFloat(e minic.Expr, vars map[string]bool) bool {
+	switch v := e.(type) {
+	case *minic.FloatLit:
+		return true
+	case *minic.IntLit:
+		return false
+	case *minic.RefExpr:
+		return lw.refIsFloat(v, vars)
+	case *minic.UnaryExpr:
+		return lw.exprIsFloat(v.X, vars)
+	case *minic.BinaryExpr:
+		return lw.exprIsFloat(v.X, vars) || lw.exprIsFloat(v.Y, vars)
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+// Package loopir defines the loop-nest intermediate representation consumed
+// by the cost models, and the lowering from the minic AST into it.
+//
+// The IR plays the role of Open64's High-Level WHIRL in the paper: for each
+// parallel loop nest it exposes loop bounds, step sizes, index variables,
+// the OpenMP chunk size, and for every memory reference in the innermost
+// loop an affine byte-offset function over the loop induction variables
+// (including struct member offsets for arrays of structured data).
+package loopir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a C-like data type with size and alignment following the usual
+// LP64 layout rules (the rules the paper's cache-line math depends on).
+type Type interface {
+	Size() int64
+	Align() int64
+	String() string
+}
+
+// Basic is a scalar C type.
+type Basic struct {
+	Name  string
+	size  int64
+	align int64
+	Float bool // true for float/double
+}
+
+// Size returns the size of the type in bytes.
+func (b *Basic) Size() int64 { return b.size }
+
+// Align returns the alignment requirement in bytes.
+func (b *Basic) Align() int64 { return b.align }
+
+// String returns the C name of the type.
+func (b *Basic) String() string { return b.Name }
+
+// Predefined basic types.
+var (
+	Char   = &Basic{Name: "char", size: 1, align: 1}
+	Short  = &Basic{Name: "short", size: 2, align: 2}
+	Int    = &Basic{Name: "int", size: 4, align: 4}
+	Long   = &Basic{Name: "long", size: 8, align: 8}
+	SizeT  = &Basic{Name: "size_t", size: 8, align: 8}
+	Float  = &Basic{Name: "float", size: 4, align: 4, Float: true}
+	Double = &Basic{Name: "double", size: 8, align: 8, Float: true}
+)
+
+// BasicByName maps minic type keywords to their Basic type.
+func BasicByName(name string) (*Basic, bool) {
+	switch name {
+	case "char":
+		return Char, true
+	case "short":
+		return Short, true
+	case "int":
+		return Int, true
+	case "long":
+		return Long, true
+	case "size_t":
+		return SizeT, true
+	case "float":
+		return Float, true
+	case "double":
+		return Double, true
+	}
+	return nil, false
+}
+
+// Array is a fixed-length array type.
+type Array struct {
+	Elem Type
+	Len  int64
+}
+
+// Size returns Len * Elem.Size().
+func (a *Array) Size() int64 { return a.Len * a.Elem.Size() }
+
+// Align returns the element alignment.
+func (a *Array) Align() int64 { return a.Elem.Align() }
+
+// String returns the type in C-ish postfix syntax.
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem.String(), a.Len) }
+
+// MakeArray wraps elem in (possibly multi-dimensional) array types; lens is
+// ordered outermost first, matching C declarator order.
+func MakeArray(elem Type, lens []int64) Type {
+	t := elem
+	for i := len(lens) - 1; i >= 0; i-- {
+		t = &Array{Elem: t, Len: lens[i]}
+	}
+	return t
+}
+
+// Field is a struct member with its computed byte offset.
+type Field struct {
+	Name   string
+	Type   Type
+	Offset int64
+}
+
+// Struct is a C struct with layout computed per the standard rules: each
+// field is placed at the next offset aligned to the field's alignment, and
+// the struct size is rounded up to the maximum field alignment.
+type Struct struct {
+	Name   string
+	Fields []Field
+	size   int64
+	align  int64
+}
+
+// NewStruct lays out the given (name, type) pairs into a struct.
+func NewStruct(name string, fields []Field) *Struct {
+	s := &Struct{Name: name, align: 1}
+	off := int64(0)
+	for _, f := range fields {
+		a := f.Type.Align()
+		if a > s.align {
+			s.align = a
+		}
+		off = alignUp(off, a)
+		f.Offset = off
+		s.Fields = append(s.Fields, f)
+		off += f.Type.Size()
+	}
+	s.size = alignUp(off, s.align)
+	if s.size == 0 {
+		s.size = s.align // empty structs still occupy storage
+	}
+	return s
+}
+
+func alignUp(n, a int64) int64 {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Size returns the padded struct size.
+func (s *Struct) Size() int64 { return s.size }
+
+// Align returns the struct alignment.
+func (s *Struct) Align() int64 { return s.align }
+
+// String returns "struct Name".
+func (s *Struct) String() string { return "struct " + s.Name }
+
+// FieldByName returns the field with the given name.
+func (s *Struct) FieldByName(name string) (Field, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Describe renders the full layout for diagnostics.
+func (s *Struct) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "struct %s { // size=%d align=%d\n", s.Name, s.size, s.align)
+	for _, f := range s.Fields {
+		fmt.Fprintf(&b, "  %-8s %s; // offset=%d size=%d\n", f.Type.String(), f.Name, f.Offset, f.Type.Size())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// ElemType strips array wrappers to the ultimate element type.
+func ElemType(t Type) Type {
+	for {
+		a, ok := t.(*Array)
+		if !ok {
+			return t
+		}
+		t = a.Elem
+	}
+}
+
+// IsFloatType reports whether the ultimate element type is floating point.
+func IsFloatType(t Type) bool {
+	b, ok := ElemType(t).(*Basic)
+	return ok && b.Float
+}

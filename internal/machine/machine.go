@@ -1,0 +1,241 @@
+// Package machine describes target machines: core counts, cache hierarchy
+// geometry, access latencies, and processor resources. The cost models and
+// the MESI simulator are both parameterized by a Desc, mirroring how
+// Open64's LNO cost models are driven by per-target machine tables.
+//
+// Paper48 reproduces the paper's evaluation platform: four 2.2 GHz 12-core
+// processors (48 cores), 64 KB L1 and 512 KB L2 per core, a 10240 KB L3
+// shared by each 12-core processor, and 64-byte lines at every level.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Desc describes a cache-coherent shared-memory machine.
+type Desc struct {
+	Name string
+	// GHz is the core clock; cycle counts divide by this to get seconds.
+	GHz float64
+
+	Cores          int
+	CoresPerSocket int // cores sharing one L3
+
+	LineSize int64
+
+	L1 cache.Geometry // private, per core
+	L2 cache.Geometry // private, per core
+	L3 cache.Geometry // shared per socket
+
+	// Latencies in core cycles.
+	L1Latency  int64
+	L2Latency  int64
+	L3Latency  int64
+	MemLatency int64
+	// Cache-to-cache transfer of a line another core holds Modified
+	// (the dominant cost of a false-sharing miss).
+	CoherenceLatency int64
+	// Cost of posting an invalidation to remote sharers on a write.
+	InvalidateLatency int64
+	// BusTransferCycles is the bus occupancy of one off-core transaction,
+	// used by the simulator's optional bus-contention model (the paper's
+	// future-work item: "shared cache and bus interferences").
+	BusTransferCycles int64
+
+	// TLB, modeled as another cache level (paper Section II-B2).
+	PageSize   int64
+	TLBEntries int64
+	TLBLatency int64 // miss penalty in cycles
+
+	// Processor resources for the processor model (Section II-B1).
+	IssueWidth int // instructions issued per cycle
+	FPUnits    int // floating point units
+	MemUnits   int // load/store ports
+	IntUnits   int // integer ALUs
+	FPAddLat   int64
+	FPMulLat   int64
+	FPDivLat   int64
+	LoadLat    int64 // L1-hit load-to-use latency
+
+	// OpenMP runtime overheads in cycles (parallel model, Section II-B3).
+	ParallelStartup     int64 // fork/join cost per parallel region
+	ChunkDispatch       int64 // scheduling cost per chunk per thread
+	BarrierPerThread    int64 // join-barrier cost scaled by thread count
+	LoopOverheadPerIter int64 // index increment + bound test per iteration
+}
+
+// Validate checks the description for consistency.
+func (d *Desc) Validate() error {
+	if d.Cores <= 0 {
+		return fmt.Errorf("machine %s: non-positive core count %d", d.Name, d.Cores)
+	}
+	if d.GHz <= 0 {
+		return fmt.Errorf("machine %s: non-positive clock %f", d.Name, d.GHz)
+	}
+	if d.LineSize <= 0 || d.LineSize&(d.LineSize-1) != 0 {
+		return fmt.Errorf("machine %s: line size %d not a power of two", d.Name, d.LineSize)
+	}
+	for _, g := range []struct {
+		name string
+		geom cache.Geometry
+	}{{"L1", d.L1}, {"L2", d.L2}, {"L3", d.L3}} {
+		if g.geom.SizeBytes == 0 {
+			continue // level absent
+		}
+		if err := g.geom.Validate(); err != nil {
+			return fmt.Errorf("machine %s: %s: %w", d.Name, g.name, err)
+		}
+		if g.geom.LineSize != d.LineSize {
+			return fmt.Errorf("machine %s: %s line size %d != machine line size %d",
+				d.Name, g.name, g.geom.LineSize, d.LineSize)
+		}
+	}
+	if d.CoresPerSocket <= 0 || d.Cores%d.CoresPerSocket != 0 {
+		return fmt.Errorf("machine %s: cores (%d) not divisible by cores-per-socket (%d)",
+			d.Name, d.Cores, d.CoresPerSocket)
+	}
+	return nil
+}
+
+// Seconds converts a cycle count to seconds at the machine's clock.
+func (d *Desc) Seconds(cycles float64) float64 { return cycles / (d.GHz * 1e9) }
+
+// PrivateCacheLines returns the line capacity of the largest private cache
+// level, which is the stack depth the FS model uses for each thread's
+// cache state.
+func (d *Desc) PrivateCacheLines() int {
+	g := d.L2
+	if g.SizeBytes == 0 {
+		g = d.L1
+	}
+	return int(g.Lines())
+}
+
+// Paper48 models the paper's 48-core evaluation machine.
+func Paper48() *Desc {
+	const line = 64
+	return &Desc{
+		Name:           "paper48",
+		GHz:            2.2,
+		Cores:          48,
+		CoresPerSocket: 12,
+		LineSize:       line,
+		L1:             cache.Geometry{SizeBytes: 64 << 10, LineSize: line, Assoc: 2},
+		L2:             cache.Geometry{SizeBytes: 512 << 10, LineSize: line, Assoc: 16},
+		L3:             cache.Geometry{SizeBytes: 10240 << 10, LineSize: line, Assoc: 16},
+
+		L1Latency:         3,
+		L2Latency:         15,
+		L3Latency:         45,
+		MemLatency:        220,
+		CoherenceLatency:  110,
+		InvalidateLatency: 35,
+		BusTransferCycles: 8,
+
+		PageSize:   4096,
+		TLBEntries: 512,
+		TLBLatency: 30,
+
+		IssueWidth: 3,
+		FPUnits:    1,
+		MemUnits:   2,
+		IntUnits:   3,
+		FPAddLat:   4,
+		FPMulLat:   4,
+		FPDivLat:   20,
+		LoadLat:    4,
+
+		ParallelStartup:     12000,
+		ChunkDispatch:       90,
+		BarrierPerThread:    450,
+		LoopOverheadPerIter: 2,
+	}
+}
+
+// SmallTest is a deliberately tiny machine used by unit tests so capacity
+// effects trigger with little data.
+func SmallTest() *Desc {
+	const line = 64
+	return &Desc{
+		Name:           "smalltest",
+		GHz:            1.0,
+		Cores:          4,
+		CoresPerSocket: 4,
+		LineSize:       line,
+		L1:             cache.Geometry{SizeBytes: 1 << 10, LineSize: line, Assoc: 2},
+		L2:             cache.Geometry{SizeBytes: 4 << 10, LineSize: line, Assoc: 4},
+		L3:             cache.Geometry{SizeBytes: 16 << 10, LineSize: line, Assoc: 4},
+
+		L1Latency:         2,
+		L2Latency:         8,
+		L3Latency:         20,
+		MemLatency:        100,
+		CoherenceLatency:  60,
+		InvalidateLatency: 20,
+		BusTransferCycles: 6,
+
+		PageSize:   4096,
+		TLBEntries: 16,
+		TLBLatency: 20,
+
+		IssueWidth: 2,
+		FPUnits:    1,
+		MemUnits:   1,
+		IntUnits:   2,
+		FPAddLat:   3,
+		FPMulLat:   3,
+		FPDivLat:   12,
+		LoadLat:    3,
+
+		ParallelStartup:     1000,
+		ChunkDispatch:       40,
+		BarrierPerThread:    100,
+		LoopOverheadPerIter: 2,
+	}
+}
+
+// Modern16 models a contemporary single-socket 16-core part: larger
+// private caches and TLB, a bigger shared L3, faster coherence. Useful
+// for checking that conclusions drawn on the paper's 2012 machine carry
+// over to newer geometry.
+func Modern16() *Desc {
+	const line = 64
+	return &Desc{
+		Name:           "modern16",
+		GHz:            3.5,
+		Cores:          16,
+		CoresPerSocket: 16,
+		LineSize:       line,
+		L1:             cache.Geometry{SizeBytes: 48 << 10, LineSize: line, Assoc: 12},
+		L2:             cache.Geometry{SizeBytes: 2048 << 10, LineSize: line, Assoc: 16},
+		L3:             cache.Geometry{SizeBytes: 32768 << 10, LineSize: line, Assoc: 16},
+
+		L1Latency:         4,
+		L2Latency:         14,
+		L3Latency:         40,
+		MemLatency:        280,
+		CoherenceLatency:  90,
+		InvalidateLatency: 30,
+		BusTransferCycles: 4,
+
+		PageSize:   4096,
+		TLBEntries: 2048,
+		TLBLatency: 25,
+
+		IssueWidth: 6,
+		FPUnits:    2,
+		MemUnits:   3,
+		IntUnits:   4,
+		FPAddLat:   3,
+		FPMulLat:   4,
+		FPDivLat:   14,
+		LoadLat:    5,
+
+		ParallelStartup:     9000,
+		ChunkDispatch:       60,
+		BarrierPerThread:    300,
+		LoopOverheadPerIter: 1,
+	}
+}

@@ -1,0 +1,80 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, d := range []*Desc{Paper48(), SmallTest(), Modern16()} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestPaper48MatchesPaper(t *testing.T) {
+	d := Paper48()
+	if d.Cores != 48 || d.CoresPerSocket != 12 {
+		t.Fatalf("core counts: %d/%d", d.Cores, d.CoresPerSocket)
+	}
+	if d.GHz != 2.2 {
+		t.Fatalf("clock = %f", d.GHz)
+	}
+	if d.L1.SizeBytes != 64<<10 || d.L2.SizeBytes != 512<<10 || d.L3.SizeBytes != 10240<<10 {
+		t.Fatalf("cache sizes: %d/%d/%d", d.L1.SizeBytes, d.L2.SizeBytes, d.L3.SizeBytes)
+	}
+	if d.LineSize != 64 {
+		t.Fatalf("line size = %d", d.LineSize)
+	}
+	// "All the caches at the three levels have the same cache line size."
+	for _, g := range []cache.Geometry{d.L1, d.L2, d.L3} {
+		if g.LineSize != 64 {
+			t.Fatalf("level line size = %d", g.LineSize)
+		}
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	d := Paper48()
+	got := d.Seconds(2.2e9)
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("2.2e9 cycles = %f s, want 1", got)
+	}
+}
+
+func TestPrivateCacheLines(t *testing.T) {
+	d := Paper48()
+	if got := d.PrivateCacheLines(); got != int((512<<10)/64) {
+		t.Fatalf("private lines = %d", got)
+	}
+	// Without an L2 the L1 capacity applies.
+	d2 := Paper48()
+	d2.L2 = cache.Geometry{}
+	if got := d2.PrivateCacheLines(); got != int((64<<10)/64) {
+		t.Fatalf("L1-only private lines = %d", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mut := func(f func(*Desc)) *Desc {
+		d := Paper48()
+		f(d)
+		return d
+	}
+	bad := []*Desc{
+		mut(func(d *Desc) { d.Cores = 0 }),
+		mut(func(d *Desc) { d.GHz = 0 }),
+		mut(func(d *Desc) { d.LineSize = 48 }),
+		mut(func(d *Desc) { d.L1.LineSize = 128 }),
+		mut(func(d *Desc) { d.CoresPerSocket = 7 }),
+		mut(func(d *Desc) { d.L2.SizeBytes = 1000 }), // not multiple of line
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}

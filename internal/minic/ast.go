@@ -1,0 +1,270 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed mini-C translation unit: a sequence of #define
+// constants, struct declarations, variable declarations, and top-level
+// statements (loop nests and scalar assignments, in source order).
+type Program struct {
+	Defines []*Define
+	Structs []*StructDecl
+	Vars    []*VarDecl
+	Stmts   []Stmt
+}
+
+// Loops returns the top-level for statements of the program in source order.
+func (p *Program) Loops() []*ForStmt {
+	var out []*ForStmt
+	for _, s := range p.Stmts {
+		if f, ok := s.(*ForStmt); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// DefineValue returns the value of #define name, if present.
+func (p *Program) DefineValue(name string) (int64, bool) {
+	for _, d := range p.Defines {
+		if d.Name == name {
+			return d.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Define is a "#define NAME value" integer constant.
+type Define struct {
+	Name  string
+	Value int64
+	P     Pos
+}
+
+// TypeSpec names a declared type: either a basic C type ("char", "short",
+// "int", "long", "float", "double") or a struct by name.
+type TypeSpec struct {
+	Basic  string // non-empty for basic types
+	Struct string // non-empty for "struct X"
+}
+
+// String renders the type specifier in C syntax.
+func (t TypeSpec) String() string {
+	if t.Struct != "" {
+		return "struct " + t.Struct
+	}
+	return t.Basic
+}
+
+// StructDecl is a named struct type declaration.
+type StructDecl struct {
+	Name   string
+	Fields []*FieldDecl
+	P      Pos
+}
+
+// FieldDecl is a single struct field, possibly an array ("double pts[N][M]"
+// yields ArrayLens {N, M}).
+type FieldDecl struct {
+	Type      TypeSpec
+	Name      string
+	ArrayLens []int64
+	P         Pos
+}
+
+// VarDecl is a global variable declaration, possibly an array.
+type VarDecl struct {
+	Type      TypeSpec
+	Name      string
+	ArrayLens []int64
+	P         Pos
+}
+
+// OMPPragma is a parsed "#pragma omp parallel for" annotation.
+type OMPPragma struct {
+	Schedule   string // "static" (default), "dynamic", "guided"
+	Chunk      Expr   // nil means unspecified
+	NumThreads Expr   // nil means unspecified (taken from analysis config)
+	Private    []string
+	Shared     []string
+	P          Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Pos() Pos
+	stmtNode()
+}
+
+// ForStmt is a canonical counted loop:
+//
+//	for (Var = Init; Var CondOp Bound; Var += Step)  Body
+//
+// Step is positive for "+=/++" loops and negative for "-=/--" loops.
+type ForStmt struct {
+	Pragma *OMPPragma // non-nil if annotated with "#pragma omp parallel for"
+	Var    string
+	Init   Expr
+	CondOp TokenType // LT, LE, GT, GE, NEQ
+	Bound  Expr
+	Step   Expr // signed step amount
+	Body   []Stmt
+	P      Pos
+}
+
+// Pos returns the statement's source position.
+func (s *ForStmt) Pos() Pos  { return s.P }
+func (s *ForStmt) stmtNode() {}
+
+// AssignStmt is "LHS op= RHS" where op is one of =, +=, -=, *=, /=.
+type AssignStmt struct {
+	LHS *RefExpr
+	Op  TokenType // ASSIGN, PLUSASSIGN, ...
+	RHS Expr
+	P   Pos
+}
+
+// Pos returns the statement's source position.
+func (s *AssignStmt) Pos() Pos  { return s.P }
+func (s *AssignStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface {
+	Pos() Pos
+	exprNode()
+	String() string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	P     Pos
+}
+
+// Pos returns the literal's source position.
+func (e *IntLit) Pos() Pos       { return e.P }
+func (e *IntLit) exprNode()      {}
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.Value) }
+
+// FloatLit is a floating point literal.
+type FloatLit struct {
+	Value float64
+	P     Pos
+}
+
+// Pos returns the literal's source position.
+func (e *FloatLit) Pos() Pos       { return e.P }
+func (e *FloatLit) exprNode()      {}
+func (e *FloatLit) String() string { return fmt.Sprintf("%g", e.Value) }
+
+// Postfix is one trailing accessor on a reference: an array index or a
+// struct member selection.
+type Postfix struct {
+	Index Expr   // non-nil for "[expr]"
+	Field string // non-empty for ".field"
+}
+
+// RefExpr is a reference expression: an identifier followed by a chain of
+// index and member accessors, e.g. "tid_args[j].points[i].x". A bare
+// identifier (loop variable or #define constant) has an empty accessor
+// chain.
+type RefExpr struct {
+	Name string
+	Post []Postfix
+	P    Pos
+}
+
+// Pos returns the expression's source position.
+func (e *RefExpr) Pos() Pos  { return e.P }
+func (e *RefExpr) exprNode() {}
+
+// String renders the reference in C syntax.
+func (e *RefExpr) String() string {
+	var b strings.Builder
+	b.WriteString(e.Name)
+	for _, p := range e.Post {
+		if p.Index != nil {
+			fmt.Fprintf(&b, "[%s]", p.Index.String())
+		} else {
+			fmt.Fprintf(&b, ".%s", p.Field)
+		}
+	}
+	return b.String()
+}
+
+// IsScalar reports whether the reference has no accessors (a bare name).
+func (e *RefExpr) IsScalar() bool { return len(e.Post) == 0 }
+
+// BinaryExpr is "X op Y" for op in + - * / %.
+type BinaryExpr struct {
+	Op TokenType
+	X  Expr
+	Y  Expr
+	P  Pos
+}
+
+// Pos returns the expression's source position.
+func (e *BinaryExpr) Pos() Pos  { return e.P }
+func (e *BinaryExpr) exprNode() {}
+
+// String renders the expression fully parenthesized.
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.X.String(), e.Op.String(), e.Y.String())
+}
+
+// UnaryExpr is "-X".
+type UnaryExpr struct {
+	Op TokenType
+	X  Expr
+	P  Pos
+}
+
+// Pos returns the expression's source position.
+func (e *UnaryExpr) Pos() Pos       { return e.P }
+func (e *UnaryExpr) exprNode()      {}
+func (e *UnaryExpr) String() string { return fmt.Sprintf("(%s%s)", e.Op.String(), e.X.String()) }
+
+// WalkExprs applies fn to every expression in the statement tree rooted at
+// stmts, in evaluation order (LHS before RHS).
+func WalkExprs(stmts []Stmt, fn func(Expr)) {
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch v := e.(type) {
+		case *BinaryExpr:
+			walkExpr(v.X)
+			walkExpr(v.Y)
+		case *UnaryExpr:
+			walkExpr(v.X)
+		case *RefExpr:
+			for _, p := range v.Post {
+				if p.Index != nil {
+					walkExpr(p.Index)
+				}
+			}
+		}
+	}
+	var walkStmt func(Stmt)
+	walkStmt = func(s Stmt) {
+		switch v := s.(type) {
+		case *AssignStmt:
+			walkExpr(v.LHS)
+			walkExpr(v.RHS)
+		case *ForStmt:
+			walkExpr(v.Init)
+			walkExpr(v.Bound)
+			walkExpr(v.Step)
+			for _, inner := range v.Body {
+				walkStmt(inner)
+			}
+		}
+	}
+	for _, s := range stmts {
+		walkStmt(s)
+	}
+}

@@ -1,0 +1,264 @@
+package minic
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer splits mini-C source text into tokens. It handles // and /* */
+// comments, line continuations inside directives, and emits one DEFINE or
+// PRAGMA token per directive line.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokens lexes the entire input, always ending with an EOF token.
+func (lx *Lexer) Tokens() []Token {
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Type == EOF {
+			return toks
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// skipSpaceAndComments consumes whitespace and both comment styles. It
+// reports whether the lexer reached end of input.
+func (lx *Lexer) skipSpaceAndComments() bool {
+	for {
+		c := lx.peek()
+		switch {
+		case c == 0:
+			return true
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.peek() != 0 && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.peek() == 0 {
+					return true
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return false
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() Token {
+	if lx.skipSpaceAndComments() {
+		return Token{Type: EOF, Pos: lx.pos()}
+	}
+	start := lx.pos()
+	c := lx.peek()
+
+	switch {
+	case c == '#':
+		return lx.lexDirective(start)
+	case isIdentStart(c):
+		begin := lx.off
+		for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		return Token{Type: IDENT, Lit: lx.src[begin:lx.off], Pos: start}
+	case isDigit(c) || (c == '.' && isDigit(lx.peek2())):
+		return lx.lexNumber(start)
+	}
+
+	lx.advance()
+	two := func(next byte, t2 TokenType, t1 TokenType) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Type: t2, Lit: tokenNames[t2], Pos: start}
+		}
+		return Token{Type: t1, Lit: tokenNames[t1], Pos: start}
+	}
+
+	switch c {
+	case '(':
+		return Token{Type: LPAREN, Lit: "(", Pos: start}
+	case ')':
+		return Token{Type: RPAREN, Lit: ")", Pos: start}
+	case '{':
+		return Token{Type: LBRACE, Lit: "{", Pos: start}
+	case '}':
+		return Token{Type: RBRACE, Lit: "}", Pos: start}
+	case '[':
+		return Token{Type: LBRACKET, Lit: "[", Pos: start}
+	case ']':
+		return Token{Type: RBRACKET, Lit: "]", Pos: start}
+	case ';':
+		return Token{Type: SEMICOLON, Lit: ";", Pos: start}
+	case ',':
+		return Token{Type: COMMA, Lit: ",", Pos: start}
+	case '.':
+		return Token{Type: DOT, Lit: ".", Pos: start}
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Type: INC, Lit: "++", Pos: start}
+		}
+		return two('=', PLUSASSIGN, PLUS)
+	case '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return Token{Type: DEC, Lit: "--", Pos: start}
+		}
+		return two('=', MINUSASSIGN, MINUS)
+	case '*':
+		return two('=', STARASSIGN, STAR)
+	case '/':
+		return two('=', SLASHASSIGN, SLASH)
+	case '%':
+		return Token{Type: PERCENT, Lit: "%", Pos: start}
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Type: NEQ, Lit: "!=", Pos: start}
+		}
+	}
+	return Token{Type: ILLEGAL, Lit: string(c), Pos: start}
+}
+
+// lexNumber scans an integer or floating point literal.
+func (lx *Lexer) lexNumber(start Pos) Token {
+	begin := lx.off
+	isFloat := false
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case isDigit(c):
+			lx.advance()
+		case c == '.':
+			isFloat = true
+			lx.advance()
+		case c == 'e' || c == 'E':
+			isFloat = true
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+		case c == 'f' || c == 'F' || c == 'l' || c == 'L' || c == 'u' || c == 'U':
+			// Consume C numeric suffixes but keep them out of the literal.
+			lit := lx.src[begin:lx.off]
+			lx.advance()
+			for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+				lx.advance()
+			}
+			t := INT
+			if isFloat || c == 'f' || c == 'F' {
+				t = FLOAT
+			}
+			return Token{Type: t, Lit: lit, Pos: start}
+		default:
+			goto done
+		}
+	}
+done:
+	t := INT
+	if isFloat {
+		t = FLOAT
+	}
+	return Token{Type: t, Lit: lx.src[begin:lx.off], Pos: start}
+}
+
+// lexDirective consumes a full '#' line (honoring backslash continuations)
+// and classifies it as DEFINE, PRAGMA or ILLEGAL. The literal excludes the
+// directive keyword itself.
+func (lx *Lexer) lexDirective(start Pos) Token {
+	lx.advance() // '#'
+	var b strings.Builder
+	for {
+		c := lx.peek()
+		if c == 0 {
+			break
+		}
+		if c == '\\' && lx.peek2() == '\n' {
+			lx.advance()
+			lx.advance()
+			b.WriteByte(' ')
+			continue
+		}
+		if c == '\n' {
+			break
+		}
+		b.WriteByte(lx.advance())
+	}
+	line := strings.TrimSpace(b.String())
+	switch {
+	case strings.HasPrefix(line, "define"):
+		return Token{Type: DEFINE, Lit: strings.TrimSpace(strings.TrimPrefix(line, "define")), Pos: start}
+	case strings.HasPrefix(line, "pragma"):
+		return Token{Type: PRAGMA, Lit: strings.TrimSpace(strings.TrimPrefix(line, "pragma")), Pos: start}
+	case strings.HasPrefix(line, "include"):
+		// Includes are tolerated and ignored so real kernel files lex cleanly.
+		return lx.Next()
+	}
+	return Token{Type: ILLEGAL, Lit: "#" + line, Pos: start}
+}

@@ -1,0 +1,168 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexTypes(t *testing.T, src string) []TokenType {
+	t.Helper()
+	toks := NewLexer(src).Tokens()
+	out := make([]TokenType, 0, len(toks))
+	for _, tok := range toks {
+		out = append(out, tok.Type)
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	got := lexTypes(t, "for (i = 0; i < N; i++) a[i] += 2.5;")
+	want := []TokenType{
+		IDENT, LPAREN, IDENT, ASSIGN, INT, SEMICOLON,
+		IDENT, LT, IDENT, SEMICOLON, IDENT, INC, RPAREN,
+		IDENT, LBRACKET, IDENT, RBRACKET, PLUSASSIGN, FLOAT, SEMICOLON, EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "+ - * / % < > <= >= == != = += -= *= /= ++ -- . ,"
+	want := []TokenType{
+		PLUS, MINUS, STAR, SLASH, PERCENT, LT, GT, LE, GE, EQ, NEQ,
+		ASSIGN, PLUSASSIGN, MINUSASSIGN, STARASSIGN, SLASHASSIGN,
+		INC, DEC, DOT, COMMA, EOF,
+	}
+	got := lexTypes(t, src)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment with for and if
+x = 1; /* block
+comment */ y = 2;`
+	got := lexTypes(t, src)
+	want := []TokenType{IDENT, ASSIGN, INT, SEMICOLON, IDENT, ASSIGN, INT, SEMICOLON, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+func TestLexDirectives(t *testing.T) {
+	toks := NewLexer("#define N 100\n#pragma omp parallel for\nx = N;").Tokens()
+	if toks[0].Type != DEFINE || toks[0].Lit != "N 100" {
+		t.Fatalf("define token = %v", toks[0])
+	}
+	if toks[1].Type != PRAGMA || toks[1].Lit != "omp parallel for" {
+		t.Fatalf("pragma token = %v", toks[1])
+	}
+}
+
+func TestLexDirectiveContinuation(t *testing.T) {
+	toks := NewLexer("#pragma omp parallel for \\\n  private(i)\nx = 1;").Tokens()
+	if toks[0].Type != PRAGMA || !strings.Contains(toks[0].Lit, "private(i)") {
+		t.Fatalf("continued pragma = %v", toks[0])
+	}
+}
+
+func TestLexIncludeIgnored(t *testing.T) {
+	got := lexTypes(t, "#include <stdio.h>\nx = 1;")
+	want := []TokenType{IDENT, ASSIGN, INT, SEMICOLON, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src string
+		typ TokenType
+		lit string
+	}{
+		{"42", INT, "42"},
+		{"2.5", FLOAT, "2.5"},
+		{".5", FLOAT, ".5"},
+		{"1e6", FLOAT, "1e6"},
+		{"1.5e-3", FLOAT, "1.5e-3"},
+		{"3.0f", FLOAT, "3.0"},
+		{"100L", INT, "100"},
+		{"7u", INT, "7"},
+	}
+	for _, c := range cases {
+		toks := NewLexer(c.src).Tokens()
+		if toks[0].Type != c.typ || toks[0].Lit != c.lit {
+			t.Errorf("lex(%q) = %v(%q), want %v(%q)", c.src, toks[0].Type, toks[0].Lit, c.typ, c.lit)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := NewLexer("a = 1;\n  b = 2;").Tokens()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("first token pos = %v", toks[0].Pos)
+	}
+	// "b" is on line 2, column 3.
+	var bTok Token
+	for _, tok := range toks {
+		if tok.Lit == "b" {
+			bTok = tok
+		}
+	}
+	if bTok.Pos.Line != 2 || bTok.Pos.Col != 3 {
+		t.Fatalf("b pos = %v, want 2:3", bTok.Pos)
+	}
+}
+
+func TestLexIllegal(t *testing.T) {
+	toks := NewLexer("a @ b").Tokens()
+	found := false
+	for _, tok := range toks {
+		if tok.Type == ILLEGAL {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected ILLEGAL token for @")
+	}
+}
+
+func TestLexEmptyInput(t *testing.T) {
+	toks := NewLexer("").Tokens()
+	if len(toks) != 1 || toks[0].Type != EOF {
+		t.Fatalf("tokens = %v", toks)
+	}
+	toks = NewLexer("   \n\t  ").Tokens()
+	if len(toks) != 1 || toks[0].Type != EOF {
+		t.Fatalf("whitespace-only tokens = %v", toks)
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	toks := NewLexer("x = 1; /* never closed").Tokens()
+	if toks[len(toks)-1].Type != EOF {
+		t.Fatal("lexer must terminate on unterminated comment")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if got := (Token{Type: IDENT, Lit: "foo"}).String(); got != `IDENT("foo")` {
+		t.Fatalf("Token.String = %q", got)
+	}
+	if got := (Token{Type: PLUSASSIGN}).String(); got != "+=" {
+		t.Fatalf("Token.String = %q", got)
+	}
+	if got := TokenType(999).String(); !strings.Contains(got, "999") {
+		t.Fatalf("unknown TokenType.String = %q", got)
+	}
+}

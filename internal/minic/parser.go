@@ -1,0 +1,750 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError is a syntax or semantic error with a source position.
+type ParseError struct {
+	P   Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.P, e.Msg) }
+
+var basicTypes = map[string]bool{
+	"char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "unsigned": true, "signed": true,
+	"size_t": true,
+}
+
+// Parser turns a token stream into a Program. Parsers are single use.
+type Parser struct {
+	toks    []Token
+	pos     int
+	defines map[string]int64
+	prog    *Program
+}
+
+// Parse parses mini-C source text into a Program.
+func Parse(src string) (*Program, error) {
+	p := &Parser{
+		toks:    NewLexer(src).Tokens(),
+		defines: make(map[string]int64),
+		prog:    &Program{},
+	}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekN(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) errf(pos Pos, format string, args ...any) error {
+	return &ParseError{P: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(t TokenType) (Token, error) {
+	if p.cur().Type != t {
+		return Token{}, p.errf(p.cur().Pos, "expected %s, found %s", t, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) parseProgram() error {
+	var pendingPragma *OMPPragma
+	for p.cur().Type != EOF {
+		t := p.cur()
+		switch {
+		case t.Type == ILLEGAL:
+			return p.errf(t.Pos, "illegal token %q", t.Lit)
+		case t.Type == DEFINE:
+			p.next()
+			if err := p.handleDefine(t); err != nil {
+				return err
+			}
+		case t.Type == PRAGMA:
+			p.next()
+			pr, err := p.parsePragma(t)
+			if err != nil {
+				return err
+			}
+			if pr != nil {
+				if pendingPragma != nil {
+					return p.errf(t.Pos, "pragma not attached to a for loop")
+				}
+				pendingPragma = pr
+			}
+		case t.Type == IDENT && t.Lit == "struct" && p.looksLikeStructDecl():
+			if err := p.parseStructDecl(); err != nil {
+				return err
+			}
+		case p.startsDecl():
+			if err := p.parseVarDecl(); err != nil {
+				return err
+			}
+		case t.Type == IDENT && t.Lit == "for":
+			f, err := p.parseFor(pendingPragma)
+			if err != nil {
+				return err
+			}
+			pendingPragma = nil
+			p.prog.Stmts = append(p.prog.Stmts, f)
+		case t.Type == IDENT:
+			s, err := p.parseAssign()
+			if err != nil {
+				return err
+			}
+			p.prog.Stmts = append(p.prog.Stmts, s)
+		default:
+			return p.errf(t.Pos, "unexpected %s at top level", t)
+		}
+	}
+	if pendingPragma != nil {
+		return p.errf(pendingPragma.P, "pragma at end of file not attached to a for loop")
+	}
+	return nil
+}
+
+// looksLikeStructDecl distinguishes "struct X { ... };" (a declaration of
+// the type) from "struct X y[...]" (a variable declaration).
+func (p *Parser) looksLikeStructDecl() bool {
+	return p.peekN(1).Type == IDENT && p.peekN(2).Type == LBRACE
+}
+
+// startsDecl reports whether the upcoming tokens begin a variable
+// declaration: a basic type name or "struct X" followed by an identifier.
+func (p *Parser) startsDecl() bool {
+	t := p.cur()
+	if t.Type != IDENT {
+		return false
+	}
+	if t.Lit == "struct" {
+		return p.peekN(1).Type == IDENT && p.peekN(2).Type == IDENT
+	}
+	if !basicTypes[t.Lit] {
+		return false
+	}
+	// Skip over any further type keywords ("unsigned long", "long long").
+	i := 1
+	for p.peekN(i).Type == IDENT && basicTypes[p.peekN(i).Lit] {
+		i++
+	}
+	return p.peekN(i).Type == IDENT
+}
+
+// handleDefine parses "#define NAME expr" where expr is a constant
+// expression over previously defined names.
+func (p *Parser) handleDefine(t Token) error {
+	fields := strings.SplitN(t.Lit, " ", 2)
+	if len(fields) < 1 || fields[0] == "" {
+		return p.errf(t.Pos, "malformed #define")
+	}
+	// Re-split on any whitespace to be robust against tabs.
+	all := strings.Fields(t.Lit)
+	if len(all) < 2 {
+		return p.errf(t.Pos, "#define %s has no value", all[0])
+	}
+	name := all[0]
+	valueSrc := strings.TrimSpace(strings.TrimPrefix(t.Lit, name))
+	sub := &Parser{toks: NewLexer(valueSrc).Tokens(), defines: p.defines, prog: p.prog}
+	e, err := sub.parseExpr()
+	if err != nil {
+		return p.errf(t.Pos, "#define %s: bad value %q: %v", name, valueSrc, err)
+	}
+	if sub.cur().Type != EOF {
+		return p.errf(t.Pos, "#define %s: trailing tokens in value %q", name, valueSrc)
+	}
+	v, err := p.evalConst(e)
+	if err != nil {
+		return p.errf(t.Pos, "#define %s: %v", name, err)
+	}
+	p.defines[name] = v
+	p.prog.Defines = append(p.prog.Defines, &Define{Name: name, Value: v, P: t.Pos})
+	return nil
+}
+
+// evalConst evaluates a constant integer expression; identifiers must be
+// previously #defined names.
+func (p *Parser) evalConst(e Expr) (int64, error) {
+	switch v := e.(type) {
+	case *IntLit:
+		return v.Value, nil
+	case *FloatLit:
+		return 0, p.errf(v.P, "floating point value in integer constant expression")
+	case *RefExpr:
+		if !v.IsScalar() {
+			return 0, p.errf(v.P, "non-constant reference %s in constant expression", v)
+		}
+		if val, ok := p.defines[v.Name]; ok {
+			return val, nil
+		}
+		return 0, p.errf(v.P, "undefined constant %q", v.Name)
+	case *UnaryExpr:
+		x, err := p.evalConst(v.X)
+		if err != nil {
+			return 0, err
+		}
+		return -x, nil
+	case *BinaryExpr:
+		x, err := p.evalConst(v.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := p.evalConst(v.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case PLUS:
+			return x + y, nil
+		case MINUS:
+			return x - y, nil
+		case STAR:
+			return x * y, nil
+		case SLASH:
+			if y == 0 {
+				return 0, p.errf(v.P, "division by zero in constant expression")
+			}
+			return x / y, nil
+		case PERCENT:
+			if y == 0 {
+				return 0, p.errf(v.P, "modulo by zero in constant expression")
+			}
+			return x % y, nil
+		}
+		return 0, p.errf(v.P, "operator %s not allowed in constant expression", v.Op)
+	}
+	return 0, fmt.Errorf("unsupported constant expression")
+}
+
+// parsePragma parses the payload of a "#pragma ..." line. Pragmas other
+// than "omp parallel for" / "omp for" are ignored (nil result).
+func (p *Parser) parsePragma(t Token) (*OMPPragma, error) {
+	fields := strings.Fields(t.Lit)
+	if len(fields) == 0 || fields[0] != "omp" {
+		return nil, nil
+	}
+	rest := fields[1:]
+	switch {
+	case len(rest) >= 2 && rest[0] == "parallel" && rest[1] == "for":
+		rest = rest[2:]
+	case len(rest) >= 1 && rest[0] == "for":
+		rest = rest[1:]
+	default:
+		return nil, nil // e.g. "#pragma omp barrier" — irrelevant here
+	}
+	pr := &OMPPragma{Schedule: "static", P: t.Pos}
+	clauseSrc := strings.Join(rest, " ")
+	sub := &Parser{toks: NewLexer(clauseSrc).Tokens(), defines: p.defines, prog: p.prog}
+	for sub.cur().Type != EOF {
+		name, err := sub.expect(IDENT)
+		if err != nil {
+			return nil, p.errf(t.Pos, "bad pragma clause: %v", err)
+		}
+		switch name.Lit {
+		case "private", "shared", "firstprivate", "lastprivate", "reduction":
+			if _, err := sub.expect(LPAREN); err != nil {
+				return nil, p.errf(t.Pos, "%s clause: %v", name.Lit, err)
+			}
+			var vars []string
+			for sub.cur().Type != RPAREN && sub.cur().Type != EOF {
+				tok := sub.next()
+				if tok.Type == IDENT {
+					vars = append(vars, tok.Lit)
+				}
+			}
+			if _, err := sub.expect(RPAREN); err != nil {
+				return nil, p.errf(t.Pos, "%s clause: %v", name.Lit, err)
+			}
+			if name.Lit == "private" || name.Lit == "firstprivate" {
+				pr.Private = append(pr.Private, vars...)
+			} else if name.Lit == "shared" {
+				pr.Shared = append(pr.Shared, vars...)
+			}
+		case "schedule":
+			if _, err := sub.expect(LPAREN); err != nil {
+				return nil, p.errf(t.Pos, "schedule clause: %v", err)
+			}
+			kind, err := sub.expect(IDENT)
+			if err != nil {
+				return nil, p.errf(t.Pos, "schedule clause: %v", err)
+			}
+			pr.Schedule = kind.Lit
+			if sub.cur().Type == COMMA {
+				sub.next()
+				chunk, err := sub.parseExpr()
+				if err != nil {
+					return nil, p.errf(t.Pos, "schedule chunk: %v", err)
+				}
+				pr.Chunk = chunk
+			}
+			if _, err := sub.expect(RPAREN); err != nil {
+				return nil, p.errf(t.Pos, "schedule clause: %v", err)
+			}
+		case "num_threads":
+			if _, err := sub.expect(LPAREN); err != nil {
+				return nil, p.errf(t.Pos, "num_threads clause: %v", err)
+			}
+			n, err := sub.parseExpr()
+			if err != nil {
+				return nil, p.errf(t.Pos, "num_threads clause: %v", err)
+			}
+			pr.NumThreads = n
+			if _, err := sub.expect(RPAREN); err != nil {
+				return nil, p.errf(t.Pos, "num_threads clause: %v", err)
+			}
+		default:
+			return nil, p.errf(t.Pos, "unsupported OpenMP clause %q", name.Lit)
+		}
+		if sub.cur().Type == COMMA {
+			sub.next()
+		}
+	}
+	return pr, nil
+}
+
+// parseTypeSpec parses a type specifier, collapsing multi-keyword basic
+// types ("unsigned long") into their last keyword.
+func (p *Parser) parseTypeSpec() (TypeSpec, error) {
+	t := p.cur()
+	if t.Type != IDENT {
+		return TypeSpec{}, p.errf(t.Pos, "expected type name, found %s", t)
+	}
+	if t.Lit == "struct" {
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return TypeSpec{}, err
+		}
+		return TypeSpec{Struct: name.Lit}, nil
+	}
+	if !basicTypes[t.Lit] {
+		return TypeSpec{}, p.errf(t.Pos, "unknown type %q", t.Lit)
+	}
+	last := p.next().Lit
+	for p.cur().Type == IDENT && basicTypes[p.cur().Lit] {
+		last = p.next().Lit
+	}
+	if last == "unsigned" || last == "signed" {
+		last = "int"
+	}
+	return TypeSpec{Basic: last}, nil
+}
+
+// parseArrayLens parses zero or more "[constexpr]" suffixes.
+func (p *Parser) parseArrayLens() ([]int64, error) {
+	var lens []int64
+	for p.cur().Type == LBRACKET {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.evalConst(e)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, p.errf(p.cur().Pos, "array length must be positive, got %d", n)
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+		lens = append(lens, n)
+	}
+	return lens, nil
+}
+
+func (p *Parser) parseStructDecl() error {
+	p.next() // struct
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return err
+	}
+	decl := &StructDecl{Name: name.Lit, P: name.Pos}
+	for p.cur().Type != RBRACE {
+		ts, err := p.parseTypeSpec()
+		if err != nil {
+			return err
+		}
+		for {
+			fname, err := p.expect(IDENT)
+			if err != nil {
+				return err
+			}
+			lens, err := p.parseArrayLens()
+			if err != nil {
+				return err
+			}
+			decl.Fields = append(decl.Fields, &FieldDecl{Type: ts, Name: fname.Lit, ArrayLens: lens, P: fname.Pos})
+			if p.cur().Type != COMMA {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(SEMICOLON); err != nil {
+			return err
+		}
+	}
+	p.next() // }
+	if _, err := p.expect(SEMICOLON); err != nil {
+		return err
+	}
+	p.prog.Structs = append(p.prog.Structs, decl)
+	return nil
+}
+
+func (p *Parser) parseVarDecl() error {
+	ts, err := p.parseTypeSpec()
+	if err != nil {
+		return err
+	}
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		lens, err := p.parseArrayLens()
+		if err != nil {
+			return err
+		}
+		p.prog.Vars = append(p.prog.Vars, &VarDecl{Type: ts, Name: name.Lit, ArrayLens: lens, P: name.Pos})
+		if p.cur().Type != COMMA {
+			break
+		}
+		p.next()
+	}
+	_, err = p.expect(SEMICOLON)
+	return err
+}
+
+// parseFor parses a canonical counted for loop, with an optional pragma
+// already parsed and passed in.
+func (p *Parser) parseFor(pragma *OMPPragma) (*ForStmt, error) {
+	kw := p.next() // "for"
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	// Optional C99-style "int i = ..." declaration of the index variable.
+	if p.cur().Type == IDENT && basicTypes[p.cur().Lit] {
+		if _, err := p.parseTypeSpec(); err != nil {
+			return nil, err
+		}
+	}
+	v, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	initE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMICOLON); err != nil {
+		return nil, err
+	}
+	cv, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if cv.Lit != v.Lit {
+		return nil, p.errf(cv.Pos, "loop condition tests %q, expected index variable %q", cv.Lit, v.Lit)
+	}
+	condTok := p.next()
+	switch condTok.Type {
+	case LT, LE, GT, GE, NEQ:
+	default:
+		return nil, p.errf(condTok.Pos, "unsupported loop condition operator %s", condTok)
+	}
+	bound, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMICOLON); err != nil {
+		return nil, err
+	}
+	step, err := p.parseForStep(v.Lit)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{
+		Pragma: pragma,
+		Var:    v.Lit,
+		Init:   initE,
+		CondOp: condTok.Type,
+		Bound:  bound,
+		Step:   step,
+		Body:   body,
+		P:      kw.Pos,
+	}, nil
+}
+
+// parseForStep parses the increment clause: i++, ++i, i--, --i, i += e,
+// i -= e, i = i + e, i = i - e. It returns the signed step expression.
+func (p *Parser) parseForStep(v string) (Expr, error) {
+	pos := p.cur().Pos
+	neg := func(e Expr) Expr { return &UnaryExpr{Op: MINUS, X: e, P: e.Pos()} }
+	switch p.cur().Type {
+	case INC: // ++i
+		p.next()
+		if tok, err := p.expect(IDENT); err != nil || tok.Lit != v {
+			return nil, p.errf(pos, "prefix increment must apply to index variable %q", v)
+		}
+		return &IntLit{Value: 1, P: pos}, nil
+	case DEC: // --i
+		p.next()
+		if tok, err := p.expect(IDENT); err != nil || tok.Lit != v {
+			return nil, p.errf(pos, "prefix decrement must apply to index variable %q", v)
+		}
+		return &IntLit{Value: -1, P: pos}, nil
+	case IDENT:
+		tok := p.next()
+		if tok.Lit != v {
+			return nil, p.errf(tok.Pos, "loop increment updates %q, expected index variable %q", tok.Lit, v)
+		}
+		switch p.cur().Type {
+		case INC:
+			p.next()
+			return &IntLit{Value: 1, P: pos}, nil
+		case DEC:
+			p.next()
+			return &IntLit{Value: -1, P: pos}, nil
+		case PLUSASSIGN:
+			p.next()
+			return p.parseExpr()
+		case MINUSASSIGN:
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return neg(e), nil
+		case ASSIGN:
+			p.next()
+			lhs, err := p.expect(IDENT)
+			if err != nil || lhs.Lit != v {
+				return nil, p.errf(pos, "loop increment must have the form %s = %s +/- step", v, v)
+			}
+			op := p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			switch op.Type {
+			case PLUS:
+				return e, nil
+			case MINUS:
+				return neg(e), nil
+			}
+			return nil, p.errf(op.Pos, "loop increment must add or subtract a step")
+		}
+	}
+	return nil, p.errf(pos, "unsupported loop increment")
+}
+
+// parseBody parses either a braced statement list or a single statement.
+func (p *Parser) parseBody() ([]Stmt, error) {
+	if p.cur().Type == LBRACE {
+		p.next()
+		var stmts []Stmt
+		for p.cur().Type != RBRACE {
+			if p.cur().Type == EOF {
+				return nil, p.errf(p.cur().Pos, "unterminated block")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, s)
+		}
+		p.next()
+		return stmts, nil
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+// parseStmt parses one statement inside a loop body: a nested for loop
+// (with optional pragma) or an assignment.
+func (p *Parser) parseStmt() (Stmt, error) {
+	if p.cur().Type == PRAGMA {
+		t := p.next()
+		pr, err := p.parsePragma(t)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Type != IDENT || p.cur().Lit != "for" {
+			return nil, p.errf(t.Pos, "pragma must be followed by a for loop")
+		}
+		return p.parseFor(pr)
+	}
+	if p.cur().Type == IDENT && p.cur().Lit == "for" {
+		return p.parseFor(nil)
+	}
+	return p.parseAssign()
+}
+
+// parseAssign parses "ref op= expr ;".
+func (p *Parser) parseAssign() (Stmt, error) {
+	lhs, err := p.parseRef()
+	if err != nil {
+		return nil, err
+	}
+	op := p.next()
+	switch op.Type {
+	case ASSIGN, PLUSASSIGN, MINUSASSIGN, STARASSIGN, SLASHASSIGN:
+	default:
+		return nil, p.errf(op.Pos, "expected assignment operator, found %s", op)
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMICOLON); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{LHS: lhs, Op: op.Type, RHS: rhs, P: lhs.P}, nil
+}
+
+// parseRef parses an identifier with its accessor chain.
+func (p *Parser) parseRef() (*RefExpr, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	ref := &RefExpr{Name: name.Lit, P: name.Pos}
+	for {
+		switch p.cur().Type {
+		case LBRACKET:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			ref.Post = append(ref.Post, Postfix{Index: idx})
+		case DOT:
+			p.next()
+			f, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			ref.Post = append(ref.Post, Postfix{Field: f.Lit})
+		default:
+			return ref, nil
+		}
+	}
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := mul (('+'|'-') mul)*
+//	mul     := unary (('*'|'/'|'%') unary)*
+//	unary   := '-' unary | primary
+//	primary := INT | FLOAT | '(' expr ')' | ref
+func (p *Parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Type == PLUS || p.cur().Type == MINUS {
+		op := p.next()
+		rhs, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Type, X: lhs, Y: rhs, P: op.Pos}
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Type == STAR || p.cur().Type == SLASH || p.cur().Type == PERCENT {
+		op := p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Type, X: lhs, Y: rhs, P: op.Pos}
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.cur().Type == MINUS {
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: MINUS, X: x, P: op.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Type {
+	case INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			return nil, p.errf(t.Pos, "bad integer literal %q", t.Lit)
+		}
+		return &IntLit{Value: v, P: t.Pos}, nil
+	case FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			return nil, p.errf(t.Pos, "bad float literal %q", t.Lit)
+		}
+		return &FloatLit{Value: v, P: t.Pos}, nil
+	case LPAREN:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case IDENT:
+		return p.parseRef()
+	}
+	return nil, p.errf(t.Pos, "expected expression, found %s", t)
+}

@@ -1,0 +1,492 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseDefines(t *testing.T) {
+	p := mustParse(t, `
+#define N 100
+#define M N * 2
+#define K (M + N) / 3
+`)
+	for _, c := range []struct {
+		name string
+		want int64
+	}{{"N", 100}, {"M", 200}, {"K", 100}} {
+		got, ok := p.DefineValue(c.name)
+		if !ok || got != c.want {
+			t.Errorf("define %s = %d,%v want %d", c.name, got, ok, c.want)
+		}
+	}
+}
+
+func TestParseStructAndVars(t *testing.T) {
+	p := mustParse(t, `
+#define N 10
+struct Point { double x; double y; };
+struct Args { double s; struct Point pts[N]; };
+struct Args args[N];
+double grid[N][20];
+int flags[N], counts[N];
+`)
+	if len(p.Structs) != 2 {
+		t.Fatalf("structs = %d", len(p.Structs))
+	}
+	if p.Structs[1].Fields[1].Name != "pts" || p.Structs[1].Fields[1].ArrayLens[0] != 10 {
+		t.Fatalf("nested struct field: %+v", p.Structs[1].Fields[1])
+	}
+	if len(p.Vars) != 4 {
+		t.Fatalf("vars = %d", len(p.Vars))
+	}
+	if p.Vars[1].Name != "grid" || len(p.Vars[1].ArrayLens) != 2 || p.Vars[1].ArrayLens[1] != 20 {
+		t.Fatalf("grid decl: %+v", p.Vars[1])
+	}
+	if p.Vars[3].Name != "counts" {
+		t.Fatalf("comma-separated declarators: %+v", p.Vars[3])
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	p := mustParse(t, `
+#define N 8
+double a[N];
+for (i = 0; i < N; i++)
+    a[i] = 1.0;
+`)
+	loops := p.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	f := loops[0]
+	if f.Var != "i" || f.CondOp != LT {
+		t.Fatalf("loop header: %+v", f)
+	}
+	if len(f.Body) != 1 {
+		t.Fatalf("body = %d stmts", len(f.Body))
+	}
+	as, ok := f.Body[0].(*AssignStmt)
+	if !ok || as.Op != ASSIGN || as.LHS.String() != "a[i]" {
+		t.Fatalf("body stmt: %#v", f.Body[0])
+	}
+}
+
+func TestParseForStepForms(t *testing.T) {
+	cases := []struct {
+		inc  string
+		want string // String of step expr
+	}{
+		{"i++", "1"},
+		{"++i", "1"},
+		{"i--", "-1"},
+		{"--i", "-1"},
+		{"i += 2", "2"},
+		{"i -= 3", "(-3)"},
+		{"i = i + 4", "4"},
+		{"i = i - 5", "(-5)"},
+	}
+	for _, c := range cases {
+		src := "double a[100];\nfor (i = 0; i < 100; " + c.inc + ") a[0] = 1.0;"
+		if strings.Contains(c.inc, "--") || strings.Contains(c.inc, "-") {
+			src = "double a[100];\nfor (i = 99; i > 0; " + c.inc + ") a[0] = 1.0;"
+		}
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("%q: %v", c.inc, err)
+			continue
+		}
+		if got := p.Loops()[0].Step.String(); got != c.want {
+			t.Errorf("%q: step = %s, want %s", c.inc, got, c.want)
+		}
+	}
+}
+
+func TestParseC99Declaration(t *testing.T) {
+	p := mustParse(t, `
+double a[10];
+for (int i = 0; i < 10; i++) a[i] = 0.0;
+`)
+	if p.Loops()[0].Var != "i" {
+		t.Fatal("C99 loop declaration not handled")
+	}
+}
+
+func TestParsePragmaClauses(t *testing.T) {
+	p := mustParse(t, `
+#define N 64
+double a[N];
+#pragma omp parallel for private(i, j) shared(a) schedule(static, 4) num_threads(8)
+for (i = 0; i < N; i++)
+    a[i] += 1.0;
+`)
+	f := p.Loops()[0]
+	if f.Pragma == nil {
+		t.Fatal("pragma not attached")
+	}
+	pr := f.Pragma
+	if pr.Schedule != "static" {
+		t.Fatalf("schedule = %q", pr.Schedule)
+	}
+	if pr.Chunk == nil || pr.Chunk.String() != "4" {
+		t.Fatalf("chunk = %v", pr.Chunk)
+	}
+	if pr.NumThreads == nil || pr.NumThreads.String() != "8" {
+		t.Fatalf("num_threads = %v", pr.NumThreads)
+	}
+	if len(pr.Private) != 2 || pr.Private[0] != "i" || pr.Private[1] != "j" {
+		t.Fatalf("private = %v", pr.Private)
+	}
+	if len(pr.Shared) != 1 || pr.Shared[0] != "a" {
+		t.Fatalf("shared = %v", pr.Shared)
+	}
+}
+
+func TestParsePragmaOnInnerLoop(t *testing.T) {
+	p := mustParse(t, `
+#define N 16
+double a[N][N];
+for (j = 0; j < N; j++)
+  #pragma omp parallel for private(i)
+  for (i = 0; i < N; i++)
+    a[j][i] = 0.0;
+`)
+	outer := p.Loops()[0]
+	if outer.Pragma != nil {
+		t.Fatal("outer loop must not carry the pragma")
+	}
+	inner, ok := outer.Body[0].(*ForStmt)
+	if !ok || inner.Pragma == nil {
+		t.Fatal("inner loop should carry the pragma")
+	}
+}
+
+func TestParseIgnoredPragmas(t *testing.T) {
+	p := mustParse(t, `
+double a[4];
+#pragma once
+#pragma omp barrier
+for (i = 0; i < 4; i++) a[i] = 1.0;
+`)
+	if p.Loops()[0].Pragma != nil {
+		t.Fatal("irrelevant pragmas must not attach")
+	}
+}
+
+func TestParseMemberChains(t *testing.T) {
+	p := mustParse(t, `
+#define N 4
+struct P { double x; double y; };
+struct A { double s; struct P pts[N]; };
+struct A args[N];
+for (j = 0; j < N; j++)
+  for (i = 0; i < N; i++)
+    args[j].s += args[j].pts[i].x * args[j].pts[i].y;
+`)
+	outer := p.Loops()[0]
+	inner := outer.Body[0].(*ForStmt)
+	as := inner.Body[0].(*AssignStmt)
+	if as.LHS.String() != "args[j].s" {
+		t.Fatalf("LHS = %s", as.LHS)
+	}
+	if got := as.RHS.String(); got != "(args[j].pts[i].x * args[j].pts[i].y)" {
+		t.Fatalf("RHS = %s", got)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, `
+double a[4];
+a[0] = 1 + 2 * 3 - 4 / 2;
+`)
+	as := p.Stmts[0].(*AssignStmt)
+	if got := as.RHS.String(); got != "((1 + (2 * 3)) - (4 / 2))" {
+		t.Fatalf("precedence tree = %s", got)
+	}
+}
+
+func TestParseUnaryAndParens(t *testing.T) {
+	p := mustParse(t, `
+double a[4];
+a[0] = -(1 + 2) * -3;
+`)
+	as := p.Stmts[0].(*AssignStmt)
+	if got := as.RHS.String(); got != "((-(1 + 2)) * (-3))" {
+		t.Fatalf("tree = %s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of error
+	}{
+		{"unterminated block", "for (i = 0; i < 4; i++) { x = 1;", "unterminated"},
+		{"bad cond var", "for (i = 0; j < 4; i++) x = 1;", "condition tests"},
+		{"bad step var", "for (i = 0; i < 4; j++) x = 1;", "increment"},
+		{"pragma dangling", "#pragma omp parallel for\ndouble a[4];", "not attached"},
+		{"pragma no loop", "#pragma omp parallel for\n", "not attached"},
+		{"bad define", "#define N", "no value"},
+		{"define undefined ref", "#define N M + 1", "undefined constant"},
+		{"negative array len", "#define N 2\ndouble a[N - 4];", "must be positive"},
+		{"unknown clause", "double a[4];\n#pragma omp parallel for collapse(2)\nfor (i = 0; i < 4; i++) a[i] = 1.0;", "unsupported OpenMP clause"},
+		{"missing semicolon", "double a[4]\n", "expected ;"},
+		{"illegal char", "@ b;", "illegal token"},
+		{"illegal char in stmt", "a @ b;", "ILLEGAL"},
+		{"div by zero define", "#define N 4 / 0", "division by zero"},
+		{"stray rbrace", "}", "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("double a[4];\nfor (i = 0; j < 4; i++) a[i] = 1.0;")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.P.Line != 2 {
+		t.Fatalf("error line = %d, want 2", pe.P.Line)
+	}
+}
+
+func TestWalkExprs(t *testing.T) {
+	p := mustParse(t, `
+double a[8];
+double b[8];
+for (i = 0; i < 8; i++)
+    a[i] += b[i] * 2.0;
+`)
+	var refs int
+	WalkExprs(p.Stmts, func(e Expr) {
+		if _, ok := e.(*RefExpr); ok {
+			refs++
+		}
+	})
+	// a[i], b[i], plus loop-bound/init/step literals have no refs; index
+	// expressions contribute the two `i` refs.
+	if refs != 4 {
+		t.Fatalf("walked %d ref exprs, want 4", refs)
+	}
+}
+
+func TestParseMultiKeywordTypes(t *testing.T) {
+	p := mustParse(t, `
+unsigned long big[4];
+long long ll[4];
+`)
+	if p.Vars[0].Type.Basic != "long" {
+		t.Fatalf("unsigned long = %q", p.Vars[0].Type.Basic)
+	}
+}
+
+func TestParseTopLevelAssignment(t *testing.T) {
+	p := mustParse(t, `
+double s;
+s = 3.5;
+`)
+	if len(p.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(p.Stmts))
+	}
+}
+
+func TestDefineUsedInBounds(t *testing.T) {
+	p := mustParse(t, `
+#define N 16
+double a[N];
+for (i = 0; i < N - 1; i++) a[i] = 0.0;
+`)
+	f := p.Loops()[0]
+	if got := f.Bound.String(); got != "(N - 1)" {
+		t.Fatalf("bound = %s", got)
+	}
+}
+
+func TestASTNodeAccessors(t *testing.T) {
+	p := mustParse(t, `
+#define K 2
+double a[4];
+for (i = 0; i < 4; i++)
+    a[i] = -1.5 + K;
+`)
+	f := p.Loops()[0]
+	if f.Pos().Line == 0 {
+		t.Fatal("for position missing")
+	}
+	as := f.Body[0].(*AssignStmt)
+	if as.Pos().Line == 0 {
+		t.Fatal("assign position missing")
+	}
+	rhs := as.RHS.(*BinaryExpr)
+	if rhs.Pos().Line == 0 {
+		t.Fatal("binary position missing")
+	}
+	un := rhs.X.(*UnaryExpr)
+	if un.Pos().Line == 0 || un.X.Pos().Line == 0 {
+		t.Fatal("unary/literal positions missing")
+	}
+	kRef := rhs.Y.(*RefExpr)
+	if kRef.Pos().Line == 0 || !kRef.IsScalar() {
+		t.Fatal("ref accessor wrong")
+	}
+	lit := un.X.(*FloatLit)
+	if lit.String() != "1.5" {
+		t.Fatalf("float lit string = %q", lit.String())
+	}
+	intLit := f.Init.(*IntLit)
+	if intLit.String() != "0" || intLit.Pos().Line == 0 {
+		t.Fatal("int lit accessors wrong")
+	}
+	if (TypeSpec{Struct: "S"}).String() != "struct S" {
+		t.Fatal("TypeSpec string wrong")
+	}
+	if (TypeSpec{Basic: "double"}).String() != "double" {
+		t.Fatal("TypeSpec string wrong")
+	}
+}
+
+func TestEvalConstErrorForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"#define F 1.5\n", "floating point"},
+		{"#define N 4\ndouble a[N % 0];", "modulo by zero"},
+		{"struct S { double x; };\nstruct S s[1];\n#define Q 1\ndouble b[s[0].x];", "non-constant"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseStructErrors(t *testing.T) {
+	cases := []string{
+		"struct S { double };",        // missing field name
+		"struct S { double x; }",      // missing trailing semicolon
+		"struct S { nosuchtype x; };", // unknown field type
+		"struct S { double x, };",     // trailing comma
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestParseForErrors(t *testing.T) {
+	cases := []string{
+		"for i = 0; i < 4; i++) x = 1;",        // missing (
+		"for (i 0; i < 4; i++) x = 1;",         // missing =
+		"for (i = 0 i < 4; i++) x = 1;",        // missing ;
+		"for (i = 0; i ** 4; i++) x = 1;",      // bad cond op
+		"for (i = 0; i < 4; j = j + 1) x = 1;", // wrong increment var
+		"for (i = 0; i < 4; i = j + 1) x = 1;", // wrong increment form
+		"for (i = 0; i < 4; i++ x = 1;",        // missing )
+	}
+	for _, src := range cases {
+		if _, err := Parse("double x;\n" + src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestPragmaScheduleWithoutChunk(t *testing.T) {
+	p := mustParse(t, `
+double a[8];
+#pragma omp parallel for schedule(dynamic)
+for (i = 0; i < 8; i++) a[i] = 1.0;
+`)
+	pr := p.Loops()[0].Pragma
+	if pr.Schedule != "dynamic" || pr.Chunk != nil {
+		t.Fatalf("pragma = %+v", pr)
+	}
+}
+
+func TestPragmaBadClauses(t *testing.T) {
+	cases := []string{
+		"#pragma omp parallel for schedule(static,)\nfor (i = 0; i < 4; i++) a[i] = 1.0;",
+		"#pragma omp parallel for num_threads()\nfor (i = 0; i < 4; i++) a[i] = 1.0;",
+		"#pragma omp parallel for private i)\nfor (i = 0; i < 4; i++) a[i] = 1.0;",
+	}
+	for _, src := range cases {
+		if _, err := Parse("double a[4];\n" + src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestPeekNBeyondEOF(t *testing.T) {
+	p := &Parser{toks: NewLexer("x").Tokens()}
+	if p.peekN(10).Type != EOF {
+		t.Fatal("peekN past end should return EOF")
+	}
+}
+
+// TestParserNeverPanics feeds mutated variants of valid programs to the
+// parser: it may reject them, but it must never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"#define N 8\ndouble a[N];\n#pragma omp parallel for schedule(static,1)\nfor (i = 0; i < N; i++) a[i] += 1.0;",
+		"struct P { double x; double y; };\nstruct P p[4];\nfor (i = 0; i < 4; i++) p[i].x = p[i].y * 2.0;",
+		"for (j = 0; j < 4; j++)\n  for (i = j; i < 4; i++)\n    ;",
+	}
+	junk := []byte("{}[]();=+-*/%<>!#.,1aZ \n\t\"")
+	r := uint64(12345)
+	next := func(n int) int {
+		r = r*6364136223846793005 + 1442695040888963407
+		return int(r>>33) % n
+	}
+	for _, seed := range seeds {
+		for trial := 0; trial < 2000; trial++ {
+			b := []byte(seed)
+			for k := 0; k < 1+next(4); k++ {
+				switch next(3) {
+				case 0: // mutate a byte
+					b[next(len(b))] = junk[next(len(junk))]
+				case 1: // delete a byte
+					i := next(len(b))
+					b = append(b[:i], b[i+1:]...)
+				case 2: // insert a byte
+					i := next(len(b))
+					b = append(b[:i], append([]byte{junk[next(len(junk))]}, b[i:]...)...)
+				}
+				if len(b) == 0 {
+					b = []byte("x")
+				}
+			}
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						t.Fatalf("parser panicked on %q: %v", b, rec)
+					}
+				}()
+				_, _ = Parse(string(b))
+			}()
+		}
+	}
+}

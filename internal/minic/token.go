@@ -1,0 +1,135 @@
+// Package minic implements a small C-subset front end — lexer, parser and
+// AST — sufficient to express the OpenMP loop kernels the paper analyzes:
+// #define constants, struct and array declarations, perfectly or imperfectly
+// nested for loops, compound assignments over array/struct references, and
+// "#pragma omp parallel for" annotations with private/schedule/num_threads
+// clauses.
+//
+// The package substitutes for the Open64 C front end and WHIRL IR of the
+// paper: it exposes exactly the information the paper's compiler pass
+// collects (loop bounds, steps, index variables, chunk size, and array
+// reference details including struct member offsets).
+package minic
+
+import "fmt"
+
+// TokenType identifies the lexical class of a token.
+type TokenType int
+
+// Token types produced by the Lexer.
+const (
+	EOF TokenType = iota
+	ILLEGAL
+
+	IDENT // identifiers and keywords are disambiguated by the parser
+	INT   // integer literal
+	FLOAT // floating point literal
+
+	// Punctuation and operators.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	SEMICOLON // ;
+	COMMA     // ,
+	DOT       // .
+
+	ASSIGN     // =
+	PLUSASSIGN // +=
+	MINUSASSIGN
+	STARASSIGN
+	SLASHASSIGN
+
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	LT  // <
+	GT  // >
+	LE  // <=
+	GE  // >=
+	EQ  // ==
+	NEQ // !=
+
+	INC // ++
+	DEC // --
+
+	// Preprocessor-style directives, one token per directive line.
+	DEFINE // #define NAME value          (Lit holds the rest of the line)
+	PRAGMA // #pragma ...                 (Lit holds the rest of the line)
+)
+
+var tokenNames = map[TokenType]string{
+	EOF:         "EOF",
+	ILLEGAL:     "ILLEGAL",
+	IDENT:       "IDENT",
+	INT:         "INT",
+	FLOAT:       "FLOAT",
+	LPAREN:      "(",
+	RPAREN:      ")",
+	LBRACE:      "{",
+	RBRACE:      "}",
+	LBRACKET:    "[",
+	RBRACKET:    "]",
+	SEMICOLON:   ";",
+	COMMA:       ",",
+	DOT:         ".",
+	ASSIGN:      "=",
+	PLUSASSIGN:  "+=",
+	MINUSASSIGN: "-=",
+	STARASSIGN:  "*=",
+	SLASHASSIGN: "/=",
+	PLUS:        "+",
+	MINUS:       "-",
+	STAR:        "*",
+	SLASH:       "/",
+	PERCENT:     "%",
+	LT:          "<",
+	GT:          ">",
+	LE:          "<=",
+	GE:          ">=",
+	EQ:          "==",
+	NEQ:         "!=",
+	INC:         "++",
+	DEC:         "--",
+	DEFINE:      "#define",
+	PRAGMA:      "#pragma",
+}
+
+// String returns a human-readable name for the token type.
+func (t TokenType) String() string {
+	if s, ok := tokenNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenType(%d)", int(t))
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Type TokenType
+	Lit  string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Type {
+	case IDENT, INT, FLOAT, DEFINE, PRAGMA, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Type, t.Lit)
+	default:
+		return t.Type.String()
+	}
+}

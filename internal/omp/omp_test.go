@@ -1,0 +1,105 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestParallelForCoversExactlyOnce(t *testing.T) {
+	const n = 1000
+	var counts [n]int32
+	ParallelFor(4, 7, n, func(_ int, i int64) {
+		atomic.AddInt32(&counts[i], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestParallelForOwnership(t *testing.T) {
+	const n = 200
+	const threads = 3
+	const chunk = 4
+	owner := make([]int32, n)
+	ParallelFor(threads, chunk, n, func(tid int, i int64) {
+		atomic.StoreInt32(&owner[i], int32(tid))
+	})
+	plan := sched.Plan{Kind: sched.Static, NumThreads: threads, Chunk: chunk}
+	for i := int64(0); i < n; i++ {
+		if int(owner[i]) != plan.Owner(i) {
+			t.Fatalf("iteration %d ran on thread %d, schedule says %d", i, owner[i], plan.Owner(i))
+		}
+	}
+}
+
+func TestParallelForInOrderWithinThread(t *testing.T) {
+	const n = 500
+	var mu sync.Mutex
+	perThread := map[int][]int64{}
+	ParallelFor(4, 3, n, func(tid int, i int64) {
+		mu.Lock()
+		perThread[tid] = append(perThread[tid], i)
+		mu.Unlock()
+	})
+	for tid, seq := range perThread {
+		for k := 1; k < len(seq); k++ {
+			if seq[k] <= seq[k-1] {
+				t.Fatalf("thread %d executed out of order: %v", tid, seq)
+			}
+		}
+	}
+}
+
+func TestParallelForDegenerateInputs(t *testing.T) {
+	ran := int32(0)
+	ParallelFor(4, 1, 0, func(_ int, _ int64) { atomic.AddInt32(&ran, 1) })
+	if ran != 0 {
+		t.Fatal("zero-length loop ran iterations")
+	}
+	ParallelFor(4, 1, -5, func(_ int, _ int64) { atomic.AddInt32(&ran, 1) })
+	if ran != 0 {
+		t.Fatal("negative-length loop ran iterations")
+	}
+	// Default threads (0) and default chunk (0) still cover everything.
+	var counts [64]int32
+	ParallelFor(0, 0, 64, func(_ int, i int64) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("default-config iteration %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestParallelForMoreThreadsThanChunks(t *testing.T) {
+	// 3 iterations, chunk 2 → 2 chunks; extra threads must not deadlock
+	// or duplicate work.
+	var counts [3]int32
+	ParallelFor(16, 2, 3, func(_ int, i int64) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestParallelForRange(t *testing.T) {
+	var sum int64
+	var mu sync.Mutex
+	ParallelForRange(3, 2, 10, 20, func(_ int, i int64) {
+		mu.Lock()
+		sum += i
+		mu.Unlock()
+	})
+	want := int64(0)
+	for i := int64(10); i < 20; i++ {
+		want += i
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}

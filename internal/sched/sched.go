@@ -1,0 +1,163 @@
+// Package sched implements the OpenMP loop-scheduling arithmetic the
+// false-sharing model depends on: static round-robin distribution of
+// chunk_size-sized blocks of iterations to threads (the paper's stated
+// assumption), plus the derived notions of "chunk run" and "full cycle"
+// used by the prediction model.
+//
+// A chunk run (paper Fig. 6) is one round of the round-robin: every thread
+// executing one chunk, i.e. chunk_size * num_threads iterations of the
+// parallelized loop.
+package sched
+
+import "fmt"
+
+// Kind is the OpenMP schedule kind.
+type Kind int
+
+// Supported schedule kinds. Dynamic and guided parse but are modeled as
+// static round-robin, matching the paper's modeling assumption.
+const (
+	Static Kind = iota
+	Dynamic
+	Guided
+)
+
+// String returns the OpenMP spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindFromString parses an OpenMP schedule kind name.
+func KindFromString(s string) (Kind, error) {
+	switch s {
+	case "static", "":
+		return Static, nil
+	case "dynamic":
+		return Dynamic, nil
+	case "guided":
+		return Guided, nil
+	}
+	return Static, fmt.Errorf("sched: unknown schedule kind %q", s)
+}
+
+// Plan is a resolved work-sharing plan for one parallel loop.
+type Plan struct {
+	Kind       Kind
+	NumThreads int
+	Chunk      int64 // always >= 1 after Resolve
+}
+
+// Resolve builds a Plan, applying the OpenMP default when chunk is
+// unspecified (chunk <= 0): schedule(static) divides the iteration space
+// into one contiguous block per thread, which for trip count n is a chunk
+// of ceil(n/threads).
+func Resolve(kind Kind, numThreads int, chunk int64, tripCount int64) (Plan, error) {
+	if numThreads <= 0 {
+		return Plan{}, fmt.Errorf("sched: num_threads must be positive, got %d", numThreads)
+	}
+	if chunk <= 0 {
+		if tripCount <= 0 {
+			chunk = 1
+		} else {
+			chunk = (tripCount + int64(numThreads) - 1) / int64(numThreads)
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	return Plan{Kind: kind, NumThreads: numThreads, Chunk: chunk}, nil
+}
+
+// Owner returns the thread that executes trip k (0-based trip index of the
+// parallelized loop) under static round-robin chunking.
+func (p Plan) Owner(k int64) int {
+	return int((k / p.Chunk) % int64(p.NumThreads))
+}
+
+// ChunkIndex returns the global chunk number containing trip k.
+func (p Plan) ChunkIndex(k int64) int64 { return k / p.Chunk }
+
+// CycleIndex returns the chunk-run (full round-robin cycle) containing
+// trip k.
+func (p Plan) CycleIndex(k int64) int64 {
+	return k / (p.Chunk * int64(p.NumThreads))
+}
+
+// IterationsPerCycle returns the number of parallel-loop trips in one full
+// cycle of the thread team (the paper's chunk_size * num_threads).
+func (p Plan) IterationsPerCycle() int64 { return p.Chunk * int64(p.NumThreads) }
+
+// Cycles returns the number of chunk runs needed to cover tripCount trips
+// (the last may be partial).
+func (p Plan) Cycles(tripCount int64) int64 {
+	per := p.IterationsPerCycle()
+	return (tripCount + per - 1) / per
+}
+
+// ThreadTrips returns how many trips of a tripCount-trip loop thread t
+// executes.
+func (p Plan) ThreadTrips(tripCount int64, t int) int64 {
+	if tripCount <= 0 {
+		return 0
+	}
+	fullCycles := tripCount / p.IterationsPerCycle()
+	n := fullCycles * p.Chunk
+	rem := tripCount - fullCycles*p.IterationsPerCycle()
+	// In the partial final cycle thread t gets trips
+	// [t*chunk, (t+1)*chunk) of the remainder.
+	lo := int64(t) * p.Chunk
+	hi := lo + p.Chunk
+	if rem > lo {
+		if rem < hi {
+			n += rem - lo
+		} else {
+			n += p.Chunk
+		}
+	}
+	return n
+}
+
+// OwnedTrip returns the global trip index of thread t's j-th trip
+// (0-based), i.e. the inverse of the ownership map restricted to t.
+func (p Plan) OwnedTrip(t int, j int64) int64 {
+	chunkOfThread := j / p.Chunk // which of t's chunks
+	within := j % p.Chunk        // offset inside that chunk
+	globalChunk := chunkOfThread*int64(p.NumThreads) + int64(t)
+	return globalChunk*p.Chunk + within
+}
+
+// MaxThreadTrips returns the largest per-thread trip count, i.e. the
+// lockstep horizon for tripCount trips.
+func (p Plan) MaxThreadTrips(tripCount int64) int64 {
+	var max int64
+	for t := 0; t < p.NumThreads; t++ {
+		if n := p.ThreadTrips(tripCount, t); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Validate checks internal consistency.
+func (p Plan) Validate() error {
+	if p.NumThreads <= 0 {
+		return fmt.Errorf("sched: plan has %d threads", p.NumThreads)
+	}
+	if p.Chunk <= 0 {
+		return fmt.Errorf("sched: plan has chunk %d", p.Chunk)
+	}
+	return nil
+}
+
+// String renders the plan in OpenMP clause syntax.
+func (p Plan) String() string {
+	return fmt.Sprintf("schedule(%s,%d) num_threads(%d)", p.Kind, p.Chunk, p.NumThreads)
+}

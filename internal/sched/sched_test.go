@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindFromString(t *testing.T) {
+	for _, c := range []struct {
+		s    string
+		want Kind
+	}{{"static", Static}, {"", Static}, {"dynamic", Dynamic}, {"guided", Guided}} {
+		k, err := KindFromString(c.s)
+		if err != nil || k != c.want {
+			t.Errorf("KindFromString(%q) = %v, %v", c.s, k, err)
+		}
+	}
+	if _, err := KindFromString("auto"); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestResolveDefaults(t *testing.T) {
+	// Unspecified chunk → block schedule: ceil(n/threads).
+	p, err := Resolve(Static, 4, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Chunk != 3 {
+		t.Fatalf("block chunk = %d, want ceil(10/4)=3", p.Chunk)
+	}
+	// Unknown trip count falls back to chunk 1.
+	p, _ = Resolve(Static, 4, 0, 0)
+	if p.Chunk != 1 {
+		t.Fatalf("fallback chunk = %d", p.Chunk)
+	}
+	if _, err := Resolve(Static, 0, 1, 10); err == nil {
+		t.Fatal("expected error for zero threads")
+	}
+}
+
+func TestOwnerRoundRobin(t *testing.T) {
+	p := Plan{Kind: Static, NumThreads: 3, Chunk: 2}
+	want := []int{0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2, 0}
+	for k, w := range want {
+		if got := p.Owner(int64(k)); got != w {
+			t.Errorf("Owner(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestCycleAndChunkIndex(t *testing.T) {
+	p := Plan{Kind: Static, NumThreads: 2, Chunk: 3}
+	if p.IterationsPerCycle() != 6 {
+		t.Fatalf("iters/cycle = %d", p.IterationsPerCycle())
+	}
+	if p.ChunkIndex(7) != 2 || p.CycleIndex(7) != 1 {
+		t.Fatalf("indices wrong: chunk=%d cycle=%d", p.ChunkIndex(7), p.CycleIndex(7))
+	}
+	if p.Cycles(12) != 2 || p.Cycles(13) != 3 {
+		t.Fatalf("Cycles wrong: %d, %d", p.Cycles(12), p.Cycles(13))
+	}
+}
+
+func TestThreadTripsExact(t *testing.T) {
+	p := Plan{Kind: Static, NumThreads: 3, Chunk: 2}
+	// 13 trips: chunks [0,1],[2,3],[4,5],[6,7],[8,9],[10,11],[12].
+	// threads:   0      1      2      0      1      2        0
+	want := []int64{5, 4, 4}
+	for t0 := range want {
+		if got := p.ThreadTrips(13, t0); got != want[t0] {
+			t.Errorf("ThreadTrips(13, %d) = %d, want %d", t0, got, want[t0])
+		}
+	}
+	if p.MaxThreadTrips(13) != 5 {
+		t.Fatalf("MaxThreadTrips = %d", p.MaxThreadTrips(13))
+	}
+	if p.ThreadTrips(0, 0) != 0 || p.ThreadTrips(-1, 0) != 0 {
+		t.Fatal("degenerate trip counts should be zero")
+	}
+}
+
+func TestOwnedTripInvertsOwnership(t *testing.T) {
+	p := Plan{Kind: Static, NumThreads: 4, Chunk: 3}
+	for tid := 0; tid < p.NumThreads; tid++ {
+		for j := int64(0); j < 20; j++ {
+			k := p.OwnedTrip(tid, j)
+			if got := p.Owner(k); got != tid {
+				t.Fatalf("OwnedTrip(%d,%d)=%d owned by %d", tid, j, k, got)
+			}
+		}
+	}
+	// OwnedTrip must be strictly increasing in j.
+	for tid := 0; tid < p.NumThreads; tid++ {
+		prev := int64(-1)
+		for j := int64(0); j < 20; j++ {
+			k := p.OwnedTrip(tid, j)
+			if k <= prev {
+				t.Fatalf("OwnedTrip not increasing for thread %d", tid)
+			}
+			prev = k
+		}
+	}
+}
+
+// TestPropertyPartition: the schedule is a partition — every trip owned by
+// exactly one thread, and ThreadTrips sums to the trip count.
+func TestPropertyPartition(t *testing.T) {
+	f := func(threads8, chunk8 uint8, n16 uint16) bool {
+		threads := int(threads8%8) + 1
+		chunk := int64(chunk8%16) + 1
+		n := int64(n16 % 500)
+		p := Plan{Kind: Static, NumThreads: threads, Chunk: chunk}
+
+		counts := make([]int64, threads)
+		for k := int64(0); k < n; k++ {
+			o := p.Owner(k)
+			if o < 0 || o >= threads {
+				return false
+			}
+			counts[o]++
+		}
+		var sum int64
+		for tid, c := range counts {
+			if p.ThreadTrips(n, tid) != c {
+				return false
+			}
+			sum += c
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOwnedTripEnumeratesAll: the per-thread enumerations cover the
+// trip space exactly once.
+func TestPropertyOwnedTripEnumeratesAll(t *testing.T) {
+	f := func(threads8, chunk8 uint8, n16 uint16) bool {
+		threads := int(threads8%6) + 1
+		chunk := int64(chunk8%8) + 1
+		n := int64(n16 % 300)
+		p := Plan{Kind: Static, NumThreads: threads, Chunk: chunk}
+
+		seen := make(map[int64]bool, n)
+		for tid := 0; tid < threads; tid++ {
+			trips := p.ThreadTrips(n, tid)
+			for j := int64(0); j < trips; j++ {
+				k := p.OwnedTrip(tid, j)
+				if k < 0 || k >= n || seen[k] {
+					return false
+				}
+				seen[k] = true
+			}
+		}
+		return int64(len(seen)) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateAndString(t *testing.T) {
+	if err := (Plan{NumThreads: 2, Chunk: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Plan{NumThreads: 0, Chunk: 1}).Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := (Plan{NumThreads: 2, Chunk: 0}).Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+	s := Plan{Kind: Static, NumThreads: 4, Chunk: 2}.String()
+	if s != "schedule(static,2) num_threads(4)" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,477 @@
+// Package sim is a cache-coherent multicore simulator used as the
+// "measured execution" substitute for the paper's 48-core testbed.
+//
+// Each thread runs on its own core with private L1 and L2 caches kept
+// coherent by a write-invalidate MESI protocol over a snooping directory;
+// sockets share an L3. The simulator executes the loop nest's memory
+// accesses in lockstep (one innermost iteration per thread per global
+// step, the interleaving a statically scheduled OpenMP loop produces) and
+// charges per-access latencies from the machine description, plus compute
+// cycles per iteration from the processor model and OpenMP runtime
+// overheads from the parallel model.
+//
+// The quantity the paper measures — the relative slowdown of a chunk size
+// that induces false sharing versus one that avoids it — emerges here
+// mechanistically from cache-to-cache transfer and invalidation traffic
+// rather than being assumed.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cache"
+	"repro/internal/costmodel"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Machine defaults to machine.Paper48().
+	Machine *machine.Desc
+	// NumThreads is used when the pragma does not fix a team size.
+	NumThreads int
+	// Chunk is used when the pragma does not fix a chunk size.
+	Chunk int64
+	// ComputePerIter overrides the processor-model estimate of compute
+	// cycles per innermost iteration (0 = derive from the nest).
+	ComputePerIter float64
+	// ModelBusContention serializes off-core transactions issued in the
+	// same lockstep step on a shared bus, each queuing behind the ones
+	// before it — the paper's future-work "bus interference" extension.
+	ModelBusContention bool
+}
+
+// Stats is the outcome of a simulation.
+type Stats struct {
+	WallCycles   float64
+	Seconds      float64
+	ThreadCycles []float64
+
+	Iterations int64
+	Accesses   int64
+	Instances  int64 // parallel-region entries
+
+	L1Hits          int64
+	L2Hits          int64
+	L3Hits          int64
+	MemFills        int64
+	CoherenceMisses int64 // fills served by a remote Modified copy
+	Invalidations   int64 // remote copies invalidated by writes
+	Upgrades        int64 // S->M upgrades on private hits
+
+	// Bus-contention model (Options.ModelBusContention).
+	BusTransactions  int64
+	ContentionCycles float64
+
+	ComputePerIter float64
+	Plan           sched.Plan
+}
+
+// PrivateMissRate returns the fraction of accesses missing both private
+// levels.
+func (s *Stats) PrivateMissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	miss := s.Accesses - s.L1Hits - s.L2Hits
+	return float64(miss) / float64(s.Accesses)
+}
+
+type dirEntry struct {
+	holders uint64 // cores whose private hierarchy holds the line
+	owner   int8   // core holding the line Modified, or -1
+}
+
+type core struct {
+	l1 *cache.SetAssoc
+	l2 *cache.SetAssoc
+}
+
+type simulator struct {
+	m     *machine.Desc
+	cores []core
+	l3    []*cache.SetAssoc // per socket
+	dir   map[int64]dirEntry
+	stats *Stats
+	// Bus-contention model state: transactions issued in the current
+	// lockstep step, total and per core (unused when the model is
+	// disabled).
+	busModel    bool
+	busTxStep   int
+	busTxByCore []int
+}
+
+// Run simulates the nest under the given options.
+func Run(nest *loopir.Nest, opts Options) (*Stats, error) {
+	if opts.Machine == nil {
+		opts.Machine = machine.Paper48()
+	}
+	m := opts.Machine
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	plan, gen, err := resolvePlan(nest, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	if plan.NumThreads > 64 {
+		return nil, fmt.Errorf("sim: at most 64 threads supported, got %d", plan.NumThreads)
+	}
+	if plan.NumThreads > m.Cores {
+		return nil, fmt.Errorf("sim: %d threads exceed the machine's %d cores", plan.NumThreads, m.Cores)
+	}
+
+	s := &simulator{m: m, dir: make(map[int64]dirEntry), stats: &Stats{Plan: plan}, busModel: opts.ModelBusContention}
+	for t := 0; t < plan.NumThreads; t++ {
+		l1, err := cache.NewSetAssoc(m.L1)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := cache.NewSetAssoc(m.L2)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, core{l1: l1, l2: l2})
+	}
+	sockets := (plan.NumThreads + m.CoresPerSocket - 1) / m.CoresPerSocket
+	for i := 0; i < sockets; i++ {
+		l3, err := cache.NewSetAssoc(m.L3)
+		if err != nil {
+			return nil, err
+		}
+		s.l3 = append(s.l3, l3)
+	}
+
+	compute := opts.ComputePerIter
+	if compute <= 0 {
+		_, _, compute = costmodel.ProcessorModel(nest.Ops, m)
+	}
+	loopOv := costmodel.LoopOverheadModel(nest, m)
+	s.stats.ComputePerIter = compute
+
+	cycles := make([]float64, plan.NumThreads)
+	cursors := gen.Cursors()
+	active := plan.NumThreads
+	var accBuf []trace.Access
+
+	// Parallel-instance boundaries (outer-loop iterations around an inner
+	// parallel loop): detected via thread 0's prefix values.
+	var prevPrefix int64
+	havePrefix := false
+	barrier := costmodel.ParallelModel(nest, m, plan, 1) // per-instance overhead
+
+	s.busTxByCore = make([]int, plan.NumThreads)
+	for active > 0 {
+		s.busTxStep = 0
+		for i := range s.busTxByCore {
+			s.busTxByCore[i] = 0
+		}
+		for t := 0; t < plan.NumThreads; t++ {
+			cur := cursors[t]
+			if cur.Done() {
+				continue
+			}
+			if !cur.Next() {
+				active--
+				continue
+			}
+			s.stats.Iterations++
+			if t == 0 && nest.ParLevel > 0 {
+				fp := prefixOf(cur, nest.ParLevel)
+				if !havePrefix || fp != prevPrefix {
+					// New parallel region: synchronize the team (join
+					// barrier of the previous region) and charge startup.
+					if havePrefix {
+						syncTeam(cycles)
+					}
+					for i := range cycles {
+						cycles[i] += barrier
+					}
+					s.stats.Instances++
+					prevPrefix = fp
+					havePrefix = true
+				}
+			}
+			cycles[t] += compute + loopOv
+			accBuf = gen.Accesses(cur.Vals(), accBuf)
+			for i := range accBuf {
+				a := &accBuf[i]
+				first, last := cache.LinesTouched(a.Addr, a.Size, m.LineSize)
+				for line := first; line <= last; line++ {
+					s.stats.Accesses++
+					cycles[t] += s.access(t, line, a.Write)
+				}
+			}
+		}
+	}
+	if nest.ParLevel == 0 {
+		// Single parallel region wrapping the whole nest.
+		for i := range cycles {
+			cycles[i] += barrier
+		}
+		s.stats.Instances = 1
+	}
+	syncTeam(cycles)
+
+	s.stats.ThreadCycles = cycles
+	s.stats.WallCycles = cycles[0]
+	s.stats.Seconds = m.Seconds(s.stats.WallCycles)
+	return s.stats, nil
+}
+
+func syncTeam(cycles []float64) {
+	var max float64
+	for _, c := range cycles {
+		if c > max {
+			max = c
+		}
+	}
+	for i := range cycles {
+		cycles[i] = max
+	}
+}
+
+func prefixOf(c *trace.ThreadCursor, parLevel int) int64 {
+	var h int64 = 1469598103934665603
+	vals := c.Vals()
+	for i := 0; i < parLevel; i++ {
+		h = h*1099511628211 + vals[i]
+	}
+	return h
+}
+
+// busTransaction charges one off-core transaction by core t against the
+// shared bus: with the contention model enabled, a transaction queues
+// behind every transaction OTHER cores issued in the same lockstep step
+// (a core's own back-to-back requests pipeline without interfering with
+// themselves).
+func (s *simulator) busTransaction(t int) float64 {
+	if !s.busModel {
+		return 0
+	}
+	s.stats.BusTransactions++
+	wait := float64(s.busTxStep-s.busTxByCore[t]) * float64(s.m.BusTransferCycles)
+	s.busTxStep++
+	s.busTxByCore[t]++
+	s.stats.ContentionCycles += wait
+	return wait
+}
+
+// access performs one coherent memory access by core t and returns its
+// latency in cycles.
+func (s *simulator) access(t int, line int64, write bool) float64 {
+	m := s.m
+	c := s.cores[t]
+	tBit := uint64(1) << uint(t)
+
+	// Private L1 hit.
+	if st := c.l1.Access(line); st != cache.Invalid {
+		s.stats.L1Hits++
+		cost := float64(m.L1Latency)
+		if write && st != cache.Modified {
+			cost += s.upgrade(t, line)
+		} else if write {
+			c.l1.SetState(line, cache.Modified)
+			c.l2.SetState(line, cache.Modified)
+		}
+		return cost
+	}
+	// Private L2 hit: refill L1.
+	if st := c.l2.Access(line); st != cache.Invalid {
+		s.stats.L2Hits++
+		cost := float64(m.L2Latency)
+		newState := st
+		if write && st != cache.Modified {
+			cost += s.upgrade(t, line)
+			newState = cache.Modified
+		} else if write {
+			c.l2.SetState(line, cache.Modified)
+			newState = cache.Modified
+		}
+		if ev, ok := c.l1.Fill(line, newState); ok {
+			// L1 victim still lives in L2 (inclusive hierarchy); sync its
+			// dirty state down.
+			if ev.State == cache.Modified {
+				c.l2.SetState(ev.Line, cache.Modified)
+			}
+		}
+		return cost
+	}
+
+	// Private miss: bus transaction.
+	e, known := s.dir[line]
+	if !known {
+		e.owner = -1
+	}
+	cost := s.busTransaction(t)
+	socket := t / m.CoresPerSocket
+	l3 := s.l3[socket]
+
+	served := false
+	if e.owner >= 0 && int(e.owner) != t {
+		// Another core holds the line Modified: cache-to-cache transfer.
+		s.stats.CoherenceMisses++
+		cost += float64(m.CoherenceLatency)
+		ownerCore := s.cores[e.owner]
+		if write {
+			ownerCore.l1.Invalidate(line)
+			ownerCore.l2.Invalidate(line)
+			e.holders &^= uint64(1) << uint(e.owner)
+			s.stats.Invalidations++
+		} else {
+			ownerCore.l1.SetState(line, cache.Shared)
+			ownerCore.l2.SetState(line, cache.Shared)
+		}
+		e.owner = -1
+		// The transferred line is also installed in the requester's L3.
+		s.fillL3(l3, line)
+		served = true
+	}
+	if !served {
+		if l3.Access(line) != cache.Invalid {
+			s.stats.L3Hits++
+			cost += float64(m.L3Latency)
+		} else {
+			s.stats.MemFills++
+			cost += float64(m.MemLatency)
+			s.fillL3(l3, line)
+		}
+	}
+
+	if write {
+		// Invalidate every remaining remote copy.
+		others := e.holders &^ tBit
+		if others != 0 {
+			cost += float64(m.InvalidateLatency)
+		}
+		for others != 0 {
+			u := bits.TrailingZeros64(others)
+			others &^= 1 << uint(u)
+			s.cores[u].l1.Invalidate(line)
+			s.cores[u].l2.Invalidate(line)
+			e.holders &^= 1 << uint(u)
+			s.stats.Invalidations++
+		}
+	}
+
+	newState := cache.Shared
+	if write {
+		newState = cache.Modified
+		e.owner = int8(t)
+	} else if e.holders&^tBit == 0 {
+		newState = cache.Exclusive
+	}
+	e.holders |= tBit
+	s.dir[line] = e
+
+	s.fillPrivate(t, line, newState)
+	return cost
+}
+
+// upgrade handles a write hit on a non-Modified private copy: invalidate
+// remote sharers and mark the line Modified.
+func (s *simulator) upgrade(t int, line int64) float64 {
+	m := s.m
+	c := s.cores[t]
+	e, known := s.dir[line]
+	if !known {
+		e.owner = -1
+	}
+	tBit := uint64(1) << uint(t)
+	cost := float64(0)
+	others := e.holders &^ tBit
+	if others != 0 {
+		cost += float64(m.InvalidateLatency)
+		s.stats.Upgrades++
+	}
+	for others != 0 {
+		u := bits.TrailingZeros64(others)
+		others &^= 1 << uint(u)
+		s.cores[u].l1.Invalidate(line)
+		s.cores[u].l2.Invalidate(line)
+		e.holders &^= 1 << uint(u)
+		s.stats.Invalidations++
+	}
+	c.l1.SetState(line, cache.Modified)
+	c.l2.SetState(line, cache.Modified)
+	e.owner = int8(t)
+	e.holders |= tBit
+	s.dir[line] = e
+	return cost
+}
+
+// fillPrivate installs a line into core t's L2 and L1, maintaining
+// inclusion and the directory across evictions.
+func (s *simulator) fillPrivate(t int, line int64, st cache.LineState) {
+	c := s.cores[t]
+	tBit := uint64(1) << uint(t)
+	if ev, ok := c.l2.Fill(line, st); ok {
+		// Inclusive hierarchy: an L2 eviction removes the L1 copy too.
+		l1st := c.l1.Invalidate(ev.Line)
+		evState := ev.State
+		if l1st == cache.Modified {
+			evState = cache.Modified
+		}
+		de, known := s.dir[ev.Line]
+		if known {
+			de.holders &^= tBit
+			if int(de.owner) == t {
+				de.owner = -1
+			}
+			if de.holders == 0 && de.owner < 0 {
+				delete(s.dir, ev.Line)
+			} else {
+				s.dir[ev.Line] = de
+			}
+		}
+		_ = evState // writeback bandwidth is not modeled
+	}
+	if ev, ok := c.l1.Fill(line, st); ok {
+		if ev.State == cache.Modified {
+			c.l2.SetState(ev.Line, cache.Modified)
+		}
+	}
+}
+
+func (s *simulator) fillL3(l3 *cache.SetAssoc, line int64) {
+	if l3.Access(line) == cache.Invalid {
+		l3.Fill(line, cache.Shared)
+	}
+}
+
+func resolvePlan(nest *loopir.Nest, m *machine.Desc, opts Options) (sched.Plan, *trace.Generator, error) {
+	par := nest.Parallelized()
+	if par == nil {
+		return sched.Plan{}, nil, fmt.Errorf("sim: nest has no parallel loop")
+	}
+	// Explicit options win over the source pragma (see fsmodel.prepare).
+	threads := opts.NumThreads
+	if threads <= 0 && par.Parallel.NumThreads > 0 {
+		threads = par.Parallel.NumThreads
+	}
+	if threads <= 0 {
+		threads = m.Cores
+	}
+	chunk := opts.Chunk
+	if chunk <= 0 && par.Parallel.Chunk > 0 {
+		chunk = par.Parallel.Chunk
+	}
+	kind, err := sched.KindFromString(par.Parallel.Schedule)
+	if err != nil {
+		return sched.Plan{}, nil, err
+	}
+	trip, _ := par.ConstTripCount()
+	plan, err := sched.Resolve(kind, threads, chunk, trip)
+	if err != nil {
+		return sched.Plan{}, nil, err
+	}
+	gen, err := trace.NewGenerator(nest, plan)
+	if err != nil {
+		return sched.Plan{}, nil, err
+	}
+	return plan, gen, nil
+}

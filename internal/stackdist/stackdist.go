@@ -1,0 +1,130 @@
+// Package stackdist implements stack distance (LRU reuse distance)
+// analysis, the technique the paper applies to each thread's cache-line
+// ownership list (Section III-C, citing Schuff et al.): the stack distance
+// of an access is the number of distinct cache lines touched since the
+// previous access to the same line.
+//
+// The analyzer uses the Bennett–Kruskal algorithm: a Fenwick tree over
+// access timestamps marks the most recent access position of every line,
+// so each distance query costs O(log n) instead of walking an LRU list.
+package stackdist
+
+// Analyzer computes stack distances over a stream of cache-line accesses.
+type Analyzer struct {
+	last  map[int64]int // line -> timestamp of most recent access (1-based)
+	bit   []int64       // Fenwick tree over timestamps: 1 where a line's last access sits
+	marks []bool        // marks[t] mirrors the tree's point values, for rebuilds
+	time  int
+}
+
+// New returns an empty analyzer.
+func New() *Analyzer {
+	return &Analyzer{last: make(map[int64]int), bit: make([]int64, 16), marks: make([]bool, 16)}
+}
+
+// Infinite is the distance reported for a line's first (cold) access.
+const Infinite = int64(-1)
+
+func (a *Analyzer) update(i int, delta int64) {
+	a.marks[i] = delta > 0
+	for ; i < len(a.bit); i += i & (-i) {
+		a.bit[i] += delta
+	}
+}
+
+func (a *Analyzer) prefix(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += a.bit[i]
+	}
+	return s
+}
+
+// grow doubles the tree. A Fenwick node's value is the sum of a fixed
+// index range, so growing requires rebuilding from the point marks —
+// appending zeros would corrupt nodes whose range spans the old boundary.
+func (a *Analyzer) grow() {
+	newLen := len(a.bit) * 2
+	a.marks = append(a.marks, make([]bool, newLen-len(a.marks))...)
+	bit := make([]int64, newLen)
+	for t, m := range a.marks {
+		if !m || t == 0 {
+			continue
+		}
+		for i := t; i < newLen; i += i & (-i) {
+			bit[i]++
+		}
+	}
+	a.bit = bit
+}
+
+// Access records an access to line and returns its stack distance: the
+// number of distinct lines accessed since the last access to line, or
+// Infinite for a cold access. Distance 0 means the line was the most
+// recently used.
+func (a *Analyzer) Access(line int64) int64 {
+	a.time++
+	for a.time >= len(a.bit) {
+		a.grow()
+	}
+	dist := Infinite
+	if t, seen := a.last[line]; seen {
+		// Distinct lines after t = number of "last access" marks in (t, now).
+		dist = a.prefix(a.time-1) - a.prefix(t)
+		a.update(t, -1)
+	}
+	a.last[line] = a.time
+	a.update(a.time, 1)
+	return dist
+}
+
+// Distinct returns the number of distinct lines seen so far.
+func (a *Analyzer) Distinct() int { return len(a.last) }
+
+// Accesses returns the number of accesses recorded.
+func (a *Analyzer) Accesses() int { return a.time }
+
+// Histogram accumulates a reuse-distance histogram with a bucket per
+// power-of-two distance, plus cold misses. Feed it the distances returned
+// by Analyzer.Access.
+type Histogram struct {
+	Cold    int64
+	Buckets []int64 // Buckets[k] counts distances in [2^k-1 .. 2^(k+1)-2]
+	Total   int64
+	Max     int64
+}
+
+// Add records one distance.
+func (h *Histogram) Add(dist int64) {
+	h.Total++
+	if dist == Infinite {
+		h.Cold++
+		return
+	}
+	if dist > h.Max {
+		h.Max = dist
+	}
+	k := 0
+	for d := dist + 1; d > 1; d >>= 1 {
+		k++
+	}
+	for len(h.Buckets) <= k {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[k]++
+}
+
+// MissesAtCapacity returns how many recorded accesses would miss in a
+// fully-associative LRU cache holding `lines` cache lines: cold misses plus
+// every access with distance >= lines. The count is conservative within
+// bucket granularity (a bucket straddling the capacity counts as missing).
+func (h *Histogram) MissesAtCapacity(lines int64) int64 {
+	misses := h.Cold
+	for k, n := range h.Buckets {
+		lo := int64(1)<<uint(k) - 1 // smallest distance in bucket k
+		if lo >= lines {
+			misses += n
+		}
+	}
+	return misses
+}

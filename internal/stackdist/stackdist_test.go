@@ -1,0 +1,134 @@
+package stackdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveDistance computes the stack distance by scanning an explicit LRU
+// list.
+type naiveLRU struct {
+	order []int64 // index 0 = MRU
+}
+
+func (n *naiveLRU) access(line int64) int64 {
+	for i, l := range n.order {
+		if l == line {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			n.order = append([]int64{line}, n.order...)
+			return int64(i)
+		}
+	}
+	n.order = append([]int64{line}, n.order...)
+	return Infinite
+}
+
+func TestAnalyzerSimple(t *testing.T) {
+	a := New()
+	// Stream: 1 2 3 1 → distance of the second 1 is 2 (lines 2, 3 between).
+	if d := a.Access(1); d != Infinite {
+		t.Fatalf("cold access distance = %d", d)
+	}
+	a.Access(2)
+	a.Access(3)
+	if d := a.Access(1); d != 2 {
+		t.Fatalf("reuse distance = %d, want 2", d)
+	}
+	// Immediate re-access → distance 0.
+	if d := a.Access(1); d != 0 {
+		t.Fatalf("immediate reuse distance = %d, want 0", d)
+	}
+	if a.Distinct() != 3 || a.Accesses() != 5 {
+		t.Fatalf("distinct/accesses = %d/%d", a.Distinct(), a.Accesses())
+	}
+}
+
+func TestAnalyzerRepeatedScan(t *testing.T) {
+	// Scanning N lines repeatedly: every non-cold access has distance N-1.
+	const n = 16
+	a := New()
+	for pass := 0; pass < 3; pass++ {
+		for line := int64(0); line < n; line++ {
+			d := a.Access(line)
+			if pass == 0 {
+				if d != Infinite {
+					t.Fatalf("pass 0 line %d: distance %d", line, d)
+				}
+			} else if d != n-1 {
+				t.Fatalf("pass %d line %d: distance %d, want %d", pass, line, d, n-1)
+			}
+		}
+	}
+}
+
+func TestAnalyzerMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	a := New()
+	var n naiveLRU
+	for i := 0; i < 5000; i++ {
+		line := int64(r.Intn(64))
+		got := a.Access(line)
+		want := n.access(line)
+		if got != want {
+			t.Fatalf("access %d (line %d): distance %d, naive %d", i, line, got, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Add(Infinite)
+	h.Add(0) // bucket 0 (distances 0)
+	h.Add(1) // bucket 1
+	h.Add(2) // bucket 1 (2 in [1..2])
+	h.Add(7) // bucket 3 (7 in [7..14])
+	if h.Cold != 1 || h.Total != 5 || h.Max != 7 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[1] != 2 || h.Buckets[3] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+}
+
+func TestMissesAtCapacity(t *testing.T) {
+	var h Histogram
+	// 10 accesses at distance 0, 5 at distance 100, 2 cold.
+	for i := 0; i < 10; i++ {
+		h.Add(0)
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(100)
+	}
+	h.Add(Infinite)
+	h.Add(Infinite)
+	// Capacity 1000 lines: only cold misses.
+	if m := h.MissesAtCapacity(1000); m != 2 {
+		t.Fatalf("misses@1000 = %d", m)
+	}
+	// Capacity 8 lines: distance-100 accesses also miss.
+	if m := h.MissesAtCapacity(8); m != 7 {
+		t.Fatalf("misses@8 = %d", m)
+	}
+}
+
+func TestAnalyzerLongStream(t *testing.T) {
+	// Exercise the Fenwick tree growth across several doublings.
+	a := New()
+	for i := 0; i < 257*390; i++ { // whole passes so the stream ends a cycle
+		a.Access(int64(i % 257))
+	}
+	if a.Distinct() != 257 {
+		t.Fatalf("distinct = %d", a.Distinct())
+	}
+	// Steady state: distance must be 256.
+	if d := a.Access(0); d != 256 {
+		t.Fatalf("steady distance = %d", d)
+	}
+}
+
+func BenchmarkAnalyzerAccess(b *testing.B) {
+	a := New()
+	for i := 0; i < b.N; i++ {
+		a.Access(int64(i % 4096))
+	}
+}

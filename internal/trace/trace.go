@@ -1,0 +1,324 @@
+// Package trace turns a lowered loop nest plus a work-sharing plan into
+// per-thread streams of memory accesses.
+//
+// The generator enumerates, for each thread, the innermost-loop iterations
+// that thread executes under static round-robin chunk scheduling, in the
+// order it executes them. The false-sharing cost model and the MESI cache
+// simulator both consume these streams in lockstep: at global step k every
+// thread performs the accesses of its k-th innermost iteration, which is
+// how the paper models the concurrent interleaving of a statically
+// scheduled OpenMP loop.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/loopir"
+	"repro/internal/sched"
+)
+
+// Access is a single memory reference performed by a thread.
+type Access struct {
+	Addr  int64
+	Size  int32
+	Write bool
+	Ref   int32 // index of the originating loopir ref (into Generator.Refs)
+}
+
+type compiledLoop struct {
+	first affine.Compiled
+	limit affine.Compiled
+	step  int64
+}
+
+type compiledRef struct {
+	offset affine.Compiled
+	base   int64
+	size   int32
+	write  bool
+}
+
+// Generator produces per-thread access streams for one nest.
+type Generator struct {
+	nest     *loopir.Nest
+	plan     sched.Plan
+	vars     []string
+	loops    []compiledLoop
+	refs     []compiledRef
+	parLevel int
+	// Skipped lists source strings of refs excluded because their
+	// subscripts are non-affine.
+	Skipped []string
+}
+
+// NewGenerator compiles the nest's bounds and reference offsets against the
+// plan. The nest must have a parallelized level (use a 1-thread plan and a
+// pragma-free nest via NewSequentialGenerator for serial enumeration).
+func NewGenerator(nest *loopir.Nest, plan sched.Plan) (*Generator, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	parLevel := nest.ParLevel
+	if parLevel < 0 {
+		if plan.NumThreads != 1 {
+			return nil, fmt.Errorf("trace: nest has no parallel level but plan has %d threads", plan.NumThreads)
+		}
+		parLevel = 0 // trivially "parallelized" across one thread
+	}
+	g := &Generator{nest: nest, plan: plan, vars: nest.Vars(), parLevel: parLevel}
+	for _, l := range nest.Loops {
+		first, err := l.First.Compile(g.vars)
+		if err != nil {
+			return nil, fmt.Errorf("trace: loop %q lower bound: %w", l.Var, err)
+		}
+		limit, err := l.Limit.Compile(g.vars)
+		if err != nil {
+			return nil, fmt.Errorf("trace: loop %q limit: %w", l.Var, err)
+		}
+		g.loops = append(g.loops, compiledLoop{first: first, limit: limit, step: l.Step})
+	}
+	for _, r := range nest.Refs {
+		if r.NonAffine {
+			g.Skipped = append(g.Skipped, r.Src)
+			continue
+		}
+		off, err := r.Offset.Compile(g.vars)
+		if err != nil {
+			return nil, fmt.Errorf("trace: ref %s: %w", r.Src, err)
+		}
+		g.refs = append(g.refs, compiledRef{offset: off, base: r.Sym.Base, size: int32(r.Size), write: r.Write})
+	}
+	return g, nil
+}
+
+// NewSequentialGenerator enumerates the whole nest on a single thread,
+// which is how the serial cache model and the interpreter traverse it.
+func NewSequentialGenerator(nest *loopir.Nest) (*Generator, error) {
+	plan := sched.Plan{Kind: sched.Static, NumThreads: 1, Chunk: 1}
+	g, err := NewGenerator(nest, plan)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Plan returns the generator's work-sharing plan.
+func (g *Generator) Plan() sched.Plan { return g.plan }
+
+// Nest returns the underlying nest.
+func (g *Generator) Nest() *loopir.Nest { return g.nest }
+
+// NumRefs returns the number of analyzable (affine) references per
+// innermost iteration.
+func (g *Generator) NumRefs() int { return len(g.refs) }
+
+// NumThreads returns the thread count of the plan.
+func (g *Generator) NumThreads() int { return g.plan.NumThreads }
+
+// Depth returns the nest depth.
+func (g *Generator) Depth() int { return len(g.loops) }
+
+// Accesses evaluates the reference addresses for one iteration's induction
+// values, appending into buf (which it returns resliced). vals must be
+// ordered like the nest's Vars().
+func (g *Generator) Accesses(vals []int64, buf []Access) []Access {
+	buf = buf[:0]
+	for i := range g.refs {
+		r := &g.refs[i]
+		buf = append(buf, Access{
+			Addr:  r.base + r.offset.Eval(vals),
+			Size:  r.size,
+			Write: r.write,
+			Ref:   int32(i),
+		})
+	}
+	return buf
+}
+
+// Cursor returns a fresh iteration cursor for thread t.
+func (g *Generator) Cursor(t int) *ThreadCursor {
+	return &ThreadCursor{g: g, thread: t, vals: make([]int64, len(g.loops)), lv: make([]levelState, len(g.loops))}
+}
+
+// Cursors returns one cursor per thread of the plan.
+func (g *Generator) Cursors() []*ThreadCursor {
+	out := make([]*ThreadCursor, g.plan.NumThreads)
+	for t := range out {
+		out[t] = g.Cursor(t)
+	}
+	return out
+}
+
+type levelState struct {
+	first int64 // lower bound value at current instantiation
+	n     int64 // trip count at current instantiation
+	trip  int64 // current trip (sequential levels)
+	j     int64 // owned-trip counter (parallel level only)
+	k     int64 // current global trip (parallel level only)
+}
+
+// ThreadCursor enumerates the innermost iterations one thread executes, in
+// execution order. Use Next to advance and Vals to read the induction
+// values of the current iteration.
+type ThreadCursor struct {
+	g       *Generator
+	thread  int
+	vals    []int64
+	lv      []levelState
+	started bool
+	done    bool
+	count   int64
+}
+
+// Vals returns the current induction-variable values (aliased; do not
+// mutate). Valid only after Next returned true.
+func (c *ThreadCursor) Vals() []int64 { return c.vals }
+
+// Thread returns the thread id this cursor enumerates.
+func (c *ThreadCursor) Thread() int { return c.thread }
+
+// Count returns the number of iterations yielded so far.
+func (c *ThreadCursor) Count() int64 { return c.count }
+
+// Done reports whether the cursor is exhausted.
+func (c *ThreadCursor) Done() bool { return c.done }
+
+// ParallelTrip returns the 0-based global trip index of the parallelized
+// loop for the current iteration (used to derive chunk-run indices).
+func (c *ThreadCursor) ParallelTrip() int64 { return c.lv[c.g.parLevel].k }
+
+// instantiate positions level i at its first valid iteration given the
+// current values of outer levels; it reports false if the level is empty.
+func (c *ThreadCursor) instantiate(i int) bool {
+	cl := &c.g.loops[i]
+	st := &c.lv[i]
+	st.first = cl.first.Eval(c.vals)
+	limit := cl.limit.Eval(c.vals)
+	st.n = tripCount(st.first, limit, cl.step)
+	if i == c.g.parLevel {
+		st.j = 0
+		st.k = c.g.plan.OwnedTrip(c.thread, 0)
+		if st.k >= st.n {
+			return false
+		}
+		c.vals[i] = st.first + st.k*cl.step
+		return true
+	}
+	if st.n == 0 {
+		return false
+	}
+	st.trip = 0
+	c.vals[i] = st.first
+	return true
+}
+
+// step advances level i by one iteration; it reports false on exhaustion.
+func (c *ThreadCursor) step(i int) bool {
+	cl := &c.g.loops[i]
+	st := &c.lv[i]
+	if i == c.g.parLevel {
+		st.j++
+		st.k = c.g.plan.OwnedTrip(c.thread, st.j)
+		if st.k >= st.n {
+			return false
+		}
+		c.vals[i] = st.first + st.k*cl.step
+		return true
+	}
+	st.trip++
+	if st.trip >= st.n {
+		return false
+	}
+	c.vals[i] += cl.step
+	return true
+}
+
+// seek makes levels i..depth-1 all valid, backtracking through outer levels
+// when an inner level is empty. It reports false when the thread's whole
+// iteration space is exhausted.
+func (c *ThreadCursor) seek(i int) bool {
+	d := len(c.g.loops)
+	for i < d {
+		if c.instantiate(i) {
+			i++
+			continue
+		}
+		k := i - 1
+		for {
+			if k < 0 {
+				return false
+			}
+			if c.step(k) {
+				break
+			}
+			k--
+		}
+		i = k + 1
+	}
+	return true
+}
+
+// Next advances to the thread's next innermost iteration.
+func (c *ThreadCursor) Next() bool {
+	if c.done {
+		return false
+	}
+	if !c.started {
+		c.started = true
+		if !c.seek(0) {
+			c.done = true
+			return false
+		}
+		c.count++
+		return true
+	}
+	k := len(c.g.loops) - 1
+	for {
+		if k < 0 {
+			c.done = true
+			return false
+		}
+		if c.step(k) {
+			break
+		}
+		k--
+	}
+	if !c.seek(k + 1) {
+		c.done = true
+		return false
+	}
+	c.count++
+	return true
+}
+
+func tripCount(first, limit, step int64) int64 {
+	if step > 0 {
+		if first >= limit {
+			return 0
+		}
+		return (limit - first + step - 1) / step
+	}
+	if first <= limit {
+		return 0
+	}
+	return (first - limit + (-step) - 1) / (-step)
+}
+
+// CountIterations exhausts a fresh cursor for thread t and returns its
+// iteration count. Intended for tests and sizing estimates.
+func (g *Generator) CountIterations(t int) int64 {
+	c := g.Cursor(t)
+	for c.Next() {
+	}
+	return c.Count()
+}
+
+// TotalIterations sums iteration counts across all threads.
+func (g *Generator) TotalIterations() int64 {
+	var total int64
+	for t := 0; t < g.plan.NumThreads; t++ {
+		total += g.CountIterations(t)
+	}
+	return total
+}

@@ -1,0 +1,396 @@
+package trace
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/minic"
+	"repro/internal/sched"
+)
+
+func loadNest(t *testing.T, src string) *loopir.Nest {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	unit, err := loopir.Lower(prog, loopir.LowerOptions{})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return unit.Nests[0]
+}
+
+// bruteForce enumerates all (thread, iteration-values) pairs by replaying
+// the loop semantics directly, returning per-thread streams.
+func bruteForce(nest *loopir.Nest, plan sched.Plan) [][][]int64 {
+	streams := make([][][]int64, plan.NumThreads)
+	var rec func(level int, env map[string]int64, owner int)
+	rec = func(level int, env map[string]int64, owner int) {
+		if level == len(nest.Loops) {
+			vals := make([]int64, len(nest.Loops))
+			for i, l := range nest.Loops {
+				vals[i] = env[l.Var]
+			}
+			streams[owner] = append(streams[owner], vals)
+			return
+		}
+		l := nest.Loops[level]
+		first := l.First.MustEval(env)
+		limit := l.Limit.MustEval(env)
+		trip := int64(0)
+		for v := first; (l.Step > 0 && v < limit) || (l.Step < 0 && v > limit); v += l.Step {
+			env[l.Var] = v
+			o := owner
+			if level == nest.ParLevel {
+				o = plan.Owner(trip)
+			}
+			rec(level+1, env, o)
+			trip++
+		}
+		delete(env, l.Var)
+	}
+	rec(0, map[string]int64{}, 0)
+	return streams
+}
+
+func cursorStream(g *Generator, tid int) [][]int64 {
+	var out [][]int64
+	c := g.Cursor(tid)
+	for c.Next() {
+		vals := make([]int64, len(c.Vals()))
+		copy(vals, c.Vals())
+		out = append(out, vals)
+	}
+	return out
+}
+
+func checkAgainstBruteForce(t *testing.T, src string, threads int, chunk int64) {
+	t.Helper()
+	nest := loadNest(t, src)
+	plan := sched.Plan{Kind: sched.Static, NumThreads: threads, Chunk: chunk}
+	g, err := NewGenerator(nest, plan)
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	want := bruteForce(nest, plan)
+	for tid := 0; tid < threads; tid++ {
+		got := cursorStream(g, tid)
+		if !reflect.DeepEqual(got, want[tid]) {
+			t.Fatalf("thread %d stream mismatch:\n got %v\nwant %v", tid, got, want[tid])
+		}
+	}
+}
+
+func TestCursorMatchesBruteForceOuterParallel(t *testing.T) {
+	src := `
+#define N 13
+#define M 5
+double a[N][M];
+#pragma omp parallel for
+for (j = 0; j < N; j++)
+  for (i = 0; i < M; i++)
+    a[j][i] = 1.0;
+`
+	for _, threads := range []int{1, 2, 3, 4} {
+		for _, chunk := range []int64{1, 2, 5} {
+			checkAgainstBruteForce(t, src, threads, chunk)
+		}
+	}
+}
+
+func TestCursorMatchesBruteForceInnerParallel(t *testing.T) {
+	src := `
+#define N 7
+#define M 11
+double a[N][M];
+for (j = 0; j < N; j++)
+  #pragma omp parallel for
+  for (i = 0; i < M; i++)
+    a[j][i] = 1.0;
+`
+	for _, threads := range []int{1, 2, 3, 5} {
+		for _, chunk := range []int64{1, 2, 4} {
+			checkAgainstBruteForce(t, src, threads, chunk)
+		}
+	}
+}
+
+func TestCursorMatchesBruteForceTriangular(t *testing.T) {
+	src := `
+#define N 9
+double a[N][N];
+#pragma omp parallel for
+for (j = 0; j < N; j++)
+  for (i = j; i < N; i++)
+    a[j][i] = 1.0;
+`
+	for _, threads := range []int{1, 2, 3} {
+		for _, chunk := range []int64{1, 3} {
+			checkAgainstBruteForce(t, src, threads, chunk)
+		}
+	}
+}
+
+func TestCursorMatchesBruteForceTripleNest(t *testing.T) {
+	src := `
+#define A 3
+#define B 4
+#define C 5
+double m[A][B][C];
+for (x = 0; x < A; x++)
+  #pragma omp parallel for
+  for (y = 0; y < B; y++)
+    for (z = 0; z < C; z++)
+      m[x][y][z] = 1.0;
+`
+	for _, threads := range []int{2, 3} {
+		checkAgainstBruteForce(t, src, threads, 1)
+	}
+}
+
+func TestCursorDownwardLoop(t *testing.T) {
+	src := `
+#define N 10
+double a[N];
+#pragma omp parallel for
+for (i = N - 1; i >= 0; i--)
+    a[i] = 1.0;
+`
+	checkAgainstBruteForce(t, src, 3, 2)
+}
+
+func TestCursorZeroTripInner(t *testing.T) {
+	// Inner loop has zero trips for j >= 4: cursor must skip cleanly.
+	src := `
+#define N 8
+double a[N][N];
+#pragma omp parallel for
+for (j = 0; j < N; j++)
+  for (i = j; i < 4; i++)
+    a[j][i] = 1.0;
+`
+	checkAgainstBruteForce(t, src, 2, 1)
+	checkAgainstBruteForce(t, src, 3, 2)
+}
+
+func TestCursorThreadsExceedWork(t *testing.T) {
+	src := `
+#define N 3
+double a[N];
+#pragma omp parallel for
+for (i = 0; i < N; i++) a[i] = 1.0;
+`
+	nest := loadNest(t, src)
+	plan := sched.Plan{Kind: sched.Static, NumThreads: 8, Chunk: 1}
+	g, err := NewGenerator(nest, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for tid := 0; tid < 8; tid++ {
+		total += g.CountIterations(tid)
+	}
+	if total != 3 {
+		t.Fatalf("total iterations = %d, want 3", total)
+	}
+	// Threads 3..7 must be empty.
+	for tid := 3; tid < 8; tid++ {
+		if g.CountIterations(tid) != 0 {
+			t.Fatalf("thread %d should have no work", tid)
+		}
+	}
+}
+
+func TestGeneratorTotalsAndAccessors(t *testing.T) {
+	src := `
+#define N 12
+double a[N];
+double b[N];
+#pragma omp parallel for
+for (i = 0; i < N; i++) a[i] += b[i];
+`
+	nest := loadNest(t, src)
+	plan := sched.Plan{Kind: sched.Static, NumThreads: 4, Chunk: 2}
+	g, err := NewGenerator(nest, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalIterations() != 12 {
+		t.Fatalf("total = %d", g.TotalIterations())
+	}
+	if g.NumRefs() != 3 || g.NumThreads() != 4 || g.Depth() != 1 {
+		t.Fatalf("accessors wrong: %d refs, %d threads, depth %d", g.NumRefs(), g.NumThreads(), g.Depth())
+	}
+	if g.Plan() != plan || g.Nest() != nest {
+		t.Fatal("plan/nest accessors wrong")
+	}
+}
+
+func TestAccessesAddresses(t *testing.T) {
+	src := `
+#define N 8
+double a[N];
+double b[N];
+#pragma omp parallel for
+for (i = 0; i < N; i++) a[i] = b[i];
+`
+	nest := loadNest(t, src)
+	g, err := NewGenerator(nest, sched.Plan{Kind: sched.Static, NumThreads: 1, Chunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := g.Accesses([]int64{3}, nil)
+	if len(accs) != 2 {
+		t.Fatalf("accesses = %d", len(accs))
+	}
+	aSym, _ := nestSymbol(nest, "a")
+	bSym, _ := nestSymbol(nest, "b")
+	if accs[0].Addr != bSym+24 || accs[0].Write {
+		t.Fatalf("read access = %+v", accs[0])
+	}
+	if accs[1].Addr != aSym+24 || !accs[1].Write {
+		t.Fatalf("write access = %+v", accs[1])
+	}
+	if accs[0].Size != 8 {
+		t.Fatalf("size = %d", accs[0].Size)
+	}
+}
+
+func nestSymbol(nest *loopir.Nest, name string) (int64, bool) {
+	for _, r := range nest.Refs {
+		if r.Sym.Name == name {
+			return r.Sym.Base, true
+		}
+	}
+	return 0, false
+}
+
+func TestSequentialGenerator(t *testing.T) {
+	src := `
+#define N 6
+double a[N][N];
+for (j = 0; j < N; j++)
+  for (i = 0; i < N; i++)
+    a[j][i] = 1.0;
+`
+	nest := loadNest(t, src)
+	g, err := NewSequentialGenerator(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CountIterations(0); got != 36 {
+		t.Fatalf("sequential iterations = %d", got)
+	}
+	// Order must be row-major (j outer, i inner).
+	c := g.Cursor(0)
+	var prev []int64
+	for c.Next() {
+		if prev != nil {
+			cur := c.Vals()
+			if cur[0] < prev[0] || (cur[0] == prev[0] && cur[1] != prev[1]+1 && cur[1] != 0) {
+				t.Fatalf("out of order: %v after %v", cur, prev)
+			}
+		}
+		prev = append([]int64(nil), c.Vals()...)
+	}
+}
+
+func TestSequentialGeneratorRejectsMultiThread(t *testing.T) {
+	src := `
+#define N 6
+double a[N];
+for (i = 0; i < N; i++) a[i] = 1.0;
+`
+	nest := loadNest(t, src)
+	if _, err := NewGenerator(nest, sched.Plan{Kind: sched.Static, NumThreads: 2, Chunk: 1}); err == nil {
+		t.Fatal("expected error: no parallel level with multiple threads")
+	}
+}
+
+func TestCursorParallelTripExposed(t *testing.T) {
+	src := `
+#define N 10
+double a[N];
+#pragma omp parallel for
+for (i = 0; i < N; i++) a[i] = 1.0;
+`
+	nest := loadNest(t, src)
+	plan := sched.Plan{Kind: sched.Static, NumThreads: 2, Chunk: 2}
+	g, _ := NewGenerator(nest, plan)
+	c := g.Cursor(1)
+	var trips []int64
+	for c.Next() {
+		trips = append(trips, c.ParallelTrip())
+	}
+	want := []int64{2, 3, 6, 7}
+	if fmt.Sprint(trips) != fmt.Sprint(want) {
+		t.Fatalf("thread 1 trips = %v, want %v", trips, want)
+	}
+}
+
+func TestNonAffineRefsSkipped(t *testing.T) {
+	prog, err := minic.Parse(`
+#define N 4
+double a[N][N];
+#pragma omp parallel for
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    a[i][i * j] = 1.0;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := loopir.Lower(prog, loopir.LowerOptions{AllowNonAffine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(unit.Nests[0], sched.Plan{Kind: sched.Static, NumThreads: 2, Chunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Skipped) != 1 {
+		t.Fatalf("skipped = %v", g.Skipped)
+	}
+	if g.NumRefs() != 0 {
+		t.Fatalf("refs = %d, want 0", g.NumRefs())
+	}
+}
+
+func BenchmarkCursorHeat(b *testing.B) {
+	prog, err := minic.Parse(`
+#define M 64
+#define N 2048
+double A[M][N];
+double B[M][N];
+for (j = 1; j < M - 1; j++)
+  #pragma omp parallel for private(i)
+  for (i = 1; i < N - 1; i++)
+    B[j][i] = 0.25 * (A[j][i-1] + A[j][i+1] + A[j-1][i] + A[j+1][i]);
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit, err := loopir.Lower(prog, loopir.LowerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := NewGenerator(unit.Nests[0], sched.Plan{Kind: sched.Static, NumThreads: 8, Chunk: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var iters int64
+	var buf []Access
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := g.Cursor(i % 8)
+		for c.Next() {
+			buf = g.Accesses(c.Vals(), buf)
+			iters++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(iters), "ns/iter")
+}

@@ -1,0 +1,162 @@
+// Package transform implements the false-sharing elimination step the
+// paper leaves as future work (Section VI): source-level data-layout
+// transformations — struct padding to cache-line multiples, after
+// Jeremiassen & Eggers — whose profitability is decided by the very cost
+// model the paper contributes. Padding removes FS cases but enlarges the
+// footprint (more cold and capacity misses, more TLB pressure); Equation 1
+// prices both sides, so the compiler applies the transformation only when
+// Total_c actually improves.
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/fsmodel"
+	"repro/internal/loopir"
+	"repro/internal/minic"
+)
+
+// Change describes one padded struct.
+type Change struct {
+	Struct   string
+	OldSize  int64
+	NewSize  int64
+	PadBytes int64
+}
+
+// String renders the change.
+func (c Change) String() string {
+	return fmt.Sprintf("struct %s: %d -> %d bytes (+%d pad)", c.Struct, c.OldSize, c.NewSize, c.PadBytes)
+}
+
+// PadStructs returns a copy of prog in which every struct that (a) is not
+// embedded inside another struct and (b) does not already end on a
+// lineSize multiple gains a trailing "char _fspad[n]" field rounding its
+// size up to the next lineSize multiple. The input program is not
+// modified.
+func PadStructs(prog *minic.Program, lineSize int64) (*minic.Program, []Change, error) {
+	if lineSize <= 0 {
+		return nil, nil, fmt.Errorf("transform: non-positive line size %d", lineSize)
+	}
+	// Compute current layouts via a throwaway lowering.
+	unit, err := loopir.Lower(prog, loopir.LowerOptions{LineSize: lineSize, AllowNonAffine: true})
+	if err != nil {
+		return nil, nil, fmt.Errorf("transform: lowering original program: %w", err)
+	}
+
+	embedded := map[string]bool{}
+	for _, sd := range prog.Structs {
+		for _, f := range sd.Fields {
+			if f.Type.Struct != "" {
+				embedded[f.Type.Struct] = true
+			}
+		}
+	}
+
+	out := *prog
+	out.Structs = nil
+	var changes []Change
+	for _, sd := range prog.Structs {
+		st, ok := unit.Structs[sd.Name]
+		if !ok {
+			out.Structs = append(out.Structs, sd)
+			continue
+		}
+		size := st.Size()
+		if embedded[sd.Name] || size%lineSize == 0 {
+			out.Structs = append(out.Structs, sd)
+			continue
+		}
+		pad := lineSize - size%lineSize
+		padded := &minic.StructDecl{Name: sd.Name, P: sd.P}
+		padded.Fields = append(padded.Fields, sd.Fields...)
+		padded.Fields = append(padded.Fields, &minic.FieldDecl{
+			Type:      minic.TypeSpec{Basic: "char"},
+			Name:      "_fspad",
+			ArrayLens: []int64{pad},
+			P:         sd.P,
+		})
+		out.Structs = append(out.Structs, padded)
+		changes = append(changes, Change{Struct: sd.Name, OldSize: size, NewSize: size + pad, PadBytes: pad})
+	}
+	return &out, changes, nil
+}
+
+// Decision is the outcome of a profitability evaluation.
+type Decision struct {
+	Changes []Change
+
+	OrigFSCases int64
+	NewFSCases  int64
+
+	// Wall-clock Total_c (Equation 1) before and after, in cycles.
+	OrigCycles float64
+	NewCycles  float64
+
+	// Apply reports whether the transformation improves Total_c.
+	Apply bool
+
+	// Transformed is the padded program (whether or not Apply is true).
+	Transformed *minic.Program
+}
+
+// Speedup returns OrigCycles/NewCycles.
+func (d Decision) Speedup() float64 {
+	if d.NewCycles <= 0 {
+		return 0
+	}
+	return d.OrigCycles / d.NewCycles
+}
+
+// EvaluatePadding pads the program's structs and decides, with the
+// combined cost model, whether the transformation is profitable for the
+// given nest. This is the decision procedure the paper envisions a
+// compiler running before rewriting data layout.
+func EvaluatePadding(prog *minic.Program, nestIdx int, opts fsmodel.Options) (*Decision, error) {
+	if opts.Machine == nil {
+		return nil, fmt.Errorf("transform: options must name a machine")
+	}
+	padded, changes, err := PadStructs(prog, opts.Machine.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decision{Changes: changes, Transformed: padded}
+
+	origCycles, origFS, err := totalCycles(prog, nestIdx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("transform: evaluating original: %w", err)
+	}
+	newCycles, newFS, err := totalCycles(padded, nestIdx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("transform: evaluating padded: %w", err)
+	}
+	d.OrigCycles, d.OrigFSCases = origCycles, origFS
+	d.NewCycles, d.NewFSCases = newCycles, newFS
+	d.Apply = len(changes) > 0 && newCycles < origCycles
+	return d, nil
+}
+
+// totalCycles lowers the program and evaluates Equation 1 for the nest.
+func totalCycles(prog *minic.Program, nestIdx int, opts fsmodel.Options) (float64, int64, error) {
+	unit, err := loopir.Lower(prog, loopir.LowerOptions{
+		LineSize:       opts.Machine.LineSize,
+		AllowNonAffine: true,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if nestIdx < 0 || nestIdx >= len(unit.Nests) {
+		return 0, 0, fmt.Errorf("nest index %d out of range (%d nests)", nestIdx, len(unit.Nests))
+	}
+	nest := unit.Nests[nestIdx]
+	res, err := fsmodel.Analyze(nest, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := costmodel.Estimate(nest, opts.Machine, res.Plan)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base.TotalWithFS(res.FSCases, opts.Machine, res.Plan.NumThreads), res.FSCases, nil
+}

@@ -1,0 +1,187 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fsmodel"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/minic"
+)
+
+const accumSrc = `
+#define N 1024
+
+struct Acc { double sx; double sxx; double sy; double syy; double sxy; };
+struct Acc acc[N];
+double vx[N];
+
+#pragma omp parallel for schedule(static,1) num_threads(8)
+for (i = 0; i < N; i++)
+  for (r = 0; r < 20; r++)
+    acc[i].sx += vx[i];
+`
+
+func parse(t *testing.T, src string) *minic.Program {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestPadStructsRoundsToLine(t *testing.T) {
+	prog := parse(t, accumSrc)
+	padded, changes, err := PadStructs(prog, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 || changes[0].Struct != "Acc" {
+		t.Fatalf("changes = %v", changes)
+	}
+	if changes[0].OldSize != 40 || changes[0].NewSize != 64 || changes[0].PadBytes != 24 {
+		t.Fatalf("change = %+v", changes[0])
+	}
+	if !strings.Contains(changes[0].String(), "40 -> 64") {
+		t.Fatalf("Change.String = %q", changes[0].String())
+	}
+
+	// The padded program must lower to a 64-byte struct.
+	unit, err := loopir.Lower(padded, loopir.LowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unit.Structs["Acc"].Size(); got != 64 {
+		t.Fatalf("padded size = %d", got)
+	}
+	// Original program must be untouched.
+	orig, err := loopir.Lower(prog, loopir.LowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := orig.Structs["Acc"].Size(); got != 40 {
+		t.Fatalf("original mutated: size = %d", got)
+	}
+}
+
+func TestPadStructsSkipsAlignedAndEmbedded(t *testing.T) {
+	src := `
+struct Inner { double a; double b; };
+struct Outer { struct Inner in; double c; double d; double e; double f; double g; double h; };
+struct Exact { double v[8]; };
+struct Outer o[4];
+struct Exact x[4];
+`
+	prog := parse(t, src)
+	_, changes, err := PadStructs(prog, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range changes {
+		if c.Struct == "Inner" {
+			t.Fatal("embedded struct must not be padded")
+		}
+		if c.Struct == "Exact" {
+			t.Fatal("already-aligned struct must not be padded")
+		}
+	}
+	// Outer is 64+... check: Inner 16 + 6 doubles = 64 → aligned, no change.
+	if len(changes) != 0 {
+		t.Fatalf("unexpected changes: %v", changes)
+	}
+}
+
+func TestPadStructsBadLineSize(t *testing.T) {
+	if _, _, err := PadStructs(parse(t, accumSrc), 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEvaluatePaddingProfitable(t *testing.T) {
+	prog := parse(t, accumSrc)
+	d, err := EvaluatePadding(prog, 0, fsmodel.Options{Machine: machine.Paper48()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OrigFSCases == 0 {
+		t.Fatal("original should false-share")
+	}
+	if d.NewFSCases != 0 {
+		t.Fatalf("padded FS = %d, want 0", d.NewFSCases)
+	}
+	if !d.Apply {
+		t.Fatalf("padding should be profitable: %.0f -> %.0f cycles", d.OrigCycles, d.NewCycles)
+	}
+	if d.Speedup() <= 1 {
+		t.Fatalf("speedup = %f", d.Speedup())
+	}
+}
+
+func TestEvaluatePaddingUnprofitableWhenNoFS(t *testing.T) {
+	// Sequential-per-line access (chunk 8): no FS to begin with, so
+	// padding only inflates the footprint and must be rejected.
+	src := strings.Replace(accumSrc, "schedule(static,1)", "schedule(static,8)", 1)
+	prog := parse(t, src)
+	d, err := EvaluatePadding(prog, 0, fsmodel.Options{Machine: machine.Paper48()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OrigFSCases != 0 {
+		t.Fatalf("chunk=8 should not false-share, got %d", d.OrigFSCases)
+	}
+	if d.Apply {
+		t.Fatalf("padding wrongly judged profitable: %.0f -> %.0f cycles", d.OrigCycles, d.NewCycles)
+	}
+}
+
+func TestEvaluatePaddingErrors(t *testing.T) {
+	prog := parse(t, accumSrc)
+	if _, err := EvaluatePadding(prog, 0, fsmodel.Options{}); err == nil {
+		t.Fatal("missing machine should error")
+	}
+	if _, err := EvaluatePadding(prog, 7, fsmodel.Options{Machine: machine.Paper48()}); err == nil {
+		t.Fatal("bad nest index should error")
+	}
+}
+
+func TestPadStructsIdempotent(t *testing.T) {
+	prog := parse(t, accumSrc)
+	once, changes1, err := PadStructs(prog, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, changes2, err := PadStructs(once, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes1) != 1 || len(changes2) != 0 {
+		t.Fatalf("padding not idempotent: %v then %v", changes1, changes2)
+	}
+	unit, err := loopir.Lower(twice, loopir.LowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit.Structs["Acc"].Size() != 64 {
+		t.Fatalf("size after double padding = %d", unit.Structs["Acc"].Size())
+	}
+}
+
+func TestPadStructsOtherLineSizes(t *testing.T) {
+	prog := parse(t, accumSrc)
+	padded, changes, err := PadStructs(prog, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 || changes[0].NewSize != 128 {
+		t.Fatalf("changes = %v", changes)
+	}
+	unit, err := loopir.Lower(padded, loopir.LowerOptions{LineSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit.Structs["Acc"].Size() != 128 {
+		t.Fatalf("size = %d", unit.Structs["Acc"].Size())
+	}
+}

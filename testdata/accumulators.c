@@ -1,0 +1,21 @@
+/* The paper's Fig. 1 pattern: an array of 40-byte accumulator structs.
+ * Adjacent elements share a 64-byte line; schedule(static,1) hands
+ * adjacent elements to different threads. */
+#define TASKS 512
+#define POINTS 64
+
+struct Acc { double sx; double sxx; double sy; double syy; double sxy; };
+
+struct Acc acc[TASKS];
+double px[TASKS][POINTS];
+double py[TASKS][POINTS];
+
+#pragma omp parallel for private(i, j) schedule(static,1) num_threads(8)
+for (j = 0; j < TASKS; j++)
+  for (i = 0; i < POINTS; i++) {
+    acc[j].sx  += px[j][i];
+    acc[j].sxx += px[j][i] * px[j][i];
+    acc[j].sy  += py[j][i];
+    acc[j].syy += py[j][i] * py[j][i];
+    acc[j].sxy += px[j][i] * py[j][i];
+  }

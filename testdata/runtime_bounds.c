@@ -1,0 +1,10 @@
+/* Trip count only known at run time: the analysis reports an FS rate per
+ * chunk run instead of a whole-loop total (the paper's Section III
+ * fallback).
+ *   go run ./cmd/fsdetect testdata/runtime_bounds.c
+ */
+double sums[65536];
+
+#pragma omp parallel for private(i) schedule(static,1) num_threads(8)
+for (i = 0; i < n; i++)
+    sums[i] += 1.0;

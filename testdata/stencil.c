@@ -1,0 +1,12 @@
+/* Inner-parallel five-point stencil, the paper's heat-diffusion shape:
+ * neighbouring columns are written by neighbouring threads. */
+#define M 64
+#define N 2048
+
+double A[M][N];
+double B[M][N];
+
+for (j = 1; j < M - 1; j++)
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (i = 1; i < N - 1; i++)
+    B[j][i] = 0.25 * (A[j][i-1] + A[j][i+1] + A[j-1][i] + A[j+1][i]);

@@ -1,0 +1,13 @@
+/* Classic false-sharing victim: adjacent array elements updated by
+ * adjacent threads. Try:
+ *   go run ./cmd/fsdetect testdata/victim.c
+ *   go run ./cmd/fschunk -verify testdata/victim.c
+ */
+#define N 4096
+
+double hist[N];
+double data[N];
+
+#pragma omp parallel for private(i) schedule(static,1) num_threads(8)
+for (i = 0; i < N; i++)
+    hist[i] += data[i] * data[i];

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 
 	"repro"
 	"repro/internal/kernels"
+	"repro/internal/sweep"
 )
 
 type config struct {
@@ -26,6 +28,7 @@ type config struct {
 	nest     int
 	maxChunk int64
 	verify   bool
+	jobs     int
 }
 
 func main() {
@@ -35,6 +38,7 @@ func main() {
 	flag.IntVar(&cfg.nest, "nest", 0, "loop nest index to tune")
 	flag.Int64Var(&cfg.maxChunk, "max", 128, "largest chunk size candidate (powers of two up to this)")
 	flag.BoolVar(&cfg.verify, "verify", false, "cross-check candidates on the machine simulator")
+	flag.IntVar(&cfg.jobs, "j", 0, "worker count for evaluating candidates in parallel (0 = GOMAXPROCS); output is identical for every value")
 	flag.Parse()
 
 	src, err := loadSource(*kernel, cfg.threads, flag.Args())
@@ -74,10 +78,28 @@ func tune(src string, cfg config, w io.Writer) error {
 	for c := int64(1); c <= cfg.maxChunk; c *= 2 {
 		candidates = append(candidates, c)
 	}
-	opts := repro.Options{Threads: cfg.threads}
+	opts := repro.Options{Threads: cfg.threads, Jobs: cfg.jobs}
 	rec, err := prog.RecommendChunk(cfg.nest, opts, candidates)
 	if err != nil {
 		return err
+	}
+
+	// The simulator cross-check fans out on the same pool; results come
+	// back in candidate order so the table is stable under any -j.
+	var simSeconds []float64
+	if cfg.verify {
+		simSeconds, err = sweep.Run(context.Background(), len(rec.Evaluated), cfg.jobs, func(_ context.Context, i int) (float64, error) {
+			o := opts
+			o.Chunk = rec.Evaluated[i].Chunk
+			simRep, err := prog.Simulate(cfg.nest, o)
+			if err != nil {
+				return 0, err
+			}
+			return simRep.Seconds, nil
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
@@ -86,15 +108,9 @@ func tune(src string, cfg config, w io.Writer) error {
 	} else {
 		fmt.Fprintln(tw, "chunk\tmodeled FS cases\tmodeled cycles\t")
 	}
-	for _, c := range rec.Evaluated {
+	for i, c := range rec.Evaluated {
 		if cfg.verify {
-			o := opts
-			o.Chunk = c.Chunk
-			simRep, err := prog.Simulate(cfg.nest, o)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.6f\t\n", c.Chunk, c.FSCases, c.TotalCycles, simRep.Seconds)
+			fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.6f\t\n", c.Chunk, c.FSCases, c.TotalCycles, simSeconds[i])
 		} else {
 			fmt.Fprintf(tw, "%d\t%d\t%.0f\t\n", c.Chunk, c.FSCases, c.TotalCycles)
 		}

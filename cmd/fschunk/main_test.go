@@ -51,3 +51,19 @@ func TestTuneErrors(t *testing.T) {
 		t.Fatal("expected unknown kernel error")
 	}
 }
+
+// TestTuneDeterministicAcrossJobs diffs the tuning table (including the
+// simulator cross-check) between -j 1 and -j 8.
+func TestTuneDeterministicAcrossJobs(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := tune(victim, config{threads: 4, maxChunk: 16, verify: true, jobs: 1}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := tune(victim, config{threads: 4, maxChunk: 16, verify: true, jobs: 8}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-j 1 and -j 8 outputs differ:\n--- -j 1 ---\n%s\n--- -j 8 ---\n%s",
+			serial.String(), parallel.String())
+	}
+}

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +21,7 @@ import (
 
 	"repro"
 	"repro/internal/kernels"
+	"repro/internal/sweep"
 )
 
 type config struct {
@@ -28,6 +31,7 @@ type config struct {
 	recommend bool
 	jsonOut   bool
 	lines     bool
+	jobs      int
 }
 
 func main() {
@@ -39,6 +43,7 @@ func main() {
 	flag.BoolVar(&cfg.recommend, "recommend", true, "recommend a chunk size when FS is significant")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON for tooling")
 	flag.BoolVar(&cfg.lines, "lines", false, "also report the hottest cache lines")
+	flag.IntVar(&cfg.jobs, "j", 0, "worker count for analyzing nests in parallel (0 = GOMAXPROCS); output is identical for every value")
 	flag.Parse()
 
 	src, err := loadSource(*kernel, cfg.threads, flag.Args())
@@ -85,24 +90,24 @@ type jsonReport struct {
 }
 
 // detectJSON runs the analysis and writes one JSON document with a report
-// per nest.
+// per nest. Nests are analyzed on the sweep pool and reported in nest
+// order, so the document is identical for every -j value.
 func detectJSON(src string, cfg config, w io.Writer) error {
 	prog, err := repro.Parse(src)
 	if err != nil {
 		return err
 	}
 	opts := repro.Options{Threads: cfg.threads, Chunk: cfg.chunk, MESICounting: cfg.mesi}
-	var reports []jsonReport
-	for i := 0; i < prog.NumNests(); i++ {
+	reports, err := sweep.Run(context.Background(), prog.NumNests(), cfg.jobs, func(_ context.Context, i int) (jsonReport, error) {
 		info, err := prog.Nest(i)
 		if err != nil {
-			return err
+			return jsonReport{}, err
 		}
 		rep := jsonReport{Nest: i, Parallel: info.ParallelLevel >= 0}
 		if rep.Parallel {
 			a, err := prog.Analyze(i, opts)
 			if err != nil {
-				return err
+				return jsonReport{}, err
 			}
 			rep.Threads = a.Threads
 			rep.Chunk = a.Chunk
@@ -114,12 +119,15 @@ func detectJSON(src string, cfg config, w io.Writer) error {
 			if cfg.recommend && a.FSShare > 0.05 {
 				rec, err := prog.RecommendChunk(i, opts, nil)
 				if err != nil {
-					return err
+					return jsonReport{}, err
 				}
 				rep.RecommendedChunk = rec.Chunk
 			}
 		}
-		reports = append(reports, rep)
+		return rep, nil
+	})
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -140,63 +148,84 @@ func detect(src string, cfg config, w io.Writer) error {
 	}
 	opts := repro.Options{Threads: cfg.threads, Chunk: cfg.chunk, MESICounting: cfg.mesi, TrackHotLines: cfg.lines}
 
-	for i := 0; i < prog.NumNests(); i++ {
-		info, err := prog.Nest(i)
-		if err != nil {
-			return err
+	// Each nest's section renders into its own buffer on the sweep pool;
+	// sections are concatenated in nest order, so the report is identical
+	// for every -j value.
+	sections, err := sweep.Run(context.Background(), prog.NumNests(), cfg.jobs, func(_ context.Context, i int) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := detectNest(prog, i, cfg, opts, &buf); err != nil {
+			return nil, err
 		}
-		fmt.Fprintf(w, "=== loop nest %d (depth %d, parallel level %d) ===\n", i, info.Depth, info.ParallelLevel)
-		fmt.Fprint(w, info.Description)
-		if info.ParallelLevel < 0 {
-			fmt.Fprintln(w, "sequential nest: no false sharing possible")
-			continue
-		}
-		if len(info.SymbolicParams) > 0 {
-			// Bounds unknown at compile time: the paper's fallback is an
-			// FS rate per chunk run.
-			rate, err := prog.AnalyzeRate(i, opts, 16)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "loop bounds unknown at compile time (%v): reporting FS rate\n", info.SymbolicParams)
-			fmt.Fprintf(w, "threads=%d chunk=%d: %.1f false-sharing cases per chunk run (over %d evaluated runs)\n",
-				rate.Threads, rate.Chunk, rate.FSPerChunkRun, rate.RunsEvaluated)
-			fmt.Fprintln(w)
-			continue
-		}
-		a, err := prog.Analyze(i, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "threads=%d chunk=%d: %d false-sharing cases over %d iterations (%.3f per iteration)\n",
-			a.Threads, a.Chunk, a.FSCases, a.Iterations, a.FSPerIteration)
-		fmt.Fprintf(w, "modeled share of execution time lost to false sharing: %.1f%%\n", a.FSShare*100)
-		for _, v := range a.Victims {
-			mode := "read"
-			if v.Write {
-				mode = "write"
-			}
-			fmt.Fprintf(w, "  victim: %-24s (%s, %d cases, %.0f%%)\n",
-				v.Ref, mode, v.FSCases, 100*float64(v.FSCases)/float64(a.FSCases))
-		}
-		for _, h := range a.HotLines {
-			fmt.Fprintf(w, "  hot line: %s+%d (%d cases)\n", h.Symbol, h.Offset, h.FSCases)
-		}
-		for _, s := range a.SkippedRefs {
-			fmt.Fprintf(w, "  (excluded non-affine reference: %s)\n", s)
-		}
-		if cfg.recommend && a.FSShare > 0.05 {
-			rec, err := prog.RecommendChunk(i, opts, nil)
-			if err != nil {
-				return err
-			}
-			if rec.Chunk != a.Chunk {
-				fmt.Fprintf(w, "recommendation: schedule(static,%d) — modeled FS cases drop to %d\n",
-					rec.Chunk, rec.FSCases)
-			}
-		}
-		fmt.Fprintln(w)
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
 	}
+	for _, s := range sections {
+		if _, err := w.Write(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// detectNest writes the report section for one loop nest.
+func detectNest(prog *repro.Program, i int, cfg config, opts repro.Options, w io.Writer) error {
+	info, err := prog.Nest(i)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "=== loop nest %d (depth %d, parallel level %d) ===\n", i, info.Depth, info.ParallelLevel)
+	fmt.Fprint(w, info.Description)
+	if info.ParallelLevel < 0 {
+		fmt.Fprintln(w, "sequential nest: no false sharing possible")
+		return nil
+	}
+	if len(info.SymbolicParams) > 0 {
+		// Bounds unknown at compile time: the paper's fallback is an
+		// FS rate per chunk run.
+		rate, err := prog.AnalyzeRate(i, opts, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "loop bounds unknown at compile time (%v): reporting FS rate\n", info.SymbolicParams)
+		fmt.Fprintf(w, "threads=%d chunk=%d: %.1f false-sharing cases per chunk run (over %d evaluated runs)\n",
+			rate.Threads, rate.Chunk, rate.FSPerChunkRun, rate.RunsEvaluated)
+		fmt.Fprintln(w)
+		return nil
+	}
+	a, err := prog.Analyze(i, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "threads=%d chunk=%d: %d false-sharing cases over %d iterations (%.3f per iteration)\n",
+		a.Threads, a.Chunk, a.FSCases, a.Iterations, a.FSPerIteration)
+	fmt.Fprintf(w, "modeled share of execution time lost to false sharing: %.1f%%\n", a.FSShare*100)
+	for _, v := range a.Victims {
+		mode := "read"
+		if v.Write {
+			mode = "write"
+		}
+		fmt.Fprintf(w, "  victim: %-24s (%s, %d cases, %.0f%%)\n",
+			v.Ref, mode, v.FSCases, 100*float64(v.FSCases)/float64(a.FSCases))
+	}
+	for _, h := range a.HotLines {
+		fmt.Fprintf(w, "  hot line: %s+%d (%d cases)\n", h.Symbol, h.Offset, h.FSCases)
+	}
+	for _, s := range a.SkippedRefs {
+		fmt.Fprintf(w, "  (excluded non-affine reference: %s)\n", s)
+	}
+	if cfg.recommend && a.FSShare > 0.05 {
+		rec, err := prog.RecommendChunk(i, opts, nil)
+		if err != nil {
+			return err
+		}
+		if rec.Chunk != a.Chunk {
+			fmt.Fprintf(w, "recommendation: schedule(static,%d) — modeled FS cases drop to %d\n",
+				rec.Chunk, rec.FSCases)
+		}
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

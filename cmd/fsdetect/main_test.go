@@ -139,3 +139,34 @@ for (i = 0; i < N; i++) a[i] += 1.0;
 		t.Fatalf("hot lines missing:\n%s", buf.String())
 	}
 }
+
+// TestDetectDeterministicAcrossJobs diffs the full report between -j 1 and
+// -j 8: parallel nest analysis must not change a byte of output.
+func TestDetectDeterministicAcrossJobs(t *testing.T) {
+	src := `
+#define N 256
+double a[N];
+double b[N];
+#pragma omp parallel for schedule(static,1) num_threads(4)
+for (i = 0; i < N; i++) a[i] += 1.0;
+for (i = 0; i < N; i++) b[i] = 0.0;
+#pragma omp parallel for schedule(static,2) num_threads(4)
+for (i = 0; i < N; i++) b[i] += a[i];
+`
+	for _, jsonOut := range []bool{false, true} {
+		var serial, parallel bytes.Buffer
+		cfgSerial := config{threads: 4, chunk: 1, recommend: true, lines: true, jsonOut: jsonOut, jobs: 1}
+		cfgParallel := cfgSerial
+		cfgParallel.jobs = 8
+		if err := detect(src, cfgSerial, &serial); err != nil {
+			t.Fatal(err)
+		}
+		if err := detect(src, cfgParallel, &parallel); err != nil {
+			t.Fatal(err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("jsonOut=%v: -j 1 and -j 8 outputs differ:\n--- -j 1 ---\n%s\n--- -j 8 ---\n%s",
+				jsonOut, serial.String(), parallel.String())
+		}
+	}
+}

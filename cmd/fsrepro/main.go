@@ -28,6 +28,7 @@ func main() {
 	mesi := flag.Bool("mesi", false, "use MESI-faithful FS counting instead of the paper's ϕ")
 	threads := flag.String("threads", "", "comma-separated thread counts (default 2,4,8,16,24,32,40,48)")
 	format := flag.String("format", "text", "output format: text, csv or json")
+	jobs := flag.Int("j", 0, "worker count for the experiment sweeps (0 = GOMAXPROCS); output is identical for every value")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -37,6 +38,7 @@ func main() {
 	if *mesi {
 		cfg.Counting = fsmodel.CountMESI
 	}
+	cfg.Jobs = *jobs
 	if *threads != "" {
 		cfg.Threads = nil
 		for _, f := range strings.Split(*threads, ",") {

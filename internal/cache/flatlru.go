@@ -1,0 +1,220 @@
+package cache
+
+import "fmt"
+
+// FlatLRU is a fully-associative LRU stack over a dense cache-line index
+// space [0, numLines). It models the same "cache state" as FullyAssoc but
+// with array-backed storage: a dense line→slot table plus intrusive
+// prev/next slot-index slices, so every operation is O(1) pointer-free
+// index arithmetic and the structure performs zero heap allocations after
+// construction. The false-sharing model uses it on its hot path once the
+// nest's reachable address space has been remapped to dense line ids;
+// FullyAssoc remains the general-purpose structure for sparse line spaces.
+//
+// The recency list is threaded through two sentinel slots (head = cap,
+// tail = cap+1), exactly mirroring FullyAssoc's sentinel nodes.
+type FlatLRU struct {
+	cap      int32   // slot count (= effective capacity in lines)
+	used     int32   // slots handed out so far (they fill sequentially)
+	live     int32   // resident lines (used minus parked freed slots)
+	slotOf   []int32 // dense line id -> slot, -1 if absent
+	lineOf   []int32 // slot -> dense line id, -1 for a parked freed slot
+	modified []bool  // slot -> modified flag
+	prev     []int32 // slot -> more recently used slot (len cap+2)
+	next     []int32 // slot -> less recently used slot (len cap+2)
+}
+
+// NewFlatLRU returns an LRU stack for dense line ids [0, numLines) holding
+// at most capacity lines. capacity <= 0 or >= numLines means effectively
+// unbounded: at most numLines distinct lines exist, so numLines slots
+// suffice and no eviction can occur.
+func NewFlatLRU(numLines int, capacity int) *FlatLRU {
+	if numLines < 0 {
+		numLines = 0
+	}
+	if capacity <= 0 || capacity > numLines {
+		capacity = numLines
+	}
+	f := &FlatLRU{
+		cap:      int32(capacity),
+		slotOf:   make([]int32, numLines),
+		lineOf:   make([]int32, capacity),
+		modified: make([]bool, capacity),
+		prev:     make([]int32, capacity+2),
+		next:     make([]int32, capacity+2),
+	}
+	for i := range f.slotOf {
+		f.slotOf[i] = -1
+	}
+	f.resetList()
+	return f
+}
+
+func (f *FlatLRU) head() int32 { return f.cap }
+func (f *FlatLRU) tail() int32 { return f.cap + 1 }
+
+func (f *FlatLRU) resetList() {
+	h, t := f.head(), f.tail()
+	f.next[h] = t
+	f.prev[t] = h
+}
+
+// NumLines returns the size of the dense line-id space.
+func (f *FlatLRU) NumLines() int { return len(f.slotOf) }
+
+// Len returns the number of lines currently in the stack.
+func (f *FlatLRU) Len() int { return int(f.live) }
+
+// Capacity returns the effective capacity in lines.
+func (f *FlatLRU) Capacity() int { return int(f.cap) }
+
+func (f *FlatLRU) unlink(s int32) {
+	p, n := f.prev[s], f.next[s]
+	f.next[p] = n
+	f.prev[n] = p
+}
+
+func (f *FlatLRU) pushFront(s int32) {
+	h := f.head()
+	n := f.next[h]
+	f.next[s] = n
+	f.prev[s] = h
+	f.prev[n] = s
+	f.next[h] = s
+}
+
+// Touch records an access to the dense line id, moving it to the top of
+// the stack (inserting it if absent) and setting the modified flag when
+// write is true. Semantics match FullyAssoc.Touch; the returned
+// EvictedLine is a dense line id.
+func (f *FlatLRU) Touch(line int64, write bool) TouchResult {
+	var res TouchResult
+	if s := f.slotOf[line]; s >= 0 {
+		res.Hit = true
+		res.WasModified = f.modified[s]
+		f.unlink(s)
+		f.pushFront(s)
+		if write {
+			f.modified[s] = true
+		}
+		return res
+	}
+	var s int32
+	if f.used < f.cap {
+		s = f.used
+		f.used++
+	} else {
+		// All slots handed out: reuse the LRU slot. Parked freed slots
+		// (from Invalidate) sit at the very tail, so they are recycled
+		// first without displacing a live line; evicting a live slot is a
+		// genuine capacity miss.
+		s = f.prev[f.tail()]
+		f.unlink(s)
+		if f.lineOf[s] >= 0 {
+			res.Evicted = true
+			res.EvictedLine = int64(f.lineOf[s])
+			res.EvictedDirty = f.modified[s]
+			f.slotOf[f.lineOf[s]] = -1
+			f.live--
+		}
+	}
+	f.slotOf[line] = s
+	f.lineOf[s] = int32(line)
+	f.modified[s] = write
+	f.pushFront(s)
+	f.live++
+	return res
+}
+
+// Contains reports whether the dense line id is present.
+func (f *FlatLRU) Contains(line int64) bool { return f.slotOf[line] >= 0 }
+
+// IsModified reports whether the line is present with the modified flag
+// set (the paper's ϕ predicate against one cache state).
+func (f *FlatLRU) IsModified(line int64) bool {
+	s := f.slotOf[line]
+	return s >= 0 && f.modified[s]
+}
+
+// Downgrade clears the modified flag of line if present.
+func (f *FlatLRU) Downgrade(line int64) {
+	if s := f.slotOf[line]; s >= 0 {
+		f.modified[s] = false
+	}
+}
+
+// Invalidate removes line from the stack if present and reports whether it
+// was present. The freed slot is recycled through an internal free chain:
+// it is pushed just above the tail sentinel so the sequential slot
+// allocator never has to know about holes.
+func (f *FlatLRU) Invalidate(line int64) bool {
+	s := f.slotOf[line]
+	if s < 0 {
+		return false
+	}
+	f.slotOf[line] = -1
+	f.unlink(s)
+	// Park the freed slot at the LRU end with no line mapped to it: it
+	// will be the next eviction victim, and re-filling it is harmless
+	// because slotOf no longer points at it.
+	f.lineOf[s] = -1
+	f.modified[s] = false
+	f.parkFreed(s)
+	f.live--
+	return true
+}
+
+// parkFreed reinserts a freed slot at the LRU end so Touch's full-capacity
+// path reuses it before displacing any live line.
+func (f *FlatLRU) parkFreed(s int32) {
+	t := f.tail()
+	p := f.prev[t]
+	f.next[s] = t
+	f.prev[s] = p
+	f.next[p] = s
+	f.prev[t] = s
+}
+
+// Distance returns the stack distance of line: the number of distinct
+// lines above it in the stack (0 for the most recently used line), or -1
+// if absent. O(distance), for tests and diagnostics.
+func (f *FlatLRU) Distance(line int64) int {
+	s := f.slotOf[line]
+	if s < 0 {
+		return -1
+	}
+	d := 0
+	for p := f.next[f.head()]; p != s; p = f.next[p] {
+		d++
+	}
+	return d
+}
+
+// Lines returns the resident dense line ids from most to least recently
+// used. Intended for tests and diagnostics.
+func (f *FlatLRU) Lines() []int64 {
+	out := make([]int64, 0, f.live)
+	for s := f.next[f.head()]; s != f.tail(); s = f.next[s] {
+		if f.lineOf[s] >= 0 {
+			out = append(out, int64(f.lineOf[s]))
+		}
+	}
+	return out
+}
+
+// Reset empties the stack, retaining all storage.
+func (f *FlatLRU) Reset() {
+	for s := f.next[f.head()]; s != f.tail(); s = f.next[s] {
+		if f.lineOf[s] >= 0 {
+			f.slotOf[f.lineOf[s]] = -1
+		}
+	}
+	f.used = 0
+	f.live = 0
+	f.resetList()
+}
+
+// String summarizes the structure for diagnostics.
+func (f *FlatLRU) String() string {
+	return fmt.Sprintf("FlatLRU(lines=%d cap=%d len=%d)", len(f.slotOf), f.cap, f.live)
+}

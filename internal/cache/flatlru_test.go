@@ -1,0 +1,201 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// opKind is one step of a randomized conformance sequence.
+type opKind int
+
+const (
+	opTouch opKind = iota
+	opTouchWrite
+	opDowngrade
+	opInvalidate
+)
+
+// TestFlatLRUConformance cross-checks FlatLRU against FullyAssoc on
+// randomized access sequences: same hits, evictions, modified-state
+// transitions, stack distances and recency order at every step.
+func TestFlatLRUConformance(t *testing.T) {
+	cases := []struct {
+		name     string
+		numLines int
+		capacity int
+		steps    int
+	}{
+		{"small-tight", 16, 4, 4000},
+		{"small-roomy", 16, 12, 4000},
+		{"unbounded", 64, 0, 4000},
+		{"capacity-one", 32, 1, 2000},
+		{"large", 512, 64, 8000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			ref := NewFullyAssoc(tc.capacity)
+			flat := NewFlatLRU(tc.numLines, tc.capacity)
+			if flat.NumLines() != tc.numLines {
+				t.Fatalf("NumLines = %d", flat.NumLines())
+			}
+			for step := 0; step < tc.steps; step++ {
+				line := int64(rng.Intn(tc.numLines))
+				var op opKind
+				switch r := rng.Intn(10); {
+				case r < 5:
+					op = opTouch
+				case r < 8:
+					op = opTouchWrite
+				case r < 9:
+					op = opDowngrade
+				default:
+					op = opInvalidate
+				}
+				switch op {
+				case opTouch, opTouchWrite:
+					write := op == opTouchWrite
+					got := flat.Touch(line, write)
+					want := ref.Touch(line, write)
+					if got != want {
+						t.Fatalf("step %d: Touch(%d,%v) = %+v, want %+v", step, line, write, got, want)
+					}
+				case opDowngrade:
+					flat.Downgrade(line)
+					ref.Downgrade(line)
+				case opInvalidate:
+					got := flat.Invalidate(line)
+					want := ref.Invalidate(line)
+					if got != want {
+						t.Fatalf("step %d: Invalidate(%d) = %v, want %v", step, line, got, want)
+					}
+				}
+				if flat.Len() != ref.Len() {
+					t.Fatalf("step %d: Len = %d, want %d", step, flat.Len(), ref.Len())
+				}
+				if flat.Contains(line) != ref.Contains(line) {
+					t.Fatalf("step %d: Contains(%d) mismatch", step, line)
+				}
+				if flat.IsModified(line) != ref.IsModified(line) {
+					t.Fatalf("step %d: IsModified(%d) mismatch", step, line)
+				}
+				if d, want := flat.Distance(line), ref.Distance(line); d != want {
+					t.Fatalf("step %d: Distance(%d) = %d, want %d", step, line, d, want)
+				}
+				// Full recency order every so often (O(n) check).
+				if step%97 == 0 {
+					got, want := flat.Lines(), ref.Lines()
+					if len(got) != len(want) {
+						t.Fatalf("step %d: Lines len %d vs %d", step, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("step %d: Lines[%d] = %d, want %d\n got %v\nwant %v",
+								step, i, got[i], want[i], got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFlatLRUBasics(t *testing.T) {
+	f := NewFlatLRU(8, 2)
+	if f.Capacity() != 2 || f.Len() != 0 {
+		t.Fatalf("fresh: %s", f)
+	}
+	if res := f.Touch(3, true); res.Hit || res.Evicted {
+		t.Fatalf("first touch: %+v", res)
+	}
+	if res := f.Touch(3, false); !res.Hit || !res.WasModified {
+		t.Fatalf("re-touch: %+v", res)
+	}
+	f.Touch(5, false)
+	// Touching a third line evicts the LRU (line 3, dirty).
+	res := f.Touch(7, false)
+	if !res.Evicted || res.EvictedLine != 3 || !res.EvictedDirty {
+		t.Fatalf("eviction: %+v", res)
+	}
+	if f.Contains(3) || !f.Contains(5) || !f.Contains(7) {
+		t.Fatal("residency wrong after eviction")
+	}
+	// Unbounded capacity never evicts.
+	u := NewFlatLRU(4, 0)
+	for line := int64(0); line < 4; line++ {
+		if res := u.Touch(line, false); res.Evicted {
+			t.Fatalf("unbounded evicted at line %d", line)
+		}
+	}
+	if u.Len() != 4 {
+		t.Fatalf("unbounded Len = %d", u.Len())
+	}
+}
+
+func TestFlatLRUInvalidateRecyclesSlots(t *testing.T) {
+	f := NewFlatLRU(8, 2)
+	f.Touch(0, true)
+	f.Touch(1, false)
+	if !f.Invalidate(0) {
+		t.Fatal("invalidate resident line")
+	}
+	if f.Invalidate(0) {
+		t.Fatal("double invalidate")
+	}
+	// The freed slot must be reused without evicting line 1.
+	if res := f.Touch(2, false); res.Evicted {
+		t.Fatalf("parked slot not recycled: %+v", res)
+	}
+	if !f.Contains(1) || !f.Contains(2) || f.Len() != 2 {
+		t.Fatalf("state after recycle: %v", f.Lines())
+	}
+	// Next insert must evict the genuine LRU (line 1).
+	if res := f.Touch(3, false); !res.Evicted || res.EvictedLine != 1 {
+		t.Fatalf("eviction after recycle: %+v", res)
+	}
+}
+
+func TestFlatLRUReset(t *testing.T) {
+	f := NewFlatLRU(16, 4)
+	for line := int64(0); line < 6; line++ {
+		f.Touch(line, line%2 == 0)
+	}
+	f.Invalidate(4)
+	f.Reset()
+	if f.Len() != 0 || len(f.Lines()) != 0 {
+		t.Fatalf("reset left state: %v", f.Lines())
+	}
+	for line := int64(0); line < 16; line++ {
+		if f.Contains(line) || f.IsModified(line) {
+			t.Fatalf("line %d still resident after reset", line)
+		}
+	}
+	if res := f.Touch(9, false); res.Hit || res.Evicted {
+		t.Fatalf("touch after reset: %+v", res)
+	}
+}
+
+// TestFlatLRUZeroAllocSteadyState verifies the construction-only
+// allocation contract of the hot path.
+func TestFlatLRUZeroAllocSteadyState(t *testing.T) {
+	f := NewFlatLRU(256, 32)
+	rng := rand.New(rand.NewSource(7))
+	lines := make([]int64, 4096)
+	for i := range lines {
+		lines[i] = int64(rng.Intn(256))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i, line := range lines {
+			f.Touch(line, i%3 == 0)
+			if i%17 == 0 {
+				f.Downgrade(line)
+			}
+			if i%29 == 0 {
+				f.Invalidate(line)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocations = %v, want 0", allocs)
+	}
+}

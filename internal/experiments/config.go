@@ -34,6 +34,11 @@ type Config struct {
 
 	// Counting selects the FS-detection semantics for the model.
 	Counting fsmodel.CountingMode
+
+	// Jobs bounds the worker pool every driver fans its analysis points
+	// out on (the -j flag); <= 0 selects GOMAXPROCS. Output is identical
+	// for every value.
+	Jobs int
 }
 
 // DefaultConfig mirrors the paper's setup at reproduction scale.

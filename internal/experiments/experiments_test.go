@@ -463,3 +463,49 @@ func TestModelingCost(t *testing.T) {
 		t.Fatalf("csv: %v", err)
 	}
 }
+
+// TestDriversDeterministicAcrossJobs renders the sweep-backed experiments
+// under Jobs=1 and Jobs=8 and requires byte-identical output — the
+// determinism contract of internal/sweep carried through every driver.
+func TestDriversDeterministicAcrossJobs(t *testing.T) {
+	cfg := quick(t)
+	produce := func(jobs int) string {
+		c := cfg
+		c.Jobs = jobs
+		var buf bytes.Buffer
+		tab, err := Table(c, "heat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		pred, err := PredictionTable(c, "linreg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pred.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fig2, err := Fig2ChunkSweep(c, 4, []int64{1, 2, 4, 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fig2.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		ls, err := LineSizeSweep(c, 4, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ls.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := produce(1)
+	parallel := produce(8)
+	if serial != parallel {
+		t.Errorf("Jobs=1 and Jobs=8 outputs differ:\n--- Jobs=1 ---\n%s\n--- Jobs=8 ---\n%s", serial, parallel)
+	}
+}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fsmodel"
 	"repro/internal/linreg"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // ChunkSweepPoint is one point of Figure 2.
@@ -47,21 +49,26 @@ func Fig2ChunkSweep(cfg Config, threads int, chunks []int64) (*ChunkSweepResult,
 		return nil, err
 	}
 	res := &ChunkSweepResult{Kernel: "linreg", Threads: threads}
-	for _, chunk := range chunks {
+	points, err := sweep.Run(context.Background(), len(chunks), cfg.Jobs, func(_ context.Context, i int) (ChunkSweepPoint, error) {
+		chunk := chunks[i]
 		st, err := sim.Run(kern.Nest, sim.Options{Machine: cfg.Machine, NumThreads: threads, Chunk: chunk})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig2 chunk=%d: %w", chunk, err)
+			return ChunkSweepPoint{}, fmt.Errorf("experiments: fig2 chunk=%d: %w", chunk, err)
 		}
 		fs, err := fsmodel.Analyze(kern.Nest, fsmodel.Options{
 			Machine: cfg.Machine, NumThreads: threads, Chunk: chunk, Counting: cfg.Counting,
 		})
 		if err != nil {
-			return nil, err
+			return ChunkSweepPoint{}, err
 		}
-		res.Points = append(res.Points, ChunkSweepPoint{
+		return ChunkSweepPoint{
 			Chunk: chunk, Seconds: st.Seconds, CoherenceMisses: st.CoherenceMisses, ModelFSCases: fs.FSCases,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	first := res.Points[0].Seconds
 	best := first
 	for _, p := range res.Points {
@@ -109,25 +116,31 @@ func Fig6Linearity(cfg Config, kernel string, threads int, maxRuns int64) (*Line
 		return nil, err
 	}
 	res := &LinearityResult{Kernel: kc.name, Threads: threads}
-	for _, chunk := range []int64{kc.fsChunk, kc.nfsChunk} {
+	chunkAxis := []int64{kc.fsChunk, kc.nfsChunk}
+	series, err := sweep.Run(context.Background(), len(chunkAxis), cfg.Jobs, func(_ context.Context, i int) (LinearitySeries, error) {
+		chunk := chunkAxis[i]
 		opts := fsmodel.Options{
 			Machine: cfg.Machine, NumThreads: threads, Chunk: chunk,
 			Counting: cfg.Counting, RecordPerRun: true, MaxChunkRuns: maxRuns,
 		}
 		r, err := fsmodel.Analyze(kern.Nest, opts)
 		if err != nil {
-			return nil, err
+			return LinearitySeries{}, err
 		}
-		series := make([]float64, len(r.PerRun))
-		for i, v := range r.PerRun {
-			series[i] = float64(v)
+		vals := make([]float64, len(r.PerRun))
+		for j, v := range r.PerRun {
+			vals[j] = float64(v)
 		}
-		fit, err := linreg.FitPrefix(series, len(series))
+		fit, err := linreg.FitPrefix(vals, len(vals))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6 chunk=%d: %w", chunk, err)
+			return LinearitySeries{}, fmt.Errorf("experiments: fig6 chunk=%d: %w", chunk, err)
 		}
-		res.Series = append(res.Series, LinearitySeries{Chunk: chunk, PerRun: r.PerRun, Fit: fit})
+		return LinearitySeries{Chunk: chunk, PerRun: r.PerRun, Fit: fit}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Series = series
 	return res, nil
 }
 

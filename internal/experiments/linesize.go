@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/loopir"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // LineSizePoint is one cache-line size of the sensitivity sweep.
@@ -50,32 +52,37 @@ func LineSizeSweep(cfg Config, threads int, chunk int64, lineSizes []int64) (*Li
 		lineSizes = []int64{32, 64, 128, 256}
 	}
 	res := &LineSizeResult{Kernel: "linreg", Threads: threads, Chunk: chunk}
-	for _, ls := range lineSizes {
+	points, err := sweep.Run(context.Background(), len(lineSizes), cfg.Jobs, func(_ context.Context, i int) (LineSizePoint, error) {
+		ls := lineSizes[i]
 		m := withLineSize(cfg.Machine, ls)
 		if err := m.Validate(); err != nil {
-			return nil, fmt.Errorf("experiments: line size %d: %w", ls, err)
+			return LineSizePoint{}, fmt.Errorf("experiments: line size %d: %w", ls, err)
 		}
 		// Re-lower so symbol alignment follows the line size (the paper's
 		// alignment assumption is per-line-size).
 		src := kernels.LinRegSource(cfg.LinRegTasks, cfg.LinRegPoints, threads)
 		kern, err := kernels.LoadOpts("linreg", src, loopir.LowerOptions{LineSize: ls})
 		if err != nil {
-			return nil, err
+			return LineSizePoint{}, err
 		}
 		fs, err := fsmodel.Analyze(kern.Nest, fsmodel.Options{
 			Machine: m, NumThreads: threads, Chunk: chunk, Counting: cfg.Counting,
 		})
 		if err != nil {
-			return nil, err
+			return LineSizePoint{}, err
 		}
 		st, err := sim.Run(kern.Nest, sim.Options{Machine: m, NumThreads: threads, Chunk: chunk})
 		if err != nil {
-			return nil, err
+			return LineSizePoint{}, err
 		}
-		res.Points = append(res.Points, LineSizePoint{
+		return LineSizePoint{
 			LineSize: ls, FSCases: fs.FSCases, Seconds: st.Seconds, CoherenceMisses: st.CoherenceMisses,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/fsmodel"
 	"repro/internal/kernels"
+	"repro/internal/sweep"
 )
 
 // ModelCostPoint is one problem size of the modeling-cost study.
@@ -51,24 +53,29 @@ func ModelingCost(cfg Config, threads int, chunkRuns int64, sizes [][2]int64) (*
 		sizes = [][2]int64{{24, 1024}, {48, 2048}, {96, 4096}}
 	}
 	res := &ModelCostResult{Threads: threads, ChunkRuns: chunkRuns}
-	for _, sz := range sizes {
+	// Points fan out on the sweep pool; FullTime and PredictTime are wall
+	// times, so the interesting number under -j > 1 is their per-point
+	// ratio (both sides of a point contend equally), not the absolute
+	// values.
+	points, err := sweep.Run(context.Background(), len(sizes), cfg.Jobs, func(_ context.Context, i int) (ModelCostPoint, error) {
+		sz := sizes[i]
 		kern, err := kernels.Heat(sz[0], sz[1])
 		if err != nil {
-			return nil, err
+			return ModelCostPoint{}, err
 		}
 		opts := fsmodel.Options{Machine: cfg.Machine, NumThreads: threads, Chunk: 1, Counting: cfg.Counting}
 
 		start := time.Now()
 		full, err := fsmodel.Analyze(kern.Nest, opts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: modelcost %dx%d: %w", sz[0], sz[1], err)
+			return ModelCostPoint{}, fmt.Errorf("experiments: modelcost %dx%d: %w", sz[0], sz[1], err)
 		}
 		fullTime := time.Since(start)
 
 		start = time.Now()
 		pred, err := fsmodel.Predict(kern.Nest, opts, chunkRuns)
 		if err != nil {
-			return nil, err
+			return ModelCostPoint{}, err
 		}
 		predTime := time.Since(start)
 
@@ -84,8 +91,12 @@ func ModelingCost(cfg Config, threads int, chunkRuns int64, sizes [][2]int64) (*
 		if full.FSCases > 0 {
 			p.ErrorPct = 100 * float64(pred.PredictedFS-full.FSCases) / float64(full.FSCases)
 		}
-		res.Points = append(res.Points, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	return res, nil
 }
 

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fsmodel"
 	"repro/internal/kernels"
 	"repro/internal/sched"
+	"repro/internal/sweep"
 )
 
 // PredictionRow is one thread-count row of Tables IV–VI: the prediction
@@ -57,7 +59,7 @@ func PredictionTable(cfg Config, kernel string) (*PredictionTableResult, error) 
 	plans := make([]sched.Plan, len(cfg.Threads))
 	kerns := make([]*kernels.Kernel, len(cfg.Threads))
 
-	err = forEachRow(len(cfg.Threads), func(i int) error {
+	err = sweep.ForEach(context.Background(), len(cfg.Threads), cfg.Jobs, func(_ context.Context, i int) error {
 		threads := cfg.Threads[i]
 		kern, err := kc.load(cfg, threads)
 		if err != nil {

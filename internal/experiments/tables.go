@@ -1,15 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/costmodel"
 	"repro/internal/fsmodel"
 	"repro/internal/kernels"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // MeasuredRow is one thread-count row of Tables I–III.
@@ -60,9 +60,9 @@ func Table(cfg Config, kernel string) (*TableResult, error) {
 	kerns := make([]*kernels.Kernel, len(cfg.Threads))
 
 	// Rows are independent given the kernel parameters, so evaluate them
-	// concurrently; percentages that need the shared Equation-5
+	// on the sweep pool; percentages that need the shared Equation-5
 	// normalization are filled in afterwards.
-	err = forEachRow(len(cfg.Threads), func(i int) error {
+	err = sweep.ForEach(context.Background(), len(cfg.Threads), cfg.Jobs, func(_ context.Context, i int) error {
 		row, plan, kern, err := tableRow(cfg, kc, cfg.Threads[i])
 		if err != nil {
 			return fmt.Errorf("experiments: %s threads=%d: %w", kc.name, cfg.Threads[i], err)
@@ -83,50 +83,6 @@ func Table(cfg Config, kernel string) (*TableResult, error) {
 		res.Rows[i].ModeledPct = float64(res.Rows[i].NFS-res.Rows[i].NNFS) / norm
 	}
 	return res, nil
-}
-
-// forEachRow runs fn(0..n-1) on up to GOMAXPROCS goroutines, returning the
-// first error.
-func forEachRow(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
 }
 
 // tableRow computes one row's counts and simulated times (everything

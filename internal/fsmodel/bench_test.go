@@ -1,0 +1,74 @@
+package fsmodel
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+// BenchmarkAnalyzeHotPath compares the dense backend (flat directory +
+// FlatLRU) against the map backend (map directory + pointer FullyAssoc) on
+// the heat-diffusion kernel at paper-scale trip counts, the FS-inducing
+// chunk, and the paper's 48-thread team. allocs/op on the dense path is
+// the per-run setup only — the per-access path allocates nothing.
+func BenchmarkAnalyzeHotPath(b *testing.B) {
+	kern, err := kernels.Heat(kernels.DefaultHeatRows, kernels.DefaultHeatCols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		backend StateBackend
+	}{
+		{"dense", BackendDense},
+		{"map", BackendMap},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := Options{
+				Machine: machine.Paper48(), NumThreads: 48, Chunk: kernels.HeatFSChunk,
+				Backend: bc.backend,
+			}
+			var accesses int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Analyze(kern.Nest, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses = res.Accesses
+			}
+			b.ReportMetric(float64(accesses)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+		})
+	}
+}
+
+// BenchmarkAnalyzeHotPathMESI exercises the invalidation loop too.
+func BenchmarkAnalyzeHotPathMESI(b *testing.B) {
+	kern, err := kernels.DFT(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		backend StateBackend
+	}{
+		{"dense", BackendDense},
+		{"map", BackendMap},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := Options{
+				Machine: machine.Paper48(), NumThreads: 16, Chunk: kernels.DFTFSChunk,
+				Counting: CountMESI, Backend: bc.backend,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Analyze(kern.Nest, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -60,6 +60,38 @@ func (m CountingMode) String() string {
 	return fmt.Sprintf("CountingMode(%d)", int(m))
 }
 
+// StateBackend selects the data structures backing a run's coherence
+// directory and per-thread cache states.
+type StateBackend int
+
+const (
+	// BackendAuto (the default) uses the dense array-backed state when the
+	// nest's reachable cache-line space is compact enough to index
+	// directly, and falls back to the general map-backed state otherwise
+	// (sparse or unbounded address spaces, the set-associative ablation,
+	// or a dense window that would exceed the memory budget). Both
+	// backends compute bit-identical results.
+	BackendAuto StateBackend = iota
+	// BackendDense forces the dense path; Analyze errors if the nest's
+	// address space cannot be remapped to a dense window.
+	BackendDense
+	// BackendMap forces the general map path.
+	BackendMap
+)
+
+// String names the backend.
+func (b StateBackend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendDense:
+		return "dense"
+	case BackendMap:
+		return "map"
+	}
+	return fmt.Sprintf("StateBackend(%d)", int(b))
+}
+
 // Options configures an analysis run.
 type Options struct {
 	// Machine supplies line size and private-cache capacity. Defaults to
@@ -91,6 +123,8 @@ type Options struct {
 	// TrackHotLines additionally attributes FS cases to individual cache
 	// lines (Result.HotLines), at a small per-FS-event cost.
 	TrackHotLines bool
+	// Backend selects the per-run state implementation (see StateBackend).
+	Backend StateBackend
 }
 
 func (o Options) withDefaults() Options {
@@ -141,6 +175,9 @@ type Result struct {
 
 	Plan sched.Plan
 	Mode CountingMode
+	// Backend reports which state implementation the run actually used
+	// (BackendAuto resolves to dense or map before the run starts).
+	Backend StateBackend
 	// SkippedRefs lists non-affine references excluded from the model.
 	SkippedRefs []string
 	// ByRef attributes FS cases to the source reference whose access
@@ -298,6 +335,158 @@ type dirEntry struct {
 	owner   int8
 }
 
+// Dense-state sizing limits. The dense window spans the contiguous line
+// range covered by the nest's symbols; beyond these bounds the map path is
+// cheaper than touching that much memory.
+const (
+	denseMaxLines = int64(1) << 26   // hard cap on the dense window span
+	denseMaxBytes = int64(256) << 20 // total dense state budget (all threads)
+)
+
+// errDenseRange reports an access outside the precomputed dense window
+// (possible only when an affine subscript strays outside its symbol's
+// declared extent); BackendAuto restarts the run on the map path.
+var errDenseRange = fmt.Errorf("fsmodel: access outside the dense line window")
+
+// run bundles one analysis run's precomputed state. Option-dependent
+// behaviour (hot-line tracking, per-run recording, counting mode) is
+// resolved into flag fields once, so the per-access and per-iteration hot
+// paths never consult cold Options.
+type run struct {
+	res  *Result
+	gen  *trace.Generator
+	plan sched.Plan
+	nest *loopir.Nest
+
+	mode         CountingMode
+	trackHot     bool // res.hotLines is non-nil
+	trackRuns    bool // chunk-run bookkeeping is needed at all
+	recordPerRun bool
+	maxRuns      int64
+	lineSize     int64
+
+	// Map path (sparse or unbounded address spaces, set-assoc ablation).
+	dir    map[int64]dirEntry
+	states []threadState
+
+	// Dense path: the directory is a flat slice indexed by remapped line
+	// id (global line − base), and each thread state is an array-backed
+	// FlatLRU over the same dense id space. Allocation-free per access.
+	dense   bool
+	base    int64 // first global line id of the dense window
+	ddir    []dirEntry
+	dstates []*cache.FlatLRU
+}
+
+// denseExtent computes the contiguous cache-line window reachable through
+// the nest's analyzable references: every affine reference stays inside
+// its symbol's [Base, Base+Size) extent, so the union of symbol extents
+// bounds the run's address space. ok is false when the nest has no
+// analyzable references.
+func denseExtent(nest *loopir.Nest, lineSize int64) (firstLine, span int64, ok bool) {
+	var lo, hi int64
+	for _, r := range nest.AnalyzableRefs() {
+		if r.Sym == nil || r.Sym.Size() <= 0 {
+			return 0, 0, false
+		}
+		base, end := r.Sym.Base, r.Sym.Base+r.Sym.Size()
+		if !ok {
+			lo, hi, ok = base, end, true
+			continue
+		}
+		if base < lo {
+			lo = base
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	firstLine = lo / lineSize
+	span = (hi-1)/lineSize - firstLine + 1
+	return firstLine, span, true
+}
+
+// denseFits reports whether a dense window of span lines stays inside the
+// memory budget for the given team size and per-thread capacity.
+func denseFits(span int64, threads int, stackDepth int) bool {
+	if span <= 0 || span > denseMaxLines {
+		return false
+	}
+	cap := span
+	if stackDepth > 0 && int64(stackDepth) < span {
+		cap = int64(stackDepth)
+	}
+	// dirEntry slice + per-thread line→slot tables + per-thread slot
+	// arrays (line, prev, next, modified).
+	bytes := span*16 + int64(threads)*(span*4+cap*14)
+	return bytes <= denseMaxBytes
+}
+
+// newRun builds the per-run state for one Analyze call. dense selects the
+// state backend; the caller has already validated it is representable.
+func newRun(nest *loopir.Nest, opts Options, plan sched.Plan, gen *trace.Generator, dense bool, base, span int64) (*run, error) {
+	res := &Result{Plan: plan, Mode: opts.Counting, SkippedRefs: gen.Skipped}
+	res.ChunkRunsTotal = totalChunkRuns(nest, plan)
+	if opts.TrackHotLines {
+		res.hotLines = make(map[int64]int64)
+	}
+	for _, r := range nest.AnalyzableRefs() {
+		res.ByRef = append(res.ByRef, RefAttribution{Src: r.Src, Symbol: r.Sym.Name, Write: r.Write})
+	}
+
+	r := &run{
+		res:          res,
+		gen:          gen,
+		plan:         plan,
+		nest:         nest,
+		mode:         opts.Counting,
+		trackHot:     opts.TrackHotLines,
+		trackRuns:    opts.RecordPerRun || opts.MaxChunkRuns > 0,
+		recordPerRun: opts.RecordPerRun,
+		maxRuns:      opts.MaxChunkRuns,
+		lineSize:     opts.Machine.LineSize,
+	}
+
+	if dense {
+		res.Backend = BackendDense
+		r.dense = true
+		r.base = base
+		r.ddir = make([]dirEntry, span)
+		for i := range r.ddir {
+			r.ddir[i].owner = -1
+		}
+		r.dstates = make([]*cache.FlatLRU, plan.NumThreads)
+		for t := range r.dstates {
+			r.dstates[t] = cache.NewFlatLRU(int(span), opts.StackDepth)
+		}
+		return r, nil
+	}
+
+	res.Backend = BackendMap
+	r.dir = make(map[int64]dirEntry)
+	r.states = make([]threadState, plan.NumThreads)
+	for t := range r.states {
+		if opts.Associativity > 0 {
+			geom := cache.Geometry{
+				SizeBytes: int64(opts.StackDepth) * opts.Machine.LineSize,
+				LineSize:  opts.Machine.LineSize,
+				Assoc:     opts.Associativity,
+			}
+			sa, err := cache.NewSetAssoc(geom)
+			if err != nil {
+				return nil, fmt.Errorf("fsmodel: set-associative ablation: %w", err)
+			}
+			r.states[t] = setAssocState{c: sa}
+		} else {
+			r.states[t] = cache.NewFullyAssoc(opts.StackDepth)
+		}
+	}
+	return r, nil
+}
+
 // Analyze runs the false-sharing cost model over the nest.
 func Analyze(nest *loopir.Nest, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
@@ -309,49 +498,55 @@ func Analyze(nest *loopir.Nest, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("fsmodel: at most 64 threads supported, got %d", plan.NumThreads)
 	}
 
-	res := &Result{Plan: plan, Mode: opts.Counting, SkippedRefs: gen.Skipped}
-	res.ChunkRunsTotal = totalChunkRuns(nest, plan)
-	if opts.TrackHotLines {
-		res.hotLines = make(map[int64]int64)
+	dense := false
+	var base, span int64
+	if opts.Backend != BackendMap && opts.Associativity == 0 {
+		var ok bool
+		base, span, ok = denseExtent(nest, opts.Machine.LineSize)
+		dense = ok && denseFits(span, plan.NumThreads, opts.StackDepth)
 	}
-	for _, r := range nest.AnalyzableRefs() {
-		res.ByRef = append(res.ByRef, RefAttribution{Src: r.Src, Symbol: r.Sym.Name, Write: r.Write})
+	if opts.Backend == BackendDense && !dense {
+		return nil, fmt.Errorf("fsmodel: dense backend not representable for this nest (sparse/unbounded address space, set-associative ablation, or window over budget)")
 	}
 
-	states := make([]threadState, plan.NumThreads)
-	for t := range states {
-		if opts.Associativity > 0 {
-			geom := cache.Geometry{
-				SizeBytes: int64(opts.StackDepth) * opts.Machine.LineSize,
-				LineSize:  opts.Machine.LineSize,
-				Assoc:     opts.Associativity,
-			}
-			sa, err := cache.NewSetAssoc(geom)
-			if err != nil {
-				return nil, fmt.Errorf("fsmodel: set-associative ablation: %w", err)
-			}
-			states[t] = setAssocState{c: sa}
-		} else {
-			states[t] = cache.NewFullyAssoc(opts.StackDepth)
+	r, err := newRun(nest, opts, plan, gen, dense, base, span)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.execute()
+	if err == errDenseRange && opts.Backend == BackendAuto {
+		// A reference strayed outside its symbol's extent: restart on the
+		// general map path, which handles arbitrary line ids.
+		if r, err = newRun(nest, opts, plan, gen, false, 0, 0); err != nil {
+			return nil, err
 		}
+		res, err = r.execute()
 	}
+	return res, err
+}
 
-	dir := make(map[int64]dirEntry)
-	cursors := gen.Cursors()
-	lineSize := opts.Machine.LineSize
-	active := plan.NumThreads
+// execute drives the lockstep enumeration of the thread team over the
+// per-run state. It is the model's hot loop, shared by both backends.
+func (r *run) execute() (*Result, error) {
+	res := r.res
+	cursors := r.gen.Cursors()
+	numThreads := r.plan.NumThreads
+	lineSize := r.lineSize
+	dense := r.dense
+	active := numThreads
 	var accBuf []trace.Access
 
 	// Chunk-run tracking piggybacks on thread 0: a chunk run completes
 	// when thread 0 finishes each of its chunks (lockstep execution means
-	// all threads finish theirs at the same step).
+	// all threads finish theirs at the same step). It is skipped entirely
+	// when neither RecordPerRun nor MaxChunkRuns needs it.
 	var t0Trips int64 // parallel-loop trips consumed by thread 0
 	var t0PrevKey [2]int64
 	t0HaveKey := false
 
 	for active > 0 {
 		res.Steps++
-		for t := 0; t < plan.NumThreads; t++ {
+		for t := 0; t < numThreads; t++ {
 			cur := cursors[t]
 			if cur.Done() {
 				continue
@@ -361,8 +556,8 @@ func Analyze(nest *loopir.Nest, opts Options) (*Result, error) {
 				continue
 			}
 			res.Iterations++
-			if t == 0 {
-				key := [2]int64{prefixFingerprint(cur, nest.ParLevel), cur.ParallelTrip()}
+			if t == 0 && r.trackRuns {
+				key := [2]int64{prefixFingerprint(cur, r.nest.ParLevel), cur.ParallelTrip()}
 				if !t0HaveKey || key != t0PrevKey {
 					t0Trips++
 					t0PrevKey = key
@@ -371,34 +566,38 @@ func Analyze(nest *loopir.Nest, opts Options) (*Result, error) {
 					// moment it begins a new chunk every thread has finished
 					// the previous chunk run and none of the new run's
 					// accesses have been processed: snapshot here.
-					if opts.RecordPerRun || opts.MaxChunkRuns > 0 {
-						for completed := (t0Trips - 1) / plan.Chunk; res.ChunkRunsEvaluated < completed; {
-							res.ChunkRunsEvaluated++
-							if opts.RecordPerRun {
-								res.PerRun = append(res.PerRun, res.FSCases)
-							}
-							if opts.MaxChunkRuns > 0 && res.ChunkRunsEvaluated >= opts.MaxChunkRuns {
-								res.Truncated = true
-								return res, nil
-							}
+					for completed := (t0Trips - 1) / r.plan.Chunk; res.ChunkRunsEvaluated < completed; {
+						res.ChunkRunsEvaluated++
+						if r.recordPerRun {
+							res.PerRun = append(res.PerRun, res.FSCases)
+						}
+						if r.maxRuns > 0 && res.ChunkRunsEvaluated >= r.maxRuns {
+							res.Truncated = true
+							return res, nil
 						}
 					}
 				}
 			}
-			accBuf = gen.Accesses(cur.Vals(), accBuf)
+			accBuf = r.gen.Accesses(cur.Vals(), accBuf)
 			for i := range accBuf {
 				a := &accBuf[i]
 				first, last := cache.LinesTouched(a.Addr, a.Size, lineSize)
 				for line := first; line <= last; line++ {
 					res.Accesses++
-					processAccess(res, dir, states, t, line, a.Write, int(a.Ref), opts.Counting)
+					if dense {
+						if !r.accessDense(t, line, a.Write, int(a.Ref)) {
+							return nil, errDenseRange
+						}
+					} else {
+						r.accessMap(t, line, a.Write, int(a.Ref))
+					}
 				}
 			}
 		}
 	}
 	// Close out the final (possibly partial) chunk run(s).
-	if opts.RecordPerRun && plan.Chunk > 0 {
-		finalRuns := (t0Trips + plan.Chunk - 1) / plan.Chunk
+	if r.recordPerRun && r.plan.Chunk > 0 {
+		finalRuns := (t0Trips + r.plan.Chunk - 1) / r.plan.Chunk
 		for res.ChunkRunsEvaluated < finalRuns {
 			res.ChunkRunsEvaluated++
 			res.PerRun = append(res.PerRun, res.FSCases)
@@ -407,11 +606,70 @@ func Analyze(nest *loopir.Nest, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// processAccess performs steps 3–4 of the model for one (thread, line)
-// access: the 1-to-All ϕ comparison against the directory, coherence
-// bookkeeping per the counting mode, and the LRU stack update.
-func processAccess(res *Result, dir map[int64]dirEntry, states []threadState, t int, line int64, write bool, refIdx int, mode CountingMode) {
-	e, known := dir[line]
+// accessDense performs steps 3–4 of the model for one (thread, line)
+// access on the dense backend: the 1-to-All ϕ comparison against the flat
+// directory, coherence bookkeeping per the counting mode, and the FlatLRU
+// update — all index arithmetic, no hashing, no allocation. It reports
+// false when line falls outside the dense window.
+func (r *run) accessDense(t int, line int64, write bool, refIdx int) bool {
+	idx := line - r.base
+	if idx < 0 || idx >= int64(len(r.ddir)) {
+		return false
+	}
+	res := r.res
+	e := &r.ddir[idx]
+	tBit := uint64(1) << uint(t)
+
+	// ϕ with mask: another thread holds this line Modified.
+	if e.owner >= 0 && int(e.owner) != t {
+		res.FSCases++
+		if refIdx >= 0 && refIdx < len(res.ByRef) {
+			res.ByRef[refIdx].FSCases++
+		}
+		if r.trackHot {
+			res.hotLines[line]++
+		}
+		r.dstates[e.owner].Downgrade(idx)
+		e.owner = -1
+	}
+
+	if r.mode == CountMESI && write {
+		others := e.holders &^ tBit
+		for others != 0 {
+			u := bits.TrailingZeros64(others)
+			others &^= 1 << uint(u)
+			r.dstates[u].Invalidate(idx)
+			e.holders &^= 1 << uint(u)
+			res.Invalidations++
+		}
+	}
+
+	tr := r.dstates[t].Touch(idx, write)
+	if !tr.Hit {
+		res.ColdMisses++
+		e.holders |= tBit
+	}
+	if tr.Evicted {
+		res.CapacityEvictions++
+		ev := &r.ddir[tr.EvictedLine]
+		ev.holders &^= tBit
+		if int(ev.owner) == t || ev.holders == 0 {
+			// holders == 0 mirrors the map path's entry deletion.
+			ev.owner = -1
+		}
+	}
+	if write {
+		e.owner = int8(t)
+	}
+	return true
+}
+
+// accessMap is accessDense's general-purpose twin over the map-backed
+// directory and the threadState interface (pointer-based FullyAssoc or the
+// set-associative ablation).
+func (r *run) accessMap(t int, line int64, write bool, refIdx int) {
+	res := r.res
+	e, known := r.dir[line]
 	if !known {
 		e.owner = -1
 	}
@@ -423,46 +681,50 @@ func processAccess(res *Result, dir map[int64]dirEntry, states []threadState, t 
 		if refIdx >= 0 && refIdx < len(res.ByRef) {
 			res.ByRef[refIdx].FSCases++
 		}
-		if res.hotLines != nil {
+		if r.trackHot {
 			res.hotLines[line]++
 		}
-		states[e.owner].Downgrade(line)
+		r.states[e.owner].Downgrade(line)
 		e.owner = -1
 	}
 
-	if mode == CountMESI && write {
+	if r.mode == CountMESI && write {
 		others := e.holders &^ tBit
 		for others != 0 {
 			u := bits.TrailingZeros64(others)
 			others &^= 1 << uint(u)
-			states[u].Invalidate(line)
+			r.states[u].Invalidate(line)
 			e.holders &^= 1 << uint(u)
 			res.Invalidations++
 		}
 	}
 
-	tr := states[t].Touch(line, write)
+	tr := r.states[t].Touch(line, write)
 	if !tr.Hit {
 		res.ColdMisses++
 		e.holders |= tBit
 	}
 	if tr.Evicted {
 		res.CapacityEvictions++
-		evicted := dir[tr.EvictedLine]
-		evicted.holders &^= tBit
-		if int(evicted.owner) == t {
-			evicted.owner = -1
-		}
-		if evicted.holders == 0 {
-			delete(dir, tr.EvictedLine)
-		} else {
-			dir[tr.EvictedLine] = evicted
+		// Guard against lines the directory never saw: a zero-valued
+		// entry would alias owner 0 to thread 0. Update the looked-up
+		// entry in place and drop it once no thread holds a copy.
+		if evicted, ok := r.dir[tr.EvictedLine]; ok {
+			evicted.holders &^= tBit
+			if int(evicted.owner) == t {
+				evicted.owner = -1
+			}
+			if evicted.holders == 0 {
+				delete(r.dir, tr.EvictedLine)
+			} else {
+				r.dir[tr.EvictedLine] = evicted
+			}
 		}
 	}
 	if write {
 		e.owner = int8(t)
 	}
-	dir[line] = e
+	r.dir[line] = e
 }
 
 // prefixFingerprint summarizes the loop-variable values above the parallel

@@ -1,0 +1,116 @@
+// Package sweep provides the bounded worker pool used by every experiment
+// driver and command to fan out independent analysis points (kernel ×
+// chunk × line size × thread count × counting mode). Each point is an
+// isolated Analyze call, so the sweep parallelizes embarrassingly; the
+// value of this package is the contract around that parallelism:
+//
+//   - results come back in input index order regardless of worker count,
+//     so -j 1 and -j 8 produce byte-identical driver output;
+//   - the error reported is the one from the lowest failing index,
+//     independent of scheduling (every index below it is still evaluated;
+//     indices above a known failure are skipped);
+//   - a cancelled context stops the sweep promptly: no new indices are
+//     claimed once the context is done, and fn receives the context so
+//     long-running work can observe the cancellation itself.
+package sweep
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs resolves a -j style worker-count setting: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is used as given.
+func Jobs(j int) int {
+	if j <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// Run evaluates fn for every index in [0, n) on at most jobs concurrent
+// workers (jobs <= 0 means GOMAXPROCS) and returns the n results in index
+// order. If any call fails, Run returns the error from the lowest failing
+// index — a deterministic choice: indices below a failure always run to
+// completion, and work above it is skipped rather than cancelled, so no
+// scheduling race can surface a different error. If ctx is cancelled, Run
+// stops claiming new indices and returns ctx.Err().
+func Run[T any](ctx context.Context, n, jobs int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	jobs = Jobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	results := make([]T, n)
+
+	if jobs == 1 {
+		// Serial fast path: no goroutines, no atomics, trivially ordered.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	var (
+		next    atomic.Int64 // next index to claim
+		failIdx atomic.Int64 // lowest index that failed so far
+		mu      sync.Mutex
+		runErr  error
+		wg      sync.WaitGroup
+	)
+	failIdx.Store(math.MaxInt64)
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n || int64(i) > failIdx.Load() {
+					return
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					mu.Lock()
+					if int64(i) < failIdx.Load() {
+						failIdx.Store(int64(i))
+						runErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if failIdx.Load() < math.MaxInt64 {
+		return nil, runErr
+	}
+	return results, nil
+}
+
+// ForEach is Run for index-only work that writes its own outputs: it
+// evaluates fn(ctx, i) for i in [0, n) with the same ordering, error, and
+// cancellation guarantees, discarding results.
+func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i int) error) error {
+	_, err := Run(ctx, n, jobs, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

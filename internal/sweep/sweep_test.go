@@ -1,0 +1,180 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJobs(t *testing.T) {
+	if got := Jobs(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(-3) = %d", got)
+	}
+	if got := Jobs(5); got != 5 {
+		t.Fatalf("Jobs(5) = %d", got)
+	}
+}
+
+// TestRunOrdering checks that results land in index order for every worker
+// count, including worker counts far above n.
+func TestRunOrdering(t *testing.T) {
+	const n = 100
+	for _, jobs := range []int{1, 2, 3, 8, 64, 200} {
+		got, err := Run(context.Background(), n, jobs, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(got) != n {
+			t.Fatalf("jobs=%d: len = %d", jobs, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: got[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossJobs runs the same fallible workload under
+// -j 1 and -j 8 and requires identical outcomes — the property the
+// experiment drivers rely on.
+func TestRunDeterministicAcrossJobs(t *testing.T) {
+	workload := func(jobs int) ([]int, error) {
+		return Run(context.Background(), 64, jobs, func(_ context.Context, i int) (int, error) {
+			return 3*i + 1, nil
+		})
+	}
+	serial, serialErr := workload(1)
+	parallel, parallelErr := workload(8)
+	if (serialErr == nil) != (parallelErr == nil) {
+		t.Fatalf("error mismatch: %v vs %v", serialErr, parallelErr)
+	}
+	if fmt.Sprint(serial) != fmt.Sprint(parallel) {
+		t.Fatalf("results differ:\n -j 1: %v\n -j 8: %v", serial, parallel)
+	}
+}
+
+// TestRunLowestError checks the error from the lowest failing index wins
+// regardless of worker count or completion order.
+func TestRunLowestError(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("point %d failed", i) }
+	for _, jobs := range []int{1, 2, 8} {
+		_, err := Run(context.Background(), 50, jobs, func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 7:
+				// Make the higher failure finish first.
+				time.Sleep(5 * time.Millisecond)
+				return 0, errAt(7)
+			case 23, 40:
+				return 0, errAt(i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "point 7 failed" {
+			t.Fatalf("jobs=%d: err = %v, want point 7 failed", jobs, err)
+		}
+	}
+}
+
+// TestRunSkipsAfterFailure checks indices above a known failure are not
+// evaluated once the failure is recorded (bounded wasted work).
+func TestRunSkipsAfterFailure(t *testing.T) {
+	var evaluated atomic.Int64
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), 10000, 4, func(_ context.Context, i int) (int, error) {
+		evaluated.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := evaluated.Load(); got > 100 {
+		t.Fatalf("evaluated %d points after an index-0 failure", got)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := Run(ctx, 10000, 4, func(ctx context.Context, i int) (int, error) {
+		if started.Add(1) == 8 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got > 1000 {
+		t.Fatalf("claimed %d points after cancellation", got)
+	}
+	// Already-cancelled context does no work at all.
+	started.Store(0)
+	if _, err := Run(ctx, 10, 2, func(context.Context, int) (int, error) {
+		started.Add(1)
+		return 0, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v", err)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := Run(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("n=0: %v, %v", got, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int64, 32)
+	err := ForEach(context.Background(), len(out), 4, func(_ context.Context, i int) error {
+		atomic.StoreInt64(&out[i], int64(i)+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != int64(i)+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// BenchmarkSweepThroughput measures pool overhead and scaling on a
+// CPU-bound point function resembling a small analysis run.
+func BenchmarkSweepThroughput(b *testing.B) {
+	point := func(_ context.Context, i int) (uint64, error) {
+		h := uint64(i) + 0x9e3779b97f4a7c15
+		for k := 0; k < 20000; k++ {
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+		}
+		return h, nil
+	}
+	for _, jobs := range []int{1, Jobs(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				if _, err := Run(context.Background(), 256, jobs, point); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -27,6 +27,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/costmodel"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/minic"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/transform"
 )
 
@@ -104,6 +106,10 @@ type Options struct {
 	// TrackHotLines additionally attributes FS cases to individual cache
 	// lines (Analysis.HotLines).
 	TrackHotLines bool
+	// Jobs bounds the worker pool used when an operation evaluates many
+	// independent analysis points (RecommendChunk's candidate sweep);
+	// <= 0 selects GOMAXPROCS. Results are identical for every value.
+	Jobs int
 }
 
 func (o Options) counting() fsmodel.CountingMode {
@@ -470,20 +476,28 @@ func (p *Program) RecommendChunk(i int, opts Options, candidates []int64) (*Chun
 			candidates = append(candidates, c)
 		}
 	}
-	best := &ChunkRecommendation{}
-	for _, c := range candidates {
+	// Candidates are independent model evaluations: fan them out on the
+	// sweep pool. Results come back in candidate order, so the tie-break
+	// (first candidate with the lowest cost wins) is deterministic.
+	evaluated, err := sweep.Run(context.Background(), len(candidates), opts.Jobs, func(_ context.Context, idx int) (ChunkCandidate, error) {
+		c := candidates[idx]
 		o := opts
 		o.Chunk = c
 		cost, err := p.EstimateCost(i, o)
 		if err != nil {
-			return nil, fmt.Errorf("repro: chunk %d: %w", c, err)
+			return ChunkCandidate{}, fmt.Errorf("repro: chunk %d: %w", c, err)
 		}
 		a, err := p.Analyze(i, o)
 		if err != nil {
-			return nil, err
+			return ChunkCandidate{}, err
 		}
-		cand := ChunkCandidate{Chunk: c, FSCases: a.FSCases, TotalCycles: cost.TotalWallCycles}
-		best.Evaluated = append(best.Evaluated, cand)
+		return ChunkCandidate{Chunk: c, FSCases: a.FSCases, TotalCycles: cost.TotalWallCycles}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := &ChunkRecommendation{Evaluated: evaluated}
+	for _, cand := range evaluated {
 		if best.Chunk == 0 || cand.TotalCycles < best.TotalCycles {
 			best.Chunk = cand.Chunk
 			best.FSCases = cand.FSCases

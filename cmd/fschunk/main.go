@@ -8,6 +8,9 @@
 //
 //	fschunk -kernel linreg -threads 8
 //	fschunk -threads 16 -max 64 -verify file.c
+//
+// Exit status is 0 on success, 1 on analysis or I/O errors, and 2 on
+// usage errors.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"io"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"repro"
 	"repro/internal/kernels"
@@ -29,25 +33,45 @@ type config struct {
 	maxChunk int64
 	verify   bool
 	jobs     int
+	timeout  time.Duration
 }
 
 func main() {
-	var cfg config
-	flag.IntVar(&cfg.threads, "threads", 8, "thread count")
-	kernel := flag.String("kernel", "", "tune a built-in kernel (heat, dft, linreg)")
-	flag.IntVar(&cfg.nest, "nest", 0, "loop nest index to tune")
-	flag.Int64Var(&cfg.maxChunk, "max", 128, "largest chunk size candidate (powers of two up to this)")
-	flag.BoolVar(&cfg.verify, "verify", false, "cross-check candidates on the machine simulator")
-	flag.IntVar(&cfg.jobs, "j", 0, "worker count for evaluating candidates in parallel (0 = GOMAXPROCS); output is identical for every value")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	src, err := loadSource(*kernel, cfg.threads, flag.Args())
+// run is the testable main: flag errors exit 2, analysis errors exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fschunk", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.IntVar(&cfg.threads, "threads", 8, "thread count")
+	kernel := fs.String("kernel", "", "tune a built-in kernel (heat, dft, linreg)")
+	fs.IntVar(&cfg.nest, "nest", 0, "loop nest index to tune")
+	fs.Int64Var(&cfg.maxChunk, "max", 128, "largest chunk size candidate (powers of two up to this)")
+	fs.BoolVar(&cfg.verify, "verify", false, "cross-check candidates on the machine simulator")
+	fs.IntVar(&cfg.jobs, "j", 0, "worker count for evaluating candidates in parallel (0 = GOMAXPROCS); output is identical for every value")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "abort the tuning sweep after this long (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	src, err := loadSource(*kernel, cfg.threads, fs.Args())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "fschunk:", err)
+		return 1
 	}
-	if err := tune(src, cfg, os.Stdout); err != nil {
-		fatal(err)
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
 	}
+	if err := tune(ctx, src, cfg, stdout); err != nil {
+		fmt.Fprintln(stderr, "fschunk:", err)
+		return 1
+	}
+	return 0
 }
 
 func loadSource(kernel string, threads int, args []string) (string, error) {
@@ -69,7 +93,7 @@ func loadSource(kernel string, threads int, args []string) (string, error) {
 }
 
 // tune evaluates the candidate chunks and writes the recommendation.
-func tune(src string, cfg config, w io.Writer) error {
+func tune(ctx context.Context, src string, cfg config, w io.Writer) error {
 	prog, err := repro.Parse(src)
 	if err != nil {
 		return err
@@ -79,7 +103,7 @@ func tune(src string, cfg config, w io.Writer) error {
 		candidates = append(candidates, c)
 	}
 	opts := repro.Options{Threads: cfg.threads, Jobs: cfg.jobs}
-	rec, err := prog.RecommendChunk(cfg.nest, opts, candidates)
+	rec, err := prog.RecommendChunkCtx(ctx, cfg.nest, opts, candidates)
 	if err != nil {
 		return err
 	}
@@ -88,7 +112,7 @@ func tune(src string, cfg config, w io.Writer) error {
 	// back in candidate order so the table is stable under any -j.
 	var simSeconds []float64
 	if cfg.verify {
-		simSeconds, err = sweep.Run(context.Background(), len(rec.Evaluated), cfg.jobs, func(_ context.Context, i int) (float64, error) {
+		simSeconds, err = sweep.Run(ctx, len(rec.Evaluated), cfg.jobs, func(_ context.Context, i int) (float64, error) {
 			o := opts
 			o.Chunk = rec.Evaluated[i].Chunk
 			simRep, err := prog.Simulate(cfg.nest, o)
@@ -121,9 +145,4 @@ func tune(src string, cfg config, w io.Writer) error {
 	fmt.Fprintf(w, "\nrecommended: schedule(static,%d)  (modeled %d FS cases, %.0f cycles)\n",
 		rec.Chunk, rec.FSCases, rec.TotalCycles)
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fschunk:", err)
-	os.Exit(1)
 }

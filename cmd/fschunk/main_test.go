@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ for (i = 0; i < N; i++) a[i] += 1.0;
 
 func TestTuneRecommendsAlignedChunk(t *testing.T) {
 	var buf bytes.Buffer
-	if err := tune(victim, config{threads: 4, maxChunk: 16}, &buf); err != nil {
+	if err := tune(context.Background(), victim, config{threads: 4, maxChunk: 16}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -31,7 +32,7 @@ func TestTuneRecommendsAlignedChunk(t *testing.T) {
 
 func TestTuneVerify(t *testing.T) {
 	var buf bytes.Buffer
-	if err := tune(victim, config{threads: 4, maxChunk: 8, verify: true}, &buf); err != nil {
+	if err := tune(context.Background(), victim, config{threads: 4, maxChunk: 8, verify: true}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "simulated seconds") {
@@ -41,7 +42,7 @@ func TestTuneVerify(t *testing.T) {
 
 func TestTuneErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := tune("garbage(", config{threads: 4, maxChunk: 4}, &buf); err == nil {
+	if err := tune(context.Background(), "garbage(", config{threads: 4, maxChunk: 4}, &buf); err == nil {
 		t.Fatal("expected parse error")
 	}
 	if _, err := loadSource("", 4, nil); err == nil {
@@ -56,10 +57,10 @@ func TestTuneErrors(t *testing.T) {
 // simulator cross-check) between -j 1 and -j 8.
 func TestTuneDeterministicAcrossJobs(t *testing.T) {
 	var serial, parallel bytes.Buffer
-	if err := tune(victim, config{threads: 4, maxChunk: 16, verify: true, jobs: 1}, &serial); err != nil {
+	if err := tune(context.Background(), victim, config{threads: 4, maxChunk: 16, verify: true, jobs: 1}, &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := tune(victim, config{threads: 4, maxChunk: 16, verify: true, jobs: 8}, &parallel); err != nil {
+	if err := tune(context.Background(), victim, config{threads: 4, maxChunk: 16, verify: true, jobs: 8}, &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {

@@ -8,6 +8,9 @@
 //
 //	fsdetect [-threads N] [-chunk C] [-mesi] file.c
 //	fsdetect -kernel heat          # analyze a built-in paper kernel
+//
+// Exit status is 0 on success, 1 on analysis or I/O errors, and 2 on
+// usage errors.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/kernels"
@@ -32,27 +36,47 @@ type config struct {
 	jsonOut   bool
 	lines     bool
 	jobs      int
+	timeout   time.Duration
 }
 
 func main() {
-	var cfg config
-	flag.IntVar(&cfg.threads, "threads", 8, "thread count (pragma num_threads wins)")
-	flag.Int64Var(&cfg.chunk, "chunk", 1, "schedule chunk size (pragma schedule wins)")
-	flag.BoolVar(&cfg.mesi, "mesi", false, "MESI-faithful counting instead of the paper's ϕ")
-	kernel := flag.String("kernel", "", "analyze a built-in kernel (heat, dft, linreg) instead of a file")
-	flag.BoolVar(&cfg.recommend, "recommend", true, "recommend a chunk size when FS is significant")
-	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON for tooling")
-	flag.BoolVar(&cfg.lines, "lines", false, "also report the hottest cache lines")
-	flag.IntVar(&cfg.jobs, "j", 0, "worker count for analyzing nests in parallel (0 = GOMAXPROCS); output is identical for every value")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	src, err := loadSource(*kernel, cfg.threads, flag.Args())
+// run is the testable main: flag errors exit 2, analysis errors exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fsdetect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.IntVar(&cfg.threads, "threads", 8, "thread count (pragma num_threads wins)")
+	fs.Int64Var(&cfg.chunk, "chunk", 1, "schedule chunk size (pragma schedule wins)")
+	fs.BoolVar(&cfg.mesi, "mesi", false, "MESI-faithful counting instead of the paper's ϕ")
+	kernel := fs.String("kernel", "", "analyze a built-in kernel (heat, dft, linreg) instead of a file")
+	fs.BoolVar(&cfg.recommend, "recommend", true, "recommend a chunk size when FS is significant")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON for tooling")
+	fs.BoolVar(&cfg.lines, "lines", false, "also report the hottest cache lines")
+	fs.IntVar(&cfg.jobs, "j", 0, "worker count for analyzing nests in parallel (0 = GOMAXPROCS); output is identical for every value")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "abort the analysis after this long (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	src, err := loadSource(*kernel, cfg.threads, fs.Args())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "fsdetect:", err)
+		return 1
 	}
-	if err := detect(src, cfg, os.Stdout); err != nil {
-		fatal(err)
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
 	}
+	if err := detect(ctx, src, cfg, stdout); err != nil {
+		fmt.Fprintln(stderr, "fsdetect:", err)
+		return 1
+	}
+	return 0
 }
 
 // loadSource resolves the analyzed source from either a built-in kernel
@@ -92,13 +116,13 @@ type jsonReport struct {
 // detectJSON runs the analysis and writes one JSON document with a report
 // per nest. Nests are analyzed on the sweep pool and reported in nest
 // order, so the document is identical for every -j value.
-func detectJSON(src string, cfg config, w io.Writer) error {
+func detectJSON(ctx context.Context, src string, cfg config, w io.Writer) error {
 	prog, err := repro.Parse(src)
 	if err != nil {
 		return err
 	}
 	opts := repro.Options{Threads: cfg.threads, Chunk: cfg.chunk, MESICounting: cfg.mesi}
-	reports, err := sweep.Run(context.Background(), prog.NumNests(), cfg.jobs, func(_ context.Context, i int) (jsonReport, error) {
+	reports, err := sweep.Run(ctx, prog.NumNests(), cfg.jobs, func(ctx context.Context, i int) (jsonReport, error) {
 		info, err := prog.Nest(i)
 		if err != nil {
 			return jsonReport{}, err
@@ -117,7 +141,7 @@ func detectJSON(src string, cfg config, w io.Writer) error {
 			rep.Victims = a.Victims
 			rep.SkippedRefs = a.SkippedRefs
 			if cfg.recommend && a.FSShare > 0.05 {
-				rec, err := prog.RecommendChunk(i, opts, nil)
+				rec, err := prog.RecommendChunkCtx(ctx, i, opts, nil)
 				if err != nil {
 					return jsonReport{}, err
 				}
@@ -135,9 +159,9 @@ func detectJSON(src string, cfg config, w io.Writer) error {
 }
 
 // detect runs the analysis and writes the report.
-func detect(src string, cfg config, w io.Writer) error {
+func detect(ctx context.Context, src string, cfg config, w io.Writer) error {
 	if cfg.jsonOut {
-		return detectJSON(src, cfg, w)
+		return detectJSON(ctx, src, cfg, w)
 	}
 	prog, err := repro.Parse(src)
 	if err != nil {
@@ -151,9 +175,9 @@ func detect(src string, cfg config, w io.Writer) error {
 	// Each nest's section renders into its own buffer on the sweep pool;
 	// sections are concatenated in nest order, so the report is identical
 	// for every -j value.
-	sections, err := sweep.Run(context.Background(), prog.NumNests(), cfg.jobs, func(_ context.Context, i int) ([]byte, error) {
+	sections, err := sweep.Run(ctx, prog.NumNests(), cfg.jobs, func(ctx context.Context, i int) ([]byte, error) {
 		var buf bytes.Buffer
-		if err := detectNest(prog, i, cfg, opts, &buf); err != nil {
+		if err := detectNest(ctx, prog, i, cfg, opts, &buf); err != nil {
 			return nil, err
 		}
 		return buf.Bytes(), nil
@@ -170,7 +194,7 @@ func detect(src string, cfg config, w io.Writer) error {
 }
 
 // detectNest writes the report section for one loop nest.
-func detectNest(prog *repro.Program, i int, cfg config, opts repro.Options, w io.Writer) error {
+func detectNest(ctx context.Context, prog *repro.Program, i int, cfg config, opts repro.Options, w io.Writer) error {
 	info, err := prog.Nest(i)
 	if err != nil {
 		return err
@@ -216,7 +240,7 @@ func detectNest(prog *repro.Program, i int, cfg config, opts repro.Options, w io
 		fmt.Fprintf(w, "  (excluded non-affine reference: %s)\n", s)
 	}
 	if cfg.recommend && a.FSShare > 0.05 {
-		rec, err := prog.RecommendChunk(i, opts, nil)
+		rec, err := prog.RecommendChunkCtx(ctx, i, opts, nil)
 		if err != nil {
 			return err
 		}
@@ -227,9 +251,4 @@ func detectNest(prog *repro.Program, i int, cfg config, opts repro.Options, w io
 	}
 	fmt.Fprintln(w)
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fsdetect:", err)
-	os.Exit(1)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -15,7 +16,7 @@ func TestDetectBuiltinLinReg(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := detect(src, config{threads: 8, chunk: 1, recommend: true}, &buf); err != nil {
+	if err := detect(context.Background(), src, config{threads: 8, chunk: 1, recommend: true}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -54,7 +55,7 @@ for (i = 0; i < N; i++) a[i] += 1.0;
 		t.Fatal("file contents mismatch")
 	}
 	var buf bytes.Buffer
-	if err := detect(got, config{threads: 4, chunk: 1}, &buf); err != nil {
+	if err := detect(context.Background(), got, config{threads: 4, chunk: 1}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "victim: a[i]") {
@@ -64,7 +65,7 @@ for (i = 0; i < N; i++) a[i] += 1.0;
 
 func TestDetectSequentialNest(t *testing.T) {
 	var buf bytes.Buffer
-	err := detect(`
+	err := detect(context.Background(), `
 double a[8];
 for (i = 0; i < 8; i++) a[i] = 1.0;
 `, config{threads: 4, chunk: 1}, &buf)
@@ -78,7 +79,7 @@ for (i = 0; i < 8; i++) a[i] = 1.0;
 
 func TestDetectParseError(t *testing.T) {
 	var buf bytes.Buffer
-	if err := detect("for (i = 0; j < 4; i++) x = 1;", config{}, &buf); err == nil {
+	if err := detect(context.Background(), "for (i = 0; j < 4; i++) x = 1;", config{}, &buf); err == nil {
 		t.Fatal("expected parse error")
 	}
 }
@@ -103,7 +104,7 @@ double a[N];
 for (i = 0; i < N; i++) a[i] += 1.0;
 `
 	var buf bytes.Buffer
-	if err := detect(src, config{threads: 4, chunk: 1, recommend: true, jsonOut: true}, &buf); err != nil {
+	if err := detect(context.Background(), src, config{threads: 4, chunk: 1, recommend: true, jsonOut: true}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var reports []jsonReport
@@ -132,7 +133,7 @@ double a[N];
 for (i = 0; i < N; i++) a[i] += 1.0;
 `
 	var buf bytes.Buffer
-	if err := detect(src, config{threads: 4, chunk: 1, lines: true}, &buf); err != nil {
+	if err := detect(context.Background(), src, config{threads: 4, chunk: 1, lines: true}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "hot line: a+") {
@@ -158,10 +159,10 @@ for (i = 0; i < N; i++) b[i] += a[i];
 		cfgSerial := config{threads: 4, chunk: 1, recommend: true, lines: true, jsonOut: jsonOut, jobs: 1}
 		cfgParallel := cfgSerial
 		cfgParallel.jobs = 8
-		if err := detect(src, cfgSerial, &serial); err != nil {
+		if err := detect(context.Background(), src, cfgSerial, &serial); err != nil {
 			t.Fatal(err)
 		}
-		if err := detect(src, cfgParallel, &parallel); err != nil {
+		if err := detect(context.Background(), src, cfgParallel, &parallel); err != nil {
 			t.Fatal(err)
 		}
 		if serial.String() != parallel.String() {

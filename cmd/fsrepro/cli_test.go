@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the CLI error contract: flag/usage errors exit 2,
+// experiment errors exit 1 with a diagnostic on stderr.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStderr string
+		wantStdout string
+	}{
+		{"success", []string{"-exp", "modelcost", "-quick"}, 0, "", "[modelcost completed in"},
+		{"unknown flag", []string{"-no-such-flag"}, 2, "flag provided but not defined", ""},
+		{"extra args", []string{"-quick", "stray"}, 2, "unexpected arguments", ""},
+		{"bad threads", []string{"-threads", "2,x,8"}, 2, `bad -threads value "x"`, ""},
+		{"unknown experiment", []string{"-exp", "table99", "-quick"}, 1, `unknown experiment "table99"`, ""},
+		{"timeout", []string{"-exp", "table1", "-quick", "-timeout", "1ns"}, 1, "context deadline exceeded", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.name == "success" && testing.Short() {
+				t.Skip("skipping experiment run in -short mode")
+			}
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr = %q, want it to contain %q", stderr.String(), tc.wantStderr)
+			}
+			if !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout = %q, want it to contain %q", stdout.String(), tc.wantStdout)
+			}
+		})
+	}
+}

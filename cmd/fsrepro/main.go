@@ -8,9 +8,13 @@
 //
 // Experiment names: table1 table2 table3 table4 table5 table6 fig2 fig6
 // fig8 fig9 linesize modelcost all.
+//
+// Exit status is 0 on success, 1 on experiment errors, and 2 on usage
+// errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,13 +27,27 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1..table6, fig2, fig6, fig8, fig9, all)")
-	quick := flag.Bool("quick", false, "use the scaled-down quick configuration")
-	mesi := flag.Bool("mesi", false, "use MESI-faithful FS counting instead of the paper's ϕ")
-	threads := flag.String("threads", "", "comma-separated thread counts (default 2,4,8,16,24,32,40,48)")
-	format := flag.String("format", "text", "output format: text, csv or json")
-	jobs := flag.Int("j", 0, "worker count for the experiment sweeps (0 = GOMAXPROCS); output is identical for every value")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main: flag errors exit 2, experiment errors exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fsrepro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run (table1..table6, fig2, fig6, fig8, fig9, all)")
+	quick := fs.Bool("quick", false, "use the scaled-down quick configuration")
+	mesi := fs.Bool("mesi", false, "use MESI-faithful FS counting instead of the paper's ϕ")
+	threads := fs.String("threads", "", "comma-separated thread counts (default 2,4,8,16,24,32,40,48)")
+	format := fs.String("format", "text", "output format: text, csv or json")
+	jobs := fs.Int("j", 0, "worker count for the experiment sweeps (0 = GOMAXPROCS); output is identical for every value")
+	timeout := fs.Duration("timeout", 0, "abort the experiment sweeps after this long (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "fsrepro: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
@@ -44,10 +62,16 @@ func main() {
 		for _, f := range strings.Split(*threads, ",") {
 			var t int
 			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &t); err != nil {
-				fatalf("bad -threads value %q: %v", f, err)
+				fmt.Fprintf(stderr, "fsrepro: bad -threads value %q: %v\n", f, err)
+				return 2
 			}
 			cfg.Threads = append(cfg.Threads, t)
 		}
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Ctx = ctx
 	}
 
 	names := []string{*exp}
@@ -56,14 +80,17 @@ func main() {
 	}
 	for _, name := range names {
 		start := time.Now()
-		if err := runFormat(cfg, name, os.Stdout, *format); err != nil {
-			fatalf("%s: %v", name, err)
+		if err := runFormat(cfg, name, stdout, *format); err != nil {
+			fmt.Fprintf(stderr, "fsrepro: %s: %v\n", name, err)
+			return 1
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
-func run(cfg experiments.Config, name string, w io.Writer) error {
+// runExperiment computes the named experiment and writes it as text.
+func runExperiment(cfg experiments.Config, name string, w io.Writer) error {
 	return runFormat(cfg, name, w, "text")
 }
 
@@ -107,9 +134,4 @@ func kernelOf(table string) string {
 	default:
 		return "linreg"
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "fsrepro: "+format+"\n", args...)
-	os.Exit(1)
 }

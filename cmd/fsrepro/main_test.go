@@ -29,7 +29,7 @@ func TestRunAllExperimentsQuick(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig6", "fig8", "fig9",
 	} {
-		if err := run(cfg, name, io.Discard); err != nil {
+		if err := runExperiment(cfg, name, io.Discard); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
@@ -41,13 +41,13 @@ func TestRunFig2Quick(t *testing.T) {
 	}
 	// fig2 sweeps 30 chunk sizes; run it separately so failures are
 	// attributable.
-	if err := run(experiments.QuickConfig(), "fig2", io.Discard); err != nil {
+	if err := runExperiment(experiments.QuickConfig(), "fig2", io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(experiments.QuickConfig(), "table99", io.Discard); err == nil {
+	if err := runExperiment(experiments.QuickConfig(), "table99", io.Discard); err == nil {
 		t.Fatal("expected error for unknown experiment")
 	}
 }

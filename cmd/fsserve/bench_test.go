@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/service"
+)
+
+// benchResult is one (kernel, mode) row of BENCH_service.json.
+type benchResult struct {
+	Kernel   string  `json:"kernel"`
+	Mode     string  `json:"mode"` // "cache-miss" or "cache-hit"
+	Requests int     `json:"requests"`
+	ReqPerS  float64 `json:"req_per_s"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// TestGenerateServiceBench measures service throughput and latency for
+// cache-miss (every request a distinct source, full model evaluation) vs
+// cache-hit (repeated identical request) on the three paper kernels, and
+// writes BENCH_service.json. A full run evaluates the cost model dozens
+// of times (~30s), so it only runs when FSSERVE_BENCH_OUT names the
+// output path:
+//
+//	FSSERVE_BENCH_OUT=BENCH_service.json go test ./cmd/fsserve -run TestGenerateServiceBench -v
+func TestGenerateServiceBench(t *testing.T) {
+	out := os.Getenv("FSSERVE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set FSSERVE_BENCH_OUT=path to run the service benchmark")
+	}
+	base, stop := startE2E(t, service.Config{})
+	defer stop()
+
+	// Distinct sources per kernel: each request varies one dimension a
+	// little, so every analysis stays at paper scale but misses the cache.
+	missSource := map[string]func(i int) string{
+		"heat":   func(i int) string { return kernels.HeatSource(96, int64(4096+64*i)) },
+		"dft":    func(i int) string { return kernels.DFTSource(int64(256 + i)) },
+		"linreg": func(i int) string { return kernels.LinRegSource(int64(48+i), 1<<17, 8) },
+	}
+
+	const (
+		missN = 12
+		hitN  = 400
+	)
+	var results []benchResult
+	speedup := map[string]float64{}
+	for _, kernel := range kernels.Names() {
+		miss := measure(t, base, missN, func(i int) string {
+			body, _ := json.Marshal(map[string]any{"source": missSource[kernel](i), "threads": 8, "chunk": 1})
+			return string(body)
+		})
+		miss.Kernel, miss.Mode = kernel, "cache-miss"
+
+		hitBody := fmt.Sprintf(`{"kernel":%q,"threads":8,"chunk":1}`, kernel)
+		postJSON(t, base+"/v1/analyze", hitBody) // warm the cache
+		hit := measure(t, base, hitN, func(int) string { return hitBody })
+		hit.Kernel, hit.Mode = kernel, "cache-hit"
+
+		results = append(results, miss, hit)
+		speedup[kernel] = hit.ReqPerS / miss.ReqPerS
+		t.Logf("%s: miss %.1f req/s (p50 %.1fms p99 %.1fms), hit %.0f req/s (p50 %.3fms p99 %.3fms), speedup %.0fx",
+			kernel, miss.ReqPerS, miss.P50Ms, miss.P99Ms, hit.ReqPerS, hit.P50Ms, hit.P99Ms, speedup[kernel])
+		if speedup[kernel] < 10 {
+			t.Errorf("%s: cache-hit throughput only %.1fx cache-miss, want >= 10x", kernel, speedup[kernel])
+		}
+	}
+
+	doc := map[string]any{
+		"date": time.Now().Format("2006-01-02"),
+		"host": map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"cores":      runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		"config": map[string]any{
+			"note": "sequential client over loopback HTTP against cmd/fsserve with default service.Config; " +
+				"cache-miss requests vary one kernel dimension per request so every analysis runs the full " +
+				"model at paper scale; cache-hit repeats one identical request after a warm-up request",
+			"miss_requests": missN,
+			"hit_requests":  hitN,
+			"threads":       8,
+			"chunk":         1,
+		},
+		"results":         results,
+		"hit_vs_miss_x":   speedup,
+		"acceptance_note": "cache-hit >= 10x cache-miss throughput required on every kernel",
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// measure issues n sequential requests and reports throughput and
+// latency percentiles.
+func measure(t *testing.T, base string, n int, body func(i int) string) benchResult {
+	t.Helper()
+	lat := make([]float64, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		reqStart := time.Now()
+		status, b := postJSON(t, base+"/v1/analyze", body(i))
+		if status != 200 {
+			t.Fatalf("request %d: status %d: %s", i, status, b)
+		}
+		lat[i] = float64(time.Since(reqStart).Microseconds()) / 1000
+	}
+	total := time.Since(start).Seconds()
+	sort.Float64s(lat)
+	return benchResult{
+		Requests: n,
+		ReqPerS:  float64(n) / total,
+		P50Ms:    lat[n/2],
+		P99Ms:    lat[min(n-1, (99*n+99)/100-1)],
+	}
+}

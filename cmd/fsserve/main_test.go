@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the CLI error contract: flag/usage errors exit 2
+// with a diagnostic on stderr, startup errors exit 1.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStderr string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+		{"extra args", []string{"-cache", "4", "stray"}, 2, "unexpected arguments"},
+		{"bad log format", []string{"-log", "xml"}, 2, `unknown -log format "xml"`},
+		{"bad duration", []string{"-timeout", "fast"}, 2, "invalid value"},
+		{"unlistenable addr", []string{"-addr", "256.256.256.256:0"}, 1, "fsserve:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr = %q, want it to contain %q", stderr.String(), tc.wantStderr)
+			}
+		})
+	}
+}

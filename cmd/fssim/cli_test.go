@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the CLI error contract: flag/usage errors exit 2,
+// input and simulation errors exit 1 with a diagnostic on stderr, success
+// exits 0 with the report on stdout.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "victim.c")
+	if err := os.WriteFile(good, []byte(victim), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStderr string
+		wantStdout string
+	}{
+		{"success", []string{"-threads", "4", good}, 0, "", "coherence misses="},
+		{"unknown flag", []string{"-no-such-flag"}, 2, "flag provided but not defined", ""},
+		{"bad flag value", []string{"-chunk", "wide", good}, 2, "invalid value", ""},
+		{"no input", nil, 1, "usage: fssim", ""},
+		{"unknown kernel", []string{"-kernel", "bogus"}, 1, "valid kernels: heat, dft, linreg", ""},
+		{"missing file", []string{filepath.Join(dir, "nope.c")}, 1, "no such file", ""},
+		{"bad nest index", []string{"-nest", "7", good}, 1, "fssim:", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr = %q, want it to contain %q", stderr.String(), tc.wantStderr)
+			}
+			if !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout = %q, want it to contain %q", stdout.String(), tc.wantStdout)
+			}
+		})
+	}
+}

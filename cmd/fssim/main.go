@@ -6,6 +6,9 @@
 //
 //	fssim -kernel dft -threads 8 -chunk 1
 //	fssim -threads 16 -chunk 4 -compare 64 file.c
+//
+// Exit status is 0 on success, 1 on simulation or I/O errors, and 2 on
+// usage errors.
 package main
 
 import (
@@ -26,21 +29,33 @@ type config struct {
 }
 
 func main() {
-	var cfg config
-	flag.IntVar(&cfg.threads, "threads", 8, "thread count")
-	flag.Int64Var(&cfg.chunk, "chunk", 1, "schedule chunk size")
-	kernel := flag.String("kernel", "", "simulate a built-in kernel (heat, dft, linreg)")
-	flag.IntVar(&cfg.nest, "nest", 0, "loop nest index to simulate")
-	flag.Int64Var(&cfg.compare, "compare", 0, "also simulate this chunk size and report the FS effect")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	src, err := loadSource(*kernel, cfg.threads, flag.Args())
+// run is the testable main: flag errors exit 2, simulation errors exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fssim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.IntVar(&cfg.threads, "threads", 8, "thread count")
+	fs.Int64Var(&cfg.chunk, "chunk", 1, "schedule chunk size")
+	kernel := fs.String("kernel", "", "simulate a built-in kernel (heat, dft, linreg)")
+	fs.IntVar(&cfg.nest, "nest", 0, "loop nest index to simulate")
+	fs.Int64Var(&cfg.compare, "compare", 0, "also simulate this chunk size and report the FS effect")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	src, err := loadSource(*kernel, cfg.threads, fs.Args())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "fssim:", err)
+		return 1
 	}
-	if err := simulate(src, cfg, os.Stdout); err != nil {
-		fatal(err)
+	if err := simulate(src, cfg, stdout); err != nil {
+		fmt.Fprintln(stderr, "fssim:", err)
+		return 1
 	}
+	return 0
 }
 
 func loadSource(kernel string, threads int, args []string) (string, error) {
@@ -98,9 +113,4 @@ func printReport(w io.Writer, chunk int64, r *repro.SimReport) {
 	fmt.Fprintf(w, "chunk=%d: %.6f s (%.0f cycles)\n", chunk, r.Seconds, r.WallCycles)
 	fmt.Fprintf(w, "  accesses=%d L1=%d L2=%d L3=%d mem=%d\n", r.Accesses, r.L1Hits, r.L2Hits, r.L3Hits, r.MemFills)
 	fmt.Fprintf(w, "  coherence misses=%d invalidations=%d\n", r.CoherenceMisses, r.Invalidations)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fssim:", err)
-	os.Exit(1)
 }

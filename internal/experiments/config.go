@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fsmodel"
@@ -39,6 +40,19 @@ type Config struct {
 	// out on (the -j flag); <= 0 selects GOMAXPROCS. Output is identical
 	// for every value.
 	Jobs int
+
+	// Ctx, when non-nil, bounds every experiment sweep: cancellation or an
+	// expired deadline stops the sweep promptly and the experiment returns
+	// ctx.Err() (the fsrepro -timeout flag). Nil means no deadline.
+	Ctx context.Context
+}
+
+// ctx resolves the sweep context, defaulting to context.Background().
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig mirrors the paper's setup at reproduction scale.

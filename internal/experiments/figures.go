@@ -49,7 +49,7 @@ func Fig2ChunkSweep(cfg Config, threads int, chunks []int64) (*ChunkSweepResult,
 		return nil, err
 	}
 	res := &ChunkSweepResult{Kernel: "linreg", Threads: threads}
-	points, err := sweep.Run(context.Background(), len(chunks), cfg.Jobs, func(_ context.Context, i int) (ChunkSweepPoint, error) {
+	points, err := sweep.Run(cfg.ctx(), len(chunks), cfg.Jobs, func(_ context.Context, i int) (ChunkSweepPoint, error) {
 		chunk := chunks[i]
 		st, err := sim.Run(kern.Nest, sim.Options{Machine: cfg.Machine, NumThreads: threads, Chunk: chunk})
 		if err != nil {
@@ -117,7 +117,7 @@ func Fig6Linearity(cfg Config, kernel string, threads int, maxRuns int64) (*Line
 	}
 	res := &LinearityResult{Kernel: kc.name, Threads: threads}
 	chunkAxis := []int64{kc.fsChunk, kc.nfsChunk}
-	series, err := sweep.Run(context.Background(), len(chunkAxis), cfg.Jobs, func(_ context.Context, i int) (LinearitySeries, error) {
+	series, err := sweep.Run(cfg.ctx(), len(chunkAxis), cfg.Jobs, func(_ context.Context, i int) (LinearitySeries, error) {
 		chunk := chunkAxis[i]
 		opts := fsmodel.Options{
 			Machine: cfg.Machine, NumThreads: threads, Chunk: chunk,

@@ -52,7 +52,7 @@ func LineSizeSweep(cfg Config, threads int, chunk int64, lineSizes []int64) (*Li
 		lineSizes = []int64{32, 64, 128, 256}
 	}
 	res := &LineSizeResult{Kernel: "linreg", Threads: threads, Chunk: chunk}
-	points, err := sweep.Run(context.Background(), len(lineSizes), cfg.Jobs, func(_ context.Context, i int) (LineSizePoint, error) {
+	points, err := sweep.Run(cfg.ctx(), len(lineSizes), cfg.Jobs, func(_ context.Context, i int) (LineSizePoint, error) {
 		ls := lineSizes[i]
 		m := withLineSize(cfg.Machine, ls)
 		if err := m.Validate(); err != nil {

@@ -57,7 +57,7 @@ func ModelingCost(cfg Config, threads int, chunkRuns int64, sizes [][2]int64) (*
 	// times, so the interesting number under -j > 1 is their per-point
 	// ratio (both sides of a point contend equally), not the absolute
 	// values.
-	points, err := sweep.Run(context.Background(), len(sizes), cfg.Jobs, func(_ context.Context, i int) (ModelCostPoint, error) {
+	points, err := sweep.Run(cfg.ctx(), len(sizes), cfg.Jobs, func(_ context.Context, i int) (ModelCostPoint, error) {
 		sz := sizes[i]
 		kern, err := kernels.Heat(sz[0], sz[1])
 		if err != nil {

@@ -59,7 +59,7 @@ func PredictionTable(cfg Config, kernel string) (*PredictionTableResult, error) 
 	plans := make([]sched.Plan, len(cfg.Threads))
 	kerns := make([]*kernels.Kernel, len(cfg.Threads))
 
-	err = sweep.ForEach(context.Background(), len(cfg.Threads), cfg.Jobs, func(_ context.Context, i int) error {
+	err = sweep.ForEach(cfg.ctx(), len(cfg.Threads), cfg.Jobs, func(_ context.Context, i int) error {
 		threads := cfg.Threads[i]
 		kern, err := kc.load(cfg, threads)
 		if err != nil {

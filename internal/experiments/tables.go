@@ -62,7 +62,7 @@ func Table(cfg Config, kernel string) (*TableResult, error) {
 	// Rows are independent given the kernel parameters, so evaluate them
 	// on the sweep pool; percentages that need the shared Equation-5
 	// normalization are filled in afterwards.
-	err = sweep.ForEach(context.Background(), len(cfg.Threads), cfg.Jobs, func(_ context.Context, i int) error {
+	err = sweep.ForEach(cfg.ctx(), len(cfg.Threads), cfg.Jobs, func(_ context.Context, i int) error {
 		row, plan, kern, err := tableRow(cfg, kc, cfg.Threads[i])
 		if err != nil {
 			return fmt.Errorf("experiments: %s threads=%d: %w", kc.name, cfg.Threads[i], err)

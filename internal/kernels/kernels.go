@@ -21,6 +21,7 @@ package kernels
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/loopir"
 	"repro/internal/minic"
@@ -163,8 +164,22 @@ func LinReg(tasks, points int64, threads int) (*Kernel, error) {
 	return Load("linreg", LinRegSource(tasks, points, threads))
 }
 
+// UnknownKernelError reports a kernel name that is not in the registry,
+// carrying the valid names so callers (CLI usage text, the service's 400
+// responses) can tell the user exactly what is accepted.
+type UnknownKernelError struct {
+	Name  string
+	Valid []string
+}
+
+// Error implements the error interface.
+func (e *UnknownKernelError) Error() string {
+	return fmt.Sprintf("kernels: unknown kernel %q (valid kernels: %s)", e.Name, strings.Join(e.Valid, ", "))
+}
+
 // ByName loads a kernel by name at its default size. Thread-dependent
-// kernels (linreg) use the supplied thread count.
+// kernels (linreg) use the supplied thread count. An unrecognized name
+// returns an *UnknownKernelError listing the valid names.
 func ByName(name string, threads int) (*Kernel, error) {
 	switch name {
 	case "heat":
@@ -174,7 +189,7 @@ func ByName(name string, threads int) (*Kernel, error) {
 	case "linreg":
 		return LinReg(DefaultLinRegTasks, DefaultLinRegPoints, threads)
 	}
-	return nil, fmt.Errorf("kernels: unknown kernel %q (want heat, dft or linreg)", name)
+	return nil, &UnknownKernelError{Name: name, Valid: Names()}
 }
 
 // Names lists the available kernels.

@@ -1,8 +1,10 @@
 package kernels
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/interp"
@@ -284,4 +286,26 @@ func TestMatMulInterpMatchesNative(t *testing.T) {
 		}
 	}
 	_ = native
+}
+
+func TestUnknownKernelError(t *testing.T) {
+	_, err := ByName("bogus", 4)
+	if err == nil {
+		t.Fatal("expected error for unknown kernel")
+	}
+	var uk *UnknownKernelError
+	if !errors.As(err, &uk) {
+		t.Fatalf("err = %T, want *UnknownKernelError", err)
+	}
+	if uk.Name != "bogus" {
+		t.Errorf("Name = %q", uk.Name)
+	}
+	// The message must list every valid kernel so CLI and API callers can
+	// surface it verbatim.
+	msg := err.Error()
+	for _, name := range Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not mention %q", msg, name)
+		}
+	}
 }

@@ -1,0 +1,54 @@
+package minic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary byte strings to the mini-C parser, seeded
+// with every checked-in example program. The parser must either return a
+// program or a *ParseError — it must never panic or hang, whatever the
+// input.
+func FuzzParse(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.c"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no seed corpus: testdata/*.c not found")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	// Hand-picked seeds poking at lexer and parser edges the example
+	// programs don't reach.
+	for _, s := range []string{
+		"",
+		"#define",
+		"#define N",
+		"#pragma omp parallel for",
+		"for (i = 0; i < N; i++)",
+		"for (i = 0; i < 8; i++) a[i] = a[i+1];",
+		"double a[1<<30];",
+		"x = 1e999;",
+		"/* unterminated",
+		"a[i][j][k] += b[j]*c[k];",
+		"#pragma omp parallel for schedule(static,0) num_threads(-1)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program with nil error")
+		}
+		if err != nil && prog != nil {
+			t.Fatalf("Parse returned both a program and error %v", err)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	g := &Gauge{}
+	c := newResultCache(3, g)
+	for i := 0; i < 3; i++ {
+		c.Add(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Touch k0 so k1 becomes the LRU entry.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Add("k3", []byte{3})
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 should have been evicted as LRU")
+	}
+	for _, want := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(want); !ok {
+			t.Errorf("%s should still be cached", want)
+		}
+	}
+	if c.Len() != 3 || g.Value() != 3 {
+		t.Errorf("Len=%d gauge=%d, want 3/3", c.Len(), g.Value())
+	}
+}
+
+func TestCacheRefreshExistingKey(t *testing.T) {
+	c := newResultCache(2, nil)
+	c.Add("k", []byte("v1"))
+	c.Add("k", []byte("v2"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after refresh, want 1", c.Len())
+	}
+	got, ok := c.Get("k")
+	if !ok || !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1, nil)
+	c.Add("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache must always miss")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates concurrent identical work (singleflight
+// semantics): while an evaluation for a key is in flight, further callers
+// with the same key wait for its result instead of starting their own.
+// Combined with the result cache this gives the server the invariant the
+// end-to-end test pins down: N concurrent identical requests perform
+// exactly one model evaluation.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	waiters atomic.Int64 // joiners currently waiting, for tests and introspection
+	res     flightResult
+	err     error
+}
+
+// flightResult is what one evaluation produces: the serialized response
+// and whether the leader found it already cached (a leader re-checks the
+// cache to close the gap between a caller's cache miss and its flight
+// join).
+type flightResult struct {
+	body      []byte
+	fromCache bool
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do runs fn for key, coalescing concurrent duplicates: the first caller
+// (the leader) runs fn; callers arriving while it runs wait and share the
+// leader's result and error. The second return reports whether this caller
+// coalesced (joined rather than led). A caller whose ctx expires while
+// waiting gets ctx.Err(); the leader itself always runs fn to completion
+// so joiners never observe a half-finished result.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (flightResult, error)) (flightResult, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.waiters.Add(1)
+		defer c.waiters.Add(-1)
+		select {
+		case <-c.done:
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return flightResult{}, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, false, c.err
+}

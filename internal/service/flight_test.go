@@ -1,0 +1,110 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFlightCoalesces pins the singleflight contract: N concurrent Do
+// calls for one key run fn exactly once, everyone shares the result, and
+// exactly N-1 callers report coalesced.
+func TestFlightCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	const n = 16
+	var (
+		evals     atomic.Int64
+		coalesced atomic.Int64
+		release   = make(chan struct{})
+		started   = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	fn := func() (flightResult, error) {
+		evals.Add(1)
+		close(started)
+		<-release // hold the call open until all joiners have arrived
+		return flightResult{body: []byte("result")}, nil
+	}
+	do := func() {
+		defer wg.Done()
+		res, joined, err := g.Do(context.Background(), "key", fn)
+		if err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(res.body, []byte("result")) {
+			t.Errorf("body = %q", res.body)
+		}
+		if joined {
+			coalesced.Add(1)
+		}
+	}
+	wg.Add(1)
+	go do()
+	<-started // the leader is inside fn and will stay there
+	wg.Add(n - 1)
+	for i := 0; i < n-1; i++ {
+		go do()
+	}
+	// Release only once every joiner is parked on the leader's call, so
+	// "exactly one evaluation" is a hard assertion, not a race.
+	for {
+		g.mu.Lock()
+		c := g.calls["key"]
+		g.mu.Unlock()
+		if c != nil && c.waiters.Load() == n-1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if evals.Load() != 1 {
+		t.Errorf("fn ran %d times, want exactly 1", evals.Load())
+	}
+	if coalesced.Load() != n-1 {
+		t.Errorf("coalesced = %d, want %d", coalesced.Load(), n-1)
+	}
+}
+
+func TestFlightSharesError(t *testing.T) {
+	g := newFlightGroup()
+	boom := errors.New("boom")
+	if _, _, err := g.Do(context.Background(), "k", func() (flightResult, error) {
+		return flightResult{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failed call must have been forgotten: a later Do runs fresh.
+	res, joined, err := g.Do(context.Background(), "k", func() (flightResult, error) {
+		return flightResult{body: []byte("ok")}, nil
+	})
+	if err != nil || joined || string(res.body) != "ok" {
+		t.Fatalf("retry: res=%q joined=%v err=%v", res.body, joined, err)
+	}
+}
+
+func TestFlightJoinerContextExpiry(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go g.Do(context.Background(), "k", func() (flightResult, error) {
+		close(started)
+		<-release
+		return flightResult{}, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, joined, err := g.Do(ctx, "k", func() (flightResult, error) {
+		t.Error("joiner must not run fn")
+		return flightResult{}, nil
+	})
+	if !joined || !errors.Is(err, context.Canceled) {
+		t.Fatalf("joined=%v err=%v, want joined with context.Canceled", joined, err)
+	}
+	close(release)
+}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/kernels"
+	"repro/internal/sweep"
+)
+
+// writeJSON writes v with the canonical headers.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// writeError writes the error envelope for err, attaching Retry-After to
+// backpressure statuses.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	if status == http.StatusTooManyRequests {
+		s.metrics.QueueRejects.Inc()
+	}
+	writeJSON(w, status, map[string]*APIError{"error": {Code: status, Message: err.Error()}})
+}
+
+// decodeBody decodes the JSON request body under the configured size
+// limit, distinguishing oversized bodies (413) from malformed ones (400).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &apiError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return badRequestf("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// handleAnalyze serves POST /v1/analyze.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	rr, err := s.resolve(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	body, source, err := s.analyze(ctx, rr)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", source)
+	w.Write(body)
+}
+
+// analyze serves one resolved analysis point through the cache, the
+// in-flight dedup group, and the bounded evaluation pool, in that order.
+// The returned body is the exact serialized response (cached bytes are
+// served verbatim); source reports how it was obtained: "hit",
+// "coalesced" or "miss".
+func (s *Server) analyze(ctx context.Context, rr resolved) (body []byte, source string, err error) {
+	if b, ok := s.cache.Get(rr.key); ok {
+		s.metrics.CacheHits.Inc()
+		return b, "hit", nil
+	}
+	res, coalesced, err := s.flight.Do(ctx, rr.key, func() (flightResult, error) {
+		// Re-check the cache as leader: a previous leader may have filled
+		// it between this request's miss and its flight entry, and an
+		// evaluation is too expensive to repeat on that race.
+		if b, ok := s.cache.Get(rr.key); ok {
+			return flightResult{body: b, fromCache: true}, nil
+		}
+		release, err := s.limiter.acquire(ctx)
+		if err != nil {
+			return flightResult{}, err
+		}
+		defer release()
+		s.metrics.CacheMisses.Inc()
+		s.metrics.Inflight.Inc()
+		defer s.metrics.Inflight.Dec()
+		start := time.Now()
+		resp, err := s.evaluate(ctx, rr)
+		if err != nil {
+			return flightResult{}, err
+		}
+		b, err := json.Marshal(resp)
+		if err != nil {
+			return flightResult{}, err
+		}
+		s.metrics.Evaluations.Inc()
+		s.metrics.EvalLatency.Observe(time.Since(start).Seconds())
+		s.cache.Add(rr.key, b)
+		return flightResult{body: b}, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	switch {
+	case res.fromCache:
+		s.metrics.CacheHits.Inc()
+		return res.body, "hit", nil
+	case coalesced:
+		s.metrics.Coalesced.Inc()
+		return res.body, "coalesced", nil
+	}
+	return res.body, "miss", nil
+}
+
+// evaluate runs the full pipeline for one resolved request: parse →
+// analyze → Equation 1 cost → optional chunk recommendation.
+func (s *Server) evaluate(ctx context.Context, rr resolved) (*AnalyzeResponse, error) {
+	prog, err := repro.Parse(rr.source)
+	if err != nil {
+		// Anything the front end rejects is the client's input.
+		return nil, &apiError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	if rr.req.Nest >= prog.NumNests() {
+		return nil, badRequestf("nest index %d out of range (program has %d nests)", rr.req.Nest, prog.NumNests())
+	}
+	info, err := prog.Nest(rr.req.Nest)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	if info.ParallelLevel < 0 {
+		return nil, badRequestf("nest %d is sequential: no parallel loop to analyze", rr.req.Nest)
+	}
+	if len(info.SymbolicParams) > 0 {
+		return nil, badRequestf("nest %d has loop bounds unknown at compile time (%v); the service analyzes constant-bound nests", rr.req.Nest, info.SymbolicParams)
+	}
+	a, err := prog.Analyze(rr.req.Nest, rr.opts)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := prog.EstimateCost(rr.req.Nest, rr.opts)
+	if err != nil {
+		return nil, err
+	}
+	resp := &AnalyzeResponse{
+		Nest:           rr.req.Nest,
+		Threads:        a.Threads,
+		Chunk:          a.Chunk,
+		FSCases:        a.FSCases,
+		FSShare:        a.FSShare,
+		Iterations:     a.Iterations,
+		FSPerIteration: a.FSPerIteration,
+		ChunkRuns:      a.ChunkRuns,
+		TotalCycles:    cost.TotalWallCycles,
+		Victims:        a.Victims,
+		HotLines:       a.HotLines,
+		SkippedRefs:    a.SkippedRefs,
+		Warnings:       prog.Warnings(),
+	}
+	if rr.req.Recommend {
+		rec, err := prog.RecommendChunkCtx(ctx, rr.req.Nest, rr.opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp.RecommendedChunk = rec.Chunk
+		resp.RecommendedFSCases = rec.FSCases
+	}
+	return resp, nil
+}
+
+// handleBatch serves POST /v1/analyze/batch: every point resolved up
+// front, then fanned out on the sweep pool with results in input order.
+// Item failures are reported per item; the batch itself fails only on a
+// malformed body or a cancelled request.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq BatchRequest
+	if err := s.decodeBody(w, r, &breq); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	reqs, err := breq.expand()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(reqs) > s.cfg.MaxBatch {
+		s.writeError(w, badRequestf("batch of %d exceeds the %d-point limit", len(reqs), s.cfg.MaxBatch))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// Items never return a Go error (failures are embedded), so the only
+	// sweep error is ctx expiry. Workers are not bounded here: each item
+	// still queues through the evaluation limiter, which is the real
+	// concurrency bound.
+	results, err := sweep.Run(ctx, len(reqs), min(len(reqs), 2*s.cfg.MaxConcurrent), func(ctx context.Context, i int) (BatchResult, error) {
+		rr, err := s.resolve(reqs[i])
+		if err == nil {
+			var body []byte
+			body, _, err = s.analyze(ctx, rr)
+			if err == nil {
+				return BatchResult{Result: json.RawMessage(body)}, nil
+			}
+		}
+		return BatchResult{Error: &APIError{Code: statusFor(err), Message: err.Error()}}, nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// handleKernels serves GET /v1/kernels: the built-in kernel and machine
+// registries, so clients can discover valid names.
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"kernels":  kernels.Names(),
+		"machines": repro.MachineNames(),
+	})
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 once
+// BeginShutdown has been called.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.CacheEntries.Set(int64(s.cache.Len()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}

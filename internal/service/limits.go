@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errQueueFull is returned by limiter.acquire when the bounded wait queue
+// is already at capacity; the handlers map it to 429 with Retry-After.
+var errQueueFull = errors.New("service: evaluation queue full")
+
+// limiter bounds the number of concurrent model evaluations and the
+// number of requests allowed to wait for a slot. Admission control is the
+// server's backpressure: beyond maxConcurrent running plus maxQueue
+// waiting, requests are rejected immediately rather than piling up.
+type limiter struct {
+	slots chan struct{} // buffered; a token = permission to evaluate
+
+	mu      sync.Mutex
+	waiting int
+	maxWait int
+	depth   *Gauge // nil-safe mirror of waiting
+}
+
+func newLimiter(maxConcurrent, maxQueue int, depth *Gauge) *limiter {
+	l := &limiter{
+		slots:   make(chan struct{}, maxConcurrent),
+		maxWait: maxQueue,
+		depth:   depth,
+	}
+	for i := 0; i < maxConcurrent; i++ {
+		l.slots <- struct{}{}
+	}
+	return l
+}
+
+// acquire blocks until an evaluation slot is free, the queue is full, or
+// ctx is done, in that priority. On success the returned release function
+// must be called exactly once.
+func (l *limiter) acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot means no queueing at all.
+	select {
+	case <-l.slots:
+		return l.release, nil
+	default:
+	}
+
+	l.mu.Lock()
+	if l.waiting >= l.maxWait {
+		l.mu.Unlock()
+		return nil, errQueueFull
+	}
+	l.waiting++
+	if l.depth != nil {
+		l.depth.Set(int64(l.waiting))
+	}
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.waiting--
+		if l.depth != nil {
+			l.depth.Set(int64(l.waiting))
+		}
+		l.mu.Unlock()
+	}()
+
+	select {
+	case <-l.slots:
+		return l.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *limiter) release() { l.slots <- struct{}{} }

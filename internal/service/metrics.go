@@ -1,0 +1,266 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram in seconds.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []int64   // len(bounds)+1
+	sum    float64
+	count  int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// defLatencyBuckets spans sub-millisecond cache hits to multi-second
+// sweeps.
+func defLatencyBuckets() []float64 {
+	return []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// LabeledCounter is a family of counters distinguished by label values
+// (e.g. requests by endpoint and status code).
+type LabeledCounter struct {
+	labels []string // label names, fixed at construction
+	mu     sync.Mutex
+	vals   map[string]*Counter // key = joined label values
+}
+
+func newLabeledCounter(labels ...string) *LabeledCounter {
+	return &LabeledCounter{labels: labels, vals: make(map[string]*Counter)}
+}
+
+// With returns the counter for the given label values (created on first
+// use). len(values) must equal the number of label names.
+func (l *LabeledCounter) With(values ...string) *Counter {
+	if len(values) != len(l.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(l.labels)))
+	}
+	key := ""
+	for i, v := range values {
+		if i > 0 {
+			key += "\x00"
+		}
+		key += v
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c, ok := l.vals[key]
+	if !ok {
+		c = &Counter{}
+		l.vals[key] = c
+	}
+	return c
+}
+
+// Total sums the family across all label values.
+func (l *LabeledCounter) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t int64
+	for _, c := range l.vals {
+		t += c.Value()
+	}
+	return t
+}
+
+// Metrics is the server's metric set, rendered in Prometheus text
+// exposition format by WritePrometheus. Everything is hand-rolled on the
+// stdlib: counters and gauges are atomics, histograms are fixed buckets
+// under a mutex.
+type Metrics struct {
+	// Requests counts finished HTTP requests by endpoint and status code.
+	Requests *LabeledCounter
+	// CacheHits / CacheMisses count result-cache outcomes; Coalesced
+	// counts requests that joined an identical in-flight evaluation
+	// instead of starting their own; Evaluations counts actual model
+	// evaluations (misses that led).
+	CacheHits   *Counter
+	CacheMisses *Counter
+	Coalesced   *Counter
+	Evaluations *Counter
+	// QueueRejects counts requests turned away with 429 because the
+	// evaluation queue was full.
+	QueueRejects *Counter
+	// CacheEntries is the current result-cache size; QueueDepth is the
+	// number of requests waiting for an evaluation slot; Inflight is the
+	// number of evaluations currently running.
+	CacheEntries *Gauge
+	QueueDepth   *Gauge
+	Inflight     *Gauge
+	// EvalLatency observes model-evaluation wall time; RequestLatency
+	// observes whole-request wall time (including cache hits).
+	EvalLatency    *Histogram
+	RequestLatency *Histogram
+}
+
+// NewMetrics constructs an empty metric set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Requests:       newLabeledCounter("endpoint", "code"),
+		CacheHits:      &Counter{},
+		CacheMisses:    &Counter{},
+		Coalesced:      &Counter{},
+		Evaluations:    &Counter{},
+		QueueRejects:   &Counter{},
+		CacheEntries:   &Gauge{},
+		QueueDepth:     &Gauge{},
+		Inflight:       &Gauge{},
+		EvalLatency:    newHistogram(defLatencyBuckets()),
+		RequestLatency: newHistogram(defLatencyBuckets()),
+	}
+}
+
+func writeHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func (l *LabeledCounter) write(w io.Writer, name string) {
+	l.mu.Lock()
+	keys := make([]string, 0, len(l.vals))
+	for k := range l.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type kv struct {
+		key string
+		val int64
+	}
+	rows := make([]kv, len(keys))
+	for i, k := range keys {
+		rows[i] = kv{k, l.vals[k].Value()}
+	}
+	l.mu.Unlock()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s{", name)
+		for i, v := range splitKey(r.key, len(l.labels)) {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", l.labels[i], v)
+		}
+		fmt.Fprintf(w, "} %d\n", r.val)
+	}
+}
+
+func splitKey(key string, n int) []string {
+	parts := make([]string, 0, n)
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\x00' {
+			parts = append(parts, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, key[start:])
+}
+
+func (h *Histogram) write(w io.Writer, name string) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]int64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4), deterministically ordered.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	writeHeader(w, "fsserve_requests_total", "counter", "Finished HTTP requests by endpoint and status code.")
+	m.Requests.write(w, "fsserve_requests_total")
+
+	for _, c := range []struct {
+		name, help string
+		c          *Counter
+	}{
+		{"fsserve_cache_hits_total", "Analyses served from the result cache.", m.CacheHits},
+		{"fsserve_cache_misses_total", "Analyses not found in the result cache.", m.CacheMisses},
+		{"fsserve_dedup_coalesced_total", "Requests coalesced onto an identical in-flight evaluation.", m.Coalesced},
+		{"fsserve_evaluations_total", "Model evaluations actually performed.", m.Evaluations},
+		{"fsserve_queue_rejects_total", "Requests rejected because the evaluation queue was full.", m.QueueRejects},
+	} {
+		writeHeader(w, c.name, "counter", c.help)
+		fmt.Fprintf(w, "%s %d\n", c.name, c.c.Value())
+	}
+
+	for _, g := range []struct {
+		name, help string
+		g          *Gauge
+	}{
+		{"fsserve_cache_entries", "Entries currently in the result cache.", m.CacheEntries},
+		{"fsserve_queue_depth", "Requests currently waiting for an evaluation slot.", m.QueueDepth},
+		{"fsserve_inflight_evaluations", "Model evaluations currently running.", m.Inflight},
+	} {
+		writeHeader(w, g.name, "gauge", g.help)
+		fmt.Fprintf(w, "%s %d\n", g.name, g.g.Value())
+	}
+
+	writeHeader(w, "fsserve_eval_seconds", "histogram", "Model evaluation latency in seconds.")
+	m.EvalLatency.write(w, "fsserve_eval_seconds")
+	writeHeader(w, "fsserve_request_seconds", "histogram", "Whole-request latency in seconds.")
+	m.RequestLatency.write(w, "fsserve_request_seconds")
+}

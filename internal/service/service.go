@@ -1,0 +1,199 @@
+// Package service is the long-running false-sharing analysis service: the
+// whole compile-time pipeline (mini-C source or built-in kernel → FS cost
+// model → schedule recommendation) exposed as a stdlib-only HTTP JSON API,
+// built to be hit repeatedly from tooling rather than paying process
+// startup per analysis.
+//
+// The resident pieces, each in its own file:
+//
+//   - a content-addressed result cache (cache.go): a bounded LRU keyed by
+//     a canonical SHA-256 of source + options, serving byte-identical
+//     responses for repeated requests;
+//   - in-flight deduplication (flight.go): N concurrent identical
+//     requests perform exactly one model evaluation;
+//   - admission control (limits.go): a bounded evaluation pool plus a
+//     bounded wait queue; beyond both, requests get 429 + Retry-After
+//     instead of queueing without bound;
+//   - hand-rolled Prometheus metrics (metrics.go) and structured request
+//     logs via log/slog;
+//   - HTTP handlers (handlers.go) for /v1/analyze, /v1/analyze/batch
+//     (fan-out on the internal/sweep pool, results in input order),
+//     /v1/kernels, /healthz and /metrics.
+//
+// Graceful shutdown is the caller's http.Server.Shutdown; BeginShutdown
+// additionally flips /healthz to 503 so load balancers drain first.
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes the server. The zero value is production-usable;
+// fields are documented with their defaults.
+type Config struct {
+	// CacheEntries bounds the result cache (0 = default 512; negative
+	// disables caching).
+	CacheEntries int
+	// MaxConcurrent bounds concurrently running model evaluations
+	// (0 = GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an evaluation slot
+	// (0 = default 64); beyond it requests are rejected with 429.
+	MaxQueue int
+	// RequestTimeout is the per-request deadline, propagated via context
+	// into queue waits and candidate sweeps (0 = default 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 = default 1 MiB).
+	MaxBodyBytes int64
+	// MaxBatch bounds the number of analysis points in one batch request
+	// (0 = default 256).
+	MaxBatch int
+	// Logger receives structured request logs (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the analysis service. Create with New, mount via Handler.
+type Server struct {
+	cfg      Config
+	metrics  *Metrics
+	cache    *resultCache
+	flight   *flightGroup
+	limiter  *limiter
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		flight:  newFlightGroup(),
+	}
+	s.cache = newResultCache(cfg.CacheEntries, s.metrics.CacheEntries)
+	s.limiter = newLimiter(cfg.MaxConcurrent, cfg.MaxQueue, s.metrics.QueueDepth)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Metrics exposes the server's metric set (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Logger returns the server's (defaulted) logger.
+func (s *Server) Logger() *slog.Logger { return s.cfg.Logger }
+
+// BeginShutdown flips /healthz to 503 so load balancers stop routing new
+// work while the caller's http.Server.Shutdown drains in-flight requests.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// Handler returns the server's root handler: the API mux wrapped in
+// panic recovery, request logging and latency accounting.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if v := recover(); v != nil {
+				// A handler panic must not take down the resident server;
+				// the fuzzed parser should make this unreachable for
+				// analysis requests, but the recovery is cheap insurance.
+				s.cfg.Logger.Error("panic in handler", "method", r.Method, "path", r.URL.Path, "panic", v)
+				if !rec.wrote {
+					http.Error(rec, `{"error":{"code":500,"message":"internal panic"}}`, http.StatusInternalServerError)
+				}
+			}
+			elapsed := time.Since(start)
+			s.metrics.RequestLatency.Observe(elapsed.Seconds())
+			s.metrics.Requests.With(r.URL.Path, statusText(rec.status)).Inc()
+			s.cfg.Logger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"dur_ms", float64(elapsed.Microseconds())/1000,
+				"cache", rec.Header().Get("X-Cache"),
+			)
+		}()
+		s.mux.ServeHTTP(rec, r)
+	})
+}
+
+// statusRecorder captures the response status for logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+func statusText(code int) string {
+	// Avoid strconv in the hot path for the handful of codes we emit.
+	switch code {
+	case 200:
+		return "200"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 405:
+		return "405"
+	case 413:
+		return "413"
+	case 429:
+		return "429"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	case 504:
+		return "504"
+	}
+	return strconv.Itoa(code)
+}

@@ -29,6 +29,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/costmodel"
 	"repro/internal/fsmodel"
@@ -59,6 +60,23 @@ func SmallTest() Machine { return Machine{desc: machine.SmallTest()} }
 // caches and faster coherence, for checking conclusions beyond the
 // paper's 2012 hardware.
 func Modern16() Machine { return Machine{desc: machine.Modern16()} }
+
+// MachineNames lists the names accepted by MachineByName.
+func MachineNames() []string { return []string{"paper48", "smalltest", "modern16"} }
+
+// MachineByName resolves a machine by its name ("paper48", "smalltest",
+// "modern16"), the form configuration files and network requests carry.
+func MachineByName(name string) (Machine, error) {
+	switch name {
+	case "", "paper48":
+		return Paper48(), nil
+	case "smalltest":
+		return SmallTest(), nil
+	case "modern16":
+		return Modern16(), nil
+	}
+	return Machine{}, fmt.Errorf("repro: unknown machine %q (valid machines: %s)", name, strings.Join(MachineNames(), ", "))
+}
 
 // Name returns the machine's name.
 func (m Machine) Name() string {
@@ -110,6 +128,18 @@ type Options struct {
 	// independent analysis points (RecommendChunk's candidate sweep);
 	// <= 0 selects GOMAXPROCS. Results are identical for every value.
 	Jobs int
+}
+
+// CanonicalKey returns a deterministic, unambiguous encoding of every
+// option field that can affect an analysis result. Two Options values with
+// equal keys produce identical results from Analyze, AnalyzeRate, Predict,
+// Simulate, EstimateCost, RecommendChunk and EvaluatePadding, so the key
+// (combined with the source text) is a sound content address for caching
+// model results. Jobs is deliberately excluded: it changes only how work
+// is scheduled, never what is computed.
+func (o Options) CanonicalKey() string {
+	return fmt.Sprintf("machine=%s;threads=%d;chunk=%d;mesi=%t;stackdepth=%d;bus=%t;hotlines=%t",
+		o.Machine.Name(), o.Threads, o.Chunk, o.MESICounting, o.StackDepth, o.BusContention, o.TrackHotLines)
 }
 
 func (o Options) counting() fsmodel.CountingMode {
@@ -471,6 +501,12 @@ type ChunkCandidate struct {
 // cost model (Equation 1) and returns the cheapest. A nil candidates slice
 // evaluates powers of two 1..128.
 func (p *Program) RecommendChunk(i int, opts Options, candidates []int64) (*ChunkRecommendation, error) {
+	return p.RecommendChunkCtx(context.Background(), i, opts, candidates)
+}
+
+// RecommendChunkCtx is RecommendChunk under a context: a cancelled or
+// expired ctx stops the candidate sweep promptly and returns ctx.Err().
+func (p *Program) RecommendChunkCtx(ctx context.Context, i int, opts Options, candidates []int64) (*ChunkRecommendation, error) {
 	if len(candidates) == 0 {
 		for c := int64(1); c <= 128; c *= 2 {
 			candidates = append(candidates, c)
@@ -479,7 +515,7 @@ func (p *Program) RecommendChunk(i int, opts Options, candidates []int64) (*Chun
 	// Candidates are independent model evaluations: fan them out on the
 	// sweep pool. Results come back in candidate order, so the tie-break
 	// (first candidate with the lowest cost wins) is deterministic.
-	evaluated, err := sweep.Run(context.Background(), len(candidates), opts.Jobs, func(_ context.Context, idx int) (ChunkCandidate, error) {
+	evaluated, err := sweep.Run(ctx, len(candidates), opts.Jobs, func(_ context.Context, idx int) (ChunkCandidate, error) {
 		c := candidates[idx]
 		o := opts
 		o.Chunk = c

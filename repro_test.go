@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -358,5 +360,79 @@ for (i = 0; i < n; i++) a[i] += 1.0;
 	// The full-model entry points must reject the symbolic nest cleanly.
 	if _, err := prog.Analyze(0, Options{}); err == nil {
 		t.Fatal("Analyze should fail on unknown bounds")
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	for _, name := range MachineNames() {
+		m, err := MachineByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("MachineByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if m, err := MachineByName(""); err != nil || m.Name() != "paper48" {
+		t.Errorf("empty name: m=%v err=%v, want paper48 default", m.Name(), err)
+	}
+	_, err := MachineByName("cray1")
+	if err == nil {
+		t.Fatal("expected error for unknown machine")
+	}
+	for _, name := range MachineNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+// TestCanonicalKey pins that the key covers every semantic option (so
+// cache entries never collide across configurations) and excludes the
+// scheduling-only Jobs knob.
+func TestCanonicalKey(t *testing.T) {
+	base := Options{Threads: 8, Chunk: 4}
+	variants := []Options{
+		{Threads: 16, Chunk: 4},
+		{Threads: 8, Chunk: 8},
+		{Threads: 8, Chunk: 4, MESICounting: true},
+		{Threads: 8, Chunk: 4, StackDepth: 3},
+		{Threads: 8, Chunk: 4, BusContention: true},
+		{Threads: 8, Chunk: 4, TrackHotLines: true},
+		{Threads: 8, Chunk: 4, Machine: SmallTest()},
+	}
+	seen := map[string]int{base.CanonicalKey(): -1}
+	for i, v := range variants {
+		k := v.CanonicalKey()
+		if j, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with %d: %q", i, j, k)
+		}
+		seen[k] = i
+	}
+	withJobs := base
+	withJobs.Jobs = 7
+	if withJobs.CanonicalKey() != base.CanonicalKey() {
+		t.Error("Jobs must not affect the canonical key (scheduling-only)")
+	}
+}
+
+func TestRecommendChunkCtx(t *testing.T) {
+	prog, err := Parse(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A live context matches the plain API.
+	rec, err := prog.RecommendChunkCtx(context.Background(), 0, Options{}, []int64{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Chunk != 8 {
+		t.Fatalf("recommended chunk = %d", rec.Chunk)
+	}
+	// A cancelled context aborts the sweep with the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := prog.RecommendChunkCtx(ctx, 0, Options{}, []int64{1, 8}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fsProne = `
+#define N 4096
+double hist[N];
+double data[N];
+
+#pragma omp parallel for private(i) schedule(static,1) num_threads(8)
+for (i = 0; i < N; i++)
+    hist[i] += data[i] * data[i];
+`
+
+const fsClean = `
+#define N 4096
+double out[N];
+double in[N];
+
+#pragma omp parallel for private(i) schedule(static,8) num_threads(8)
+for (i = 0; i < N; i++)
+    out[i] = in[i] * 2.0;
+`
+
+const fsRace = `
+#define N 1024
+double total;
+double data[N];
+
+#pragma omp parallel for private(i) schedule(static,1) num_threads(8)
+for (i = 0; i < N; i++)
+    total += data[i];
+`
+
+func writeTemp(t *testing.T, name, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunExitCodes(t *testing.T) {
+	prone := writeTemp(t, "prone.c", fsProne)
+	clean := writeTemp(t, "clean.c", fsClean)
+	race := writeTemp(t, "race.c", fsRace)
+	broken := writeTemp(t, "broken.c", "double a[;\n")
+
+	cases := []struct {
+		name     string
+		args     []string
+		exit     int
+		stdoutHa string // substring required on stdout ("" = don't care)
+		stderrHa string // substring required on stderr
+	}{
+		{name: "no args", args: nil, exit: 2, stderrHa: "usage"},
+		{name: "unknown flag", args: []string{"-nope", clean}, exit: 2},
+		{name: "bad format", args: []string{"-format", "xml", clean}, exit: 2, stderrHa: "format"},
+		{name: "bad fail-on", args: []string{"-fail-on", "fatal", clean}, exit: 2, stderrHa: "severity"},
+		{name: "bad machine", args: []string{"-machine", "cray", clean}, exit: 2, stderrHa: "machine"},
+		{name: "bad kernel", args: []string{"-kernel", "fft"}, exit: 1, stderrHa: "fslint:"},
+		{name: "missing file", args: []string{"no/such/file.c"}, exit: 1, stderrHa: "fslint:"},
+		{name: "clean file", args: []string{clean}, exit: 0, stdoutHa: "no findings"},
+		{name: "prone file", args: []string{prone}, exit: 1, stdoutHa: "FS001"},
+		{name: "prone but failing only on errors", args: []string{"-fail-on", "error", prone}, exit: 0, stdoutHa: "FS001"},
+		{name: "race fails even on error level", args: []string{"-fail-on", "error", race}, exit: 1, stdoutHa: "RC001"},
+		{name: "prone fixed by chunk override", args: []string{"-chunk", "8", prone}, exit: 0, stdoutHa: "no findings"},
+		{name: "suggestions count at note level", args: []string{"-fail-on", "note", clean}, exit: 0},
+		{name: "parse failure is a finding", args: []string{broken}, exit: 1, stdoutHa: "PARSE"},
+		{name: "parse failure does not mask second file", args: []string{broken, prone}, exit: 1, stdoutHa: "FS001"},
+		{name: "builtin kernel", args: []string{"-kernel", "heat", "-threads", "8"}, exit: 1, stdoutHa: "FS001"},
+		{name: "mixed clean and prone", args: []string{clean, prone}, exit: 1},
+		{name: "no suggestions", args: []string{"-suggest=false", prone}, exit: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.exit {
+				t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", got, tc.exit, stdout.String(), stderr.String())
+			}
+			if tc.stdoutHa != "" && !strings.Contains(stdout.String(), tc.stdoutHa) {
+				t.Fatalf("stdout missing %q:\n%s", tc.stdoutHa, stdout.String())
+			}
+			if tc.stderrHa != "" && !strings.Contains(stderr.String(), tc.stderrHa) {
+				t.Fatalf("stderr missing %q:\n%s", tc.stderrHa, stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	prone := writeTemp(t, "prone.c", fsProne)
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-format", "json", prone}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	var reports []struct {
+		File   string `json:"file"`
+		Report struct {
+			Diagnostics []struct {
+				Code     string `json:"code"`
+				Severity string `json:"severity"`
+			} `json:"diagnostics"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(reports) != 1 || reports[0].File != prone {
+		t.Fatalf("bad reports: %+v", reports)
+	}
+	found := false
+	for _, d := range reports[0].Report.Diagnostics {
+		if d.Code == "FS001" && d.Severity == "warning" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no FS001 warning in JSON output: %s", stdout.String())
+	}
+}
+
+func TestRunSARIFFormat(t *testing.T) {
+	prone := writeTemp(t, "prone.c", fsProne)
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-format", "sarif", prone}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 {
+		t.Fatalf("bad SARIF doc: %s", stdout.String())
+	}
+}

@@ -1,0 +1,191 @@
+// Command fslint is the compile-time false-sharing linter: it runs the
+// closed-form static analysis (no simulation) over mini-C sources with
+// OpenMP parallel loops and reports false-sharing prone writes (FS001),
+// cross-thread line sharing between references (FS002), same-element
+// races (RC001), and verified fix suggestions (FIX-CHUNK, FIX-PAD) with
+// source spans.
+//
+// Usage:
+//
+//	fslint [-threads N] [-chunk C] [-machine M] [-format text|json|sarif]
+//	       [-fail-on note|warning|error] file.c [file2.c ...]
+//	fslint -kernel heat            # lint a built-in paper kernel
+//
+// Exit status is 0 when no finding reaches the -fail-on severity, 1 when
+// findings reach it (or on analysis/I/O errors), and 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/kernels"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/minic"
+)
+
+type config struct {
+	threads int
+	chunk   int64
+	mach    string
+	format  string
+	failOn  string
+	kernel  string
+	assume  int64
+	suggest bool
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main: flag errors exit 2, lint findings at or above
+// -fail-on (and runtime errors) exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.IntVar(&cfg.threads, "threads", 0, "thread count override (0: pragma num_threads, else machine cores)")
+	fs.Int64Var(&cfg.chunk, "chunk", 0, "schedule chunk override (0: pragma schedule, else OpenMP static default)")
+	fs.StringVar(&cfg.mach, "machine", "", "machine model: paper48 (default), smalltest, modern16")
+	fs.StringVar(&cfg.format, "format", "text", "output format: text, json, or sarif")
+	fs.StringVar(&cfg.failOn, "fail-on", "warning", "lowest severity that fails the run: note, warning, or error")
+	fs.StringVar(&cfg.kernel, "kernel", "", "lint a built-in kernel (heat, dft, linreg) instead of files")
+	fs.Int64Var(&cfg.assume, "assume-trips", 0, "assumed trip count for bounds unknown at compile time (0: default 2048)")
+	fs.BoolVar(&cfg.suggest, "suggest", true, "emit verified FIX-CHUNK/FIX-PAD suggestions")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch cfg.format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "fslint: unknown -format %q (valid: text, json, sarif)\n", cfg.format)
+		return 2
+	}
+	failOn, err := analysis.ParseSeverity(cfg.failOn)
+	if err != nil {
+		fmt.Fprintf(stderr, "fslint: invalid -fail-on: %v\n", err)
+		return 2
+	}
+	if cfg.kernel == "" && len(fs.Args()) == 0 {
+		fmt.Fprintln(stderr, "usage: fslint [flags] file.c [file2.c ...]  (or -kernel heat|dft|linreg)")
+		return 2
+	}
+
+	mach, err := machineByName(cfg.mach)
+	if err != nil {
+		fmt.Fprintln(stderr, "fslint:", err)
+		return 2
+	}
+	reports, err := lintAll(cfg, mach, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "fslint:", err)
+		return 1
+	}
+
+	switch cfg.format {
+	case "json":
+		err = analysis.WriteJSON(stdout, reports)
+	case "sarif":
+		err = analysis.WriteSARIF(stdout, reports)
+	default:
+		err = analysis.WriteText(stdout, reports)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "fslint:", err)
+		return 1
+	}
+	for _, fr := range reports {
+		if fr.Report.CountAtOrAbove(failOn) > 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// machineByName resolves the -machine flag.
+func machineByName(name string) (*machine.Desc, error) {
+	switch name {
+	case "", "paper48":
+		return machine.Paper48(), nil
+	case "smalltest":
+		return machine.SmallTest(), nil
+	case "modern16":
+		return machine.Modern16(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q (valid: paper48, smalltest, modern16)", name)
+}
+
+// lintAll produces one FileReport per input. Parse and lowering failures
+// become PARSE diagnostics on the affected file rather than aborting the
+// whole run, so one broken file cannot hide findings in the others.
+func lintAll(cfg config, mach *machine.Desc, files []string) ([]analysis.FileReport, error) {
+	acfg := analysis.Config{
+		Machine:      mach,
+		Threads:      cfg.threads,
+		Chunk:        cfg.chunk,
+		AssumedTrips: cfg.assume,
+		NoSuggest:    !cfg.suggest,
+	}
+	var reports []analysis.FileReport
+	if cfg.kernel != "" {
+		k, err := kernels.ByName(cfg.kernel, cfg.threads)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := lintSource("<kernel:"+cfg.kernel+">", k.Source, acfg, mach)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, fr)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := lintSource(file, string(src), acfg, mach)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, fr)
+	}
+	return reports, nil
+}
+
+// lintSource lints one source. The unit is lowered at the machine's line
+// size so symbol bases are aligned for the exact cross-symbol argument.
+func lintSource(name, src string, acfg analysis.Config, mach *machine.Desc) (analysis.FileReport, error) {
+	parseFailure := func(err error) analysis.FileReport {
+		return analysis.FileReport{File: name, Report: &analysis.Report{
+			Diagnostics: []analysis.Diagnostic{{
+				Code:     analysis.CodeParse,
+				Severity: analysis.SeverityError,
+				Pos:      minic.Pos{Line: 1, Col: 1},
+				End:      minic.Pos{Line: 1, Col: 2},
+				Message:  err.Error(),
+				Exact:    true,
+			}},
+		}}
+	}
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return parseFailure(err), nil
+	}
+	unit, err := loopir.Lower(prog, loopir.LowerOptions{
+		LineSize:       mach.LineSize,
+		SymbolicBounds: true,
+	})
+	if err != nil {
+		return parseFailure(err), nil
+	}
+	rep, err := analysis.Analyze(unit, acfg)
+	if err != nil {
+		return analysis.FileReport{}, err
+	}
+	return analysis.FileReport{File: name, Report: rep}, nil
+}

@@ -1,0 +1,13 @@
+/* The fixed sibling of histogram_fs.c: chunks of 8 doubles fill whole
+ * 64-byte cache lines, so no line is ever written by two threads.
+ *
+ *   go run ./cmd/fslint examples/lint/histogram_chunked.c
+ */
+#define N 8192
+
+double counts[N];
+double samples[N];
+
+#pragma omp parallel for private(i) schedule(static,8) num_threads(8)
+for (i = 0; i < N; i++)
+    counts[i] += samples[i] * samples[i];

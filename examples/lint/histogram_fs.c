@@ -1,0 +1,14 @@
+/* False-sharing prone: schedule(static,1) interleaves adjacent 8-byte
+ * counters across threads, so every 64-byte line is written by eight
+ * different threads.
+ *
+ *   go run ./cmd/fslint examples/lint/histogram_fs.c
+ */
+#define N 8192
+
+double counts[N];
+double samples[N];
+
+#pragma omp parallel for private(i) schedule(static,1) num_threads(8)
+for (i = 0; i < N; i++)
+    counts[i] += samples[i] * samples[i];

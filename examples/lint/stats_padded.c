@@ -1,0 +1,19 @@
+/* The padded sibling of stats_structs.c: the pad member grows each
+ * element to exactly one 64-byte line, so each task's accumulators are
+ * thread-private at the cache level and fslint reports nothing.
+ *
+ *   go run ./cmd/fslint examples/lint/stats_padded.c
+ */
+#define TASKS 1024
+
+struct Stat { double sum; double sumsq; double count; double pad[5]; };
+
+struct Stat stats[TASKS];
+double obs[TASKS];
+
+#pragma omp parallel for private(j) schedule(static,1) num_threads(8)
+for (j = 0; j < TASKS; j++) {
+    stats[j].sum   += obs[j];
+    stats[j].sumsq += obs[j] * obs[j];
+    stats[j].count += 1.0;
+}

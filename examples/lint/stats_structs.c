@@ -1,0 +1,19 @@
+/* Per-task accumulator structs of 24 bytes: fslint reports FS001 on each
+ * field write, FS002 between the distinct fields that land on one line,
+ * and suggests both the aligning chunk (8) and 40 bytes of padding.
+ *
+ *   go run ./cmd/fslint examples/lint/stats_structs.c
+ */
+#define TASKS 1024
+
+struct Stat { double sum; double sumsq; double count; };
+
+struct Stat stats[TASKS];
+double obs[TASKS];
+
+#pragma omp parallel for private(j) schedule(static,1) num_threads(8)
+for (j = 0; j < TASKS; j++) {
+    stats[j].sum   += obs[j];
+    stats[j].sumsq += obs[j] * obs[j];
+    stats[j].count += 1.0;
+}

@@ -196,11 +196,12 @@ func TestTestdataPrograms(t *testing.T) {
 		t.Fatalf("expected sample programs, found %v", files)
 	}
 	wantFS := map[string]bool{
-		"victim.c":         true,
-		"accumulators.c":   true,
-		"stencil.c":        true,
-		"clean.c":          false,
-		"runtime_bounds.c": true,
+		"victim.c":              true,
+		"accumulators.c":        true,
+		"accumulators_padded.c": false,
+		"stencil.c":             true,
+		"clean.c":               false,
+		"runtime_bounds.c":      true,
 	}
 	for _, path := range files {
 		data, err := os.ReadFile(path)

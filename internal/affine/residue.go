@@ -1,0 +1,106 @@
+package affine
+
+// Residue arithmetic over arithmetic progressions. These helpers back the
+// closed-form false-sharing boundary analysis (internal/analysis): the byte
+// address written at chunk boundary t is an affine function c + t·d, and
+// whether that boundary straddles a cache line is a predicate on its
+// residue modulo the line size. Because the residues of an arithmetic
+// progression cycle with period m/gcd(d,m), whole-loop straddle counts are
+// computable in O(line size) regardless of the trip count.
+
+// GCD returns the non-negative greatest common divisor of a and b.
+// GCD(0, 0) is 0.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Mod returns the canonical non-negative remainder of a modulo m: the
+// unique r in [0, m) with a ≡ r (mod m). m must be positive.
+func Mod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// ResiduePeriod returns the period of the residue sequence Mod(c + t·d, m)
+// in t: the smallest p > 0 with p·d ≡ 0 (mod m), which is m / gcd(d, m).
+// A progression with d ≡ 0 (mod m) has period 1.
+func ResiduePeriod(d, m int64) int64 {
+	return m / GCD(d, m)
+}
+
+// CountResidueAtLeast counts the t in [from, from+n) whose residue
+// Mod(c + t·d, m) is at least lo. Cost is O(ResiduePeriod(d, m)) — one
+// residue cycle — independent of n. lo above m-1 matches nothing; lo at or
+// below 0 matches everything.
+func CountResidueAtLeast(c, d, m, lo, from, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if lo <= 0 {
+		return n
+	}
+	if lo > m-1 {
+		return 0
+	}
+	p := ResiduePeriod(d, m)
+	full := n / p
+	rem := n % p
+	// Walk one cycle incrementally so no intermediate product can
+	// overflow: r starts at the residue for t = from and advances by
+	// Mod(d, m) per step.
+	r := Mod(Mod(c, m)+Mod(from, m)*Mod(d, m), m)
+	step := Mod(d, m)
+	var perCycle, tail int64
+	for i := int64(0); i < p; i++ {
+		if r >= lo {
+			perCycle++
+			if i < rem {
+				tail++
+			}
+		}
+		r += step
+		if r >= m {
+			r -= m
+		}
+	}
+	return full*perCycle + tail
+}
+
+// HasResidueAtLeast reports whether any t in [from, from+n) has
+// Mod(c + t·d, m) >= lo, in O(ResiduePeriod(d, m)).
+func HasResidueAtLeast(c, d, m, lo, from, n int64) bool {
+	if n <= 0 {
+		return false
+	}
+	if lo <= 0 {
+		return true
+	}
+	p := ResiduePeriod(d, m)
+	if n < p {
+		p = n
+	}
+	r := Mod(Mod(c, m)+Mod(from, m)*Mod(d, m), m)
+	step := Mod(d, m)
+	for i := int64(0); i < p; i++ {
+		if r >= lo {
+			return true
+		}
+		r += step
+		if r >= m {
+			r -= m
+		}
+	}
+	return false
+}

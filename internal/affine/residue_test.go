@@ -1,0 +1,131 @@
+package affine
+
+import "testing"
+
+// bruteCount is the specification: enumerate every t.
+func bruteCount(c, d, m, lo, from, n int64) int64 {
+	var count int64
+	for t := from; t < from+n; t++ {
+		if Mod(c+t*d, m) >= lo {
+			count++
+		}
+	}
+	return count
+}
+
+func TestGCDBasics(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0}, {0, 7, 7}, {7, 0, 7}, {12, 18, 6}, {-12, 18, 6},
+		{12, -18, 6}, {-12, -18, 6}, {1, 1, 1}, {64, 40, 8}, {128, 40, 8},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestGCDProperties checks divisibility and maximality over a grid.
+func TestGCDProperties(t *testing.T) {
+	for a := int64(-20); a <= 20; a++ {
+		for b := int64(-20); b <= 20; b++ {
+			g := GCD(a, b)
+			if a == 0 && b == 0 {
+				if g != 0 {
+					t.Fatalf("GCD(0,0) = %d", g)
+				}
+				continue
+			}
+			if g <= 0 {
+				t.Fatalf("GCD(%d,%d) = %d not positive", a, b, g)
+			}
+			if a%g != 0 || b%g != 0 {
+				t.Fatalf("GCD(%d,%d) = %d does not divide both", a, b, g)
+			}
+			for d := g + 1; d <= 20; d++ {
+				if a%d == 0 && b%d == 0 {
+					t.Fatalf("GCD(%d,%d) = %d but %d also divides both", a, b, g, d)
+				}
+			}
+		}
+	}
+}
+
+func TestModCanonical(t *testing.T) {
+	for a := int64(-50); a <= 50; a++ {
+		for m := int64(1); m <= 12; m++ {
+			r := Mod(a, m)
+			if r < 0 || r >= m {
+				t.Fatalf("Mod(%d, %d) = %d out of [0, %d)", a, m, r, m)
+			}
+			if (a-r)%m != 0 {
+				t.Fatalf("Mod(%d, %d) = %d not congruent", a, m, r)
+			}
+		}
+	}
+}
+
+// TestResiduePeriod checks the returned period is the least positive p
+// with p·d ≡ 0 (mod m), by brute force.
+func TestResiduePeriod(t *testing.T) {
+	for _, m := range []int64{1, 2, 3, 4, 8, 12, 16, 64} {
+		for d := int64(-70); d <= 70; d++ {
+			p := ResiduePeriod(d, m)
+			if p <= 0 || p > m {
+				t.Fatalf("ResiduePeriod(%d, %d) = %d out of range", d, m, p)
+			}
+			if Mod(p*d, m) != 0 {
+				t.Fatalf("ResiduePeriod(%d, %d) = %d: p·d not ≡ 0", d, m, p)
+			}
+			for q := int64(1); q < p; q++ {
+				if Mod(q*d, m) == 0 {
+					t.Fatalf("ResiduePeriod(%d, %d) = %d but %d already cycles", d, m, p, q)
+				}
+			}
+		}
+	}
+}
+
+// TestCountResidueAtLeastBrute pins the closed-form count against
+// enumeration over small strides, chunk advances, and line sizes — the
+// exact quantities the boundary-straddle analysis feeds in (c = base byte
+// residue, d = stride×chunk, m = line size, lo = straddle threshold).
+func TestCountResidueAtLeastBrute(t *testing.T) {
+	for _, m := range []int64{2, 4, 8, 16, 64, 128} {
+		for _, d := range []int64{-80, -64, -40, -9, -1, 0, 1, 5, 8, 16, 40, 64, 80, 100} {
+			for _, c := range []int64{-130, -7, 0, 3, 8, 60, 63, 127} {
+				for _, lo := range []int64{-1, 0, 1, m / 2, m - 1, m, m + 5} {
+					for _, span := range []struct{ from, n int64 }{
+						{0, 0}, {0, 1}, {0, 7}, {1, 64}, {1, 200}, {5, 13}, {-3, 10},
+					} {
+						got := CountResidueAtLeast(c, d, m, lo, span.from, span.n)
+						want := bruteCount(c, d, m, lo, span.from, span.n)
+						if got != want {
+							t.Fatalf("CountResidueAtLeast(c=%d d=%d m=%d lo=%d from=%d n=%d) = %d, brute = %d",
+								c, d, m, lo, span.from, span.n, got, want)
+						}
+						has := HasResidueAtLeast(c, d, m, lo, span.from, span.n)
+						if has != (want > 0) {
+							t.Fatalf("HasResidueAtLeast(c=%d d=%d m=%d lo=%d from=%d n=%d) = %t, brute count = %d",
+								c, d, m, lo, span.from, span.n, has, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCountResidueLargeN checks the closed form extrapolates correctly
+// past one period: counting over k periods is k times one period plus the
+// tail, for a trip count far beyond anything enumerable per-boundary.
+func TestCountResidueLargeN(t *testing.T) {
+	const c, d, m, lo = 8, 40, 64, 33
+	p := ResiduePeriod(d, m) // 8
+	per := CountResidueAtLeast(c, d, m, lo, 0, p)
+	huge := int64(1) << 40
+	got := CountResidueAtLeast(c, d, m, lo, 0, huge*p)
+	if got != huge*per {
+		t.Fatalf("large-n count = %d, want %d", got, huge*per)
+	}
+}

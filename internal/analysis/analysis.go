@@ -1,0 +1,284 @@
+// Package analysis is the closed-form static false-sharing and cross-chunk
+// conflict diagnostics engine: a multi-pass analyzer over lowered loopir
+// nests that decides, without running the paper's lockstep simulator,
+// which written references are false-sharing prone under a
+// schedule(static,chunk) plan, which reference pairs can race, and what
+// schedule or layout change removes the sharing.
+//
+// The passes, in order:
+//
+//  1. Affine footprint analysis (FS001): each written reference's byte
+//     offset is an affine function K + A·k of the parallel trip k, so the
+//     byte address at chunk boundary t is the arithmetic progression
+//     K + (A·chunk)·t. Adjacent chunks — always owned by different
+//     threads under static round-robin — write into the same cache line
+//     exactly when that progression's residue modulo the line size is at
+//     least |A| − W + 1 (W the per-trip footprint span), so the
+//     whole-loop boundary-straddle count is a residue count
+//     (affine.CountResidueAtLeast), closed-form even for huge loops.
+//  2. Cross-chunk conflict check (FS002/RC001): for every written
+//     reference paired against every other reference of the same symbol,
+//     solve for trip pairs owned by different threads whose accesses
+//     touch the same element (a true race / true sharing, RC001) or
+//     merely the same cache line (pure false sharing, FS002). Distinct
+//     symbols never share a line because lowering aligns every base.
+//  3. Fix suggestions (FIX-CHUNK/FIX-PAD): the minimal chunk size whose
+//     write regions align to line boundaries, and the struct padding in
+//     bytes that pushes each trip's data onto its own line — each
+//     verified by re-running passes 1–2 under the proposed change before
+//     it is suggested.
+//
+// Every diagnostic carries a minic.Pos..End source span, a stable code
+// and a severity, and renders as human text, JSON, or SARIF 2.1.0.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/minic"
+)
+
+// Severity orders diagnostics: notes inform, warnings are FS findings,
+// errors are correctness findings (data races).
+type Severity int
+
+// Severity levels, least to most severe.
+const (
+	SeverityNote Severity = iota
+	SeverityWarning
+	SeverityError
+)
+
+// String returns the lint spelling of the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityNote:
+		return "note"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a severity name, inverting MarshalJSON so that
+// Report round-trips through JSON (service clients decode LintResponse).
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	sev, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = sev
+	return nil
+}
+
+// ParseSeverity parses a severity name ("note", "warning", "error").
+func ParseSeverity(name string) (Severity, error) {
+	switch name {
+	case "note":
+		return SeverityNote, nil
+	case "warning":
+		return SeverityWarning, nil
+	case "error":
+		return SeverityError, nil
+	}
+	return 0, fmt.Errorf("analysis: unknown severity %q (valid: note, warning, error)", name)
+}
+
+// Diagnostic codes.
+const (
+	CodeFSWrite       = "FS001"     // write is false-sharing prone across chunk boundaries
+	CodeFSPair        = "FS002"     // two references share a cache line across threads
+	CodeRace          = "RC001"     // two threads touch the same element (true race/sharing)
+	CodeFixChunk      = "FIX-CHUNK" // chunk size that aligns write regions to lines
+	CodeFixPad        = "FIX-PAD"   // struct padding that removes the sharing
+	CodeNotAnalyzable = "AN001"     // reference excluded from the static analysis
+	CodeParse         = "PARSE"     // source failed to parse or lower
+)
+
+// Diagnostic is one finding with a stable code, severity and source span.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Nest     int      `json:"nest"`
+	// Ref is the primary reference's source text; Related the partner
+	// reference for pair findings (FS002/RC001).
+	Ref     string `json:"ref,omitempty"`
+	Related string `json:"related,omitempty"`
+	Symbol  string `json:"symbol,omitempty"`
+	// Pos..End span the reference in the source (1-based line:col; End is
+	// one past the last character).
+	Pos     minic.Pos `json:"pos"`
+	End     minic.Pos `json:"end"`
+	Message string    `json:"message"`
+	// Threads/Chunk/LineSize echo the analyzed schedule and machine.
+	Threads  int   `json:"threads,omitempty"`
+	Chunk    int64 `json:"chunk,omitempty"`
+	LineSize int64 `json:"line_size,omitempty"`
+	// Straddles of Boundaries chunk boundaries put two threads' writes on
+	// one line (FS001); both already include outer-loop instances.
+	Straddles  int64 `json:"straddles,omitempty"`
+	Boundaries int64 `json:"boundaries,omitempty"`
+	// SuggestedChunk (FIX-CHUNK) and PadBytes (FIX-PAD) carry the fix.
+	SuggestedChunk int64 `json:"suggested_chunk,omitempty"`
+	PadBytes       int64 `json:"pad_bytes,omitempty"`
+	// Exact is false when the engine approximated (symbolic bounds,
+	// non-rectangular footprints, oversized search windows).
+	Exact bool `json:"exact"`
+	// Assumed maps symbolic loop-bound parameters to the values the
+	// analysis substituted for them.
+	Assumed map[string]int64 `json:"assumed,omitempty"`
+}
+
+// RefVerdict is the analytical FS verdict for one written analyzable
+// reference — the quantity the differential test pins against fsmodel
+// simulation.
+type RefVerdict struct {
+	Nest   int    `json:"nest"`
+	Ref    string `json:"ref"`
+	Symbol string `json:"symbol"`
+	// Prone reports cross-thread cache-line sharing involving this write
+	// (self-straddle or any pair finding); Race reports a same-element
+	// cross-thread conflict.
+	Prone bool `json:"prone"`
+	Race  bool `json:"race"`
+	Exact bool `json:"exact"`
+}
+
+// Report is the outcome of analyzing one translation unit.
+type Report struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Verdicts    []RefVerdict `json:"verdicts"`
+	// Warnings echoes lowering warnings (non-affine exclusions).
+	Warnings []string `json:"warnings,omitempty"`
+	Nests    int      `json:"nests"`
+}
+
+// CountAtOrAbove returns how many diagnostics are at or above sev.
+func (r *Report) CountAtOrAbove(sev Severity) int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity >= sev {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxSeverity returns the highest severity present, and false when the
+// report is clean.
+func (r *Report) MaxSeverity() (Severity, bool) {
+	var max Severity
+	found := false
+	for _, d := range r.Diagnostics {
+		if !found || d.Severity > max {
+			max = d.Severity
+		}
+		found = true
+	}
+	return max, found
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Machine supplies the cache-line size (nil = machine.Paper48()).
+	Machine *machine.Desc
+	// Threads is the team size when the pragma leaves it unset (0 = the
+	// machine's core count). An explicit value overrides the pragma,
+	// mirroring fsmodel.
+	Threads int
+	// Chunk overrides the schedule chunk (0 = pragma, else the OpenMP
+	// block default).
+	Chunk int64
+	// AssumedTrips substitutes for loop-bound parameters unknown at
+	// compile time (default 2048); such findings are marked inexact.
+	AssumedTrips int64
+	// NoSuggest disables pass 3 (fix suggestions).
+	NoSuggest bool
+}
+
+// Analyze runs all passes over every nest of the unit. The unit must have
+// been lowered with a line size the machine's divides (symbol bases are
+// aligned at lowering time; the analysis relies on distinct symbols never
+// sharing a line).
+func Analyze(unit *loopir.Unit, cfg Config) (*Report, error) {
+	m := cfg.Machine
+	if m == nil {
+		m = machine.Paper48()
+	}
+	L := m.LineSize
+	if L <= 0 || unit.LineSize%L != 0 {
+		return nil, fmt.Errorf("analysis: unit lowered for %d-byte lines cannot be analyzed at %d-byte lines (bases would not be aligned); re-lower with the target line size", unit.LineSize, L)
+	}
+	if cfg.AssumedTrips <= 0 {
+		cfg.AssumedTrips = 2048
+	}
+	rep := &Report{Nests: len(unit.Nests), Warnings: unit.Warnings}
+	for i, nest := range unit.Nests {
+		na, err := newNestAnalysis(nest, i, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if na == nil {
+			continue // sequential or single-threaded: no cross-thread sharing
+		}
+		na.run()
+		rep.Diagnostics = append(rep.Diagnostics, na.diags...)
+		rep.Verdicts = append(rep.Verdicts, na.verdicts()...)
+	}
+	sortDiagnostics(rep.Diagnostics)
+	return rep, nil
+}
+
+// sortDiagnostics orders findings for stable output: by nest, then source
+// position, then severity (most severe first), then code.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Nest != b.Nest {
+			return a.Nest < b.Nest
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.Code < b.Code
+	})
+}
+
+// describeAssumed renders the assumed-parameter suffix for messages.
+func describeAssumed(assumed map[string]int64) string {
+	if len(assumed) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(assumed))
+	for k := range assumed {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%d", k, assumed[k])
+	}
+	return " (bounds unknown at compile time; assuming " + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/minic"
+)
+
+// analyzeSrc parses, lowers and analyzes src at the given line size.
+func analyzeSrc(t *testing.T, src string, cfg Config) *Report {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	lineSize := int64(64)
+	if cfg.Machine != nil {
+		lineSize = cfg.Machine.LineSize
+	}
+	unit, err := loopir.Lower(prog, loopir.LowerOptions{LineSize: lineSize, SymbolicBounds: true})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	rep, err := Analyze(unit, cfg)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return rep
+}
+
+func codes(rep *Report) map[string]int {
+	out := map[string]int{}
+	for _, d := range rep.Diagnostics {
+		out[d.Code]++
+	}
+	return out
+}
+
+const victimSrc = `
+#define N 4096
+double hist[N];
+double data[N];
+
+#pragma omp parallel for private(i) schedule(static,1) num_threads(8)
+for (i = 0; i < N; i++)
+    hist[i] += data[i] * data[i];
+`
+
+func TestVictimProneAtChunk1(t *testing.T) {
+	rep := analyzeSrc(t, victimSrc, Config{})
+	cs := codes(rep)
+	if cs[CodeFSWrite] != 1 {
+		t.Fatalf("want one FS001, got %v", cs)
+	}
+	if cs[CodeRace] != 0 {
+		t.Fatalf("false race reported: %v", cs)
+	}
+	// The aligning chunk for 8-byte strides on 64-byte lines is 8, and it
+	// genuinely cleans the loop, so the engine must suggest it.
+	if cs[CodeFixChunk] != 1 {
+		t.Fatalf("want one FIX-CHUNK, got %v", cs)
+	}
+	var fs *Diagnostic
+	for i := range rep.Diagnostics {
+		if rep.Diagnostics[i].Code == CodeFSWrite {
+			fs = &rep.Diagnostics[i]
+		}
+	}
+	if fs.Symbol != "hist" || !fs.Exact || fs.Straddles <= 0 || fs.Straddles > fs.Boundaries {
+		t.Fatalf("bad FS001: %+v", fs)
+	}
+	// Every boundary of a dense double array at chunk 1 straddles except
+	// the line-aligned ones (j ≡ 0 mod 8): 4095 − ⌊4095/8⌋.
+	if want := int64(4095 - 4095/8); fs.Straddles != want {
+		t.Fatalf("straddles = %d, want %d", fs.Straddles, want)
+	}
+	if fs.Pos.Line == 0 || fs.End.Col <= fs.Pos.Col {
+		t.Fatalf("FS001 missing source span: %+v", fs)
+	}
+	for _, v := range rep.Verdicts {
+		if v.Symbol == "hist" && (!v.Prone || v.Race || !v.Exact) {
+			t.Fatalf("bad verdict: %+v", v)
+		}
+	}
+}
+
+func TestVictimCleanAtAlignedChunk(t *testing.T) {
+	rep := analyzeSrc(t, victimSrc, Config{Chunk: 8})
+	if n := len(rep.Diagnostics); n != 0 {
+		t.Fatalf("want clean report at chunk 8, got %d diagnostics: %+v", n, rep.Diagnostics)
+	}
+	for _, v := range rep.Verdicts {
+		if v.Prone || v.Race {
+			t.Fatalf("bad verdict at aligned chunk: %+v", v)
+		}
+	}
+}
+
+func TestAccumulatorStructFindings(t *testing.T) {
+	src := `
+#define TASKS 512
+struct Acc { double sx; double sxx; double sy; double syy; double sxy; };
+struct Acc acc[TASKS];
+double px[TASKS];
+
+#pragma omp parallel for private(j) schedule(static,1) num_threads(8)
+for (j = 0; j < TASKS; j++) {
+    acc[j].sx  += px[j];
+    acc[j].sxx += px[j] * px[j];
+}
+`
+	rep := analyzeSrc(t, src, Config{})
+	cs := codes(rep)
+	if cs[CodeFSWrite] != 2 {
+		t.Fatalf("want FS001 on both field writes, got %v", cs)
+	}
+	if cs[CodeFSPair] == 0 {
+		t.Fatalf("want FS002 between distinct fields, got %v", cs)
+	}
+	if cs[CodeRace] != 0 {
+		t.Fatalf("distinct fields must not race: %v", cs)
+	}
+	// 40-byte elements: both the aligning chunk (8 = lcm of 64/gcd(40,64))
+	// and 24 bytes of padding clean the loop.
+	if cs[CodeFixPad] != 1 {
+		t.Fatalf("want one FIX-PAD, got %v", cs)
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Code == CodeFixPad && d.PadBytes != 24 {
+			t.Fatalf("pad bytes = %d, want 24", d.PadBytes)
+		}
+		if d.Code == CodeFixChunk && d.SuggestedChunk != 8 {
+			t.Fatalf("suggested chunk = %d, want 8", d.SuggestedChunk)
+		}
+	}
+}
+
+func TestScalarReductionRace(t *testing.T) {
+	src := `
+#define N 1024
+double sum;
+double data[N];
+
+#pragma omp parallel for private(i) schedule(static,1) num_threads(8)
+for (i = 0; i < N; i++)
+    sum += data[i];
+`
+	rep := analyzeSrc(t, src, Config{})
+	cs := codes(rep)
+	if cs[CodeRace] == 0 {
+		t.Fatalf("unsynchronized scalar reduction must raise RC001, got %v", cs)
+	}
+	if cs[CodeFixChunk]+cs[CodeFixPad] != 0 {
+		t.Fatalf("no schedule/layout fix may be suggested for a race: %v", cs)
+	}
+	raced := false
+	for _, v := range rep.Verdicts {
+		if v.Symbol == "sum" {
+			raced = raced || v.Race
+		}
+	}
+	if !raced {
+		t.Fatal("verdict for sum does not flag the race")
+	}
+}
+
+func TestNeighborWriteReadRace(t *testing.T) {
+	src := `
+#define N 1024
+double a[N];
+
+#pragma omp parallel for private(i) schedule(static,1) num_threads(8)
+for (i = 0; i < N - 1; i++)
+    a[i] = a[i + 1] * 0.5;
+`
+	rep := analyzeSrc(t, src, Config{})
+	cs := codes(rep)
+	if cs[CodeRace] == 0 {
+		t.Fatalf("cross-iteration write/read of the same element must raise RC001, got %v", cs)
+	}
+}
+
+func TestSymbolicBoundsAssumed(t *testing.T) {
+	src := `
+double sums[65536];
+
+#pragma omp parallel for private(i) schedule(static,1) num_threads(8)
+for (i = 0; i < n; i++)
+    sums[i] += 1.0;
+`
+	rep := analyzeSrc(t, src, Config{})
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Code != CodeFSWrite {
+			continue
+		}
+		found = true
+		if d.Exact {
+			t.Fatalf("symbolic-bound finding must be inexact: %+v", d)
+		}
+		if d.Assumed["$n"] != 2048 {
+			t.Fatalf("assumed = %v, want $n=2048", d.Assumed)
+		}
+		if !strings.Contains(d.Message, "assuming") {
+			t.Fatalf("message does not disclose the assumption: %s", d.Message)
+		}
+	}
+	if !found {
+		t.Fatal("no FS001 for the symbolic victim loop")
+	}
+	for _, v := range rep.Verdicts {
+		if v.Exact {
+			t.Fatalf("symbolic verdict marked exact: %+v", v)
+		}
+	}
+}
+
+func TestSequentialAndSingleThreadSkipped(t *testing.T) {
+	seq := `
+double a[64];
+for (i = 0; i < 64; i++)
+    a[i] = 1.0;
+`
+	rep := analyzeSrc(t, seq, Config{})
+	if len(rep.Diagnostics) != 0 || len(rep.Verdicts) != 0 {
+		t.Fatalf("sequential nest produced findings: %+v", rep)
+	}
+	rep = analyzeSrc(t, victimSrc, Config{Threads: 1})
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("single-thread team produced findings: %+v", rep.Diagnostics)
+	}
+}
+
+func TestLineSizeMismatchRejected(t *testing.T) {
+	prog, err := minic.Parse(victimSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := loopir.Lower(prog, loopir.LowerOptions{LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := *machine.Paper48()
+	big.LineSize = 128
+	if _, err := Analyze(unit, Config{Machine: &big}); err == nil {
+		t.Fatal("analyzing a 64-byte-lowered unit at 128-byte lines must fail")
+	}
+}
+
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SeverityNote, SeverityWarning, SeverityError} {
+		got, err := ParseSeverity(s.String())
+		if err != nil || got != s {
+			t.Fatalf("round trip %v: got %v, %v", s, got, err)
+		}
+		b, err := json.Marshal(s)
+		if err != nil || string(b) != `"`+s.String()+`"` {
+			t.Fatalf("marshal %v: %s, %v", s, b, err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Fatal("ParseSeverity accepted garbage")
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	rep := &Report{Diagnostics: []Diagnostic{
+		{Severity: SeverityNote},
+		{Severity: SeverityWarning},
+		{Severity: SeverityWarning},
+	}}
+	if got := rep.CountAtOrAbove(SeverityWarning); got != 2 {
+		t.Fatalf("CountAtOrAbove = %d", got)
+	}
+	if s, ok := rep.MaxSeverity(); !ok || s != SeverityWarning {
+		t.Fatalf("MaxSeverity = %v, %v", s, ok)
+	}
+	if _, ok := (&Report{}).MaxSeverity(); ok {
+		t.Fatal("MaxSeverity on empty report")
+	}
+}

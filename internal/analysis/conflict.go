@@ -1,0 +1,436 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/affine"
+	"repro/internal/sched"
+)
+
+// maxEnum bounds every explicit trip enumeration in the pair check. The
+// checks are exact whenever the joint owner/alignment period (or the trip
+// range itself) fits the budget; beyond it they sample a full prefix and
+// mark the finding inexact.
+const maxEnum = 1 << 16
+
+// selfResult is the outcome of the closed-form self check of one write.
+type selfResult struct {
+	straddles int64 // chunk boundaries whose adjacent writes share a line (one outer instance)
+	race      bool  // differently-owned trips write overlapping bytes
+	exact     bool
+}
+
+// selfCheck decides whether a written reference false-shares with itself
+// across chunk boundaries under plan. The write at parallel trip k covers
+// [K + A·k, K + A·k + W); at boundary j (between trips c·j−1 and c·j,
+// always owned by different threads when the team has ≥2 threads) the two
+// adjacent footprints sit |A| bytes apart, so with δ = |A| − W + 1 they
+// share a cache line iff δ ≤ 0 (they overlap outright) or the upper
+// footprint's start x_j = K' + (A·c)·j satisfies x_j mod L ≥ δ. Counting
+// boundaries with that residue property is affine.CountResidueAtLeast.
+//
+// Adjacency is complete for the verdict: if any two differently-owned
+// trips share a line, the two trips adjacent to some chunk boundary
+// between them do too (the footprint start is monotonic in k).
+func (na *nestAnalysis) selfCheck(m *refModel, plan sched.Plan) selfResult {
+	res := selfResult{exact: m.exact && m.dense && m.instExact && na.boundsExact}
+	boundaries := ceilDiv(na.npar, plan.Chunk) - 1
+	if boundaries <= 0 {
+		return res
+	}
+	if m.A == 0 {
+		// Every trip writes the same bytes: with ≥2 chunks two threads
+		// write the same element — a data race, not false sharing.
+		res.race = true
+		return res
+	}
+	absA := abs64(m.A)
+	delta := absA - m.W + 1
+	if delta <= 0 {
+		// Footprints of adjacent trips overlap: every boundary both
+		// straddles a line and races on the overlapping bytes.
+		res.straddles = boundaries
+		res.race = true
+		return res
+	}
+	kp := m.K
+	if m.A < 0 {
+		kp += absA
+	}
+	res.straddles = affine.CountResidueAtLeast(kp, m.A*plan.Chunk, na.L, delta, 1, boundaries)
+	return res
+}
+
+// pairResult is the outcome of checking one reference pair.
+type pairResult struct {
+	overlap bool // differently-owned trips touch the same bytes (race/true sharing)
+	share   bool // differently-owned trips touch the same cache line
+	exact   bool
+}
+
+// pairCheck decides whether refs m1 (at trip k) and m2 (at trip k−d, any
+// d) can touch the same element or cache line from differently-owned
+// trips under plan. Both refs must be on the same symbol; distinct
+// symbols never share a line because lowering aligns every base to the
+// unit line size, which the machine's divides.
+func (na *nestAnalysis) pairCheck(m1, m2 *refModel, plan sched.Plan) pairResult {
+	res := pairResult{exact: m1.exact && m2.exact && m1.dense && m2.dense && na.boundsExact}
+	// First-instance geometry generalizes only when both refs shift
+	// identically and line-aligned across outer instances.
+	for i := range m1.outerStride {
+		if m1.outerStride[i] != m2.outerStride[i] {
+			res.exact = false
+		}
+		if s := m1.outerStride[i]; s != 0 && s%na.L != 0 {
+			res.exact = false
+		}
+	}
+	numChunks := ceilDiv(na.npar, plan.Chunk)
+	if numChunks < 2 {
+		return res // one chunk, one owner: nothing is cross-thread
+	}
+
+	switch {
+	case m1.A == 0 && m2.A == 0:
+		// Both regions fixed: any line they share is shared by every
+		// chunk's owner.
+		if intervalsTouch(m1.K, m1.W, m2.K, m2.W) {
+			res.overlap, res.share = true, true
+		} else if linesTouch(m1.K, m1.W, m2.K, m2.W, na.L) {
+			res.share = true
+		}
+	case m1.A == m2.A:
+		na.pairEqualStride(m1, m2, plan, &res)
+	default:
+		na.pairUnequalStride(m1, m2, plan, &res)
+	}
+	return res
+}
+
+// pairEqualStride handles the common case of two refs advancing in
+// lockstep (A1 = A2 = A ≠ 0): the byte gap between ref1 at trip k and
+// ref2 at trip k−d is gap(d) = (K2−K1) − A·d, independent of k. Only a
+// small window of lags d can bring the footprints within a line of each
+// other; for each, line-sharing depends on the absolute alignment
+// x1 = K1 + A·k, periodic in k with period L/gcd(|A|,L), while ownership
+// is periodic with period chunk·threads — so scanning one joint period of
+// the valid trip range is complete.
+func (na *nestAnalysis) pairEqualStride(m1, m2 *refModel, plan sched.Plan, res *pairResult) {
+	A := m1.A
+	dK := m2.K - m1.K
+	// gap(d) ∈ [lo, hi] is necessary for any byte or line proximity.
+	lo := -(m2.W + na.L - 1)
+	hi := m1.W + na.L - 1
+	// Solve lo ≤ dK − A·d ≤ hi for d.
+	dLo := ceilDivFloor(dK-hi, A, true)
+	dHi := ceilDivFloor(dK-lo, A, false)
+	if A < 0 {
+		dLo, dHi = ceilDivFloor(dK-lo, A, true), ceilDivFloor(dK-hi, A, false)
+	}
+	dLo = max(dLo, -(na.npar - 1))
+	dHi = min(dHi, na.npar-1)
+
+	per := affine.ResiduePeriod(A, na.L)
+	ownPer := plan.Chunk * int64(plan.NumThreads)
+	period := lcm64(per, ownPer)
+
+	for d := dLo; d <= dHi; d++ {
+		if d == 0 {
+			continue // same trip, same thread
+		}
+		gap := dK - A*d
+		overlapGeom := gap > -m2.W && gap < m1.W
+		kLo := max(int64(0), d)
+		kHi := min(na.npar-1, na.npar-1+d)
+		if kLo > kHi {
+			continue
+		}
+		span := kHi - kLo + 1
+		limit := span
+		if period > 0 && period < limit {
+			limit = period
+		}
+		if limit > maxEnum {
+			limit = maxEnum
+			res.exact = false
+		}
+		for k := kLo; k < kLo+limit; k++ {
+			if plan.Owner(k) == plan.Owner(k-d) {
+				continue
+			}
+			if overlapGeom {
+				res.overlap, res.share = true, true
+				break
+			}
+			x1 := m1.K + A*k
+			if linesTouch(x1, m1.W, x1+gap, m2.W, na.L) {
+				res.share = true
+				break
+			}
+		}
+		if res.overlap {
+			return
+		}
+	}
+}
+
+// pairUnequalStride handles refs advancing at different rates (including
+// one standing still). The relative gap drifts with k, so the check
+// enumerates trips of one ref and solves a small window of candidate
+// trips of the other; beyond maxEnum outer trips the scan truncates and
+// the result is inexact.
+func (na *nestAnalysis) pairUnequalStride(m1, m2 *refModel, plan sched.Plan, res *pairResult) {
+	// Put the moving ref second so the window solve is well-defined.
+	a, b := m1, m2
+	if b.A == 0 {
+		a, b = b, a
+	}
+	if a.A == 0 {
+		// Fixed region vs moving region: enumerate the moving trips whose
+		// footprint comes within a line of the fixed one. Any trip has a
+		// differently-owned partner trip as soon as there are ≥2 chunks.
+		kLo, kHi, ok := windowTrips(b, a.K-(b.W+na.L-1), a.K+a.W+na.L-1, na.npar)
+		if !ok {
+			return
+		}
+		for k := kLo; k <= kHi; k++ {
+			xb := b.K + b.A*k
+			if intervalsTouch(xb, b.W, a.K, a.W) {
+				res.overlap, res.share = true, true
+				return
+			}
+			if linesTouch(xb, b.W, a.K, a.W, na.L) {
+				res.share = true
+			}
+		}
+		return
+	}
+	// Both moving at different rates: for each trip of a, candidate trips
+	// of b lie in a window of width O(L/|A_b|).
+	outer := na.npar
+	if outer > maxEnum {
+		outer = maxEnum
+		res.exact = false
+	}
+	for k1 := int64(0); k1 < outer; k1++ {
+		x1 := a.K + a.A*k1
+		k2Lo, k2Hi, ok := windowTrips(b, x1-(b.W+na.L-1), x1+a.W+na.L-1, na.npar)
+		if !ok {
+			continue
+		}
+		for k2 := k2Lo; k2 <= k2Hi; k2++ {
+			if plan.Owner(k1) == plan.Owner(k2) {
+				continue
+			}
+			x2 := b.K + b.A*k2
+			if intervalsTouch(x1, a.W, x2, b.W) {
+				res.overlap, res.share = true, true
+				return
+			}
+			if linesTouch(x1, a.W, x2, b.W, na.L) {
+				res.share = true
+			}
+		}
+	}
+}
+
+// windowTrips returns the trips k of m whose footprint start K + A·k lies
+// in [lo, hi], clamped to [0, npar); ok is false when the window is empty.
+func windowTrips(m *refModel, lo, hi, npar int64) (int64, int64, bool) {
+	if m.A == 0 {
+		if m.K < lo || m.K > hi {
+			return 0, 0, false
+		}
+		return 0, npar - 1, true
+	}
+	kLo := ceilDivFloor(lo-m.K, m.A, true)
+	kHi := ceilDivFloor(hi-m.K, m.A, false)
+	if m.A < 0 {
+		kLo, kHi = ceilDivFloor(hi-m.K, m.A, true), ceilDivFloor(lo-m.K, m.A, false)
+	}
+	kLo = max(kLo, 0)
+	kHi = min(kHi, npar-1)
+	if kLo > kHi {
+		return 0, 0, false
+	}
+	return kLo, kHi, true
+}
+
+// ceilDivFloor returns ceil(a/b) when up, floor(a/b) otherwise, for any
+// sign of a and b (b ≠ 0).
+func ceilDivFloor(a, b int64, up bool) int64 {
+	q := a / b
+	r := a % b
+	if r == 0 {
+		return q
+	}
+	pos := (a > 0) == (b > 0)
+	if up && pos {
+		return q + 1
+	}
+	if !up && !pos {
+		return q - 1
+	}
+	return q
+}
+
+// appendUnique appends s to list unless already present (partner lists
+// are tiny; linear scan is fine).
+func appendUnique(list []string, s string) []string {
+	for _, v := range list {
+		if v == s {
+			return list
+		}
+	}
+	return append(list, s)
+}
+
+// intervalsTouch reports whether byte intervals [x1, x1+w1) and
+// [x2, x2+w2) intersect.
+func intervalsTouch(x1, w1, x2, w2 int64) bool {
+	return x1 < x2+w2 && x2 < x1+w1
+}
+
+// linesTouch reports whether the two byte intervals touch a common
+// cache line of size L (addresses are non-negative virtual addresses).
+func linesTouch(x1, w1, x2, w2, L int64) bool {
+	return (x1+w1-1)/L >= x2/L && (x2+w2-1)/L >= x1/L
+}
+
+// run executes the conflict passes over the nest's models and emits
+// diagnostics plus per-ref verdicts, then asks for fix suggestions.
+func (na *nestAnalysis) run() {
+	// Pass 1: closed-form self check of every write.
+	for _, m := range na.models {
+		if !m.ref.Write {
+			continue
+		}
+		sr := na.selfCheck(m, na.plan)
+		if !sr.exact {
+			m.vexact = false
+		}
+		if sr.race {
+			m.race, m.prone = true, true
+			d := na.newDiag(CodeRace, SeverityError, m.ref)
+			d.Exact = sr.exact
+			if m.A == 0 {
+				d.Message = fmt.Sprintf(
+					"every iteration of the parallel loop writes the same %d byte(s) through %s: threads race on a shared element%s",
+					m.W, m.ref.Src, describeAssumed(d.Assumed))
+			} else {
+				d.Message = fmt.Sprintf(
+					"adjacent parallel iterations write overlapping bytes through %s (stride %d B per trip < footprint %d B): differently-scheduled threads race on shared elements%s",
+					m.ref.Src, abs64(m.A), m.W, describeAssumed(d.Assumed))
+			}
+			na.diags = append(na.diags, *d)
+		}
+		if sr.straddles > 0 {
+			m.prone = true
+			boundaries := (ceilDiv(na.npar, na.plan.Chunk) - 1) * na.multiplier
+			d := na.newDiag(CodeFSWrite, SeverityWarning, m.ref)
+			d.Exact = sr.exact
+			d.Straddles = sr.straddles * na.multiplier
+			d.Boundaries = boundaries
+			d.Message = fmt.Sprintf(
+				"write %s is false-sharing prone under schedule(static,%d) with %d threads: %d of %d chunk boundaries put writes from two threads on one %d-byte cache line (stride %d B per trip, footprint %d B)%s",
+				m.ref.Src, na.plan.Chunk, na.plan.NumThreads, d.Straddles, boundaries, na.L, m.A, m.W, describeAssumed(d.Assumed))
+			na.diags = append(na.diags, *d)
+		}
+	}
+
+	// Pass 2: cross-reference conflicts, aggregated per primary write to
+	// keep the output readable: one FS002 and one RC001 per write, naming
+	// every partner.
+	type agg struct {
+		share, overlap []string
+		exact          bool
+	}
+	aggs := map[int]*agg{}
+	order := []int{}
+	for i, m1 := range na.models {
+		for j := i + 1; j < len(na.models); j++ {
+			m2 := na.models[j]
+			if m1.ref.Sym != m2.ref.Sym {
+				continue
+			}
+			if !m1.ref.Write && !m2.ref.Write {
+				continue
+			}
+			if m1.ref.Offset.Equal(m2.ref.Offset) {
+				continue // same footprint at every trip: the self check covers it
+			}
+			pr := na.pairCheck(m1, m2, na.plan)
+			if !pr.share && !pr.overlap {
+				continue
+			}
+			// The primary is the written ref (the earlier one when both
+			// are writes); the partner is reported as related.
+			prim, part := m1, m2
+			if !m1.ref.Write {
+				prim, part = m2, m1
+			}
+			if !pr.exact {
+				prim.vexact = false
+			}
+			prim.prone = true
+			if part.ref.Write {
+				part.prone = true
+				if !pr.exact {
+					part.vexact = false
+				}
+			}
+			if pr.overlap {
+				prim.race = true
+				if part.ref.Write {
+					part.race = true
+				}
+			}
+			a := aggs[prim.idx]
+			if a == nil {
+				a = &agg{exact: true}
+				aggs[prim.idx] = a
+				order = append(order, prim.idx)
+			}
+			if pr.overlap {
+				a.overlap = appendUnique(a.overlap, part.ref.Src)
+			} else {
+				a.share = appendUnique(a.share, part.ref.Src)
+			}
+			a.exact = a.exact && pr.exact
+		}
+	}
+	for _, idx := range order {
+		a := aggs[idx]
+		var prim *refModel
+		for _, m := range na.models {
+			if m.idx == idx {
+				prim = m
+				break
+			}
+		}
+		if len(a.overlap) > 0 {
+			d := na.newDiag(CodeRace, SeverityError, prim.ref)
+			d.Related = strings.Join(a.overlap, ", ")
+			d.Exact = a.exact
+			d.Message = fmt.Sprintf(
+				"%s and %s touch the same element of %s from different threads: data race (true sharing)%s",
+				prim.ref.Src, d.Related, prim.ref.Sym.Name, describeAssumed(d.Assumed))
+			na.diags = append(na.diags, *d)
+		}
+		if len(a.share) > 0 {
+			d := na.newDiag(CodeFSPair, SeverityWarning, prim.ref)
+			d.Related = strings.Join(a.share, ", ")
+			d.Exact = a.exact
+			d.Message = fmt.Sprintf(
+				"%s shares %d-byte cache lines with %s across threads (distinct elements of %s on one line): false sharing%s",
+				prim.ref.Src, na.L, d.Related, prim.ref.Sym.Name, describeAssumed(d.Assumed))
+			na.diags = append(na.diags, *d)
+		}
+	}
+
+	// Pass 3: fix suggestions.
+	if !na.cfg.NoSuggest {
+		na.suggest()
+	}
+}

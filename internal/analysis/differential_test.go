@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fsmodel"
+	"repro/internal/kernels"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/minic"
+)
+
+// The differential test pins the analytic engine against the paper's
+// lockstep simulator: for every program in the corpus, every chunk in the
+// sweep, and both line sizes, a data symbol has an exact analytic
+// "cross-thread line sharing" verdict iff the simulator attributes at
+// least one false-sharing case to it.
+//
+// The comparison is per symbol, not per reference: the simulator charges
+// an FS case to the reference whose access observes the invalidation
+// (often the read half of a compound assignment), while the analytic
+// verdict names the write that provokes it — both sides agree once
+// aggregated over the symbol's references.
+
+// machineAt returns the paper machine reconfigured for the given cache
+// line size (Desc.Validate requires every cache level to match).
+func machineAt(lineSize int64) *machine.Desc {
+	m := *machine.Paper48()
+	m.LineSize = lineSize
+	m.L1.LineSize = lineSize
+	m.L2.LineSize = lineSize
+	m.L3.LineSize = lineSize
+	return &m
+}
+
+// corpusSources gathers every differential input: the three paper
+// kernels plus all constant-bound mini-C programs under testdata/ and
+// examples/lint/.
+func corpusSources(t *testing.T) map[string]string {
+	t.Helper()
+	srcs := map[string]string{
+		"kernel:heat":   kernels.HeatSource(96, 4096),
+		"kernel:dft":    kernels.DFTSource(768),
+		"kernel:linreg": kernels.LinRegSource(512, 3072, 8),
+	}
+	for _, dir := range []string{"../../testdata", "../../examples/lint"} {
+		files, err := filepath.Glob(filepath.Join(dir, "*.c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs[filepath.Base(f)] = string(data)
+		}
+	}
+	if len(srcs) < 8 {
+		t.Fatalf("differential corpus too small: %d sources", len(srcs))
+	}
+	return srcs
+}
+
+func TestDifferentialAgainstSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator sweep is slow")
+	}
+	const threads = 8
+	srcs := corpusSources(t)
+	for _, lineSize := range []int64{64, 128} {
+		mach := machineAt(lineSize)
+		for name, src := range srcs {
+			prog, err := minic.Parse(src)
+			if err != nil {
+				t.Fatalf("%s: parse: %v", name, err)
+			}
+			unit, err := loopir.Lower(prog, loopir.LowerOptions{LineSize: lineSize, SymbolicBounds: true})
+			if err != nil {
+				t.Fatalf("%s: lower: %v", name, err)
+			}
+			symbolic := false
+			for _, nest := range unit.Nests {
+				if len(nest.Params()) > 0 {
+					symbolic = true
+				}
+			}
+			if symbolic {
+				continue // the simulator cannot run unknown trip counts
+			}
+			// The aligned chunk for 8-byte doubles plus two finer and one
+			// coarser setting.
+			for _, chunk := range []int64{1, 2, 8, lineSize / 8} {
+				rep, err := Analyze(unit, Config{Machine: mach, Threads: threads, Chunk: chunk})
+				if err != nil {
+					t.Fatalf("%s L=%d c=%d: analyze: %v", name, lineSize, chunk, err)
+				}
+				analytic := map[string]bool{}
+				exact := map[string]bool{}
+				for _, v := range rep.Verdicts {
+					analytic[v.Symbol] = analytic[v.Symbol] || v.Prone
+					if e, seen := exact[v.Symbol]; seen {
+						exact[v.Symbol] = e && v.Exact
+					} else {
+						exact[v.Symbol] = v.Exact
+					}
+				}
+				simulated := map[string]bool{}
+				for _, nest := range unit.Nests {
+					if nest.Parallelized() == nil {
+						continue
+					}
+					res, err := fsmodel.Analyze(nest, fsmodel.Options{
+						Machine:    mach,
+						NumThreads: threads,
+						Chunk:      chunk,
+					})
+					if err != nil {
+						t.Fatalf("%s L=%d c=%d: simulate: %v", name, lineSize, chunk, err)
+					}
+					for _, ra := range res.ByRef {
+						if ra.FSCases > 0 {
+							simulated[ra.Symbol] = true
+						}
+					}
+				}
+				for sym, want := range simulated {
+					if !analytic[sym] {
+						t.Errorf("%s L=%d chunk=%d: simulator found FS on %s, analysis says clean (want %v)",
+							name, lineSize, chunk, sym, want)
+					}
+				}
+				for sym, prone := range analytic {
+					if !exact[sym] {
+						continue // approximate verdicts may legitimately over-approximate
+					}
+					if prone && !simulated[sym] {
+						t.Errorf("%s L=%d chunk=%d: analysis flags %s, simulator saw no FS case",
+							name, lineSize, chunk, sym)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialSuggestionsVerified re-runs the simulator under each
+// suggested fix and checks the fix really eliminates every FS case —
+// the suggestion pass promises verified fixes, so the promise is pinned
+// against the independent oracle too.
+func TestDifferentialSuggestionsVerified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator sweep is slow")
+	}
+	const threads = 8
+	mach := machineAt(64)
+	for name, src := range corpusSources(t) {
+		prog, err := minic.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unit, err := loopir.Lower(prog, loopir.LowerOptions{LineSize: 64, SymbolicBounds: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		skip := false
+		for _, nest := range unit.Nests {
+			if len(nest.Params()) > 0 {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		rep, err := Analyze(unit, Config{Machine: mach, Threads: threads, Chunk: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range rep.Diagnostics {
+			if d.Code != CodeFixChunk {
+				continue
+			}
+			for _, nest := range unit.Nests {
+				if nest.Parallelized() == nil {
+					continue
+				}
+				res, err := fsmodel.Analyze(nest, fsmodel.Options{
+					Machine:    mach,
+					NumThreads: threads,
+					Chunk:      d.SuggestedChunk,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.FSCases > 0 {
+					t.Errorf("%s: suggested chunk %d still yields %d FS cases",
+						name, d.SuggestedChunk, res.FSCases)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialKernelNames double-checks the corpus covers the three
+// paper kernels so a refactor of kernel naming cannot silently shrink
+// the differential.
+func TestDifferentialKernelNames(t *testing.T) {
+	srcs := corpusSources(t)
+	for _, want := range []string{"kernel:heat", "kernel:dft", "kernel:linreg"} {
+		if _, ok := srcs[want]; !ok {
+			t.Fatalf("corpus lost %s", want)
+		}
+	}
+	hasExample := false
+	for name := range srcs {
+		if strings.HasSuffix(name, ".c") {
+			hasExample = true
+		}
+	}
+	if !hasExample {
+		t.Fatal("corpus has no on-disk .c programs")
+	}
+}

@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/affine"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// refModel is the closed-form access model of one analyzable reference:
+// over one instance of the outer (sequential) loops, the reference at
+// parallel trip k touches the byte interval [K + A·k, K + A·k + W).
+type refModel struct {
+	ref loopir.Ref
+	idx int // index into nest.AnalyzableRefs(), fsmodel's ByRef order
+
+	A int64 // bytes the footprint moves per parallel trip
+	K int64 // least absolute byte address at trip 0 (outer loops at their first trips)
+	W int64 // footprint width in bytes (inner-loop span + element size)
+
+	// dense reports that the footprint covers [0, W) without holes; when
+	// false, interval-based overlap and line-share tests over-approximate.
+	dense bool
+	// outerStride[i] is the byte shift per trip of outer loop i. Equal
+	// stride vectors mean two refs keep the same relative geometry in
+	// every outer instance.
+	outerStride []int64
+	// exact is false when a symbolic parameter appeared in the subscript
+	// and an assumed value was substituted.
+	exact bool
+	// instExact reports that conclusions from the first outer instance
+	// transfer to all instances: every nonzero outer stride is
+	// line-aligned and at least as wide as the region the parallel loop
+	// sweeps, so instances are line-disjoint (or identical, stride 0).
+	instExact bool
+
+	// Verdict state filled in by the conflict passes.
+	prone  bool
+	race   bool
+	vexact bool
+}
+
+// nestAnalysis carries the per-nest state shared by all passes.
+type nestAnalysis struct {
+	nest    *loopir.Nest
+	nestIdx int
+	cfg     Config
+	L       int64
+
+	plan       sched.Plan
+	npar       int64 // parallel-loop trip count
+	numChunks  int64
+	multiplier int64 // outer-loop instances (product of outer trip counts)
+
+	trips  []int64 // per loop level, under the first-trip/assumed environment
+	firsts []int64
+
+	assumed     map[string]int64
+	boundsExact bool // no symbolic or outer-variable-dependent bounds
+
+	models []*refModel
+	diags  []Diagnostic
+}
+
+// newNestAnalysis resolves the schedule for one nest, mirroring
+// fsmodel.prepare (explicit config wins over the pragma, which wins over
+// machine defaults). It returns (nil, nil) for nests the engine has
+// nothing to say about: sequential nests, single-thread teams, and
+// zero-trip loops.
+func newNestAnalysis(nest *loopir.Nest, idx int, m *machine.Desc, cfg Config) (*nestAnalysis, error) {
+	par := nest.Parallelized()
+	if par == nil {
+		return nil, nil
+	}
+	threads := cfg.Threads
+	if threads <= 0 && par.Parallel.NumThreads > 0 {
+		threads = par.Parallel.NumThreads
+	}
+	if threads <= 0 {
+		threads = m.Cores
+	}
+	if threads < 2 {
+		return nil, nil
+	}
+	chunk := cfg.Chunk
+	if chunk <= 0 && par.Parallel.Chunk > 0 {
+		chunk = par.Parallel.Chunk
+	}
+	kind, err := sched.KindFromString(par.Parallel.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: nest %d: %w", idx, err)
+	}
+
+	na := &nestAnalysis{
+		nest:        nest,
+		nestIdx:     idx,
+		cfg:         cfg,
+		L:           m.LineSize,
+		multiplier:  1,
+		boundsExact: true,
+		assumed:     map[string]int64{},
+	}
+
+	// Evaluate loop bounds outermost-in with symbolic parameters pinned to
+	// the assumed trip count and outer variables at their first values.
+	// Triangular bounds make the nest non-rectangular; the analysis then
+	// models the first instance and marks everything inexact.
+	env := map[string]int64{}
+	for _, p := range nest.Params() {
+		env[p] = cfg.AssumedTrips
+		na.assumed[p] = cfg.AssumedTrips
+		na.boundsExact = false
+	}
+	na.trips = make([]int64, len(nest.Loops))
+	na.firsts = make([]int64, len(nest.Loops))
+	for i, l := range nest.Loops {
+		for j := 0; j < i; j++ {
+			if l.First.DependsOn(nest.Loops[j].Var) || l.Limit.DependsOn(nest.Loops[j].Var) {
+				na.boundsExact = false
+			}
+		}
+		f, err := l.First.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: nest %d loop %s: %w", idx, l.Var, err)
+		}
+		t, err := l.TripCount(env)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: nest %d loop %s: %w", idx, l.Var, err)
+		}
+		na.firsts[i] = f
+		na.trips[i] = t
+		env[l.Var] = f
+	}
+	na.npar = na.trips[nest.ParLevel]
+	if na.npar <= 0 {
+		return nil, nil
+	}
+	for i := 0; i < nest.ParLevel; i++ {
+		if na.trips[i] <= 0 {
+			return nil, nil
+		}
+		na.multiplier *= na.trips[i]
+	}
+
+	na.plan, err = sched.Resolve(kind, threads, chunk, na.npar)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: nest %d: %w", idx, err)
+	}
+	na.numChunks = ceilDiv(na.npar, na.plan.Chunk)
+	na.buildModels()
+	return na, nil
+}
+
+// buildModels extracts a refModel per analyzable reference and emits
+// AN001 notes for the references lowering excluded.
+func (na *nestAnalysis) buildModels() {
+	ai := 0
+	for _, r := range na.nest.Refs {
+		if r.NonAffine {
+			d := na.newDiag(CodeNotAnalyzable, SeverityNote, r)
+			d.Message = fmt.Sprintf("reference %s has a non-affine subscript and is excluded from the false-sharing analysis", r.Src)
+			d.Exact = true
+			na.diags = append(na.diags, *d)
+			continue
+		}
+		na.models = append(na.models, na.buildModel(r, ai))
+		ai++
+	}
+}
+
+func (na *nestAnalysis) buildModel(r loopir.Ref, ai int) *refModel {
+	m := &refModel{
+		ref:         r,
+		idx:         ai,
+		dense:       true,
+		exact:       true,
+		instExact:   true,
+		vexact:      true,
+		outerStride: make([]int64, na.nest.ParLevel),
+	}
+	level := map[string]int{}
+	for i, l := range na.nest.Loops {
+		level[l.Var] = i
+	}
+	parLoop := na.nest.Loops[na.nest.ParLevel]
+	m.A = r.Offset.Coeff(parLoop.Var) * parLoop.Step
+
+	K := r.Sym.Base + r.Offset.ConstTerm
+	var spanMin, spanMax int64
+	type dim struct{ stride, trips int64 }
+	var inner []dim
+	for v, c := range r.Offset.Terms {
+		lvl, isLoop := level[v]
+		if !isLoop {
+			// A symbolic parameter in the subscript itself: pin it like a
+			// bound and flag the model.
+			K += c * na.cfg.AssumedTrips
+			na.assumed[v] = na.cfg.AssumedTrips
+			m.exact = false
+			continue
+		}
+		l := na.nest.Loops[lvl]
+		K += c * na.firsts[lvl]
+		switch {
+		case lvl == na.nest.ParLevel:
+			// Captured by A.
+		case lvl < na.nest.ParLevel:
+			m.outerStride[lvl] = c * l.Step
+		default:
+			ext := c * l.Step * (na.trips[lvl] - 1)
+			if ext < 0 {
+				spanMin += ext
+			} else {
+				spanMax += ext
+			}
+			inner = append(inner, dim{stride: abs64(c * l.Step), trips: na.trips[lvl]})
+		}
+	}
+	m.K = K + spanMin
+	m.W = spanMax - spanMin + r.Size
+
+	// Density: the inner dims tile the footprint without holes when, in
+	// increasing stride order, each stride fits inside the bytes already
+	// covered.
+	sort.Slice(inner, func(i, j int) bool { return inner[i].stride < inner[j].stride })
+	cover := r.Size
+	for _, d := range inner {
+		if d.stride == 0 || d.trips <= 1 {
+			continue
+		}
+		if d.stride > cover {
+			m.dense = false
+			break
+		}
+		cover += d.stride * (d.trips - 1)
+	}
+
+	// Instance structure: the parallel loop sweeps a region of
+	// span = |A|·(npar−1) + W per outer instance. Instances are
+	// line-equivalent when every nonzero outer stride is a line multiple
+	// and no two instances' regions interleave.
+	var g int64
+	for _, s := range m.outerStride {
+		if s != 0 {
+			g = affine.GCD(g, s)
+		}
+	}
+	if g != 0 {
+		span := abs64(m.A)*(na.npar-1) + m.W
+		if g%na.L != 0 || span > g {
+			m.instExact = false
+		}
+		for _, s := range m.outerStride {
+			if s != 0 && s%na.L != 0 {
+				m.instExact = false
+			}
+		}
+	}
+	return m
+}
+
+// newDiag seeds a diagnostic anchored on a reference with the nest's
+// schedule context filled in.
+func (na *nestAnalysis) newDiag(code string, sev Severity, r loopir.Ref) *Diagnostic {
+	end := r.EndP
+	if end.Line == 0 { // synthesized ref without span
+		end = r.P
+		end.Col++
+	}
+	var assumed map[string]int64
+	if len(na.assumed) > 0 {
+		assumed = na.assumed
+	}
+	return &Diagnostic{
+		Code:     code,
+		Severity: sev,
+		Nest:     na.nestIdx,
+		Ref:      r.Src,
+		Symbol:   r.Sym.Name,
+		Pos:      r.P,
+		End:      end,
+		Threads:  na.plan.NumThreads,
+		Chunk:    na.plan.Chunk,
+		LineSize: na.L,
+		Assumed:  assumed,
+	}
+}
+
+// verdicts returns the per-written-ref analytic verdicts.
+func (na *nestAnalysis) verdicts() []RefVerdict {
+	var out []RefVerdict
+	for _, m := range na.models {
+		if !m.ref.Write {
+			continue
+		}
+		out = append(out, RefVerdict{
+			Nest:   na.nestIdx,
+			Ref:    m.ref.Src,
+			Symbol: m.ref.Sym.Name,
+			Prone:  m.prone,
+			Race:   m.race,
+			Exact:  m.vexact,
+		})
+	}
+	return out
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func lcm64(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / affine.GCD(a, b) * b
+}

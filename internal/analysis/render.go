@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// FileReport pairs a source file name with its analysis outcome, the unit
+// all renderers consume (File may be a pseudo-name like "<kernel:heat>"
+// for embedded sources).
+type FileReport struct {
+	File   string  `json:"file"`
+	Report *Report `json:"report"`
+}
+
+// WriteText renders reports in the familiar compiler style,
+//
+//	file:line:col: severity: CODE: message
+//
+// one finding per line, followed by a summary count.
+func WriteText(w io.Writer, reports []FileReport) error {
+	total := 0
+	for _, fr := range reports {
+		for _, d := range fr.Report.Diagnostics {
+			total++
+			if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s: %s\n",
+				fr.File, d.Pos.Line, d.Pos.Col, d.Severity, d.Code, d.Message); err != nil {
+				return err
+			}
+		}
+	}
+	var err error
+	if total == 0 {
+		_, err = fmt.Fprintf(w, "fslint: no findings in %d file(s)\n", len(reports))
+	} else {
+		_, err = fmt.Fprintf(w, "fslint: %d finding(s) in %d file(s)\n", total, len(reports))
+	}
+	return err
+}
+
+// WriteJSON renders reports as an indented JSON array of FileReports.
+func WriteJSON(w io.Writer, reports []FileReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSARIFRequiredFields renders a real report and validates the SARIF
+// 2.1.0 required fields by decoding into an untyped tree: version,
+// $schema, tool driver name and rules, and per-result ruleId, level,
+// message text and physical location with a 1-based region.
+func TestSARIFRequiredFields(t *testing.T) {
+	rep := analyzeSrc(t, victimSrc, Config{})
+	if len(rep.Diagnostics) == 0 {
+		t.Fatal("victim source produced no diagnostics")
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, []FileReport{{File: "testdata/victim.c", Report: rep}}); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if doc["version"] != "2.1.0" {
+		t.Fatalf("version = %v", doc["version"])
+	}
+	schema, _ := doc["$schema"].(string)
+	if !strings.Contains(schema, "sarif-schema-2.1.0") {
+		t.Fatalf("$schema = %q", schema)
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "fslint" {
+		t.Fatalf("driver name = %v", driver["name"])
+	}
+	rules, ok := driver["rules"].([]any)
+	if !ok || len(rules) == 0 {
+		t.Fatal("driver has no rules")
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range rules {
+		rm := r.(map[string]any)
+		id, _ := rm["id"].(string)
+		if id == "" {
+			t.Fatalf("rule without id: %v", r)
+		}
+		sd := rm["shortDescription"].(map[string]any)
+		if sd["text"] == "" {
+			t.Fatalf("rule %s without shortDescription.text", id)
+		}
+		ruleIDs[id] = true
+	}
+	for _, want := range []string{CodeFSWrite, CodeFSPair, CodeRace, CodeFixChunk, CodeFixPad, CodeNotAnalyzable, CodeParse} {
+		if !ruleIDs[want] {
+			t.Fatalf("rule registry missing %s", want)
+		}
+	}
+	results, ok := run["results"].([]any)
+	if !ok || len(results) != len(rep.Diagnostics) {
+		t.Fatalf("results = %d, want %d", len(results), len(rep.Diagnostics))
+	}
+	for _, r := range results {
+		res := r.(map[string]any)
+		if res["ruleId"] == "" {
+			t.Fatalf("result without ruleId: %v", res)
+		}
+		switch res["level"] {
+		case "note", "warning", "error":
+		default:
+			t.Fatalf("bad level %v", res["level"])
+		}
+		msg := res["message"].(map[string]any)
+		if msg["text"] == "" {
+			t.Fatalf("result without message.text: %v", res)
+		}
+		locs, ok := res["locations"].([]any)
+		if !ok || len(locs) != 1 {
+			t.Fatalf("result without location: %v", res)
+		}
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		if phys["artifactLocation"].(map[string]any)["uri"] != "testdata/victim.c" {
+			t.Fatalf("bad artifact uri: %v", phys)
+		}
+		region := phys["region"].(map[string]any)
+		for _, k := range []string{"startLine", "startColumn", "endLine", "endColumn"} {
+			v, ok := region[k].(float64)
+			if !ok || v < 1 {
+				t.Fatalf("region %s = %v, want >= 1", k, region[k])
+			}
+		}
+		if region["endColumn"].(float64) <= region["startColumn"].(float64) &&
+			region["endLine"].(float64) == region["startLine"].(float64) {
+			t.Fatalf("empty region: %v", region)
+		}
+	}
+}
+
+// TestEmptyReportRenders checks every renderer tolerates a clean run.
+func TestEmptyReportRenders(t *testing.T) {
+	reports := []FileReport{{File: "clean.c", Report: &Report{}}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no findings") {
+		t.Fatalf("text output = %q", buf.String())
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	var arr []FileReport
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil || len(arr) != 1 {
+		t.Fatalf("json round trip: %v, %d", err, len(arr))
+	}
+	buf.Reset()
+	if err := WriteSARIF(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Results == nil || len(doc.Runs[0].Results) != 0 {
+		t.Fatalf("clean SARIF run must have an empty, non-null results array: %+v", doc)
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/loopir"
+	"repro/internal/sched"
+)
+
+// suggest is pass 3: it proposes the minimal aligning chunk size
+// (FIX-CHUNK) and, for arrays of structs, the padding that gives each
+// element its own cache line (FIX-PAD). A suggestion is emitted only
+// after re-running passes 1–2 under the proposed change confirms the
+// nest comes out clean — a closed-form sibling of repro.RecommendChunk
+// and transform.PadStructs's simulate-and-compare loop.
+func (na *nestAnalysis) suggest() {
+	// Collect the writes whose findings a schedule or layout change could
+	// remove: false sharing, not same-element races with A = 0 (those are
+	// correctness bugs no chunk or pad fixes).
+	var prone []*refModel
+	for _, m := range na.models {
+		if m.ref.Write && m.prone && m.A != 0 {
+			prone = append(prone, m)
+		}
+	}
+	if len(prone) == 0 {
+		return
+	}
+
+	// FIX-CHUNK: the least chunk that makes every prone write's boundary
+	// stride A·c a line multiple is lcm over refs of L/gcd(|A|, L); it
+	// only helps when the base alignment then keeps boundary footprints
+	// off shared lines, which the re-check decides.
+	c := int64(1)
+	for _, m := range prone {
+		c = lcm64(c, na.L/affine.GCD(m.A, na.L))
+		if c >= na.npar {
+			break
+		}
+	}
+	if c > 1 && c < na.npar && c != na.plan.Chunk {
+		plan := na.plan
+		plan.Chunk = c
+		if na.cleanUnder(plan, na.models) {
+			m := prone[0]
+			d := na.newDiag(CodeFixChunk, SeverityNote, m.ref)
+			d.SuggestedChunk = c
+			d.Exact = true
+			d.Message = fmt.Sprintf(
+				"schedule(static,%d) aligns each chunk of %s writes to %d-byte cache-line boundaries and removes the detected false sharing",
+				c, m.ref.Sym.Name, na.L)
+			na.diags = append(na.diags, *d)
+		}
+	}
+
+	// FIX-PAD: for arrays of structs, grow the element to the next line
+	// multiple. Padding appends bytes, so every ref's per-trip stride
+	// grows by pad while field offsets (K) and footprints (W) stay put.
+	syms := map[*loopir.Symbol][]*refModel{}
+	var symOrder []*loopir.Symbol
+	for _, m := range prone {
+		if _, ok := loopir.ElemType(m.ref.Sym.Type).(*loopir.Struct); !ok {
+			continue
+		}
+		if syms[m.ref.Sym] == nil {
+			symOrder = append(symOrder, m.ref.Sym)
+		}
+		syms[m.ref.Sym] = append(syms[m.ref.Sym], m)
+	}
+	for _, sym := range symOrder {
+		ms := syms[sym]
+		st := loopir.ElemType(sym.Type).(*loopir.Struct)
+		elem := st.Size()
+		pad := affine.Mod(-elem, na.L)
+		if pad == 0 {
+			continue
+		}
+		// The suggestion is only sound when the parallel stride actually
+		// walks whole elements; padding cannot help strides unrelated to
+		// the element size.
+		stride := abs64(ms[0].A)
+		if stride%elem != 0 {
+			continue
+		}
+		modified := make([]*refModel, len(na.models))
+		ok := true
+		for i, m := range na.models {
+			if m.ref.Sym != sym {
+				modified[i] = m
+				continue
+			}
+			if abs64(m.A)%elem != 0 {
+				ok = false
+				break
+			}
+			mm := *m
+			grow := (abs64(m.A) / elem) * pad
+			if mm.A > 0 {
+				mm.A += grow
+			} else if mm.A < 0 {
+				mm.A -= grow
+			}
+			modified[i] = &mm
+		}
+		if !ok || !na.cleanUnder(na.plan, modified) {
+			continue
+		}
+		d := na.newDiag(CodeFixPad, SeverityNote, ms[0].ref)
+		d.PadBytes = pad
+		d.Exact = true
+		d.Message = fmt.Sprintf(
+			"padding struct %s by %d bytes (element %d B -> %d B, a %d-byte line multiple) gives each element of %s its own cache line and removes the detected false sharing",
+			st.Name, pad, elem, elem+pad, na.L, sym.Name)
+		na.diags = append(na.diags, *d)
+	}
+}
+
+// cleanUnder re-runs passes 1–2 on the given models under plan and
+// reports whether no false-sharing or race finding survives.
+func (na *nestAnalysis) cleanUnder(plan sched.Plan, models []*refModel) bool {
+	for _, m := range models {
+		if !m.ref.Write {
+			continue
+		}
+		sr := na.selfCheck(m, plan)
+		if sr.straddles > 0 || sr.race {
+			return false
+		}
+	}
+	for i, m1 := range models {
+		for j := i + 1; j < len(models); j++ {
+			m2 := models[j]
+			if m1.ref.Sym != m2.ref.Sym || (!m1.ref.Write && !m2.ref.Write) {
+				continue
+			}
+			if m1.ref.Offset.Equal(m2.ref.Offset) {
+				continue
+			}
+			pr := na.pairCheck(m1, m2, plan)
+			if pr.share || pr.overlap {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -30,6 +30,10 @@ type Ref struct {
 	Size   int64 // bytes accessed (size of the referenced element)
 	Src    string
 	P      minic.Pos
+	// EndP is the source position one past the reference's last character
+	// (zero when the reference was synthesized without source text), so
+	// diagnostics can underline the full subscript expression.
+	EndP minic.Pos
 	// NonAffine marks references whose subscripts could not be expressed
 	// as affine functions; such references are excluded from modeling and
 	// reported as diagnostics, mirroring a compiler's "not analyzable".

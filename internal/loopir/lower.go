@@ -472,7 +472,7 @@ func (lw *lowerer) memRef(nest *Nest, e *minic.RefExpr, vars map[string]bool) (R
 			return Ref{}, false, fmt.Errorf("%s: undeclared identifier %q", e.P, e.Name)
 		}
 		// A shared global scalar: a memory reference at constant offset 0.
-		return Ref{Sym: sym, Offset: affine.Const(0), Size: sym.Type.Size(), Src: e.String(), P: e.P}, true, nil
+		return Ref{Sym: sym, Offset: affine.Const(0), Size: sym.Type.Size(), Src: e.String(), P: e.P, EndP: e.End()}, true, nil
 	}
 
 	sym, ok := lw.unit.Syms[e.Name]
@@ -493,7 +493,7 @@ func (lw *lowerer) memRef(nest *Nest, e *minic.RefExpr, vars map[string]bool) (R
 				if asNonAffine(err, &na) && lw.opts.AllowNonAffine {
 					lw.unit.Warnings = append(lw.unit.Warnings,
 						fmt.Sprintf("%s: reference %s excluded: %v", e.P, e, err))
-					return Ref{Sym: sym, Src: e.String(), P: e.P, NonAffine: true, Size: ElemType(t).Size()}, true, nil
+					return Ref{Sym: sym, Src: e.String(), P: e.P, EndP: e.End(), NonAffine: true, Size: ElemType(t).Size()}, true, nil
 				}
 				return Ref{}, false, fmt.Errorf("%s: subscript of %s: %w", e.P, e, err)
 			}
@@ -515,7 +515,7 @@ func (lw *lowerer) memRef(nest *Nest, e *minic.RefExpr, vars map[string]bool) (R
 	if _, isBasic := t.(*Basic); !isBasic {
 		return Ref{}, false, fmt.Errorf("%s: reference %s does not resolve to a scalar element (type %s)", e.P, e, t.String())
 	}
-	return Ref{Sym: sym, Offset: offset, Size: t.Size(), Src: e.String(), P: e.P}, true, nil
+	return Ref{Sym: sym, Offset: offset, Size: t.Size(), Src: e.String(), P: e.P, EndP: e.End()}, true, nil
 }
 
 func asNonAffine(err error, target **nonAffineError) bool {

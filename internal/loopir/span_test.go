@@ -1,0 +1,91 @@
+package loopir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+const spanSrc = `
+#define N 64
+
+struct Acc { double sx; double sy; };
+
+struct Acc acc[N];
+double grid[N][N];
+double out[N];
+
+#pragma omp parallel for private(i) schedule(static,1)
+for (i = 0; i < N; i++) {
+  acc[i].sx += grid[i][0];
+  acc[i].sy += grid[i][1];
+  out[i] = acc[i].sx * acc[i].sy;
+}
+`
+
+// checkSpans verifies every ref of every nest maps back to a valid span
+// of src: positions in range, end after start, and the spanned text equal
+// to the reference's own source rendering.
+func checkSpans(t *testing.T, unit *Unit, src string) {
+	t.Helper()
+	lines := strings.Split(src, "\n")
+	refs := 0
+	for ni, nest := range unit.Nests {
+		for ri, r := range nest.Refs {
+			refs++
+			if r.P.Line < 1 || r.P.Line > len(lines) {
+				t.Fatalf("nest %d ref %d (%s): line %d out of range", ni, ri, r.Src, r.P.Line)
+			}
+			line := lines[r.P.Line-1]
+			if r.P.Col < 1 || r.P.Col > len(line) {
+				t.Fatalf("nest %d ref %d (%s): col %d out of range of %q", ni, ri, r.Src, r.P.Col, line)
+			}
+			if r.EndP.Line != r.P.Line || r.EndP.Col <= r.P.Col || r.EndP.Col > len(line)+1 {
+				t.Fatalf("nest %d ref %d (%s): bad end %s for start %s on %q", ni, ri, r.Src, r.EndP, r.P, line)
+			}
+			got := line[r.P.Col-1 : r.EndP.Col-1]
+			if got != r.Src {
+				t.Fatalf("nest %d ref %d: span %q != ref source %q", ni, ri, got, r.Src)
+			}
+		}
+	}
+	if refs == 0 {
+		t.Fatal("no refs checked")
+	}
+}
+
+// TestRefSourceSpans checks that lowering attaches a valid Pos..End span
+// to every memory reference.
+func TestRefSourceSpans(t *testing.T) {
+	prog, err := minic.Parse(spanSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := Lower(prog, LowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSpans(t, unit, spanSrc)
+}
+
+// TestRefSourceSpansSurviveRelowering checks spans survive lowering the
+// same AST again with a different layout (the path transformations like
+// struct padding take: mutate declarations, re-lower, keep the body).
+// Source attribution must still point into the original text.
+func TestRefSourceSpansSurviveRelowering(t *testing.T) {
+	prog, err := minic.Parse(spanSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []LowerOptions{
+		{LineSize: 128},
+		{LineSize: 32, BaseAddress: 1 << 22},
+	} {
+		unit, err := Lower(prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSpans(t, unit, spanSrc)
+	}
+}

@@ -164,6 +164,10 @@ func (e *FloatLit) String() string { return fmt.Sprintf("%g", e.Value) }
 type Postfix struct {
 	Index Expr   // non-nil for "[expr]"
 	Field string // non-empty for ".field"
+	// End is the position one past the accessor's last character (the
+	// closing bracket or the final field-name character), so diagnostics
+	// can underline the exact subscript.
+	End Pos
 }
 
 // RefExpr is a reference expression: an identifier followed by a chain of
@@ -174,11 +178,18 @@ type RefExpr struct {
 	Name string
 	Post []Postfix
 	P    Pos
+	// EndP is the position one past the reference's last character, so a
+	// diagnostic can span "tid_args[j].sx" exactly rather than pointing
+	// at its first character.
+	EndP Pos
 }
 
 // Pos returns the expression's source position.
 func (e *RefExpr) Pos() Pos  { return e.P }
 func (e *RefExpr) exprNode() {}
+
+// End returns the position one past the reference's last character.
+func (e *RefExpr) End() Pos { return e.EndP }
 
 // String renders the reference in C syntax.
 func (e *RefExpr) String() string {

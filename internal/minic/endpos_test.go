@@ -1,0 +1,64 @@
+package minic
+
+import "testing"
+
+// TestRefEndPositions checks that references and their accessors carry
+// exact end positions, so diagnostics can underline the full subscript.
+func TestRefEndPositions(t *testing.T) {
+	src := `
+double a[10];
+struct S { double x; double y; };
+struct S s[10];
+
+for (i = 0; i < 10; i++) {
+  a[i] = s[i].x + s[i + 1].y;
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []*RefExpr
+	for _, st := range prog.Stmts {
+		f, ok := st.(*ForStmt)
+		if !ok {
+			continue
+		}
+		WalkExprs(f.Body, func(e Expr) {
+			if r, ok := e.(*RefExpr); ok {
+				refs = append(refs, r)
+			}
+		})
+	}
+	lines := []string{"", "", "double a[10];", "struct S { double x; double y; };", "struct S s[10];",
+		"", "for (i = 0; i < 10; i++) {", "  a[i] = s[i].x + s[i + 1].y;", "}"}
+	want := map[string]bool{"a[i]": true, "s[i].x": true, "s[i + 1].y": true, "i": true}
+	var spanned int
+	for _, r := range refs {
+		if r.EndP.Line != r.P.Line || r.EndP.Col <= r.P.Col {
+			t.Fatalf("ref %s: end %s not after start %s", r, r.EndP, r.P)
+		}
+		text := lines[r.P.Line][r.P.Col-1 : r.EndP.Col-1]
+		if !want[text] {
+			t.Fatalf("ref %s spans %q in source", r, text)
+		}
+		if text != "i" {
+			spanned++
+		}
+		// Each accessor's end position must advance monotonically and the
+		// last one must coincide with the reference end.
+		prev := r.P
+		for _, p := range r.Post {
+			if p.End.Line != r.P.Line || p.End.Col <= prev.Col {
+				t.Fatalf("ref %s: accessor end %s not after %s", r, p.End, prev)
+			}
+			prev = p.End
+		}
+		if len(r.Post) > 0 && prev != r.EndP {
+			t.Fatalf("ref %s: last accessor ends at %s, ref at %s", r, prev, r.EndP)
+		}
+	}
+	if spanned < 3 {
+		t.Fatalf("only %d subscripted refs checked", spanned)
+	}
+}

@@ -641,6 +641,7 @@ func (p *Parser) parseRef() (*RefExpr, error) {
 		return nil, err
 	}
 	ref := &RefExpr{Name: name.Lit, P: name.Pos}
+	ref.EndP = Pos{Line: name.Pos.Line, Col: name.Pos.Col + len(name.Lit)}
 	for {
 		switch p.cur().Type {
 		case LBRACKET:
@@ -649,17 +650,22 @@ func (p *Parser) parseRef() (*RefExpr, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := p.expect(RBRACKET); err != nil {
+			rb, err := p.expect(RBRACKET)
+			if err != nil {
 				return nil, err
 			}
-			ref.Post = append(ref.Post, Postfix{Index: idx})
+			end := Pos{Line: rb.Pos.Line, Col: rb.Pos.Col + 1}
+			ref.Post = append(ref.Post, Postfix{Index: idx, End: end})
+			ref.EndP = end
 		case DOT:
 			p.next()
 			f, err := p.expect(IDENT)
 			if err != nil {
 				return nil, err
 			}
-			ref.Post = append(ref.Post, Postfix{Field: f.Lit})
+			end := Pos{Line: f.Pos.Line, Col: f.Pos.Col + len(f.Lit)}
+			ref.Post = append(ref.Post, Postfix{Field: f.Lit, End: end})
+			ref.EndP = end
 		default:
 			return ref, nil
 		}

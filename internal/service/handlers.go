@@ -82,15 +82,29 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // served verbatim); source reports how it was obtained: "hit",
 // "coalesced" or "miss".
 func (s *Server) analyze(ctx context.Context, rr resolved) (body []byte, source string, err error) {
-	if b, ok := s.cache.Get(rr.key); ok {
+	return s.serveCached(ctx, rr.key, func(ctx context.Context) ([]byte, error) {
+		resp, err := s.evaluate(ctx, rr)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// serveCached serves one content-addressed evaluation through the cache,
+// the in-flight dedup group, and the bounded evaluation pool, in that
+// order; every cacheable endpoint (/v1/analyze, /v1/lint) funnels through
+// it. eval must return the exact response bytes to cache and serve.
+func (s *Server) serveCached(ctx context.Context, key string, eval func(ctx context.Context) ([]byte, error)) (body []byte, source string, err error) {
+	if b, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Inc()
 		return b, "hit", nil
 	}
-	res, coalesced, err := s.flight.Do(ctx, rr.key, func() (flightResult, error) {
+	res, coalesced, err := s.flight.Do(ctx, key, func() (flightResult, error) {
 		// Re-check the cache as leader: a previous leader may have filled
 		// it between this request's miss and its flight entry, and an
 		// evaluation is too expensive to repeat on that race.
-		if b, ok := s.cache.Get(rr.key); ok {
+		if b, ok := s.cache.Get(key); ok {
 			return flightResult{body: b, fromCache: true}, nil
 		}
 		release, err := s.limiter.acquire(ctx)
@@ -102,17 +116,13 @@ func (s *Server) analyze(ctx context.Context, rr resolved) (body []byte, source 
 		s.metrics.Inflight.Inc()
 		defer s.metrics.Inflight.Dec()
 		start := time.Now()
-		resp, err := s.evaluate(ctx, rr)
-		if err != nil {
-			return flightResult{}, err
-		}
-		b, err := json.Marshal(resp)
+		b, err := eval(ctx)
 		if err != nil {
 			return flightResult{}, err
 		}
 		s.metrics.Evaluations.Inc()
 		s.metrics.EvalLatency.Observe(time.Since(start).Seconds())
-		s.cache.Add(rr.key, b)
+		s.cache.Add(key, b)
 		return flightResult{body: b}, nil
 	})
 	if err != nil {

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func decodeLint(t *testing.T, body []byte) LintResponse {
+	t.Helper()
+	var resp LintResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("invalid lint response JSON: %v\n%s", err, body)
+	}
+	return resp
+}
+
+func lintCodes(resp LintResponse) []string {
+	var codes []string
+	for _, d := range resp.Report.Diagnostics {
+		codes = append(codes, d.Code)
+	}
+	return codes
+}
+
+func TestLintSource(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/lint", LintRequest{Source: victimSrc})
+	if w.Code != 200 {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", got)
+	}
+	resp := decodeLint(t, w.Body.Bytes())
+	if resp.File != "<source>" {
+		t.Fatalf("file = %q", resp.File)
+	}
+	codes := lintCodes(resp)
+	hasFS := false
+	for _, c := range codes {
+		if c == analysis.CodeFSWrite {
+			hasFS = true
+		}
+	}
+	if !hasFS {
+		t.Fatalf("victim source not flagged; codes = %v", codes)
+	}
+
+	// Same request again: byte-identical body served from cache.
+	w2 := post(t, s, "/v1/lint", LintRequest{Source: victimSrc})
+	if w2.Code != 200 || w2.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat: status = %d, X-Cache = %q", w2.Code, w2.Header().Get("X-Cache"))
+	}
+	if w.Body.String() != w2.Body.String() {
+		t.Fatal("cached lint response differs from original")
+	}
+
+	// A chunk override that aligns the schedule is a distinct cache entry
+	// and comes back clean.
+	w3 := post(t, s, "/v1/lint", LintRequest{Source: victimSrc, Chunk: 8})
+	if w3.Code != 200 || w3.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("chunked: status = %d, X-Cache = %q", w3.Code, w3.Header().Get("X-Cache"))
+	}
+	if resp3 := decodeLint(t, w3.Body.Bytes()); len(resp3.Report.Diagnostics) != 0 {
+		t.Fatalf("chunk 8 not clean: %v", lintCodes(resp3))
+	}
+}
+
+func TestLintKernel(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/lint", LintRequest{Kernel: "heat", Threads: 8, Chunk: 1})
+	if w.Code != 200 {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeLint(t, w.Body.Bytes())
+	if resp.File != "<kernel:heat>" {
+		t.Fatalf("file = %q", resp.File)
+	}
+	if resp.Report.CountAtOrAbove(analysis.SeverityWarning) == 0 {
+		t.Fatalf("heat at chunk 1 produced no warnings: %v", lintCodes(resp))
+	}
+}
+
+func TestLintSARIF(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/lint", LintRequest{Source: victimSrc, SARIF: true})
+	if w.Code != 200 {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF body is not JSON: %v", err)
+	}
+	if doc.Version != analysis.SarifVersion || len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 {
+		t.Fatalf("bad SARIF document: %s", w.Body.String())
+	}
+}
+
+func TestLintParseFailureIsAFinding(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/lint", LintRequest{Source: "double a[;"})
+	if w.Code != 200 {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeLint(t, w.Body.Bytes())
+	if len(resp.Report.Diagnostics) != 1 || resp.Report.Diagnostics[0].Code != analysis.CodeParse {
+		t.Fatalf("want single PARSE diagnostic, got %v", lintCodes(resp))
+	}
+	if resp.Report.Diagnostics[0].Severity != analysis.SeverityError {
+		t.Fatalf("PARSE severity = %v", resp.Report.Diagnostics[0].Severity)
+	}
+}
+
+func TestLintValidationErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  LintRequest
+		want string
+	}{
+		{"empty", LintRequest{}, "one of source or kernel"},
+		{"both", LintRequest{Source: victimSrc, Kernel: "heat"}, "mutually exclusive"},
+		{"bad kernel", LintRequest{Kernel: "fft"}, "fft"},
+		{"bad machine", LintRequest{Source: victimSrc, Machine: "cray"}, "machine"},
+		{"negative threads", LintRequest{Source: victimSrc, Threads: -1}, "threads"},
+		{"negative chunk", LintRequest{Source: victimSrc, Chunk: -2}, "chunk"},
+		{"negative trips", LintRequest{Source: victimSrc, AssumedTrips: -1}, "assumed_trips"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := post(t, s, "/v1/lint", tc.req)
+			if w.Code != 400 {
+				t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+			}
+			if msg := errMessage(t, w); !strings.Contains(msg, tc.want) {
+				t.Fatalf("error %q missing %q", msg, tc.want)
+			}
+		})
+	}
+}

@@ -18,7 +18,11 @@
 //     logs via log/slog;
 //   - HTTP handlers (handlers.go) for /v1/analyze, /v1/analyze/batch
 //     (fan-out on the internal/sweep pool, results in input order),
-//     /v1/kernels, /healthz and /metrics.
+//     /v1/kernels, /healthz and /metrics;
+//   - the static linter endpoint (lint.go): POST /v1/lint runs the
+//     closed-form internal/analysis engine (no simulation) and returns
+//     diagnostics as JSON or a SARIF 2.1.0 document, through the same
+//     cache, dedup and admission control as /v1/analyze.
 //
 // Graceful shutdown is the caller's http.Server.Shutdown; BeginShutdown
 // additionally flips /healthz to 503 so load balancers drain first.
@@ -106,6 +110,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

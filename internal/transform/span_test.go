@@ -1,0 +1,67 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/minic"
+)
+
+// TestPaddedNestKeepsSourceSpans checks that references in a transformed
+// (struct-padded, re-lowered) nest still carry valid Pos..End spans into
+// the ORIGINAL source text: padding mutates declarations, not the loop
+// body, so diagnostics raised on the transformed program must still
+// underline the user's code.
+func TestPaddedNestKeepsSourceSpans(t *testing.T) {
+	src := `
+#define N 128
+
+struct Acc { double sx; double sxx; double sy; };
+
+struct Acc acc[N];
+double data[N];
+
+#pragma omp parallel for private(i) schedule(static,1)
+for (i = 0; i < N; i++) {
+  acc[i].sx += data[i];
+  acc[i].sxx += data[i] * data[i];
+  acc[i].sy += data[i] + 1;
+}
+`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, changes, err := PadStructs(prog, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 {
+		t.Fatalf("expected 1 padded struct, got %d", len(changes))
+	}
+	unit, err := loopir.Lower(padded, loopir.LowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(src, "\n")
+	refs := 0
+	for _, nest := range unit.Nests {
+		for _, r := range nest.Refs {
+			refs++
+			if r.P.Line < 1 || r.P.Line > len(lines) {
+				t.Fatalf("ref %s: line %d out of source range", r.Src, r.P.Line)
+			}
+			line := lines[r.P.Line-1]
+			if r.EndP.Line != r.P.Line || r.EndP.Col <= r.P.Col || r.EndP.Col > len(line)+1 {
+				t.Fatalf("ref %s: bad span %s..%s on %q", r.Src, r.P, r.EndP, line)
+			}
+			if got := line[r.P.Col-1 : r.EndP.Col-1]; got != r.Src {
+				t.Fatalf("ref span %q != ref source %q", got, r.Src)
+			}
+		}
+	}
+	if refs < 6 {
+		t.Fatalf("only %d refs checked", refs)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/costmodel"
 	"repro/internal/fsmodel"
 	"repro/internal/interp"
@@ -541,6 +542,70 @@ func (p *Program) RecommendChunkCtx(ctx context.Context, i int, opts Options, ca
 		}
 	}
 	return best, nil
+}
+
+// ClosedFormAdvice is the static linter's verdict and schedule advice for
+// one loop nest: whether any write is false-sharing prone or racy under
+// the current plan, and the verified aligning chunk size if one exists.
+type ClosedFormAdvice struct {
+	// Prone reports whether any written reference in the nest is
+	// statically false-sharing prone under the current schedule.
+	Prone bool
+	// Race reports whether two chunks can touch the same element (a true
+	// data race, not mere line sharing).
+	Race bool
+	// Chunk is the smallest verified schedule(static,chunk) size that
+	// removes every detected conflict, or 0 when none was found or none
+	// is needed.
+	Chunk int64
+	// Exact is false when symbolic loop bounds forced assumed trip
+	// counts, making the verdict a heuristic rather than a proof.
+	Exact bool
+	// Findings counts the nest's diagnostics at warning severity or
+	// above.
+	Findings int
+}
+
+// RecommendChunkClosedForm answers RecommendChunk's question — what
+// schedule(static,chunk) avoids false sharing — with the closed-form
+// linter (internal/analysis) instead of the candidate cost sweep: no
+// simulation, no per-candidate model evaluation, and cost independent of
+// the trip count. It returns the verified aligning chunk when the nest is
+// prone and one exists; RecommendChunk remains the right tool when the
+// answer must weigh FS against dispatch overhead across candidates.
+func (p *Program) RecommendChunkClosedForm(i int, opts Options) (*ClosedFormAdvice, error) {
+	if i < 0 || i >= len(p.unit.Nests) {
+		return nil, fmt.Errorf("repro: nest %d out of range (program has %d)", i, len(p.unit.Nests))
+	}
+	rep, err := analysis.Analyze(p.unit, analysis.Config{
+		Machine: opts.Machine.resolve(),
+		Threads: opts.Threads,
+		Chunk:   opts.Chunk,
+	})
+	if err != nil {
+		return nil, err
+	}
+	adv := &ClosedFormAdvice{Exact: true}
+	for _, v := range rep.Verdicts {
+		if v.Nest != i {
+			continue
+		}
+		adv.Prone = adv.Prone || v.Prone
+		adv.Race = adv.Race || v.Race
+		adv.Exact = adv.Exact && v.Exact
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Nest != i {
+			continue
+		}
+		if d.Severity >= analysis.SeverityWarning {
+			adv.Findings++
+		}
+		if d.Code == analysis.CodeFixChunk && (adv.Chunk == 0 || d.SuggestedChunk < adv.Chunk) {
+			adv.Chunk = d.SuggestedChunk
+		}
+	}
+	return adv, nil
 }
 
 // PaddingAdvice is the outcome of evaluating the struct-padding

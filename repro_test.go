@@ -186,6 +186,49 @@ func TestRecommendChunk(t *testing.T) {
 	}
 }
 
+// TestRecommendChunkClosedForm pins the closed-form advice against the
+// sweep-based recommendation on the same victim: the linter must flag the
+// nest, propose an aligning chunk the cost sweep also accepts, and judge
+// that chunk clean when re-analyzed.
+func TestRecommendChunkClosedForm(t *testing.T) {
+	prog, err := Parse(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := prog.RecommendChunkClosedForm(0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Prone || adv.Race {
+		t.Fatalf("advice = %+v, want prone without race", adv)
+	}
+	if !adv.Exact || adv.Findings == 0 {
+		t.Fatalf("advice = %+v, want exact with findings", adv)
+	}
+	if adv.Chunk != 8 {
+		t.Fatalf("suggested chunk = %d, want 8 (64-byte lines / 8-byte doubles)", adv.Chunk)
+	}
+	// The suggested schedule must be clean under its own analysis and FS
+	// free under the simulator-backed model.
+	fixed, err := prog.RecommendChunkClosedForm(0, Options{Chunk: adv.Chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Prone || fixed.Findings != 0 {
+		t.Fatalf("suggested chunk still flagged: %+v", fixed)
+	}
+	a, err := prog.Analyze(0, Options{Chunk: adv.Chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FSCases != 0 {
+		t.Fatalf("suggested chunk has %d FS cases under the model", a.FSCases)
+	}
+	if _, err := prog.RecommendChunkClosedForm(5, Options{}); err == nil {
+		t.Fatal("out-of-range nest must error")
+	}
+}
+
 func TestMESICountingOption(t *testing.T) {
 	prog, err := Parse(victim)
 	if err != nil {

@@ -1,0 +1,22 @@
+/* The padded variant of accumulators.c: 24 bytes of tail padding round
+ * each 40-byte accumulator up to one 64-byte cache line, so adjacent
+ * tasks never share a line and fslint reports the loop clean even at
+ * schedule(static,1). */
+#define TASKS 512
+#define POINTS 64
+
+struct Acc { double sx; double sxx; double sy; double syy; double sxy; double pad[3]; };
+
+struct Acc acc[TASKS];
+double px[TASKS][POINTS];
+double py[TASKS][POINTS];
+
+#pragma omp parallel for private(i, j) schedule(static,1) num_threads(8)
+for (j = 0; j < TASKS; j++)
+  for (i = 0; i < POINTS; i++) {
+    acc[j].sx  += px[j][i];
+    acc[j].sxx += px[j][i] * px[j][i];
+    acc[j].sy  += py[j][i];
+    acc[j].syy += py[j][i] * py[j][i];
+    acc[j].sxy += px[j][i] * py[j][i];
+  }

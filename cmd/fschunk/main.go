@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/guard"
 	"repro/internal/kernels"
 	"repro/internal/sweep"
 )
@@ -67,7 +68,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	if err := tune(ctx, src, cfg, stdout); err != nil {
+	// guard.Do turns an evaluator panic into an ordinary exit-1 error
+	// instead of a crash (sweep workers are already isolated; this covers
+	// the serial path and everything around it).
+	if err := guard.Do(func() error { return tune(ctx, src, cfg, stdout) }); err != nil {
 		fmt.Fprintln(stderr, "fschunk:", err)
 		return 1
 	}

@@ -1,0 +1,175 @@
+// Command fsclient is the fsserve companion client: it submits one
+// analysis or lint request to a running fsserve instance and prints the
+// JSON response, retrying backpressure with capped exponential backoff,
+// full jitter and honor for the server's Retry-After hints
+// (internal/retry). It exists so tooling and shell scripts get correct
+// retry behavior for free instead of re-implementing it around curl.
+//
+// Usage:
+//
+//	fsclient -addr http://localhost:8080 -kernel heat -threads 48
+//	fsclient -addr http://localhost:8080 -lint file.c
+//	fsclient -retries 6 -kernel dft -chunk 1
+//
+// Retryable failures are 429 (queue full) and 503 (draining), plus
+// transport errors; anything else fails fast. Exit status is 0 on
+// success (including degraded responses — inspect "degraded" in the
+// output), 1 on request failures, and 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/retry"
+)
+
+type config struct {
+	addr    string
+	kernel  string
+	lint    bool
+	nest    int
+	threads int
+	chunk   int64
+	machine string
+	mesi    bool
+	retries int
+	timeout time.Duration
+	seed    int64
+	// sleep replaces the retry policy's sleeper in tests (nil = real).
+	sleep func(time.Duration)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main: flag errors exit 2, request failures exit 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fsclient", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", "http://localhost:8080", "fsserve base URL")
+	fs.StringVar(&cfg.kernel, "kernel", "", "analyze a built-in kernel instead of a file")
+	fs.BoolVar(&cfg.lint, "lint", false, "POST /v1/lint instead of /v1/analyze")
+	fs.IntVar(&cfg.nest, "nest", 0, "loop nest to analyze")
+	fs.IntVar(&cfg.threads, "threads", 0, "thread count (0 = machine cores)")
+	fs.Int64Var(&cfg.chunk, "chunk", 0, "schedule chunk size (0 = OpenMP default)")
+	fs.StringVar(&cfg.machine, "machine", "", "modeled machine: paper48 (default), smalltest, modern16")
+	fs.BoolVar(&cfg.mesi, "mesi", false, "MESI-faithful counting (analyze only)")
+	fs.IntVar(&cfg.retries, "retries", 4, "total attempts for retryable failures (429/503/transport)")
+	fs.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "overall deadline across all attempts")
+	fs.Int64Var(&cfg.seed, "seed", 0, "backoff jitter seed (0 = 1), for reproducible retry timing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	body, err := buildRequest(cfg, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "fsclient:", err)
+		return 2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	defer cancel()
+	resp, err := send(ctx, cfg, body)
+	if err != nil {
+		fmt.Fprintln(stderr, "fsclient:", err)
+		return 1
+	}
+	stdout.Write(resp)
+	if len(resp) > 0 && resp[len(resp)-1] != '\n' {
+		io.WriteString(stdout, "\n")
+	}
+	return 0
+}
+
+// buildRequest assembles the JSON body from the flags and the optional
+// source-file argument.
+func buildRequest(cfg config, args []string) ([]byte, error) {
+	if cfg.kernel == "" && len(args) != 1 {
+		return nil, fmt.Errorf("provide a source file or -kernel (usage: fsclient [flags] file.c)")
+	}
+	if cfg.kernel != "" && len(args) > 0 {
+		return nil, fmt.Errorf("-kernel and a source file are mutually exclusive")
+	}
+	req := map[string]any{}
+	if cfg.kernel != "" {
+		req["kernel"] = cfg.kernel
+	} else {
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return nil, err
+		}
+		req["source"] = string(src)
+	}
+	if cfg.threads != 0 {
+		req["threads"] = cfg.threads
+	}
+	if cfg.chunk != 0 {
+		req["chunk"] = cfg.chunk
+	}
+	if cfg.machine != "" {
+		req["machine"] = cfg.machine
+	}
+	if !cfg.lint {
+		if cfg.nest != 0 {
+			req["nest"] = cfg.nest
+		}
+		if cfg.mesi {
+			req["mesi"] = true
+		}
+	}
+	return json.Marshal(req)
+}
+
+// send POSTs the request under the retry policy: 429/503 and transport
+// errors retry with full-jitter backoff floored by the server's
+// Retry-After; other statuses return the response (or its error body)
+// immediately.
+func send(ctx context.Context, cfg config, body []byte) ([]byte, error) {
+	path := "/v1/analyze"
+	if cfg.lint {
+		path = "/v1/lint"
+	}
+	url := cfg.addr + path
+	var out []byte
+	p := retry.Policy{MaxAttempts: cfg.retries, Seed: cfg.seed, Sleep: cfg.sleep}
+	err := retry.Do(ctx, p, func(attempt int) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return retry.Retryable(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return retry.Retryable(err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			out = b
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			return &retry.Err{
+				Cause:      fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b)),
+				RetryAfter: retry.AfterHeader(resp.Header),
+			}
+		}
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSendRetriesThrottledThenSucceeds drives send against a server
+// that throttles the first attempt with a Retry-After hint and accepts
+// the second: the client must honor the hint (sleep at least that long)
+// and return the eventual body.
+func TestSendRetriesThrottledThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/analyze" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":{"code":429,"message":"queue full"}}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"kind":"heat","fs_cases":42}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	cfg := config{addr: srv.URL, retries: 4, sleep: func(d time.Duration) { slept = append(slept, d) }}
+	out, err := send(context.Background(), cfg, []byte(`{"kernel":"heat"}`))
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if !bytes.Contains(out, []byte(`"fs_cases":42`)) {
+		t.Fatalf("unexpected body %s", out)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if len(slept) != 1 || slept[0] < 2*time.Second {
+		t.Fatalf("slept %v, want one wait of at least the 2s Retry-After hint", slept)
+	}
+}
+
+// TestSendFailsFastOnBadRequest pins that 4xx responses other than 429
+// do not retry.
+func TestSendFailsFastOnBadRequest(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":{"code":400,"message":"no nest"}}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	cfg := config{addr: srv.URL, retries: 5, sleep: func(time.Duration) { t.Error("slept on a non-retryable error") }}
+	_, err := send(context.Background(), cfg, []byte(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "no nest") {
+		t.Fatalf("send = %v, want the 400 body surfaced", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (fail fast)", calls.Load())
+	}
+}
+
+// TestSendExhaustsRetries pins that a persistently throttling server
+// eventually surfaces the 429 cause after MaxAttempts tries.
+func TestSendExhaustsRetries(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	cfg := config{addr: srv.URL, retries: 3, sleep: func(time.Duration) {}}
+	_, err := send(context.Background(), cfg, []byte(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("send = %v, want a 429 failure", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+// TestRunKernelRequest exercises the CLI end to end: flags build the
+// request body, the response prints to stdout, exit status is 0.
+func TestRunKernelRequest(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decoding request: %v", err)
+		}
+		if req["kernel"] != "heat" || req["threads"] != float64(48) || req["mesi"] != true {
+			t.Errorf("unexpected request %v", req)
+		}
+		w.Write([]byte(`{"kind":"heat"}`))
+	}))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-addr", srv.URL, "-kernel", "heat", "-threads", "48", "-mesi"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	if got := stdout.String(); got != "{\"kind\":\"heat\"}\n" {
+		t.Fatalf("stdout = %q", got)
+	}
+}
+
+// TestRunLintFile posts a source file to /v1/lint.
+func TestRunLintFile(t *testing.T) {
+	src := "double a[64];\n#pragma omp parallel for\nfor (i = 0; i < 64; i++) a[i] = i;\n"
+	path := filepath.Join(t.TempDir(), "k.c")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/lint" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		var req map[string]any
+		json.NewDecoder(r.Body).Decode(&req)
+		if req["source"] != src {
+			t.Errorf("source not forwarded: %v", req["source"])
+		}
+		w.Write([]byte(`{"findings":[]}` + "\n"))
+	}))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", srv.URL, "-lint", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	if got := stdout.String(); got != "{\"findings\":[]}\n" {
+		t.Fatalf("stdout = %q", got)
+	}
+}
+
+// TestRunUsageErrors pins exit status 2 for bad invocations.
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                             // neither -kernel nor a file
+		{"-kernel", "heat", "extra.c"}, // both
+		{"-no-such-flag"},              // flag parse error
+		{"a.c", "b.c"},                 // too many files
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestRunRequestFailure pins exit status 1 when the server rejects the
+// request.
+func TestRunRequestFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", srv.URL, "-kernel", "heat"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "boom") {
+		t.Fatalf("stderr = %q, want the server error surfaced", stderr.String())
+	}
+}

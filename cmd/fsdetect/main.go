@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/guard"
 	"repro/internal/kernels"
 	"repro/internal/sweep"
 )
@@ -72,7 +73,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	if err := detect(ctx, src, cfg, stdout); err != nil {
+	// guard.Do turns an evaluator panic into an ordinary exit-1 error
+	// instead of a crash.
+	if err := guard.Do(func() error { return detect(ctx, src, cfg, stdout) }); err != nil {
 		fmt.Fprintln(stderr, "fsdetect:", err)
 		return 1
 	}

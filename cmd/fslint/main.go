@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/guard"
 	"repro/internal/kernels"
 	"repro/internal/loopir"
 	"repro/internal/machine"
@@ -81,7 +82,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "fslint:", err)
 		return 2
 	}
-	reports, err := lintAll(cfg, mach, fs.Args())
+	// guard.Do1 turns an analysis panic into an ordinary exit-1 error
+	// instead of a crash.
+	reports, err := guard.Do1(func() ([]analysis.FileReport, error) {
+		return lintAll(cfg, mach, fs.Args())
+	})
 	if err != nil {
 		fmt.Fprintln(stderr, "fslint:", err)
 		return 1

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fsmodel"
+	"repro/internal/guard"
 )
 
 func main() {
@@ -80,7 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, name := range names {
 		start := time.Now()
-		if err := runFormat(cfg, name, stdout, *format); err != nil {
+		// guard.Do turns a panic inside one experiment into an
+		// exit-1 error naming that experiment instead of a crash.
+		if err := guard.Do(func() error { return runFormat(cfg, name, stdout, *format) }); err != nil {
 			fmt.Fprintf(stderr, "fsrepro: %s: %v\n", name, err)
 			return 1
 		}

@@ -2,7 +2,11 @@
 // HTTP JSON service: parsing, the FS cost model, Equation 1 pricing and
 // the chunk recommendation behind a content-addressed result cache,
 // in-flight deduplication, a bounded evaluation pool with backpressure,
-// Prometheus-format metrics, and graceful shutdown.
+// Prometheus-format metrics, and graceful shutdown. Evaluations run
+// under resource budgets and panic isolation behind a per-endpoint
+// circuit breaker; when the simulator is unavailable the service
+// degrades to the closed-form analysis instead of failing (see
+// docs/ROBUSTNESS.md).
 //
 // Usage:
 //
@@ -47,6 +51,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxBatch  = fs.Int("max-batch", 256, "max analysis points per batch request")
 		logFormat = fs.String("log", "text", "request log format: text or json")
 		grace     = fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
+
+		maxSteps  = fs.Int64("max-steps", 0, "per-evaluation simulated-access budget (0 = default, negative = unlimited)")
+		maxState  = fs.Int64("max-state-bytes", 0, "per-evaluation simulator state budget in bytes (0 = default, negative = unlimited)")
+		brkThresh = fs.Int("breaker-threshold", 0, "consecutive evaluator failures before the circuit opens (0 = default, negative disables)")
+		brkCool   = fs.Duration("breaker-cooldown", 0, "how long an open circuit waits before probing (0 = default)")
+		seed      = fs.Int64("seed", 0, "seed for Retry-After jitter and breaker probes (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,6 +91,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxBodyBytes:   *maxBody,
 		MaxBatch:       *maxBatch,
 		Logger:         slog.New(handler),
+
+		MaxEvalSteps:      *maxSteps,
+		MaxEvalStateBytes: *maxState,
+		BreakerThreshold:  *brkThresh,
+		BreakerCooldown:   *brkCool,
+		Seed:              *seed,
 	}, *grace); err != nil {
 		fmt.Fprintln(stderr, "fsserve:", err)
 		return 1

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/guard"
 	"repro/internal/kernels"
 )
 
@@ -51,7 +52,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "fssim:", err)
 		return 1
 	}
-	if err := simulate(src, cfg, stdout); err != nil {
+	// guard.Do turns an evaluator panic into an ordinary exit-1 error
+	// (with "evaluation panicked: ..." text) instead of a crash.
+	if err := guard.Do(func() error { return simulate(src, cfg, stdout) }); err != nil {
 		fmt.Fprintln(stderr, "fssim:", err)
 		return 1
 	}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/minic"
+)
+
+// FuzzPipeline drives arbitrary byte strings through the full static
+// pipeline — parse → lower → closed-form analysis — under a guard
+// recover wrapper, mirroring how the service's degraded path and fslint
+// run it. The pipeline must return a report or an error for every
+// input: no panic (the wrapper converts any to *guard.EvalPanicError,
+// which fails the fuzz target) and no crash.
+func FuzzPipeline(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.c"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	for _, s := range []string{
+		"",
+		"double a[64];\n#pragma omp parallel for\nfor (i = 0; i < 64; i++) a[i] = i;",
+		"struct s { double x; };\nstruct s a[8];\n#pragma omp parallel for schedule(static,1)\nfor (i = 0; i < 8; i++) a[i].x = 1;",
+		"#pragma omp parallel for num_threads(64)\nfor (i = 0; i < 8; i++) a[i*0] = 1;",
+		"x = " + strings.Repeat("(", 300) + "1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		err := guard.Do(func() error {
+			prog, err := minic.Parse(src)
+			if err != nil {
+				return nil // rejected input is fine
+			}
+			unit, err := loopir.Lower(prog, loopir.LowerOptions{
+				LineSize:       machine.Paper48().LineSize,
+				SymbolicBounds: true,
+			})
+			if err != nil {
+				return nil
+			}
+			_, err = Analyze(unit, Config{Machine: machine.Paper48()})
+			return err
+		})
+		if pe, ok := err.(*guard.EvalPanicError); ok {
+			t.Fatalf("pipeline panicked: %v\n%s", pe.Value, pe.Stack)
+		}
+	})
+}

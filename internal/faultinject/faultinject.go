@@ -1,0 +1,181 @@
+// Package faultinject provides deterministic, test-only fault points
+// compiled into the service's seams (result cache, singleflight group,
+// evaluation pool, evaluator) and the sweep workers. Production code
+// calls Fire(point) at each seam; when the registry is disabled — the
+// default, and the only state outside tests — Fire is a single atomic
+// load and nothing else, so the seams cost effectively nothing.
+//
+// Tests Enable() the registry, Arm() points with faults (panic, error,
+// delay, alloc-spike), drive load, and then reconcile observed behaviour
+// against Fired() counts. Probabilistic faults draw from a per-point
+// generator seeded at Arm time, so a chaos run with a fixed seed injects
+// the same fault sequence every time.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the failure mode a fault point injects.
+type Kind int
+
+const (
+	// KindError makes Fire return the armed error.
+	KindError Kind = iota
+	// KindPanic makes Fire panic (exercising the guard recover wrappers).
+	KindPanic
+	// KindDelay makes Fire sleep for the armed duration, then proceed
+	// normally (exercising deadlines, queue backpressure and drains).
+	KindDelay
+	// KindAllocSpike makes Fire allocate and touch the armed number of
+	// bytes before proceeding (exercising memory headroom and budgets).
+	KindAllocSpike
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindAllocSpike:
+		return "alloc-spike"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault describes what an armed point injects.
+type Fault struct {
+	Kind Kind
+	// Err is returned by Fire for KindError (nil = a generic injected
+	// error naming the point).
+	Err error
+	// Delay is the sleep for KindDelay.
+	Delay time.Duration
+	// AllocBytes is the spike size for KindAllocSpike.
+	AllocBytes int
+	// Probability is the chance each Fire call injects (0 = always).
+	// Draws come from a generator seeded with Seed, so sequences are
+	// reproducible.
+	Probability float64
+	// Seed seeds the per-point probability generator (0 = 1).
+	Seed int64
+	// MaxFires bounds how many times the point injects (0 = unlimited).
+	MaxFires int64
+}
+
+// point is one armed fault point's runtime state.
+type point struct {
+	mu    sync.Mutex
+	fault Fault
+	rng   *rand.Rand
+	fired int64
+}
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	points  = make(map[string]*point)
+	// sink defeats dead-code elimination of alloc spikes.
+	sink atomic.Value
+)
+
+// Enable turns the registry on. Tests must pair it with a deferred
+// Reset; production code never calls it.
+func Enable() { enabled.Store(true) }
+
+// Reset disarms every point and disables the registry.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	enabled.Store(false)
+	points = make(map[string]*point)
+}
+
+// Arm installs (or replaces) the fault for a named point. The registry
+// must be Enabled for Fire to consult it.
+func Arm(name string, f Fault) {
+	if f.Seed == 0 {
+		f.Seed = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = &point{fault: f, rng: rand.New(rand.NewSource(f.Seed))}
+}
+
+// Disarm removes one point, leaving the registry enabled.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+}
+
+// Fired reports how many times the named point has injected its fault.
+// Chaos tests reconcile this against observed responses and metrics.
+func Fired(name string) int64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+// Fire is the seam call: a no-op returning nil unless the registry is
+// enabled and the named point is armed, in which case it injects the
+// armed fault (returning an error, panicking, sleeping, or spiking an
+// allocation). The disabled fast path is one atomic load.
+func Fire(name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	f := p.fault
+	if f.MaxFires > 0 && p.fired >= f.MaxFires {
+		p.mu.Unlock()
+		return nil
+	}
+	if f.Probability > 0 && p.rng.Float64() >= f.Probability {
+		p.mu.Unlock()
+		return nil
+	}
+	p.fired++
+	p.mu.Unlock()
+
+	switch f.Kind {
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s", name))
+	case KindDelay:
+		time.Sleep(f.Delay)
+		return nil
+	case KindAllocSpike:
+		b := make([]byte, f.AllocBytes)
+		for i := 0; i < len(b); i += 4096 {
+			b[i] = 1
+		}
+		sink.Store(&b)
+		sink.Store((*[]byte)(nil)) // release immediately; the spike is transient
+		return nil
+	default: // KindError
+		if f.Err != nil {
+			return f.Err
+		}
+		return fmt.Errorf("faultinject: injected error at %s", name)
+	}
+}

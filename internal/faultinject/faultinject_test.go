@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledFastPathIsNil(t *testing.T) {
+	Reset()
+	Arm("x", Fault{Kind: KindPanic}) // armed but registry disabled
+	if err := Fire("x"); err != nil {
+		t.Fatalf("Fire with registry disabled = %v", err)
+	}
+	if n := Fired("x"); n != 0 {
+		t.Fatalf("disabled registry fired %d times", n)
+	}
+}
+
+func TestErrorAndCounts(t *testing.T) {
+	Enable()
+	defer Reset()
+	want := errors.New("injected")
+	Arm("cache", Fault{Kind: KindError, Err: want})
+	for i := 0; i < 3; i++ {
+		if err := Fire("cache"); !errors.Is(err, want) {
+			t.Fatalf("Fire = %v, want %v", err, want)
+		}
+	}
+	if n := Fired("cache"); n != 3 {
+		t.Fatalf("Fired = %d, want 3", n)
+	}
+	if err := Fire("unarmed"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	Disarm("cache")
+	if err := Fire("cache"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestDefaultErrorNamesPoint(t *testing.T) {
+	Enable()
+	defer Reset()
+	Arm("pool", Fault{Kind: KindError})
+	err := Fire("pool")
+	if err == nil || !strings.Contains(err.Error(), "pool") {
+		t.Fatalf("default injected error = %v, want it to name the point", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	Enable()
+	defer Reset()
+	Arm("eval", Fault{Kind: KindPanic})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KindPanic did not panic")
+		}
+		if n := Fired("eval"); n != 1 {
+			t.Fatalf("Fired = %d after panic, want 1", n)
+		}
+	}()
+	Fire("eval")
+}
+
+func TestMaxFires(t *testing.T) {
+	Enable()
+	defer Reset()
+	Arm("flight", Fault{Kind: KindError, MaxFires: 2})
+	got := 0
+	for i := 0; i < 5; i++ {
+		if Fire("flight") != nil {
+			got++
+		}
+	}
+	if got != 2 || Fired("flight") != 2 {
+		t.Fatalf("MaxFires=2 injected %d (counter %d)", got, Fired("flight"))
+	}
+}
+
+func TestProbabilityIsSeededDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		Enable()
+		defer Reset()
+		Arm("p", Fault{Kind: KindError, Probability: 0.5, Seed: seed})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fire("p") != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical seeds", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("probability 0.5 fired %d/%d — not probabilistic", hits, len(a))
+	}
+}
+
+func TestDelayAndAllocSpike(t *testing.T) {
+	Enable()
+	defer Reset()
+	Arm("slow", Fault{Kind: KindDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("slow"); err != nil {
+		t.Fatalf("delay fault returned error: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", d)
+	}
+	Arm("mem", Fault{Kind: KindAllocSpike, AllocBytes: 1 << 20})
+	if err := Fire("mem"); err != nil {
+		t.Fatalf("alloc-spike fault returned error: %v", err)
+	}
+	if Fired("mem") != 1 {
+		t.Fatalf("alloc-spike did not count")
+	}
+}

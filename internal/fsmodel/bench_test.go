@@ -3,6 +3,7 @@ package fsmodel
 import (
 	"testing"
 
+	"repro/internal/guard"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 )
@@ -28,6 +29,44 @@ func BenchmarkAnalyzeHotPath(b *testing.B) {
 			opts := Options{
 				Machine: machine.Paper48(), NumThreads: 48, Chunk: kernels.HeatFSChunk,
 				Backend: bc.backend,
+			}
+			var accesses int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Analyze(kern.Nest, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses = res.Accesses
+			}
+			b.ReportMetric(float64(accesses)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+		})
+	}
+}
+
+// BenchmarkAnalyzeBudgetOverhead measures the cost of the amortized
+// budget check on the paper-scale hot path: the same workload as
+// BenchmarkAnalyzeHotPath/dense, once with no budget (the single
+// r.budgeted branch per access) and once with generous limits that
+// never trip (branch plus a guard.Budget.Check every budgetCheckEvery
+// accesses). The acceptance bar is <2% slowdown versus off.
+func BenchmarkAnalyzeBudgetOverhead(b *testing.B) {
+	kern, err := kernels.Heat(kernels.DefaultHeatRows, kernels.DefaultHeatCols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name   string
+		budget guard.Budget
+	}{
+		{"off", guard.Budget{}},
+		{"on", guard.Budget{MaxSteps: 1 << 40, MaxStateBytes: 1 << 40}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := Options{
+				Machine: machine.Paper48(), NumThreads: 48, Chunk: kernels.HeatFSChunk,
+				Backend: BackendDense, Budget: bc.budget,
 			}
 			var accesses int64
 			b.ReportAllocs()

@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"repro/internal/cache"
+	"repro/internal/guard"
 	"repro/internal/loopir"
 	"repro/internal/machine"
 	"repro/internal/sched"
@@ -125,6 +126,16 @@ type Options struct {
 	TrackHotLines bool
 	// Backend selects the per-run state implementation (see StateBackend).
 	Backend StateBackend
+	// Budget bounds the run: modeled accesses (MaxSteps), modeled state
+	// bytes (MaxStateBytes) and a wall-clock deadline. The zero value is
+	// unlimited and adds no hot-loop work beyond one predictable branch
+	// per access; violations abort the run with a *guard.BudgetError
+	// (matching guard.ErrBudgetExceeded). Checks are amortized every
+	// budgetCheckEvery accesses, so the step budget may overrun by at
+	// most that interval — but the trigger is count-based, so the same
+	// input always stops at the same access. A budget never changes the
+	// result of a run it does not abort.
+	Budget guard.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -343,6 +354,20 @@ const (
 	denseMaxBytes = int64(256) << 20 // total dense state budget (all threads)
 )
 
+// budgetCheckEvery is the amortization interval of Options.Budget checks
+// in the hot loop: one full Check (including the time.Now for deadlines)
+// per this many accesses, keeping measured overhead under 2% while
+// bounding step-budget overrun to the same interval.
+const budgetCheckEvery = 4096
+
+// Approximate per-entry costs of the map-backed state, used only for
+// Budget.MaxStateBytes accounting: a directory map entry (bucket share +
+// key + dirEntry) and a FullyAssoc stack node (node + map entry).
+const (
+	dirMapEntryBytes = 64
+	stackNodeBytes   = 80
+)
+
 // errDenseRange reports an access outside the precomputed dense window
 // (possible only when an affine subscript strays outside its symbol's
 // declared extent); BackendAuto restarts the run on the map path.
@@ -364,6 +389,14 @@ type run struct {
 	recordPerRun bool
 	maxRuns      int64
 	lineSize     int64
+
+	// Budget enforcement: budgeted gates the per-access branch entirely;
+	// nextCheck is the access count at which the next amortized Check
+	// fires; denseBytes is the dense backend's fixed state size.
+	budget     guard.Budget
+	budgeted   bool
+	nextCheck  int64
+	denseBytes int64
 
 	// Map path (sparse or unbounded address spaces, set-assoc ablation).
 	dir    map[int64]dirEntry
@@ -409,20 +442,24 @@ func denseExtent(nest *loopir.Nest, lineSize int64) (firstLine, span int64, ok b
 	return firstLine, span, true
 }
 
+// denseStateBytes estimates the dense backend's allocation for a window
+// of span lines: dirEntry slice + per-thread line→slot tables +
+// per-thread slot arrays (line, prev, next, modified).
+func denseStateBytes(span int64, threads int, stackDepth int) int64 {
+	cap := span
+	if stackDepth > 0 && int64(stackDepth) < span {
+		cap = int64(stackDepth)
+	}
+	return span*16 + int64(threads)*(span*4+cap*14)
+}
+
 // denseFits reports whether a dense window of span lines stays inside the
 // memory budget for the given team size and per-thread capacity.
 func denseFits(span int64, threads int, stackDepth int) bool {
 	if span <= 0 || span > denseMaxLines {
 		return false
 	}
-	cap := span
-	if stackDepth > 0 && int64(stackDepth) < span {
-		cap = int64(stackDepth)
-	}
-	// dirEntry slice + per-thread line→slot tables + per-thread slot
-	// arrays (line, prev, next, modified).
-	bytes := span*16 + int64(threads)*(span*4+cap*14)
-	return bytes <= denseMaxBytes
+	return denseStateBytes(span, threads, stackDepth) <= denseMaxBytes
 }
 
 // newRun builds the per-run state for one Analyze call. dense selects the
@@ -448,9 +485,13 @@ func newRun(nest *loopir.Nest, opts Options, plan sched.Plan, gen *trace.Generat
 		recordPerRun: opts.RecordPerRun,
 		maxRuns:      opts.MaxChunkRuns,
 		lineSize:     opts.Machine.LineSize,
+		budget:       opts.Budget,
+		budgeted:     !opts.Budget.Zero(),
+		nextCheck:    budgetCheckEvery,
 	}
 
 	if dense {
+		r.denseBytes = denseStateBytes(span, plan.NumThreads, opts.StackDepth)
 		res.Backend = BackendDense
 		r.dense = true
 		r.base = base
@@ -504,6 +545,18 @@ func Analyze(nest *loopir.Nest, opts Options) (*Result, error) {
 		var ok bool
 		base, span, ok = denseExtent(nest, opts.Machine.LineSize)
 		dense = ok && denseFits(span, plan.NumThreads, opts.StackDepth)
+		if dense {
+			// A dense window over the caller's state budget is not an
+			// error under BackendAuto: the map path grows with touched
+			// lines only and may stay inside it (the amortized hot-loop
+			// check catches it if not).
+			if err := opts.Budget.CheckStateBytes(denseStateBytes(span, plan.NumThreads, opts.StackDepth)); err != nil {
+				if opts.Backend == BackendDense {
+					return nil, err
+				}
+				dense = false
+			}
+		}
 	}
 	if opts.Backend == BackendDense && !dense {
 		return nil, fmt.Errorf("fsmodel: dense backend not representable for this nest (sparse/unbounded address space, set-associative ablation, or window over budget)")
@@ -543,6 +596,15 @@ func (r *run) execute() (*Result, error) {
 	var t0Trips int64 // parallel-loop trips consumed by thread 0
 	var t0PrevKey [2]int64
 	t0HaveKey := false
+
+	// Fail fast on a budget that is already blown (expired deadline,
+	// oversized initial state) even when the run is shorter than one
+	// amortized check interval.
+	if r.budgeted {
+		if err := r.budget.Check(0, r.estimateStateBytes()); err != nil {
+			return nil, err
+		}
+	}
 
 	for active > 0 {
 		res.Steps++
@@ -584,6 +646,12 @@ func (r *run) execute() (*Result, error) {
 				first, last := cache.LinesTouched(a.Addr, a.Size, lineSize)
 				for line := first; line <= last; line++ {
 					res.Accesses++
+					if r.budgeted && res.Accesses >= r.nextCheck {
+						r.nextCheck = res.Accesses + budgetCheckEvery
+						if err := r.budget.Check(res.Accesses, r.estimateStateBytes()); err != nil {
+							return nil, err
+						}
+					}
 					if dense {
 						if !r.accessDense(t, line, a.Write, int(a.Ref)) {
 							return nil, errDenseRange
@@ -604,6 +672,24 @@ func (r *run) execute() (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// estimateStateBytes approximates the run's live modeled state for
+// Budget.MaxStateBytes: the dense backend's size is fixed at setup; the
+// map backend is priced per directory entry plus per-thread stack nodes
+// (the set-associative ablation is capacity-bounded and counted via its
+// fixed geometry at worst).
+func (r *run) estimateStateBytes() int64 {
+	if r.dense {
+		return r.denseBytes
+	}
+	bytes := int64(len(r.dir)) * dirMapEntryBytes
+	for _, st := range r.states {
+		if fa, ok := st.(*cache.FullyAssoc); ok {
+			bytes += int64(fa.Len()) * stackNodeBytes
+		}
+	}
+	return bytes
 }
 
 // accessDense performs steps 3–4 of the model for one (thread, line)

@@ -1,0 +1,178 @@
+package guard
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes all traffic, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects all traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a random fraction of traffic as probes; one
+	// probe success closes the breaker, one failure reopens it.
+	BreakerHalfOpen
+)
+
+// String names the state (used in /readyz and metrics labels).
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker; the zero value gets defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that opens
+	// the breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting
+	// half-open probes (default 5s).
+	Cooldown time.Duration
+	// ProbeFraction is the probability a half-open Allow admits the
+	// request as a probe (default 0.25). Admission draws from a seeded
+	// generator, so a fixed Seed gives a reproducible probe sequence.
+	ProbeFraction float64
+	// Seed seeds the probe generator (0 = a fixed default seed; breakers
+	// are deterministic unless distinct seeds are supplied).
+	Seed int64
+	// Now is the clock (nil = time.Now), injectable for tests.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.ProbeFraction <= 0 || c.ProbeFraction > 1 {
+		c.ProbeFraction = 0.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a consecutive-failure circuit breaker protecting one
+// endpoint's evaluation path. All methods are safe for concurrent use.
+//
+// Closed counts consecutive failures and opens at the threshold. Open
+// rejects everything for the cooldown, then shifts to half-open. Half-
+// open admits a seeded-random fraction of requests as probes: the first
+// probe success closes the breaker, any failure reopens it (restarting
+// the cooldown). Only evaluation outcomes should be recorded — client
+// input errors say nothing about the endpoint's health.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	opens    int64     // cumulative closed/half-open -> open transitions
+	rng      *rand.Rand
+}
+
+// NewBreaker builds a breaker from cfg (zero value = defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Allow reports whether a request may proceed, advancing open→half-open
+// when the cooldown has elapsed. A false return means the caller should
+// not attempt the protected operation (the service degrades instead).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		fallthrough
+	default: // BreakerHalfOpen
+		return b.rng.Float64() < b.cfg.ProbeFraction
+	}
+}
+
+// Record feeds one evaluation outcome back into the breaker.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		switch b.state {
+		case BreakerClosed:
+			b.failures = 0
+		case BreakerHalfOpen:
+			// A successful probe closes the breaker.
+			b.state = BreakerClosed
+			b.failures = 0
+		case BreakerOpen:
+			// A straggler succeeding after the breaker opened does not
+			// close it — only a half-open probe may.
+		}
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		// A failed probe reopens immediately; the cooldown restarts.
+		b.open()
+	case BreakerOpen:
+		// A straggler finishing after the breaker opened adds nothing.
+	}
+}
+
+// open transitions to BreakerOpen; the caller holds b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.failures = 0
+	b.openedAt = b.cfg.Now()
+	b.opens++
+}
+
+// BreakerSnapshot is a point-in-time view of a breaker for health
+// endpoints and logs.
+type BreakerSnapshot struct {
+	State BreakerState
+	// ConsecutiveFailures is the closed-state failure streak.
+	ConsecutiveFailures int
+	// Opens counts how many times the breaker has opened since creation.
+	Opens int64
+}
+
+// Snapshot returns the current state without advancing it (an open
+// breaker past its cooldown still reports open until an Allow probes).
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{State: b.state, ConsecutiveFailures: b.failures, Opens: b.opens}
+}
+
+// State returns the breaker's current state.
+func (b *Breaker) State() BreakerState { return b.Snapshot().State }

@@ -1,0 +1,104 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBudgetExceeded is the sentinel every budget violation matches via
+// errors.Is, whatever the exhausted resource. Callers that only need the
+// yes/no ("should this request degrade to the closed-form engine?") test
+// against it; callers that report detail unwrap the *BudgetError.
+var ErrBudgetExceeded = errors.New("evaluation budget exceeded")
+
+// BudgetError reports which budget dimension an evaluation exhausted.
+// It matches ErrBudgetExceeded under errors.Is.
+type BudgetError struct {
+	// Resource names the exhausted dimension: "steps", "state-bytes" or
+	// "deadline".
+	Resource string
+	// Limit is the configured bound; Used is the consumption observed at
+	// the check that tripped (both 0 for "deadline").
+	Limit int64
+	Used  int64
+}
+
+// Error implements the error interface.
+func (e *BudgetError) Error() string {
+	if e.Resource == "deadline" {
+		return "evaluation budget exceeded: deadline passed"
+	}
+	return fmt.Sprintf("evaluation budget exceeded: %s %d over limit %d", e.Resource, e.Used, e.Limit)
+}
+
+// Is reports whether target is ErrBudgetExceeded, so
+// errors.Is(err, guard.ErrBudgetExceeded) matches any *BudgetError.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// Budget bounds one model evaluation. The zero value is unlimited; each
+// dimension is enforced independently and only when set. Budgets are
+// plain data — they carry no mutable state, so one Budget value can be
+// shared by any number of concurrent evaluations.
+type Budget struct {
+	// MaxSteps bounds the number of modeled memory accesses the
+	// evaluation may process (the fsmodel hot loop's unit of work).
+	// 0 = unlimited. The check is amortized — the evaluation may overrun
+	// by at most the check interval — but count-triggered, so the same
+	// input stops at the same access deterministically.
+	MaxSteps int64
+	// MaxStateBytes bounds the modeled coherence state (directory +
+	// per-thread cache stacks). 0 = unlimited.
+	MaxStateBytes int64
+	// Deadline aborts the evaluation once passed. The zero time means no
+	// deadline. Unlike MaxSteps this is wall-clock and therefore not
+	// deterministic; it is the backstop against pathological inputs the
+	// step budget does not capture.
+	Deadline time.Time
+}
+
+// Zero reports whether the budget imposes no limit at all, letting hot
+// loops skip bookkeeping entirely.
+func (b Budget) Zero() bool {
+	return b.MaxSteps <= 0 && b.MaxStateBytes <= 0 && b.Deadline.IsZero()
+}
+
+// CheckSteps enforces MaxSteps against the accesses processed so far.
+func (b Budget) CheckSteps(steps int64) error {
+	if b.MaxSteps > 0 && steps > b.MaxSteps {
+		return &BudgetError{Resource: "steps", Limit: b.MaxSteps, Used: steps}
+	}
+	return nil
+}
+
+// CheckStateBytes enforces MaxStateBytes against an estimate of the
+// evaluation's live modeled state.
+func (b Budget) CheckStateBytes(bytes int64) error {
+	if b.MaxStateBytes > 0 && bytes > b.MaxStateBytes {
+		return &BudgetError{Resource: "state-bytes", Limit: b.MaxStateBytes, Used: bytes}
+	}
+	return nil
+}
+
+// CheckDeadline enforces Deadline against the current clock.
+func (b Budget) CheckDeadline(now time.Time) error {
+	if !b.Deadline.IsZero() && now.After(b.Deadline) {
+		return &BudgetError{Resource: "deadline"}
+	}
+	return nil
+}
+
+// Check runs every enforced dimension: steps and state are pure
+// arithmetic; the deadline reads the clock only when one is set.
+func (b Budget) Check(steps, stateBytes int64) error {
+	if err := b.CheckSteps(steps); err != nil {
+		return err
+	}
+	if err := b.CheckStateBytes(stateBytes); err != nil {
+		return err
+	}
+	if !b.Deadline.IsZero() {
+		return b.CheckDeadline(time.Now())
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Package guard is the evaluation-hardening layer shared by every place
+// the repository runs a model evaluation: the fsserve request pool, the
+// internal/sweep workers behind the experiment drivers, and the CLIs.
+// It provides three independent pieces:
+//
+//   - panic isolation (this file): Do and Do1 run a function under a
+//     recover wrapper that converts a panic into a typed *EvalPanicError
+//     carrying the captured stack, so one pathological nest never kills
+//     a pool worker or the process;
+//   - resource budgets (budget.go): Budget bounds an evaluation's
+//     modeled accesses, modeled state bytes and wall-clock deadline, and
+//     the fsmodel hot loop checks it amortized so runaway inputs stop
+//     deterministically with a *BudgetError instead of hanging;
+//   - circuit breaking (breaker.go): Breaker is a closed/open/half-open
+//     circuit breaker with a consecutive-failure threshold and seeded
+//     probabilistic half-open probes, used per endpoint by the service.
+//
+// The package is a leaf: it imports only the standard library, so every
+// layer (fsmodel, sweep, service, cmds) can depend on it without cycles.
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// EvalPanicError is a panic converted into an error by Do or Do1: the
+// recovered value plus the goroutine stack captured at the panic site.
+// It is how "this input crashed the evaluator" propagates as data — to a
+// CLI error message, a degraded service response, or a breaker failure —
+// instead of as a dead process.
+type EvalPanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted goroutine stack at recovery time.
+	Stack []byte
+}
+
+// Error implements the error interface. The stack is not included: it is
+// operator detail (logged by callers that want it), not message text.
+func (e *EvalPanicError) Error() string {
+	return fmt.Sprintf("evaluation panicked: %v", e.Value)
+}
+
+// Do runs fn, converting a panic into a *EvalPanicError. Any ordinary
+// error from fn passes through unchanged.
+func Do(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &EvalPanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Do1 is Do for functions returning a value and an error. On panic the
+// zero value of T is returned with the *EvalPanicError.
+func Do1[T any](fn func() (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			v, err = zero, &EvalPanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,222 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDoPassesThrough(t *testing.T) {
+	if err := Do(func() error { return nil }); err != nil {
+		t.Fatalf("Do(nil-returning fn) = %v", err)
+	}
+	want := errors.New("boom")
+	if err := Do(func() error { return want }); err != want {
+		t.Fatalf("Do passed error %v, want %v", err, want)
+	}
+}
+
+func TestDoConvertsPanic(t *testing.T) {
+	err := Do(func() error { panic("index out of range") })
+	var pe *EvalPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Do(panicking fn) = %v (%T), want *EvalPanicError", err, err)
+	}
+	if pe.Value != "index out of range" {
+		t.Errorf("panic value = %v, want %q", pe.Value, "index out of range")
+	}
+	if !strings.Contains(string(pe.Stack), "guard_test.go") {
+		t.Errorf("captured stack does not mention the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "index out of range") {
+		t.Errorf("Error() = %q, want it to carry the panic value", err.Error())
+	}
+}
+
+func TestDo1ConvertsPanicAndZeroesValue(t *testing.T) {
+	v, err := Do1(func() (int, error) {
+		var s []int
+		return s[3], nil // real runtime panic
+	})
+	var pe *EvalPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Do1 = (%v, %v), want *EvalPanicError", v, err)
+	}
+	if v != 0 {
+		t.Errorf("Do1 returned %d with panic, want zero value", v)
+	}
+	v, err = Do1(func() (int, error) { return 42, nil })
+	if v != 42 || err != nil {
+		t.Fatalf("Do1 success path = (%d, %v), want (42, nil)", v, err)
+	}
+}
+
+func TestBudgetZero(t *testing.T) {
+	var b Budget
+	if !b.Zero() {
+		t.Fatal("zero Budget should report Zero()")
+	}
+	if err := b.Check(1<<40, 1<<40); err != nil {
+		t.Fatalf("zero budget rejected work: %v", err)
+	}
+	for _, set := range []Budget{
+		{MaxSteps: 1},
+		{MaxStateBytes: 1},
+		{Deadline: time.Unix(1, 0)},
+	} {
+		if set.Zero() {
+			t.Errorf("%+v should not be Zero()", set)
+		}
+	}
+}
+
+func TestBudgetDimensions(t *testing.T) {
+	b := Budget{MaxSteps: 100, MaxStateBytes: 1 << 20}
+	if err := b.Check(100, 1<<20); err != nil {
+		t.Fatalf("at-limit check failed: %v", err)
+	}
+	err := b.Check(101, 0)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "steps" {
+		t.Fatalf("steps overrun = %v, want *BudgetError{steps}", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Error("steps BudgetError does not match ErrBudgetExceeded")
+	}
+	if be.Limit != 100 || be.Used != 101 {
+		t.Errorf("BudgetError carries limit=%d used=%d, want 100/101", be.Limit, be.Used)
+	}
+	if err := b.Check(0, 1<<20+1); !errors.As(err, &be) || be.Resource != "state-bytes" {
+		t.Fatalf("state overrun = %v, want *BudgetError{state-bytes}", err)
+	}
+	past := Budget{Deadline: time.Now().Add(-time.Second)}
+	if err := past.Check(0, 0); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("past deadline = %v, want budget exceeded", err)
+	}
+	future := Budget{Deadline: time.Now().Add(time.Hour)}
+	if err := future.Check(0, 0); err != nil {
+		t.Fatalf("future deadline tripped: %v", err)
+	}
+}
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestBreakerStateMachine drives the breaker through scripted event
+// sequences and checks the resulting state after each step. Events:
+// "fail", "ok" (Record), "tick" (advance the clock past the cooldown),
+// "allow" / "deny" (Allow must return that result; "probe" means Allow
+// is called and either outcome is accepted, used to reach half-open).
+func TestBreakerStateMachine(t *testing.T) {
+	const cooldown = time.Second
+	cases := []struct {
+		name   string
+		script []string
+		want   BreakerState
+	}{
+		{"starts closed", nil, BreakerClosed},
+		{"below threshold stays closed", []string{"fail", "fail", "allow"}, BreakerClosed},
+		{"success resets the streak", []string{"fail", "fail", "ok", "fail", "fail", "allow"}, BreakerClosed},
+		{"threshold opens", []string{"fail", "fail", "fail", "deny"}, BreakerOpen},
+		{"open rejects until cooldown", []string{"fail", "fail", "fail", "deny", "deny"}, BreakerOpen},
+		{"cooldown admits probes", []string{"fail", "fail", "fail", "tick", "probe"}, BreakerHalfOpen},
+		{"probe success closes", []string{"fail", "fail", "fail", "tick", "probe", "ok", "allow"}, BreakerClosed},
+		{"probe failure reopens", []string{"fail", "fail", "fail", "tick", "probe", "fail", "deny"}, BreakerOpen},
+		{"reopen restarts cooldown", []string{"fail", "fail", "fail", "tick", "probe", "fail", "tick", "probe", "ok"}, BreakerClosed},
+		{"straggler success while open is ignored", []string{"fail", "fail", "fail", "ok", "deny"}, BreakerOpen},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := &fakeClock{t: time.Unix(0, 0)}
+			b := NewBreaker(BreakerConfig{
+				FailureThreshold: 3,
+				Cooldown:         cooldown,
+				ProbeFraction:    1, // deterministic probes: always admit
+				Now:              clk.now,
+			})
+			for i, ev := range tc.script {
+				switch ev {
+				case "fail":
+					b.Record(false)
+				case "ok":
+					b.Record(true)
+				case "tick":
+					clk.advance(cooldown + time.Millisecond)
+				case "allow":
+					if !b.Allow() {
+						t.Fatalf("step %d: Allow() = false, want true", i)
+					}
+				case "deny":
+					if b.Allow() {
+						t.Fatalf("step %d: Allow() = true, want false", i)
+					}
+				case "probe":
+					b.Allow()
+				default:
+					t.Fatalf("bad script event %q", ev)
+				}
+			}
+			if got := b.State(); got != tc.want {
+				t.Fatalf("final state = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBreakerSeededProbes pins the half-open probe decisions to the
+// seed: the same seed yields the same admit/reject sequence, and the
+// fraction roughly matches ProbeFraction.
+func TestBreakerSeededProbes(t *testing.T) {
+	sequence := func(seed int64) []bool {
+		clk := &fakeClock{t: time.Unix(0, 0)}
+		b := NewBreaker(BreakerConfig{
+			FailureThreshold: 1, Cooldown: time.Second, ProbeFraction: 0.25,
+			Seed: seed, Now: clk.now,
+		})
+		b.Record(false) // open
+		clk.advance(2 * time.Second)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = b.Allow() // stays half-open: no Record calls
+		}
+		return out
+	}
+	a, b2 := sequence(7), sequence(7)
+	admitted := 0
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("probe %d differs across identical seeds", i)
+		}
+		if a[i] {
+			admitted++
+		}
+	}
+	if admitted == 0 || admitted == len(a) {
+		t.Fatalf("probe fraction 0.25 admitted %d/%d — not probabilistic", admitted, len(a))
+	}
+	if c := sequence(8); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Error("different seeds produced identical probe sequences")
+	}
+}
+
+func TestBreakerSnapshot(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour})
+	b.Record(false)
+	snap := b.Snapshot()
+	if snap.State != BreakerClosed || snap.ConsecutiveFailures != 1 || snap.Opens != 0 {
+		t.Fatalf("snapshot after one failure = %+v", snap)
+	}
+	b.Record(false)
+	snap = b.Snapshot()
+	if snap.State != BreakerOpen || snap.Opens != 1 {
+		t.Fatalf("snapshot after opening = %+v", snap)
+	}
+	if got := BreakerHalfOpen.String(); got != "half-open" {
+		t.Errorf("BreakerHalfOpen.String() = %q", got)
+	}
+}

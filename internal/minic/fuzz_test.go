@@ -39,6 +39,11 @@ func FuzzParse(f *testing.F) {
 		"/* unterminated",
 		"a[i][j][k] += b[j]*c[k];",
 		"#pragma omp parallel for schedule(static,0) num_threads(-1)",
+		// Recursion-depth edges (the full attacks live in the checked-in
+		// regression corpus under testdata/fuzz/FuzzParse).
+		"x = ((((((((1))))))));",
+		"x = - - - - 1;",
+		"for (i = 0; i < 2; i++) for (j = 0; j < 2; j++) a[i][j] = 1;",
 	} {
 		f.Add(s)
 	}

@@ -1,0 +1,74 @@
+package minic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseDepthLimits pins the recursion guards: pathologically nested
+// inputs must come back as *ParseError, never exhaust the stack. The
+// inputs mirror the checked-in fuzz regression corpus
+// (testdata/fuzz/FuzzParse).
+func TestParseDepthLimits(t *testing.T) {
+	nestedFors := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString("for (i = 0; i < 4; i++) { ")
+		}
+		b.WriteString("a[i] = 1;")
+		b.WriteString(strings.Repeat(" }", n))
+		return b.String()
+	}
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the expected error; "" = must succeed
+	}{
+		{"deep parens", "x = " + strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000) + ";", "expression nested deeper"},
+		{"deep unterminated parens", "x = " + strings.Repeat("(", 200000), "expression nested deeper"},
+		{"deep unary", "x = " + strings.Repeat("- ", 5000) + "1;", "expression nested deeper"},
+		{"deep fors", nestedFors(128), "for loops nested deeper"},
+		{"parens under the limit", "x = " + strings.Repeat("(", 100) + "1" + strings.Repeat(")", 100) + ";", ""},
+		{"fors under the limit", nestedFors(8), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Parse failed: %v", err)
+				}
+				return
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse = (%v, %v), want *ParseError", prog, err)
+			}
+			if !strings.Contains(pe.Msg, tc.want) {
+				t.Fatalf("error %q does not mention %q", pe.Msg, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseEOFEdges pins truncated-input handling: mid-reference,
+// mid-struct and mid-loop EOFs are ParseErrors, not panics.
+func TestParseEOFEdges(t *testing.T) {
+	for _, src := range []string{
+		"for (i = 0; i < 8; i++) a[i",
+		"struct s { int x",
+		"#pragma omp parallel for\nfor (i = 0; i < 8; i",
+		"x = ",
+		"int a[",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted a truncated program", src)
+		} else {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Errorf("Parse(%q) = %T, want *ParseError", src, err)
+			}
+		}
+	}
+}

@@ -21,12 +21,25 @@ var basicTypes = map[string]bool{
 	"size_t": true,
 }
 
+// Recursion limits. The parser is recursive descent, so crafted inputs —
+// kilobytes of "(" or thousands of nested for loops — could otherwise
+// exhaust the goroutine stack, which is not recoverable in Go (no defer
+// or recover runs; the process dies). The limits sit far above anything
+// a real kernel writes and turn such inputs into ordinary ParseErrors.
+const (
+	maxExprDepth = 200
+	maxForDepth  = 64
+)
+
 // Parser turns a token stream into a Program. Parsers are single use.
 type Parser struct {
 	toks    []Token
 	pos     int
 	defines map[string]int64
 	prog    *Program
+
+	exprDepth int // live parseExpr/parseUnary recursion depth
+	forDepth  int // live for-loop nesting depth
 }
 
 // Parse parses mini-C source text into a Program.
@@ -438,6 +451,11 @@ func (p *Parser) parseVarDecl() error {
 // already parsed and passed in.
 func (p *Parser) parseFor(pragma *OMPPragma) (*ForStmt, error) {
 	kw := p.next() // "for"
+	p.forDepth++
+	defer func() { p.forDepth-- }()
+	if p.forDepth > maxForDepth {
+		return nil, p.errf(kw.Pos, "for loops nested deeper than %d levels", maxForDepth)
+	}
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
@@ -679,6 +697,11 @@ func (p *Parser) parseRef() (*RefExpr, error) {
 //	unary   := '-' unary | primary
 //	primary := INT | FLOAT | '(' expr ')' | ref
 func (p *Parser) parseExpr() (Expr, error) {
+	p.exprDepth++
+	defer func() { p.exprDepth-- }()
+	if p.exprDepth > maxExprDepth {
+		return nil, p.errf(p.cur().Pos, "expression nested deeper than %d levels", maxExprDepth)
+	}
 	lhs, err := p.parseMul()
 	if err != nil {
 		return nil, err
@@ -712,6 +735,13 @@ func (p *Parser) parseMul() (Expr, error) {
 
 func (p *Parser) parseUnary() (Expr, error) {
 	if p.cur().Type == MINUS {
+		// Unary chains ("----x") recurse without passing parseExpr, so
+		// they count against the same depth limit here.
+		p.exprDepth++
+		defer func() { p.exprDepth-- }()
+		if p.exprDepth > maxExprDepth {
+			return nil, p.errf(p.cur().Pos, "expression nested deeper than %d levels", maxExprDepth)
+		}
 		op := p.next()
 		x, err := p.parseUnary()
 		if err != nil {

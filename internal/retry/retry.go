@@ -1,0 +1,140 @@
+// Package retry implements capped exponential backoff with full jitter
+// for clients of the analysis service. The policy honors server-provided
+// Retry-After hints (fsserve attaches them to 429 and 503 responses,
+// jittered by pool depth), falls back to full-jitter exponential delays
+// otherwise, and is deterministic under a fixed seed with an injected
+// sleeper — the shape unit tests pin down.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Policy configures Do. The zero value is usable: 4 attempts, 100ms base
+// delay, 5s cap, real sleeping.
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (0 = default 4; 1 means no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff scale: attempt n waits a uniformly random
+	// duration in [0, min(MaxDelay, BaseDelay<<n)) — "full jitter"
+	// (0 = default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window (0 = default 5s).
+	MaxDelay time.Duration
+	// Seed seeds the jitter source (0 = 1). A fixed seed yields a
+	// reproducible delay sequence.
+	Seed int64
+	// Sleep replaces time.Sleep in tests (nil = real sleep). It is
+	// called once per wait with the final delay, after Retry-After
+	// flooring.
+	Sleep func(time.Duration)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Err is a retryable failure: Do retries while attempts remain, waiting
+// at least RetryAfter (when positive) before the next one.
+type Err struct {
+	// Cause is the underlying failure, surfaced if attempts run out.
+	Cause error
+	// RetryAfter is the server's minimum-wait hint (0 = none).
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *Err) Error() string { return e.Cause.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Err) Unwrap() error { return e.Cause }
+
+// Retryable wraps err as retryable with no Retry-After hint.
+func Retryable(err error) error { return &Err{Cause: err} }
+
+// AfterHeader parses an HTTP Retry-After header value in its
+// delta-seconds form (the form fsserve emits), returning 0 for absent
+// or unparseable values. HTTP-date values are not supported.
+func AfterHeader(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Do calls attempt until it succeeds, returns a non-retryable error, or
+// MaxAttempts attempts have failed (returning the last error with the
+// *Err wrapper removed). Between attempts it waits the full-jitter
+// backoff for that attempt, floored by the attempt's RetryAfter hint;
+// a done ctx ends the loop immediately (also mid-wait for hints —
+// waits are bounded by ctx via a deadline check before sleeping).
+func Do(ctx context.Context, p Policy, attempt func(attempt int) error) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var lastErr error
+	for n := 0; n < p.MaxAttempts; n++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		err := attempt(n)
+		if err == nil {
+			return nil
+		}
+		var re *Err
+		if !errors.As(err, &re) {
+			return err // non-retryable: fail fast
+		}
+		lastErr = re.Cause
+		if n == p.MaxAttempts-1 {
+			break
+		}
+		d := p.backoff(rng, n)
+		if re.RetryAfter > d {
+			d = re.RetryAfter
+		}
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < d {
+			return lastErr // the wait cannot fit; don't burn it sleeping
+		}
+		p.Sleep(d)
+	}
+	return lastErr
+}
+
+// backoff draws the full-jitter delay for attempt n: uniform in
+// [0, min(MaxDelay, BaseDelay*2^n)).
+func (p Policy) backoff(rng *rand.Rand, n int) time.Duration {
+	window := p.BaseDelay << uint(n)
+	if window <= 0 || window > p.MaxDelay { // <<= also guards overflow
+		window = p.MaxDelay
+	}
+	return time.Duration(rng.Int63n(int64(window)))
+}

@@ -1,0 +1,161 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// recorder captures sleeps instead of performing them.
+type recorder struct{ slept []time.Duration }
+
+func (r *recorder) sleep(d time.Duration) { r.slept = append(r.slept, d) }
+
+func TestDoSucceedsWithoutSleeping(t *testing.T) {
+	rec := &recorder{}
+	calls := 0
+	err := Do(context.Background(), Policy{Sleep: rec.sleep}, func(int) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 || len(rec.slept) != 0 {
+		t.Fatalf("Do = %v after %d calls, %d sleeps", err, calls, len(rec.slept))
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	rec := &recorder{}
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5, Sleep: rec.sleep}, func(n int) error {
+		calls++
+		if n < 2 {
+			return Retryable(errors.New("transient"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 || len(rec.slept) != 2 {
+		t.Fatalf("Do = %v after %d calls, %d sleeps", err, calls, len(rec.slept))
+	}
+}
+
+func TestDoStopsAtMaxAttemptsWithCause(t *testing.T) {
+	rec := &recorder{}
+	want := errors.New("still down")
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 3, Sleep: rec.sleep}, func(int) error {
+		calls++
+		return Retryable(want)
+	})
+	if err != want {
+		t.Fatalf("Do = %v, want the unwrapped cause %v", err, want)
+	}
+	if calls != 3 || len(rec.slept) != 2 {
+		t.Fatalf("%d calls, %d sleeps; want 3 calls, 2 sleeps", calls, len(rec.slept))
+	}
+}
+
+func TestDoFailsFastOnNonRetryable(t *testing.T) {
+	rec := &recorder{}
+	want := errors.New("bad request")
+	calls := 0
+	err := Do(context.Background(), Policy{Sleep: rec.sleep}, func(int) error {
+		calls++
+		return want
+	})
+	if err != want || calls != 1 || len(rec.slept) != 0 {
+		t.Fatalf("Do = %v after %d calls, %d sleeps", err, calls, len(rec.slept))
+	}
+}
+
+// TestBackoffShape pins the full-jitter contract: every delay falls in
+// [0, min(MaxDelay, Base*2^n)), the windows grow with the attempt, and
+// a fixed seed reproduces the sequence exactly.
+func TestBackoffShape(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		rec := &recorder{}
+		p := Policy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: seed, Sleep: rec.sleep}
+		Do(context.Background(), p, func(int) error { return Retryable(errors.New("x")) })
+		return rec.slept
+	}
+	a, b := run(7), run(7)
+	if len(a) != 7 {
+		t.Fatalf("expected 7 sleeps, got %d", len(a))
+	}
+	for n, d := range a {
+		if d != b[n] {
+			t.Fatalf("sleep %d differs across identical seeds: %v vs %v", n, d, b[n])
+		}
+		window := 100 * time.Millisecond << uint(n)
+		if window > time.Second {
+			window = time.Second
+		}
+		if d < 0 || d >= window {
+			t.Fatalf("sleep %d = %v outside full-jitter window [0, %v)", n, d, window)
+		}
+	}
+	if c := run(8); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Error("different seeds produced an identical delay prefix")
+	}
+}
+
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	rec := &recorder{}
+	hint := 2 * time.Second
+	Do(context.Background(), Policy{MaxAttempts: 2, MaxDelay: time.Second, Sleep: rec.sleep}, func(int) error {
+		return &Err{Cause: errors.New("throttled"), RetryAfter: hint}
+	})
+	if len(rec.slept) != 1 || rec.slept[0] < hint {
+		t.Fatalf("slept %v, want at least the Retry-After hint %v", rec.slept, hint)
+	}
+}
+
+func TestDoRespectsContext(t *testing.T) {
+	rec := &recorder{}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Do(ctx, Policy{MaxAttempts: 10, Sleep: rec.sleep}, func(int) error {
+		calls++
+		cancel()
+		return Retryable(errors.New("transient"))
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want the transient error after 1", err, calls)
+	}
+
+	// A deadline too close to fit the wait ends the loop without
+	// sleeping.
+	rec = &recorder{}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	err = Do(ctx2, Policy{MaxAttempts: 5, Sleep: rec.sleep}, func(int) error {
+		return &Err{Cause: errors.New("throttled"), RetryAfter: time.Hour}
+	})
+	if err == nil || len(rec.slept) != 0 {
+		t.Fatalf("Do = %v with %d sleeps, want error and no sleep", err, len(rec.slept))
+	}
+}
+
+func TestAfterHeader(t *testing.T) {
+	cases := []struct {
+		value string
+		want  time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-1", 0},
+		{"soon", 0},
+		{"Tue, 29 Oct 2030 16:56:32 GMT", 0}, // HTTP-date form unsupported
+	}
+	for _, tc := range cases {
+		h := http.Header{}
+		if tc.value != "" {
+			h.Set("Retry-After", tc.value)
+		}
+		if got := AfterHeader(h); got != tc.want {
+			t.Errorf("AfterHeader(%q) = %v, want %v", tc.value, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// numGoroutineSettled samples runtime.NumGoroutine until two consecutive
+// reads agree (or a short deadline passes), so transient scheduler noise
+// does not masquerade as a leak.
+func numGoroutineSettled() int {
+	prev := runtime.NumGoroutine()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		cur := runtime.NumGoroutine()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
+
+// TestChaos is the fault-injection suite: 32 concurrent clients hammer
+// the service while every seam — cache, flight group, pool, evaluator —
+// injects panics, errors and delays from seeded generators, with the
+// circuit breaker armed tight enough to flap. The run asserts the full
+// robustness contract:
+//
+//   - every request terminates with 200, 400 or 429 — never a 500, a
+//     504 or a hang (degraded 200s are expected and welcome);
+//   - cached answers stay coherent: all full (non-degraded) 200 bodies
+//     for one request are byte-identical;
+//   - no goroutine leaks across the run;
+//   - the metrics reconcile with what clients observed and with the
+//     injector's own fire counts.
+func TestChaos(t *testing.T) {
+	faultinject.Enable()
+	defer faultinject.Reset()
+	faultinject.Arm("service.cache", faultinject.Fault{Kind: faultinject.KindPanic, Probability: 0.02, Seed: 11})
+	faultinject.Arm("service.flight", faultinject.Fault{Kind: faultinject.KindError, Probability: 0.05, Seed: 12})
+	faultinject.Arm("service.pool", faultinject.Fault{Kind: faultinject.KindDelay, Delay: 2 * time.Millisecond, Probability: 0.2, Seed: 13})
+	faultinject.Arm("service.evaluate", faultinject.Fault{Kind: faultinject.KindPanic, Probability: 0.1, Seed: 14})
+
+	s := newTestServer(t, Config{
+		MaxConcurrent:    4,
+		MaxQueue:         8,
+		BreakerThreshold: 3,
+		BreakerCooldown:  25 * time.Millisecond,
+		Seed:             9,
+	})
+
+	// A small pool of cheap, distinct requests so the cache, the flight
+	// group and the pool all see real contention.
+	bodies := make([][]byte, 0, 8)
+	for _, n := range []int{64, 96, 128, 160} {
+		for _, threads := range []int{2, 4} {
+			src := fmt.Sprintf(`
+double a[%d];
+#pragma omp parallel for schedule(static,1) num_threads(%d)
+for (i = 0; i < %d; i++) a[i] += 1.0;
+`, n, threads, n)
+			b, err := json.Marshal(AnalyzeRequest{Source: src, Recommend: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bodies = append(bodies, b)
+		}
+	}
+	badBody := []byte(`{"source":"for (i = 0; i <"}`) // parse error: always 400
+
+	const (
+		workers     = 32
+		perWorker   = 25
+		badInterval = 10 // every 10th request per worker is malformed
+	)
+	type sample struct {
+		worker, seq int
+		status      int
+		degraded    bool
+		body        []byte
+		key         int // index into bodies; -1 for the malformed request
+	}
+	before := numGoroutineSettled()
+	results := make([][]sample, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]sample, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				key := (g + i) % len(bodies)
+				body := bodies[key]
+				if i%badInterval == badInterval-1 {
+					key, body = -1, badBody
+				}
+				req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				s.Handler().ServeHTTP(w, req)
+				smp := sample{worker: g, seq: i, status: w.Code, body: w.Body.Bytes(), key: key}
+				if w.Code == 200 {
+					var resp AnalyzeResponse
+					if json.Unmarshal(w.Body.Bytes(), &resp) == nil {
+						smp.degraded = resp.Degraded
+					}
+				}
+				results[g] = append(results[g], smp)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("chaos load never terminated: deadlock or hang under faults")
+	}
+
+	// Termination contract: only 200/400/429 ever reach a client.
+	var total, degraded, rejected int
+	fullBodies := make(map[int][]byte) // key -> first full 200 body
+	for _, worker := range results {
+		for _, smp := range worker {
+			total++
+			switch smp.status {
+			case 200:
+				if smp.key == -1 {
+					t.Fatalf("worker %d req %d: malformed source answered 200: %s", smp.worker, smp.seq, smp.body)
+				}
+				if smp.degraded {
+					degraded++
+					continue
+				}
+				// Cache coherence: every full answer for a key is
+				// byte-identical, whether evaluated, coalesced or cached.
+				if prev, ok := fullBodies[smp.key]; !ok {
+					fullBodies[smp.key] = smp.body
+				} else if !bytes.Equal(prev, smp.body) {
+					t.Fatalf("incoherent responses for request %d:\n%s\nvs\n%s", smp.key, prev, smp.body)
+				}
+			case 400:
+				if smp.key != -1 {
+					t.Fatalf("worker %d req %d: well-formed request answered 400: %s", smp.worker, smp.seq, smp.body)
+				}
+			case 429:
+				rejected++
+			default:
+				t.Fatalf("worker %d req %d: status %d leaked to the client: %s", smp.worker, smp.seq, smp.status, smp.body)
+			}
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("accounted for %d of %d requests", total, workers*perWorker)
+	}
+
+	// Reconcile the metrics against the clients' view and the injector.
+	m := s.Metrics()
+	if got := m.Degraded.Total(); got != int64(degraded) {
+		t.Errorf("fsserve_degraded_total = %d, clients observed %d degraded responses", got, degraded)
+	}
+	if got := m.QueueRejects.Value(); got != int64(rejected) {
+		t.Errorf("fsserve_queue_rejects_total = %d, clients observed %d rejections", got, rejected)
+	}
+	panicsFired := faultinject.Fired("service.cache") + faultinject.Fired("service.evaluate")
+	if m.EvalPanics.Value() < panicsFired {
+		// Coalesced waiters may observe one panic several times, so the
+		// metric can legitimately exceed the fire count — never trail it.
+		t.Errorf("fsserve_eval_panics_total = %d, injector fired %d panics", m.EvalPanics.Value(), panicsFired)
+	}
+	if panicsFired == 0 {
+		t.Error("the chaos run injected no panics; the suite is not exercising the recover wrappers")
+	}
+
+	// The exposition endpoint renders the robustness counters.
+	mw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mw, httptest.NewRequest("GET", "/metrics", nil))
+	for _, want := range []string{"fsserve_degraded_total", "fsserve_eval_panics_total"} {
+		if !strings.Contains(mw.Body.String(), want) {
+			t.Errorf("/metrics output is missing %s", want)
+		}
+	}
+
+	// Leak check: everything spawned under faults must have unwound.
+	if after := numGoroutineSettled(); after > before+5 {
+		t.Errorf("goroutines grew from %d to %d across the chaos run", before, after)
+	}
+}

@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro"
+	"repro/internal/faultinject"
+	"repro/internal/guard"
 	"repro/internal/kernels"
 	"repro/internal/sweep"
 )
@@ -27,12 +30,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := statusFor(err)
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	if status == http.StatusTooManyRequests {
 		s.metrics.QueueRejects.Inc()
 	}
 	writeJSON(w, status, map[string]*APIError{"error": {Code: status, Message: err.Error()}})
+}
+
+// retryAfterSeconds derives a Retry-After value from the evaluation
+// pool's saturation with full jitter on top: a deeper wait queue pushes
+// the base up (1s empty to 4s full) and the jitter doubles the spread,
+// so a herd of rejected clients comes back staggered instead of
+// re-colliding on the same second. The jitter source is seeded
+// (Config.Seed), keeping test runs reproducible.
+func (s *Server) retryAfterSeconds() int {
+	st := s.limiter.stats()
+	base := 1
+	if st.maxWait > 0 {
+		base += (3 * st.waiting) / st.maxWait
+	}
+	s.jitterMu.Lock()
+	j := s.jitter.Intn(base + 1)
+	s.jitterMu.Unlock()
+	return base + j
 }
 
 // decodeBody decodes the JSON request body under the configured size
@@ -76,72 +97,110 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
-// analyze serves one resolved analysis point through the cache, the
+// analyze serves one resolved analysis point through the endpoint's
+// fault boundary (circuit breaker + degradation), the cache, the
 // in-flight dedup group, and the bounded evaluation pool, in that order.
 // The returned body is the exact serialized response (cached bytes are
 // served verbatim); source reports how it was obtained: "hit",
-// "coalesced" or "miss".
+// "coalesced", "miss" or "degraded".
 func (s *Server) analyze(ctx context.Context, rr resolved) (body []byte, source string, err error) {
-	return s.serveCached(ctx, rr.key, func(ctx context.Context) ([]byte, error) {
+	return s.guarded(ctx, endpointAnalyze, rr.key, func(ctx context.Context) ([]byte, error) {
 		resp, err := s.evaluate(ctx, rr)
 		if err != nil {
 			return nil, err
 		}
 		return json.Marshal(resp)
+	}, func(reason string) ([]byte, error) {
+		return s.degradedAnalyze(rr, reason)
 	})
 }
 
 // serveCached serves one content-addressed evaluation through the cache,
 // the in-flight dedup group, and the bounded evaluation pool, in that
 // order; every cacheable endpoint (/v1/analyze, /v1/lint) funnels through
-// it. eval must return the exact response bytes to cache and serve.
+// it (via guarded). eval must return the exact response bytes to cache
+// and serve.
+//
+// The whole path runs under a guard recover wrapper, and the flight
+// leader carries its own: a panic inside a leader would otherwise leave
+// the flight entry permanently open — every later request for that key
+// would join a call that never completes. The faultinject seams
+// (service.cache, service.flight, service.pool) sit inside these
+// wrappers, so injected panics surface as *guard.EvalPanicError, never
+// as a torn flight or a leaked pool slot.
 func (s *Server) serveCached(ctx context.Context, key string, eval func(ctx context.Context) ([]byte, error)) (body []byte, source string, err error) {
-	if b, ok := s.cache.Get(key); ok {
-		s.metrics.CacheHits.Inc()
-		return b, "hit", nil
+	type served struct {
+		body   []byte
+		source string
 	}
-	res, coalesced, err := s.flight.Do(ctx, key, func() (flightResult, error) {
-		// Re-check the cache as leader: a previous leader may have filled
-		// it between this request's miss and its flight entry, and an
-		// evaluation is too expensive to repeat on that race.
+	out, err := guard.Do1(func() (served, error) {
+		if err := faultinject.Fire("service.cache"); err != nil {
+			return served{}, err
+		}
 		if b, ok := s.cache.Get(key); ok {
-			return flightResult{body: b, fromCache: true}, nil
+			s.metrics.CacheHits.Inc()
+			return served{b, "hit"}, nil
 		}
-		release, err := s.limiter.acquire(ctx)
+		res, coalesced, err := s.flight.Do(ctx, key, func() (flightResult, error) {
+			return guard.Do1(func() (flightResult, error) {
+				if err := faultinject.Fire("service.flight"); err != nil {
+					return flightResult{}, err
+				}
+				// Re-check the cache as leader: a previous leader may have filled
+				// it between this request's miss and its flight entry, and an
+				// evaluation is too expensive to repeat on that race.
+				if b, ok := s.cache.Get(key); ok {
+					return flightResult{body: b, fromCache: true}, nil
+				}
+				release, err := s.limiter.acquire(ctx)
+				if err != nil {
+					return flightResult{}, err
+				}
+				defer release()
+				if err := faultinject.Fire("service.pool"); err != nil {
+					return flightResult{}, err
+				}
+				s.metrics.CacheMisses.Inc()
+				s.metrics.Inflight.Inc()
+				defer s.metrics.Inflight.Dec()
+				start := time.Now()
+				b, err := eval(ctx)
+				if err != nil {
+					return flightResult{}, err
+				}
+				s.metrics.Evaluations.Inc()
+				s.metrics.EvalLatency.Observe(time.Since(start).Seconds())
+				s.cache.Add(key, b)
+				return flightResult{body: b}, nil
+			})
+		})
 		if err != nil {
-			return flightResult{}, err
+			return served{}, err
 		}
-		defer release()
-		s.metrics.CacheMisses.Inc()
-		s.metrics.Inflight.Inc()
-		defer s.metrics.Inflight.Dec()
-		start := time.Now()
-		b, err := eval(ctx)
-		if err != nil {
-			return flightResult{}, err
+		switch {
+		case res.fromCache:
+			s.metrics.CacheHits.Inc()
+			return served{res.body, "hit"}, nil
+		case coalesced:
+			s.metrics.Coalesced.Inc()
+			return served{res.body, "coalesced"}, nil
 		}
-		s.metrics.Evaluations.Inc()
-		s.metrics.EvalLatency.Observe(time.Since(start).Seconds())
-		s.cache.Add(key, b)
-		return flightResult{body: b}, nil
+		return served{res.body, "miss"}, nil
 	})
 	if err != nil {
 		return nil, "", err
 	}
-	switch {
-	case res.fromCache:
-		s.metrics.CacheHits.Inc()
-		return res.body, "hit", nil
-	case coalesced:
-		s.metrics.Coalesced.Inc()
-		return res.body, "coalesced", nil
-	}
-	return res.body, "miss", nil
+	return out.body, out.source, nil
 }
 
 // evaluate runs the full pipeline for one resolved request: parse →
-// analyze → Equation 1 cost → optional chunk recommendation.
+// analyze → Equation 1 cost → optional chunk recommendation, under the
+// configured evaluation budget and the request deadline.
 func (s *Server) evaluate(ctx context.Context, rr resolved) (*AnalyzeResponse, error) {
+	if err := faultinject.Fire("service.evaluate"); err != nil {
+		return nil, err
+	}
+	rr.opts.Budget = s.evalBudget(ctx)
 	prog, err := repro.Parse(rr.source)
 	if err != nil {
 		// Anything the front end rejects is the client's input.

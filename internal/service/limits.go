@@ -74,3 +74,24 @@ func (l *limiter) acquire(ctx context.Context) (release func(), err error) {
 }
 
 func (l *limiter) release() { l.slots <- struct{}{} }
+
+// poolStats is a point-in-time view of the pool's saturation, feeding
+// /readyz and the jittered Retry-After derivation.
+type poolStats struct {
+	running  int // evaluations holding a slot right now
+	capacity int // total slots
+	waiting  int // requests queued for a slot
+	maxWait  int // queue capacity
+}
+
+func (l *limiter) stats() poolStats {
+	l.mu.Lock()
+	w := l.waiting
+	l.mu.Unlock()
+	return poolStats{
+		running:  cap(l.slots) - len(l.slots),
+		capacity: cap(l.slots),
+		waiting:  w,
+		maxWait:  l.maxWait,
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"repro/internal/analysis"
+	"repro/internal/faultinject"
 	"repro/internal/kernels"
 	"repro/internal/loopir"
 	"repro/internal/machine"
@@ -40,10 +41,14 @@ type LintRequest struct {
 }
 
 // LintResponse is the native (non-SARIF) response: the analyzed pseudo
-// file name and the full diagnostics report.
+// file name and the full diagnostics report. Degraded marks a response
+// produced by the fallback pass after the primary evaluation failed
+// internally; DegradedReason says why ("breaker-open", "panic", ...).
 type LintResponse struct {
-	File   string           `json:"file"`
-	Report *analysis.Report `json:"report"`
+	File           string           `json:"file"`
+	Report         *analysis.Report `json:"report"`
+	Degraded       bool             `json:"degraded,omitempty"`
+	DegradedReason string           `json:"degraded_reason,omitempty"`
 }
 
 // lintResolved is a validated lint request with its canonical cache key.
@@ -133,8 +138,10 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	body, source, err := s.serveCached(ctx, rr.key, func(ctx context.Context) ([]byte, error) {
+	body, source, err := s.guarded(ctx, endpointLint, rr.key, func(ctx context.Context) ([]byte, error) {
 		return s.evaluateLint(rr)
+	}, func(reason string) ([]byte, error) {
+		return s.degradedLint(rr, reason)
 	})
 	if err != nil {
 		s.writeError(w, err)
@@ -150,6 +157,9 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 // linter reports findings on broken input rather than refusing it —
 // while truly invalid requests were already rejected by resolveLint.
 func (s *Server) evaluateLint(rr lintResolved) ([]byte, error) {
+	if err := faultinject.Fire("service.evaluate"); err != nil {
+		return nil, err
+	}
 	rep, err := s.lintReport(rr)
 	if err != nil {
 		return nil, err

@@ -136,6 +136,13 @@ type Metrics struct {
 	// QueueRejects counts requests turned away with 429 because the
 	// evaluation queue was full.
 	QueueRejects *Counter
+	// Degraded counts requests answered by the closed-form fallback
+	// instead of the full evaluator, by endpoint and reason
+	// ("breaker-open", "panic", "budget", "deadline", "internal").
+	Degraded *LabeledCounter
+	// EvalPanics counts evaluator panics converted to errors by the
+	// guard recover wrappers.
+	EvalPanics *Counter
 	// CacheEntries is the current result-cache size; QueueDepth is the
 	// number of requests waiting for an evaluation slot; Inflight is the
 	// number of evaluations currently running.
@@ -157,6 +164,8 @@ func NewMetrics() *Metrics {
 		Coalesced:      &Counter{},
 		Evaluations:    &Counter{},
 		QueueRejects:   &Counter{},
+		Degraded:       newLabeledCounter("endpoint", "reason"),
+		EvalPanics:     &Counter{},
 		CacheEntries:   &Gauge{},
 		QueueDepth:     &Gauge{},
 		Inflight:       &Gauge{},
@@ -242,10 +251,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"fsserve_dedup_coalesced_total", "Requests coalesced onto an identical in-flight evaluation.", m.Coalesced},
 		{"fsserve_evaluations_total", "Model evaluations actually performed.", m.Evaluations},
 		{"fsserve_queue_rejects_total", "Requests rejected because the evaluation queue was full.", m.QueueRejects},
+		{"fsserve_eval_panics_total", "Evaluator panics converted to errors by the guard wrappers.", m.EvalPanics},
 	} {
 		writeHeader(w, c.name, "counter", c.help)
 		fmt.Fprintf(w, "%s %d\n", c.name, c.c.Value())
 	}
+
+	writeHeader(w, "fsserve_degraded_total", "counter", "Requests answered by the closed-form fallback, by endpoint and reason.")
+	m.Degraded.write(w, "fsserve_degraded_total")
 
 	for _, g := range []struct {
 		name, help string

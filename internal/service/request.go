@@ -59,6 +59,14 @@ type AnalyzeResponse struct {
 	// request set recommend.
 	RecommendedChunk   int64 `json:"recommended_chunk,omitempty"`
 	RecommendedFSCases int64 `json:"recommended_fs_cases,omitempty"`
+	// Degraded marks a response answered by the closed-form engine
+	// because the full evaluation failed internally (panic, tripped
+	// budget, expired deadline) or its circuit breaker was open. The
+	// simulation fields above are zero; ClosedForm carries the static
+	// verdict instead. Degraded responses are never cached.
+	Degraded       bool              `json:"degraded,omitempty"`
+	DegradedReason string            `json:"degraded_reason,omitempty"`
+	ClosedForm     *ClosedFormResult `json:"closed_form,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/analyze/batch. Either Requests

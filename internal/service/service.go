@@ -22,19 +22,30 @@
 //   - the static linter endpoint (lint.go): POST /v1/lint runs the
 //     closed-form internal/analysis engine (no simulation) and returns
 //     diagnostics as JSON or a SARIF 2.1.0 document, through the same
-//     cache, dedup and admission control as /v1/analyze.
+//     cache, dedup and admission control as /v1/analyze;
+//   - the fault boundary (degrade.go): every evaluation runs under a
+//     guard recover wrapper and a resource budget, behind a per-endpoint
+//     circuit breaker; internal failures degrade to the closed-form
+//     engine with "degraded": true instead of a 500 or a hang, and
+//     /readyz exposes breaker and pool-saturation state. See
+//     docs/ROBUSTNESS.md for the full contract.
 //
 // Graceful shutdown is the caller's http.Server.Shutdown; BeginShutdown
-// additionally flips /healthz to 503 so load balancers drain first.
+// additionally flips /healthz and /readyz to 503 so load balancers drain
+// first.
 package service
 
 import (
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/guard"
 )
 
 // Config parameterizes the server. The zero value is production-usable;
@@ -57,6 +68,27 @@ type Config struct {
 	// MaxBatch bounds the number of analysis points in one batch request
 	// (0 = default 256).
 	MaxBatch int
+	// MaxEvalSteps bounds the simulated memory accesses one model
+	// evaluation may perform before it is stopped and the request is
+	// answered by the closed-form engine (0 = default 1<<28; negative =
+	// unlimited).
+	MaxEvalSteps int64
+	// MaxEvalStateBytes bounds one evaluation's modeled cache-stack and
+	// directory state (0 = default 256 MiB; negative = unlimited).
+	MaxEvalStateBytes int64
+	// BreakerThreshold is the consecutive internal-failure count that
+	// opens an endpoint's circuit breaker (0 = default 5; negative
+	// disables circuit breaking).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// admitting half-open probes (0 = default 5s).
+	BreakerCooldown time.Duration
+	// BreakerProbeFraction is the fraction of requests admitted while
+	// half-open (0 = default 0.25).
+	BreakerProbeFraction float64
+	// Seed seeds the deterministic randomness: breaker half-open probe
+	// draws and the jittered Retry-After values (0 = 1).
+	Seed int64
 	// Logger receives structured request logs (nil = slog.Default()).
 	Logger *slog.Logger
 }
@@ -80,6 +112,33 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
 	}
+	switch {
+	case c.MaxEvalSteps == 0:
+		c.MaxEvalSteps = 1 << 28
+	case c.MaxEvalSteps < 0:
+		c.MaxEvalSteps = 0 // unlimited
+	}
+	switch {
+	case c.MaxEvalStateBytes == 0:
+		c.MaxEvalStateBytes = 256 << 20
+	case c.MaxEvalStateBytes < 0:
+		c.MaxEvalStateBytes = 0 // unlimited
+	}
+	switch {
+	case c.BreakerThreshold == 0:
+		c.BreakerThreshold = 5
+	case c.BreakerThreshold < 0:
+		c.BreakerThreshold = 0 // disabled
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BreakerProbeFraction <= 0 {
+		c.BreakerProbeFraction = 0.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -93,8 +152,15 @@ type Server struct {
 	cache    *resultCache
 	flight   *flightGroup
 	limiter  *limiter
+	breakers map[string]*guard.Breaker
 	mux      *http.ServeMux
 	draining atomic.Bool
+
+	// jitter randomizes Retry-After values so rejected clients spread
+	// their retries instead of stampeding back in lockstep; seeded from
+	// Config.Seed for reproducible tests.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
 
 // New builds a Server from cfg (zero value = defaults).
@@ -104,15 +170,28 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		metrics: NewMetrics(),
 		flight:  newFlightGroup(),
+		jitter:  rand.New(rand.NewSource(cfg.Seed)),
 	}
 	s.cache = newResultCache(cfg.CacheEntries, s.metrics.CacheEntries)
 	s.limiter = newLimiter(cfg.MaxConcurrent, cfg.MaxQueue, s.metrics.QueueDepth)
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = make(map[string]*guard.Breaker)
+		for i, ep := range []string{endpointAnalyze, endpointLint} {
+			s.breakers[ep] = guard.NewBreaker(guard.BreakerConfig{
+				FailureThreshold: cfg.BreakerThreshold,
+				Cooldown:         cfg.BreakerCooldown,
+				ProbeFraction:    cfg.BreakerProbeFraction,
+				Seed:             cfg.Seed + int64(i),
+			})
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }

@@ -20,6 +20,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/guard"
 )
 
 // Jobs resolves a -j style worker-count setting: values <= 0 select
@@ -38,6 +41,11 @@ func Jobs(j int) int {
 // completion, and work above it is skipped rather than cancelled, so no
 // scheduling race can surface a different error. If ctx is cancelled, Run
 // stops claiming new indices and returns ctx.Err().
+//
+// Each fn call runs under a guard recover wrapper: a panicking point
+// surfaces as a *guard.EvalPanicError at its index, flowing through the
+// same lowest-failing-index contract instead of killing the worker (and,
+// on the parallel path, the whole process).
 func Run[T any](ctx context.Context, n, jobs int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
@@ -48,13 +56,23 @@ func Run[T any](ctx context.Context, n, jobs int, fn func(ctx context.Context, i
 	}
 	results := make([]T, n)
 
+	call := func(ctx context.Context, i int) (T, error) {
+		return guard.Do1(func() (T, error) {
+			if err := faultinject.Fire("sweep.worker"); err != nil {
+				var zero T
+				return zero, err
+			}
+			return fn(ctx, i)
+		})
+	}
+
 	if jobs == 1 {
 		// Serial fast path: no goroutines, no atomics, trivially ordered.
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(ctx, i)
+			v, err := call(ctx, i)
 			if err != nil {
 				return nil, err
 			}
@@ -80,7 +98,7 @@ func Run[T any](ctx context.Context, n, jobs int, fn func(ctx context.Context, i
 				if i >= n || int64(i) > failIdx.Load() {
 					return
 				}
-				v, err := fn(ctx, i)
+				v, err := call(ctx, i)
 				if err != nil {
 					mu.Lock()
 					if int64(i) < failIdx.Load() {

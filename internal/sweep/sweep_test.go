@@ -8,6 +8,9 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/guard"
 )
 
 func TestJobs(t *testing.T) {
@@ -176,5 +179,42 @@ func BenchmarkSweepThroughput(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestRunIsolatesPanics checks that a panicking point surfaces as a
+// *guard.EvalPanicError at the lowest panicking index on both the serial
+// and parallel paths, with indices below it unaffected.
+func TestRunIsolatesPanics(t *testing.T) {
+	for _, jobs := range []int{1, 8} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			_, err := Run(context.Background(), 64, jobs, func(_ context.Context, i int) (int, error) {
+				if i >= 40 {
+					panic(fmt.Sprintf("point %d exploded", i))
+				}
+				return i, nil
+			})
+			var pe *guard.EvalPanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Run = %v (%T), want *guard.EvalPanicError", err, err)
+			}
+			if pe.Value != "point 40 exploded" {
+				t.Fatalf("panic value = %v, want the lowest panicking index (40)", pe.Value)
+			}
+		})
+	}
+}
+
+// TestRunWorkerFaultPoint checks the sweep.worker injection seam: an
+// armed error fault flows through the normal error contract.
+func TestRunWorkerFaultPoint(t *testing.T) {
+	faultinject.Enable()
+	defer faultinject.Reset()
+	faultinject.Arm("sweep.worker", faultinject.Fault{Kind: faultinject.KindError, MaxFires: 1})
+	_, err := Run(context.Background(), 8, 1, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err == nil || faultinject.Fired("sweep.worker") != 1 {
+		t.Fatalf("injected worker fault not surfaced: err=%v fired=%d", err, faultinject.Fired("sweep.worker"))
 	}
 }

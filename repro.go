@@ -34,6 +34,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/costmodel"
 	"repro/internal/fsmodel"
+	"repro/internal/guard"
 	"repro/internal/interp"
 	"repro/internal/loopir"
 	"repro/internal/machine"
@@ -129,6 +130,13 @@ type Options struct {
 	// independent analysis points (RecommendChunk's candidate sweep);
 	// <= 0 selects GOMAXPROCS. Results are identical for every value.
 	Jobs int
+	// Budget bounds the resources a model evaluation may consume (zero =
+	// unlimited). A tripped budget surfaces as an error matching
+	// guard.ErrBudgetExceeded; the stop point is deterministic for a
+	// given input (step counts, not wall time, trigger the amortized
+	// checks — the Deadline dimension alone depends on the clock). A
+	// budget never changes the result of a run it does not abort.
+	Budget guard.Budget
 }
 
 // CanonicalKey returns a deterministic, unambiguous encoding of every
@@ -137,7 +145,9 @@ type Options struct {
 // Simulate, EstimateCost, RecommendChunk and EvaluatePadding, so the key
 // (combined with the source text) is a sound content address for caching
 // model results. Jobs is deliberately excluded: it changes only how work
-// is scheduled, never what is computed.
+// is scheduled, never what is computed. Budget is excluded for the same
+// reason: it can only abort a run, never alter the values a completed
+// run computes, and aborted runs are never cached.
 func (o Options) CanonicalKey() string {
 	return fmt.Sprintf("machine=%s;threads=%d;chunk=%d;mesi=%t;stackdepth=%d;bus=%t;hotlines=%t",
 		o.Machine.Name(), o.Threads, o.Chunk, o.MESICounting, o.StackDepth, o.BusContention, o.TrackHotLines)
@@ -273,6 +283,7 @@ func (p *Program) Analyze(i int, opts Options) (*Analysis, error) {
 		StackDepth:    opts.StackDepth,
 		Counting:      opts.counting(),
 		TrackHotLines: opts.TrackHotLines,
+		Budget:        opts.Budget,
 	})
 	if err != nil {
 		return nil, err
@@ -332,6 +343,7 @@ func (p *Program) AnalyzeRate(i int, opts Options, runs int64) (*RateReport, err
 		Chunk:      opts.Chunk,
 		StackDepth: opts.StackDepth,
 		Counting:   opts.counting(),
+		Budget:     opts.Budget,
 	}, runs)
 	if err != nil {
 		return nil, err
@@ -371,6 +383,7 @@ func (p *Program) Predict(i int, opts Options, sampleRuns int64) (*Prediction, e
 		Chunk:      opts.Chunk,
 		StackDepth: opts.StackDepth,
 		Counting:   opts.counting(),
+		Budget:     opts.Budget,
 	}, sampleRuns)
 	if err != nil {
 		return nil, err
@@ -460,6 +473,7 @@ func (p *Program) EstimateCost(i int, opts Options) (*CostReport, error) {
 		Chunk:      opts.Chunk,
 		StackDepth: opts.StackDepth,
 		Counting:   opts.counting(),
+		Budget:     opts.Budget,
 	})
 	if err != nil {
 		return nil, err
@@ -635,6 +649,7 @@ func (p *Program) EvaluatePadding(i int, opts Options) (*PaddingAdvice, error) {
 		Chunk:      opts.Chunk,
 		StackDepth: opts.StackDepth,
 		Counting:   opts.counting(),
+		Budget:     opts.Budget,
 	})
 	if err != nil {
 		return nil, err

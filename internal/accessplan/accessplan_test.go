@@ -1,0 +1,254 @@
+package accessplan
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/loopir"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// corpus returns nests covering every block shape the compiler handles:
+// the paper kernels (parallel-innermost stencils, parallel-outer
+// accumulators), plus triangular bounds, negative steps, strides larger
+// than a line, multi-level nests, and empty/degenerate loops.
+func corpus(t *testing.T) map[string]*loopir.Nest {
+	t.Helper()
+	out := map[string]*loopir.Nest{}
+	load := func(name, src string) {
+		t.Helper()
+		k, err := kernels.Load(name, src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = k.Nest
+	}
+	heat, err := kernels.Heat(12, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["heat"] = heat.Nest
+	dft, err := kernels.DFT(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["dft"] = dft.Nest
+	lr, err := kernels.LinReg(64, 96, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["linreg"] = lr.Nest
+
+	load("triangular", `
+double a[4096];
+#pragma omp parallel for schedule(static,2) num_threads(4)
+for (i = 0; i < 48; i++)
+  for (j = i; j < 48; j++)
+    a[i * 48 + j] = a[j * 48 + i] + 1.0;
+`)
+	load("par-middle", `
+double a[8192];
+for (i = 0; i < 6; i++) {
+#pragma omp parallel for schedule(static,1) num_threads(4)
+  for (j = 0; j < 20; j++)
+    for (k = 0; k < 9; k++)
+      a[i * 1200 + j * 60 + k * 3] = 1.0;
+}
+`)
+	load("negstep", `
+double a[4096];
+#pragma omp parallel for schedule(static,3) num_threads(4)
+for (i = 50; i > 0; i--)
+  for (j = 40; j > 2; j = j - 3)
+    a[i * 64 + j] = a[i * 64 + j] * 0.5;
+`)
+	load("widestride", `
+double a[65536];
+#pragma omp parallel for schedule(static,2) num_threads(8)
+for (i = 0; i < 64; i++)
+  for (j = 0; j < 32; j++)
+    a[j * 1024 + i] = a[j * 1024 + i] + 1.0;
+`)
+	load("empty-inner", `
+double a[4096];
+#pragma omp parallel for schedule(static,1) num_threads(4)
+for (i = 0; i < 30; i++)
+  for (j = i; j < 15; j++)
+    a[i * 64 + j] = 1.0;
+`)
+	return out
+}
+
+// step is one flattened innermost iteration of one thread: the addresses
+// of its references plus whether it starts a new chunk-run key.
+type step struct {
+	addrs  string
+	newKey bool
+}
+
+// interpretedSteps enumerates thread t via trace.ThreadCursor, the ground
+// truth the block expansion must reproduce bit-identically.
+func interpretedSteps(t *testing.T, nest *loopir.Nest, plan sched.Plan, thread int) []step {
+	t.Helper()
+	g, err := trace.NewGenerator(nest, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parLevel := nest.ParLevel
+	if parLevel < 0 {
+		parLevel = 0
+	}
+	cur := g.Cursor(thread)
+	var out []step
+	var buf []trace.Access
+	var prevPrefix []int64
+	prevTrip := int64(-1)
+	first := true
+	for cur.Next() {
+		buf = g.Accesses(cur.Vals(), buf)
+		key := ""
+		for _, a := range buf {
+			key += fmt.Sprintf("%d,", a.Addr)
+		}
+		newKey := first || cur.ParallelTrip() != prevTrip
+		if !first {
+			for l := 0; l < parLevel; l++ {
+				if cur.Vals()[l] != prevPrefix[l] {
+					newKey = true
+				}
+			}
+		}
+		prevPrefix = append(prevPrefix[:0], cur.Vals()[:parLevel]...)
+		prevTrip = cur.ParallelTrip()
+		first = false
+		out = append(out, step{addrs: key, newKey: newKey})
+	}
+	return out
+}
+
+// compiledSteps expands thread t's block stream into flattened steps
+// using only the block descriptors (start addresses, strides, skips,
+// chunk lengths) — exactly what the fsmodel executor does.
+func compiledSteps(t *testing.T, p *Plan, thread int) []step {
+	t.Helper()
+	cur := p.Cursor(thread)
+	addr := make([]int64, p.NumRefs())
+	strides := p.Strides()
+	skips := p.Skips()
+	var out []step
+	for {
+		steps, newKey, ok := cur.NextBlock(addr)
+		if !ok {
+			break
+		}
+		a := append([]int64(nil), addr...)
+		chunkLeft := p.ChunkLen()
+		for s := int64(0); s < steps; s++ {
+			key := ""
+			for _, v := range a {
+				key += fmt.Sprintf("%d,", v)
+			}
+			nk := (s == 0 && newKey) || (p.ParInnermost() && s > 0)
+			out = append(out, step{addrs: key, newKey: nk})
+			if p.ParInnermost() {
+				chunkLeft--
+				if chunkLeft == 0 {
+					chunkLeft = p.ChunkLen()
+					for r := range a {
+						a[r] += skips[r]
+					}
+				} else {
+					for r := range a {
+						a[r] += strides[r]
+					}
+				}
+			} else {
+				for r := range a {
+					a[r] += strides[r]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestBlocksMatchInterpreter is the core differential check: for every
+// corpus nest, thread count, and chunk size, the expanded block stream
+// equals the interpreted iteration stream in addresses, order, and
+// chunk-run key transitions.
+func TestBlocksMatchInterpreter(t *testing.T) {
+	for name, nest := range corpus(t) {
+		for _, threads := range []int{1, 3, 4, 8} {
+			if nest.ParLevel < 0 && threads != 1 {
+				continue
+			}
+			for _, chunk := range []int64{1, 2, 5, 8} {
+				plan := sched.Plan{Kind: sched.Static, NumThreads: threads, Chunk: chunk}
+				p, err := Compile(nest, plan, 64)
+				if err != nil {
+					t.Fatalf("%s t=%d c=%d: %v", name, threads, chunk, err)
+				}
+				for th := 0; th < threads; th++ {
+					want := interpretedSteps(t, nest, plan, th)
+					got := compiledSteps(t, p, th)
+					if len(want) != len(got) {
+						t.Fatalf("%s t=%d c=%d thread=%d: %d steps, want %d",
+							name, threads, chunk, th, len(got), len(want))
+					}
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("%s t=%d c=%d thread=%d step %d: got %+v want %+v",
+								name, threads, chunk, th, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRefShapesMatch checks the static per-ref metadata lines up with the
+// generator's analyzable-ref order.
+func TestRefShapesMatch(t *testing.T) {
+	for name, nest := range corpus(t) {
+		threads := 4
+		if nest.ParLevel < 0 {
+			threads = 1
+		}
+		plan := sched.Plan{Kind: sched.Static, NumThreads: threads, Chunk: 2}
+		p, err := Compile(nest, plan, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := nest.AnalyzableRefs()
+		if len(refs) != p.NumRefs() {
+			t.Fatalf("%s: %d refs, want %d", name, p.NumRefs(), len(refs))
+		}
+		for i, r := range refs {
+			if p.Refs[i].Size != int32(r.Size) || p.Refs[i].Write != r.Write {
+				t.Fatalf("%s ref %d: shape %+v does not match %v", name, i, p.Refs[i], r.Src)
+			}
+		}
+	}
+}
+
+// TestCompileRejects covers the compile-time refusals that make the model
+// fall back to interpretation.
+func TestCompileRejects(t *testing.T) {
+	heat, err := kernels.Heat(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := sched.Plan{Kind: sched.Static, NumThreads: 4, Chunk: 1}
+	if _, err := Compile(heat.Nest, plan, 48); err == nil {
+		t.Fatal("non-power-of-two line size accepted")
+	}
+	if _, err := Compile(heat.Nest, plan, 0); err == nil {
+		t.Fatal("zero line size accepted")
+	}
+	if _, err := Compile(&loopir.Nest{}, plan, 64); err == nil {
+		t.Fatal("empty nest accepted")
+	}
+}

@@ -36,6 +36,15 @@ type Config struct {
 	// Counting selects the FS-detection semantics for the model.
 	Counting fsmodel.CountingMode
 
+	// Eval selects the model's evaluation pipeline (the -eval flag);
+	// every pipeline produces identical numbers in every table/figure.
+	Eval fsmodel.EvalMode
+
+	// Extrapolate lets eligible uniform loops close their chunk-run
+	// tails arithmetically once provably periodic (exactness is gated by
+	// the fsmodel differential suite). Experiment outputs are unchanged.
+	Extrapolate bool
+
 	// Jobs bounds the worker pool every driver fans its analysis points
 	// out on (the -j flag); <= 0 selects GOMAXPROCS. Output is identical
 	// for every value.

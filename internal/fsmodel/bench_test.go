@@ -8,11 +8,13 @@ import (
 	"repro/internal/machine"
 )
 
-// BenchmarkAnalyzeHotPath compares the dense backend (flat directory +
-// FlatLRU) against the map backend (map directory + pointer FullyAssoc) on
-// the heat-diffusion kernel at paper-scale trip counts, the FS-inducing
-// chunk, and the paper's 48-thread team. allocs/op on the dense path is
-// the per-run setup only — the per-access path allocates nothing.
+// BenchmarkAnalyzeHotPath compares the evaluation pipelines on the
+// heat-diffusion kernel at paper-scale trip counts, the FS-inducing
+// chunk, and the paper's 48-thread team: the compiled access-run executor
+// (the default) against the per-iteration interpreter, both on the dense
+// backend, plus the map backend as the PR-1 baseline data structure.
+// allocs/op on the dense paths is the per-run setup only — the per-access
+// path allocates nothing.
 func BenchmarkAnalyzeHotPath(b *testing.B) {
 	kern, err := kernels.Heat(kernels.DefaultHeatRows, kernels.DefaultHeatCols)
 	if err != nil {
@@ -21,14 +23,19 @@ func BenchmarkAnalyzeHotPath(b *testing.B) {
 	for _, bc := range []struct {
 		name    string
 		backend StateBackend
+		eval    EvalMode
 	}{
-		{"dense", BackendDense},
-		{"map", BackendMap},
+		// "dense" keeps the PR-1 series name: the default pipeline on the
+		// dense backend, which now resolves to the compiled executor.
+		{"dense", BackendDense, EvalAuto},
+		{"compiled", BackendDense, EvalCompiled},
+		{"interpreted", BackendDense, EvalInterpreted},
+		{"map", BackendMap, EvalInterpreted},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			opts := Options{
 				Machine: machine.Paper48(), NumThreads: 48, Chunk: kernels.HeatFSChunk,
-				Backend: bc.backend,
+				Backend: bc.backend, Eval: bc.eval,
 			}
 			var accesses int64
 			b.ReportAllocs()
@@ -37,6 +44,45 @@ func BenchmarkAnalyzeHotPath(b *testing.B) {
 				res, err := Analyze(kern.Nest, opts)
 				if err != nil {
 					b.Fatal(err)
+				}
+				accesses = res.Accesses
+			}
+			b.ReportMetric(float64(accesses)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+		})
+	}
+}
+
+// BenchmarkAnalyzeSteadyState measures the chunk-run closure on a
+// uniform kernel (dft at the FS chunk divides evenly over the team): the
+// extrapolated run simulates until the per-run deltas are provably
+// periodic and closes the rest in O(period), against full simulation.
+func BenchmarkAnalyzeSteadyState(b *testing.B) {
+	kern, err := kernels.DFT(768)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name        string
+		extrapolate bool
+	}{
+		{"full", false},
+		{"extrapolated", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := Options{
+				Machine: machine.Paper48(), NumThreads: 48, Chunk: kernels.DFTFSChunk,
+				Extrapolate: bc.extrapolate,
+			}
+			var accesses int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Analyze(kern.Nest, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bc.extrapolate && !res.Extrapolated {
+					b.Fatal("closure did not fire")
 				}
 				accesses = res.Accesses
 			}

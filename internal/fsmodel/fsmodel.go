@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"unsafe"
 
+	"repro/internal/accessplan"
 	"repro/internal/cache"
 	"repro/internal/guard"
 	"repro/internal/loopir"
@@ -93,6 +95,48 @@ func (b StateBackend) String() string {
 	return fmt.Sprintf("StateBackend(%d)", int(b))
 }
 
+// EvalMode selects how the lockstep enumeration is driven.
+type EvalMode int
+
+const (
+	// EvalAuto (the default) compiles the nest into an access-run plan
+	// (internal/accessplan) and runs the block-structured executor, falling
+	// back to per-iteration interpretation when the nest cannot be
+	// compiled. Both evaluators produce bit-identical results.
+	EvalAuto EvalMode = iota
+	// EvalCompiled forces the compiled executor; Analyze errors if the
+	// nest cannot be compiled (used by CI to detect silent fallbacks).
+	EvalCompiled
+	// EvalInterpreted forces the original per-iteration interpreter.
+	EvalInterpreted
+)
+
+// String names the mode.
+func (e EvalMode) String() string {
+	switch e {
+	case EvalAuto:
+		return "auto"
+	case EvalCompiled:
+		return "compiled"
+	case EvalInterpreted:
+		return "interpreted"
+	}
+	return fmt.Sprintf("EvalMode(%d)", int(e))
+}
+
+// EvalModeFromString parses the CLI/service spelling of an EvalMode.
+func EvalModeFromString(s string) (EvalMode, error) {
+	switch s {
+	case "", "auto":
+		return EvalAuto, nil
+	case "compiled":
+		return EvalCompiled, nil
+	case "interpreted":
+		return EvalInterpreted, nil
+	}
+	return EvalAuto, fmt.Errorf("fsmodel: unknown eval mode %q (want auto, compiled or interpreted)", s)
+}
+
 // Options configures an analysis run.
 type Options struct {
 	// Machine supplies line size and private-cache capacity. Defaults to
@@ -126,6 +170,15 @@ type Options struct {
 	TrackHotLines bool
 	// Backend selects the per-run state implementation (see StateBackend).
 	Backend StateBackend
+	// Eval selects the evaluation pipeline (see EvalMode).
+	Eval EvalMode
+	// Extrapolate enables steady-state chunk-run extrapolation on the
+	// compiled path: the model simulates chunk runs only until the
+	// per-run FS/miss deltas become exactly periodic, then closes the
+	// total in O(1). Refused (with a silent fall back to full
+	// simulation) whenever the nest's structure cannot guarantee
+	// periodicity; Result.Extrapolated reports what happened.
+	Extrapolate bool
 	// Budget bounds the run: modeled accesses (MaxSteps), modeled state
 	// bytes (MaxStateBytes) and a wall-clock deadline. The zero value is
 	// unlimited and adds no hot-loop work beyond one predictable branch
@@ -189,6 +242,17 @@ type Result struct {
 	// Backend reports which state implementation the run actually used
 	// (BackendAuto resolves to dense or map before the run starts).
 	Backend StateBackend
+	// Eval reports which evaluator actually ran (EvalAuto resolves to
+	// compiled or interpreted before the run starts).
+	Eval EvalMode
+	// Extrapolated reports that the steady-state closure produced the
+	// totals; SimulatedRuns is how many chunk runs were actually
+	// simulated before the periodic tail was closed in O(1), and
+	// ExtrapolationPeriod is the detected period in chunk runs. All three
+	// are zero/false on fully simulated runs.
+	Extrapolated        bool
+	SimulatedRuns       int64
+	ExtrapolationPeriod int64
 	// SkippedRefs lists non-affine references excluded from the model.
 	SkippedRefs []string
 	// ByRef attributes FS cases to the source reference whose access
@@ -389,6 +453,17 @@ type run struct {
 	recordPerRun bool
 	maxRuns      int64
 	lineSize     int64
+	extrapolate  bool
+
+	// Compiled path: the access-run plan (nil on the interpreted path),
+	// the transposed lazy-LRU state (dense backend only), and the
+	// silent-mutation counter feeding quiet-segment detection — it counts
+	// writes that changed owner or dirtied a clean resident line without
+	// firing any other counter, so "no counter moved" really means "the
+	// step left the modeled state equivalent".
+	ap  *accessplan.Plan
+	lz  *lazyState
+	mut int64
 
 	// Budget enforcement: budgeted gates the per-access branch entirely;
 	// nextCheck is the access count at which the next amortized Check
@@ -464,7 +539,9 @@ func denseFits(span int64, threads int, stackDepth int) bool {
 
 // newRun builds the per-run state for one Analyze call. dense selects the
 // state backend; the caller has already validated it is representable.
-func newRun(nest *loopir.Nest, opts Options, plan sched.Plan, gen *trace.Generator, dense bool, base, span int64) (*run, error) {
+// ap, when non-nil, selects the compiled executor (and, on the dense
+// backend, the transposed lazy-LRU state it drives).
+func newRun(nest *loopir.Nest, opts Options, plan sched.Plan, gen *trace.Generator, ap *accessplan.Plan, dense bool, base, span int64) (*run, error) {
 	res := &Result{Plan: plan, Mode: opts.Counting, SkippedRefs: gen.Skipped}
 	res.ChunkRunsTotal = totalChunkRuns(nest, plan)
 	if opts.TrackHotLines {
@@ -485,9 +562,16 @@ func newRun(nest *loopir.Nest, opts Options, plan sched.Plan, gen *trace.Generat
 		recordPerRun: opts.RecordPerRun,
 		maxRuns:      opts.MaxChunkRuns,
 		lineSize:     opts.Machine.LineSize,
+		extrapolate:  opts.Extrapolate,
+		ap:           ap,
 		budget:       opts.Budget,
 		budgeted:     !opts.Budget.Zero(),
 		nextCheck:    budgetCheckEvery,
+	}
+	if ap != nil {
+		res.Eval = EvalCompiled
+	} else {
+		res.Eval = EvalInterpreted
 	}
 
 	if dense {
@@ -496,8 +580,13 @@ func newRun(nest *loopir.Nest, opts Options, plan sched.Plan, gen *trace.Generat
 		r.dense = true
 		r.base = base
 		r.ddir = make([]dirEntry, span)
+		adviseHuge(unsafe.Pointer(&r.ddir[0]), uintptr(span)*uintptr(unsafe.Sizeof(dirEntry{})))
 		for i := range r.ddir {
 			r.ddir[i].owner = -1
+		}
+		if ap != nil {
+			r.lz = newLazyState(span, plan.NumThreads, opts.StackDepth)
+			return r, nil
 		}
 		r.dstates = make([]*cache.FlatLRU, plan.NumThreads)
 		for t := range r.dstates {
@@ -562,20 +651,63 @@ func Analyze(nest *loopir.Nest, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("fsmodel: dense backend not representable for this nest (sparse/unbounded address space, set-associative ablation, or window over budget)")
 	}
 
-	r, err := newRun(nest, opts, plan, gen, dense, base, span)
+	// Resolve the evaluator: compile the nest into an access-run plan
+	// unless interpretation was forced. Compilation failure falls back to
+	// the interpreter under EvalAuto and is an error under EvalCompiled.
+	var ap *accessplan.Plan
+	if opts.Eval != EvalInterpreted {
+		p, cerr := accessplan.Compile(nest, plan, opts.Machine.LineSize)
+		if cerr != nil {
+			if opts.Eval == EvalCompiled {
+				return nil, fmt.Errorf("fsmodel: compiled evaluator unavailable: %w", cerr)
+			}
+		} else {
+			ap = p
+		}
+	}
+
+	r, err := newRun(nest, opts, plan, gen, ap, dense, base, span)
 	if err != nil {
 		return nil, err
 	}
-	res, err := r.execute()
+	res, err := r.run()
 	if err == errDenseRange && opts.Backend == BackendAuto {
 		// A reference strayed outside its symbol's extent: restart on the
 		// general map path, which handles arbitrary line ids.
-		if r, err = newRun(nest, opts, plan, gen, false, 0, 0); err != nil {
+		if r, err = newRun(nest, opts, plan, gen, ap, false, 0, 0); err != nil {
 			return nil, err
 		}
-		res, err = r.execute()
+		res, err = r.run()
 	}
 	return res, err
+}
+
+// run dispatches to the evaluator selected at newRun time.
+func (r *run) run() (*Result, error) {
+	if r.ap != nil {
+		return r.executeCompiled()
+	}
+	return r.execute()
+}
+
+// addAccesses credits n logical accesses against the budget, firing the
+// amortized Check at every crossed budgetCheckEvery boundary with the
+// exact boundary value — so a run-batched evaluator aborts with the same
+// BudgetError.Used as the per-access interpreter, no matter how many
+// accesses one batch amortizes.
+func (r *run) addAccesses(n int64) error {
+	r.res.Accesses += n
+	if !r.budgeted {
+		return nil
+	}
+	for r.res.Accesses >= r.nextCheck {
+		chk := r.nextCheck
+		r.nextCheck = chk + budgetCheckEvery
+		if err := r.budget.Check(chk, r.estimateStateBytes()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // execute drives the lockstep enumeration of the thread team over the
@@ -704,6 +836,7 @@ func (r *run) accessDense(t int, line int64, write bool, refIdx int) bool {
 	}
 	res := r.res
 	e := &r.ddir[idx]
+	ownerBefore := e.owner
 	tBit := uint64(1) << uint(t)
 
 	// ϕ with mask: another thread holds this line Modified.
@@ -745,6 +878,9 @@ func (r *run) accessDense(t int, line int64, write bool, refIdx int) bool {
 		}
 	}
 	if write {
+		if ownerBefore != int8(t) || (tr.Hit && !tr.WasModified) {
+			r.mut++
+		}
 		e.owner = int8(t)
 	}
 	return true
@@ -759,6 +895,7 @@ func (r *run) accessMap(t int, line int64, write bool, refIdx int) {
 	if !known {
 		e.owner = -1
 	}
+	ownerBefore := e.owner
 	tBit := uint64(1) << uint(t)
 
 	// ϕ with mask: another thread holds this line Modified.
@@ -808,6 +945,9 @@ func (r *run) accessMap(t int, line int64, write bool, refIdx int) {
 		}
 	}
 	if write {
+		if ownerBefore != int8(t) || (tr.Hit && !tr.WasModified) {
+			r.mut++
+		}
 		e.owner = int8(t)
 	}
 	r.dir[line] = e

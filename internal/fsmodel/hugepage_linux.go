@@ -1,0 +1,24 @@
+//go:build linux
+
+package fsmodel
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// adviseHuge asks the kernel to back the given allocation with
+// transparent huge pages. The lazy state's stamp and ring arrays span
+// tens of megabytes and are accessed as ~hundreds of interleaved
+// per-thread streams, so with 4K pages the hot loop spends much of its
+// time in TLB walks; 2M pages cover the whole state with a handful of
+// TLB entries. Best effort: failures (or THP disabled) are ignored.
+func adviseHuge(p unsafe.Pointer, size uintptr) {
+	const madvHugepage = 14
+	a := (uintptr(p) + 4095) &^ 4095
+	end := (uintptr(p) + size) &^ 4095
+	if end <= a {
+		return
+	}
+	syscall.Syscall(syscall.SYS_MADVISE, a, end-a, madvHugepage)
+}

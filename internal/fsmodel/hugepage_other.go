@@ -1,0 +1,8 @@
+//go:build !linux
+
+package fsmodel
+
+import "unsafe"
+
+// adviseHuge is a no-op off Linux; see hugepage_linux.go.
+func adviseHuge(p unsafe.Pointer, size uintptr) {}

@@ -33,12 +33,12 @@ const (
 // breaker so it opens after consecutive evaluator trouble and closes
 // again via half-open probes. Degraded bodies are built outside the
 // fault-injection seams and are never cached.
-func (s *Server) guarded(ctx context.Context, endpoint, key string, eval func(context.Context) ([]byte, error), degrade func(reason string) ([]byte, error)) (body []byte, source string, err error) {
+func (s *Server) guarded(ctx context.Context, endpoint, key string, eval func(context.Context) ([]byte, string, error), degrade func(reason string) ([]byte, error)) (body []byte, source string, err error) {
 	br := s.breakers[endpoint]
 	if br != nil && !br.Allow() {
 		return s.degrade(endpoint, degrade, "breaker-open")
 	}
-	body, source, err = s.serveCached(ctx, key, eval)
+	body, source, err = s.serveCached(ctx, endpoint, key, eval)
 	if err == nil {
 		if br != nil {
 			br.Record(true)

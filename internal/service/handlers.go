@@ -104,12 +104,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // served verbatim); source reports how it was obtained: "hit",
 // "coalesced", "miss" or "degraded".
 func (s *Server) analyze(ctx context.Context, rr resolved) (body []byte, source string, err error) {
-	return s.guarded(ctx, endpointAnalyze, rr.key, func(ctx context.Context) ([]byte, error) {
+	return s.guarded(ctx, endpointAnalyze, rr.key, func(ctx context.Context) ([]byte, string, error) {
 		resp, err := s.evaluate(ctx, rr)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return json.Marshal(resp)
+		body, err := json.Marshal(resp)
+		return body, resp.EvalMode, err
 	}, func(reason string) ([]byte, error) {
 		return s.degradedAnalyze(rr, reason)
 	})
@@ -119,7 +120,8 @@ func (s *Server) analyze(ctx context.Context, rr resolved) (body []byte, source 
 // the in-flight dedup group, and the bounded evaluation pool, in that
 // order; every cacheable endpoint (/v1/analyze, /v1/lint) funnels through
 // it (via guarded). eval must return the exact response bytes to cache
-// and serve.
+// and serve, plus the evaluation-mode label for the latency histogram
+// (empty is recorded as "unknown").
 //
 // The whole path runs under a guard recover wrapper, and the flight
 // leader carries its own: a panic inside a leader would otherwise leave
@@ -128,7 +130,7 @@ func (s *Server) analyze(ctx context.Context, rr resolved) (body []byte, source 
 // (service.cache, service.flight, service.pool) sit inside these
 // wrappers, so injected panics surface as *guard.EvalPanicError, never
 // as a torn flight or a leaked pool slot.
-func (s *Server) serveCached(ctx context.Context, key string, eval func(ctx context.Context) ([]byte, error)) (body []byte, source string, err error) {
+func (s *Server) serveCached(ctx context.Context, endpoint, key string, eval func(ctx context.Context) ([]byte, string, error)) (body []byte, source string, err error) {
 	type served struct {
 		body   []byte
 		source string
@@ -164,12 +166,15 @@ func (s *Server) serveCached(ctx context.Context, key string, eval func(ctx cont
 				s.metrics.Inflight.Inc()
 				defer s.metrics.Inflight.Dec()
 				start := time.Now()
-				b, err := eval(ctx)
+				b, mode, err := eval(ctx)
 				if err != nil {
 					return flightResult{}, err
 				}
+				if mode == "" {
+					mode = "unknown"
+				}
 				s.metrics.Evaluations.Inc()
-				s.metrics.EvalLatency.Observe(time.Since(start).Seconds())
+				s.metrics.EvalLatency.With(endpoint, mode).Observe(time.Since(start).Seconds())
 				s.cache.Add(key, b)
 				return flightResult{body: b}, nil
 			})
@@ -236,6 +241,8 @@ func (s *Server) evaluate(ctx context.Context, rr resolved) (*AnalyzeResponse, e
 		Iterations:     a.Iterations,
 		FSPerIteration: a.FSPerIteration,
 		ChunkRuns:      a.ChunkRuns,
+		EvalMode:       a.Eval,
+		Extrapolated:   a.Extrapolated,
 		TotalCycles:    cost.TotalWallCycles,
 		Victims:        a.Victims,
 		HotLines:       a.HotLines,

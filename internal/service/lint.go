@@ -138,8 +138,9 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	body, source, err := s.guarded(ctx, endpointLint, rr.key, func(ctx context.Context) ([]byte, error) {
-		return s.evaluateLint(rr)
+	body, source, err := s.guarded(ctx, endpointLint, rr.key, func(ctx context.Context) ([]byte, string, error) {
+		b, err := s.evaluateLint(rr)
+		return b, "closed-form", err
 	}, func(reason string) ([]byte, error) {
 		return s.degradedLint(rr, reason)
 	})

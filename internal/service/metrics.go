@@ -118,6 +118,53 @@ func (l *LabeledCounter) Total() int64 {
 	return t
 }
 
+// LabeledHistogram is a family of histograms distinguished by label
+// values (e.g. evaluation latency by endpoint and evaluation mode).
+type LabeledHistogram struct {
+	labels []string
+	bounds []float64
+	mu     sync.Mutex
+	vals   map[string]*Histogram
+}
+
+func newLabeledHistogram(bounds []float64, labels ...string) *LabeledHistogram {
+	return &LabeledHistogram{labels: labels, bounds: bounds, vals: make(map[string]*Histogram)}
+}
+
+// With returns the histogram for the given label values (created on
+// first use). len(values) must equal the number of label names.
+func (l *LabeledHistogram) With(values ...string) *Histogram {
+	if len(values) != len(l.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(l.labels)))
+	}
+	key := ""
+	for i, v := range values {
+		if i > 0 {
+			key += "\x00"
+		}
+		key += v
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, ok := l.vals[key]
+	if !ok {
+		h = newHistogram(l.bounds)
+		l.vals[key] = h
+	}
+	return h
+}
+
+// Count returns the number of observations across all label values.
+func (l *LabeledHistogram) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t int64
+	for _, h := range l.vals {
+		t += h.Count()
+	}
+	return t
+}
+
 // Metrics is the server's metric set, rendered in Prometheus text
 // exposition format by WritePrometheus. Everything is hand-rolled on the
 // stdlib: counters and gauges are atomics, histograms are fixed buckets
@@ -149,9 +196,11 @@ type Metrics struct {
 	CacheEntries *Gauge
 	QueueDepth   *Gauge
 	Inflight     *Gauge
-	// EvalLatency observes model-evaluation wall time; RequestLatency
-	// observes whole-request wall time (including cache hits).
-	EvalLatency    *Histogram
+	// EvalLatency observes model-evaluation wall time by endpoint and the
+	// evaluation mode that actually ran ("compiled", "interpreted",
+	// "closed-form"); RequestLatency observes whole-request wall time
+	// (including cache hits).
+	EvalLatency    *LabeledHistogram
 	RequestLatency *Histogram
 }
 
@@ -169,7 +218,7 @@ func NewMetrics() *Metrics {
 		CacheEntries:   &Gauge{},
 		QueueDepth:     &Gauge{},
 		Inflight:       &Gauge{},
-		EvalLatency:    newHistogram(defLatencyBuckets()),
+		EvalLatency:    newLabeledHistogram(defLatencyBuckets(), "endpoint", "mode"),
 		RequestLatency: newHistogram(defLatencyBuckets()),
 	}
 }
@@ -220,20 +269,57 @@ func splitKey(key string, n int) []string {
 	return append(parts, key[start:])
 }
 
-func (h *Histogram) write(w io.Writer, name string) {
+func (h *Histogram) write(w io.Writer, name string) { h.writeLabeled(w, name, "") }
+
+// writeLabeled renders the histogram with an optional label prefix
+// (rendered inside every series' braces, before le).
+func (h *Histogram) writeLabeled(w io.Writer, name, labels string) {
 	h.mu.Lock()
 	bounds := h.bounds
 	counts := append([]int64(nil), h.counts...)
 	sum, count := h.sum, h.count
 	h.mu.Unlock()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	var cum int64
 	for i, b := range bounds {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatFloat(b), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
-	fmt.Fprintf(w, "%s_count %d\n", name, count)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, count)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, count)
+}
+
+func (l *LabeledHistogram) write(w io.Writer, name string) {
+	l.mu.Lock()
+	keys := make([]string, 0, len(l.vals))
+	for k := range l.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hs := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = l.vals[k]
+	}
+	l.mu.Unlock()
+	for i, k := range keys {
+		labels := ""
+		for j, v := range splitKey(k, len(l.labels)) {
+			if j > 0 {
+				labels += ","
+			}
+			labels += fmt.Sprintf("%s=%q", l.labels[j], v)
+		}
+		hs[i].writeLabeled(w, name, labels)
+	}
 }
 
 // WritePrometheus renders every metric in Prometheus text exposition
@@ -272,7 +358,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "%s %d\n", g.name, g.g.Value())
 	}
 
-	writeHeader(w, "fsserve_eval_seconds", "histogram", "Model evaluation latency in seconds.")
+	writeHeader(w, "fsserve_eval_seconds", "histogram", "Model evaluation latency in seconds, by endpoint and evaluation mode.")
 	m.EvalLatency.write(w, "fsserve_eval_seconds")
 	writeHeader(w, "fsserve_request_seconds", "histogram", "Whole-request latency in seconds.")
 	m.RequestLatency.write(w, "fsserve_request_seconds")

@@ -39,6 +39,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -86,6 +87,18 @@ type Config struct {
 	// BreakerProbeFraction is the fraction of requests admitted while
 	// half-open (0 = default 0.25).
 	BreakerProbeFraction float64
+	// EvalMode selects the model's evaluation pipeline for every request
+	// ("", "auto", "compiled", "interpreted"; the -eval flag). It is part
+	// of each request's cache key; an unknown spelling fails evaluations,
+	// so CLIs validate it at startup.
+	EvalMode string
+	// Extrapolate enables the steady-state chunk-run closure on eligible
+	// uniform loops (exact totals, surfaced as "extrapolated" in the
+	// response).
+	Extrapolate bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (the -pprof
+	// flag) for profiling the evaluation hot path.
+	EnablePprof bool
 	// Seed seeds the deterministic randomness: breaker half-open probe
 	// draws and the jittered Retry-After values (0 = 1).
 	Seed int64
@@ -193,6 +206,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

@@ -150,3 +150,45 @@ func TestRunSARIFFormat(t *testing.T) {
 		t.Fatalf("bad SARIF doc: %s", stdout.String())
 	}
 }
+
+// TestRunTuneMode: -tune appends a FIX-PLAN note carrying the tuner's
+// simulator-verified plan for the FS-prone nest, in sorted position, and
+// adds nothing for an already-clean nest.
+func TestRunTuneMode(t *testing.T) {
+	prone := writeTemp(t, "prone.c", fsProne)
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-tune", "-format", "json", prone}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	var reports []struct {
+		Report struct {
+			Diagnostics []struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"diagnostics"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	var plan string
+	for _, d := range reports[0].Report.Diagnostics {
+		if d.Code == "FIX-PLAN" {
+			plan = d.Message
+		}
+	}
+	if !strings.Contains(plan, "schedule(static,") || !strings.Contains(plan, "-> 0") {
+		t.Fatalf("no clean FIX-PLAN note in -tune output: %q\n%s", plan, stdout.String())
+	}
+
+	// A clean input gets no FIX-PLAN (the tuner's no-op is not a finding).
+	clean := writeTemp(t, "clean.c", fsClean)
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-tune", clean}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "FIX-PLAN") {
+		t.Fatalf("clean input got a FIX-PLAN note:\n%s", stdout.String())
+	}
+}

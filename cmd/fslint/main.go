@@ -8,14 +8,22 @@
 // Usage:
 //
 //	fslint [-threads N] [-chunk C] [-machine M] [-format text|json|sarif]
-//	       [-fail-on note|warning|error] file.c [file2.c ...]
+//	       [-fail-on note|warning|error] [-tune] file.c [file2.c ...]
 //	fslint -kernel heat            # lint a built-in paper kernel
+//
+// With -tune, each constant-bound parallel nest is additionally run
+// through the internal/tuner plan search and a FIX-PLAN note carries the
+// simulator-verified transformation plan (schedule rewrite, padding,
+// interchange, or a combination) alongside the single-fix FIX-CHUNK and
+// FIX-PAD suggestions.
 //
 // Exit status is 0 when no finding reaches the -fail-on severity, 1 when
 // findings reach it (or on analysis/I/O errors), and 2 on usage errors.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +35,7 @@ import (
 	"repro/internal/loopir"
 	"repro/internal/machine"
 	"repro/internal/minic"
+	"repro/internal/tuner"
 )
 
 type config struct {
@@ -38,6 +47,7 @@ type config struct {
 	kernel  string
 	assume  int64
 	suggest bool
+	tune    bool
 }
 
 func main() {
@@ -58,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.kernel, "kernel", "", "lint a built-in kernel (heat, dft, linreg) instead of files")
 	fs.Int64Var(&cfg.assume, "assume-trips", 0, "assumed trip count for bounds unknown at compile time (0: default 2048)")
 	fs.BoolVar(&cfg.suggest, "suggest", true, "emit verified FIX-CHUNK/FIX-PAD suggestions")
+	fs.BoolVar(&cfg.tune, "tune", false, "run the plan search per parallel nest and emit FIX-PLAN notes")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -142,7 +153,7 @@ func lintAll(cfg config, mach *machine.Desc, files []string) ([]analysis.FileRep
 		if err != nil {
 			return nil, err
 		}
-		fr, err := lintSource("<kernel:"+cfg.kernel+">", k.Source, acfg, mach)
+		fr, err := lintSource("<kernel:"+cfg.kernel+">", k.Source, acfg, mach, cfg.tune)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +164,7 @@ func lintAll(cfg config, mach *machine.Desc, files []string) ([]analysis.FileRep
 		if err != nil {
 			return nil, err
 		}
-		fr, err := lintSource(file, string(src), acfg, mach)
+		fr, err := lintSource(file, string(src), acfg, mach, cfg.tune)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +175,7 @@ func lintAll(cfg config, mach *machine.Desc, files []string) ([]analysis.FileRep
 
 // lintSource lints one source. The unit is lowered at the machine's line
 // size so symbol bases are aligned for the exact cross-symbol argument.
-func lintSource(name, src string, acfg analysis.Config, mach *machine.Desc) (analysis.FileReport, error) {
+func lintSource(name, src string, acfg analysis.Config, mach *machine.Desc, tune bool) (analysis.FileReport, error) {
 	parseFailure := func(err error) analysis.FileReport {
 		return analysis.FileReport{File: name, Report: &analysis.Report{
 			Diagnostics: []analysis.Diagnostic{{
@@ -192,5 +203,54 @@ func lintSource(name, src string, acfg analysis.Config, mach *machine.Desc) (ana
 	if err != nil {
 		return analysis.FileReport{}, err
 	}
+	if tune {
+		if err := appendPlans(src, unit, acfg, rep); err != nil {
+			return analysis.FileReport{}, err
+		}
+	}
 	return analysis.FileReport{File: name, Report: rep}, nil
+}
+
+// appendPlans runs the tuner over every tunable nest and appends one
+// FIX-PLAN note per improving plan, re-sorting the diagnostics so the
+// notes land in span order with everything else. Nests the tuner cannot
+// take (sequential, symbolic bounds) are skipped — the static findings
+// already cover them.
+func appendPlans(src string, unit *loopir.Unit, acfg analysis.Config, rep *analysis.Report) error {
+	for idx, nest := range unit.Nests {
+		par := nest.Parallelized()
+		if par == nil || len(nest.Params()) > 0 {
+			continue
+		}
+		res, err := tuner.Tune(context.Background(), src, tuner.Options{
+			Machine: acfg.Machine,
+			Threads: acfg.Threads,
+			Chunk:   acfg.Chunk,
+			Nest:    idx,
+		})
+		if err != nil {
+			var ie *tuner.InputError
+			if errors.As(err, &ie) {
+				continue
+			}
+			return err
+		}
+		if res.NoOp {
+			continue
+		}
+		rep.Diagnostics = append(rep.Diagnostics, analysis.Diagnostic{
+			Code:     analysis.CodeFixPlan,
+			Severity: analysis.SeverityNote,
+			Nest:     idx,
+			Pos:      par.P,
+			End:      minic.Pos{Line: par.P.Line, Col: par.P.Col + 3},
+			Message: fmt.Sprintf("tuner plan: %s (simulated FS %d -> %d)",
+				res.PlanSummary, res.Baseline.SimulatedFS, res.Chosen.SimulatedFS),
+			Threads: res.Threads,
+			Chunk:   res.BaselineChunk,
+			Exact:   true,
+		})
+	}
+	analysis.SortDiagnostics(rep.Diagnostics)
+	return nil
 }

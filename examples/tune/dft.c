@@ -1,0 +1,19 @@
+/* Discrete Fourier transform (the paper's dft kernel) in a
+   false-sharing-inducing form: schedule(static,1) interleaves adjacent
+   Xre/Xim output elements across the team, so each 64-byte line of the
+   accumulator arrays is written by eight threads per outer step. */
+#define N 96
+
+double x[N];
+double Xre[N];
+double Xim[N];
+double costab[N][N];
+double sintab[N][N];
+
+for (k = 0; k < N; k++) {
+    #pragma omp parallel for private(n) schedule(static,1) num_threads(8)
+    for (n = 0; n < N; n++) {
+        Xre[n] += x[k] * costab[k][n];
+        Xim[n] -= x[k] * sintab[k][n];
+    }
+}

@@ -1,0 +1,17 @@
+/* Heat diffusion (Jacobi sweep) in a false-sharing-inducing form.
+   schedule(static,1) deals adjacent 8-byte columns of B to different
+   threads, so every cache line of the row is written by eight threads
+   at once. The interior starts at column 8, so the written region is
+   cache-line aligned and a chunk resize can remove the sharing. */
+#define M 16
+#define N 512
+
+double A[M][N];
+double B[M][N];
+
+for (j = 1; j < M - 1; j++) {
+    #pragma omp parallel for private(i) schedule(static,1) num_threads(8)
+    for (i = 8; i < N - 8; i++) {
+        B[j][i] = 0.25 * (A[j][i - 1] + A[j][i + 1] + A[j - 1][i] + A[j + 1][i]);
+    }
+}

@@ -1,0 +1,24 @@
+/* Linear regression partial sums (the paper's Fig. 1 kernel) in a
+   false-sharing-inducing form: struct Args is 40 bytes, so adjacent
+   tasks' accumulators straddle cache lines, and with only 32 tasks on
+   8 threads no legal chunk resize can align them — the tuner must pad
+   the struct to a line multiple. */
+#define N 32
+#define K 48
+
+struct Point { double x; double y; };
+struct Args { double sx; double sxx; double sy; double syy; double sxy; };
+
+struct Args tid_args[N];
+struct Point points[N][K];
+
+#pragma omp parallel for private(i,j) schedule(static,1) num_threads(8)
+for (j = 0; j < N; j++) {
+    for (i = 0; i < K; i++) {
+        tid_args[j].sx += points[j][i].x;
+        tid_args[j].sxx += points[j][i].x * points[j][i].x;
+        tid_args[j].sy += points[j][i].y;
+        tid_args[j].syy += points[j][i].y * points[j][i].y;
+        tid_args[j].sxy += points[j][i].x * points[j][i].y;
+    }
+}

@@ -1,0 +1,23 @@
+/* The linear regression kernel with its accumulator struct already
+   padded to a full cache line: every task owns its lines, there is no
+   false sharing to remove, and the tuner must verify a no-op rather
+   than invent a transformation. */
+#define N 32
+#define K 48
+
+struct Point { double x; double y; };
+struct Args { double sx; double sxx; double sy; double syy; double sxy; double pad[3]; };
+
+struct Args tid_args[N];
+struct Point points[N][K];
+
+#pragma omp parallel for private(i,j) schedule(static,1) num_threads(8)
+for (j = 0; j < N; j++) {
+    for (i = 0; i < K; i++) {
+        tid_args[j].sx += points[j][i].x;
+        tid_args[j].sxx += points[j][i].x * points[j][i].x;
+        tid_args[j].sy += points[j][i].y;
+        tid_args[j].syy += points[j][i].y * points[j][i].y;
+        tid_args[j].sxy += points[j][i].x * points[j][i].y;
+    }
+}

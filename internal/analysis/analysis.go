@@ -109,6 +109,7 @@ const (
 	CodeFixPad        = "FIX-PAD"   // struct padding that removes the sharing
 	CodeNotAnalyzable = "AN001"     // reference excluded from the static analysis
 	CodeParse         = "PARSE"     // source failed to parse or lower
+	CodeFixPlan       = "FIX-PLAN"  // tuner-selected transformation plan (fslint -tune)
 )
 
 // Diagnostic is one finding with a stable code, severity and source span.
@@ -245,6 +246,11 @@ func Analyze(unit *loopir.Unit, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// SortDiagnostics orders findings the way Analyze emits them; exported so
+// callers that append synthetic diagnostics (fslint -tune's FIX-PLAN) can
+// restore the canonical order.
+func SortDiagnostics(ds []Diagnostic) { sortDiagnostics(ds) }
+
 // sortDiagnostics orders findings for stable output: by nest, then source
 // position, then severity (most severe first), then code.
 func sortDiagnostics(ds []Diagnostic) {
@@ -262,7 +268,22 @@ func sortDiagnostics(ds []Diagnostic) {
 		if a.Severity != b.Severity {
 			return a.Severity > b.Severity
 		}
-		return a.Code < b.Code
+		// Equal-position ties resolve on code, then the full span and
+		// reference identity, so output is byte-stable even when map
+		// iteration or scheduling reorders upstream producers.
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.End.Line != b.End.Line {
+			return a.End.Line < b.End.Line
+		}
+		if a.End.Col != b.End.Col {
+			return a.End.Col < b.End.Col
+		}
+		if a.Ref != b.Ref {
+			return a.Ref < b.Ref
+		}
+		return a.Related < b.Related
 	})
 }
 

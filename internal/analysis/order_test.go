@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/minic"
+)
+
+// TestSortDiagnosticsTotalOrder pins the equal-position tiebreakers: two
+// diagnostics that agree on nest, position and severity must still order
+// deterministically (code, then end span, then ref identity), regardless
+// of insertion order.
+func TestSortDiagnosticsTotalOrder(t *testing.T) {
+	at := minic.Pos{Line: 3, Col: 5}
+	mk := func(code, ref, related string, endCol int) Diagnostic {
+		return Diagnostic{
+			Code: code, Severity: SeverityWarning, Nest: 0,
+			Pos: at, End: minic.Pos{Line: 3, Col: endCol},
+			Ref: ref, Related: related,
+		}
+	}
+	want := []Diagnostic{
+		mk(CodeFSWrite, "a[i]", "", 9),
+		mk(CodeFSPair, "a[i]", "a[i+1]", 9),
+		mk(CodeFSPair, "a[i]", "b[i]", 9),
+		mk(CodeFSPair, "b[i]", "a[i]", 9),
+		mk(CodeFSPair, "b[i]", "a[i]", 12),
+	}
+	// Insert in two adversarial orders; both must sort to `want`.
+	perms := [][]int{{4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}}
+	for pi, perm := range perms {
+		ds := make([]Diagnostic, 0, len(want))
+		for _, idx := range perm {
+			ds = append(ds, want[idx])
+		}
+		sortDiagnostics(ds)
+		for i := range want {
+			if ds[i].Code != want[i].Code || ds[i].Ref != want[i].Ref ||
+				ds[i].Related != want[i].Related || ds[i].End != want[i].End {
+				t.Fatalf("perm %d: position %d: got %s/%s/%s end=%v, want %s/%s/%s end=%v",
+					pi, i, ds[i].Code, ds[i].Ref, ds[i].Related, ds[i].End,
+					want[i].Code, want[i].Ref, want[i].Related, want[i].End)
+			}
+		}
+	}
+}
+
+// TestDiagnosticsByteStable re-runs the analyzer on a pair-heavy source
+// and requires byte-identical SARIF and JSON renderings — the property
+// tuner reports and CI gates rely on. Run under -race -count=2 in CI.
+func TestDiagnosticsByteStable(t *testing.T) {
+	const src = `
+struct S { double a; double b; };
+struct S s[64];
+double x[64];
+double y[64];
+
+#pragma omp parallel for schedule(static,1) num_threads(8)
+for (i = 0; i < 64; i++) {
+    s[i].a = s[i].a + 1.0;
+    s[i].b = s[i].b + 2.0;
+    x[i] = y[i] + 1.0;
+    y[i] = x[i] + 1.0;
+}
+`
+	render := func() []byte {
+		prog, err := minic.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unit, err := loopir.Lower(prog, loopir.LowerOptions{AllowNonAffine: true, SymbolicBounds: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Analyze(unit, Config{Machine: machine.Paper48()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sarif, js bytes.Buffer
+		if err := WriteSARIF(&sarif, []FileReport{{File: "t.c", Report: rep}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&js, []FileReport{{File: "t.c", Report: rep}}); err != nil {
+			t.Fatal(err)
+		}
+		return append(sarif.Bytes(), js.Bytes()...)
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); !bytes.Equal(got, first) {
+			t.Fatalf("rendered diagnostics differ across identical runs (iteration %d)", i)
+		}
+	}
+}

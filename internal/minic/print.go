@@ -1,0 +1,282 @@
+package minic
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the mini-C printer: the inverse of Parse, emitting
+// compilable source from an AST. It exists for the tuner, which edits the
+// AST (schedule clauses, struct padding, loop interchange) and must hand
+// the result back as C text. The printer is structure-preserving:
+// Parse(Print(p)) yields a program with the same expression trees, so a
+// program lowers to the same loopir nest before and after a round trip
+// (the property test in print_test.go pins this over the whole corpus).
+//
+// Two lossy cases are inherent to the AST and documented rather than
+// fought: #define values are printed as their evaluated integers (the
+// parser folds constant expressions), and array lengths are printed as
+// resolved constants (the parser evaluates them). Comments are not part
+// of the AST; LeadingComments lets a caller carry a file's header block
+// across a rewrite, which is as much comment preservation as the spans
+// allow.
+
+// PrintOptions configures Print.
+type PrintOptions struct {
+	// Header is emitted verbatim before the program (typically the
+	// original file's leading comment block, via LeadingComments).
+	Header string
+}
+
+// Print renders the program as compilable mini-C source.
+func Print(p *Program) string { return PrintOpts(p, PrintOptions{}) }
+
+// PrintOpts renders the program with options.
+func PrintOpts(p *Program, o PrintOptions) string {
+	var b strings.Builder
+	if o.Header != "" {
+		b.WriteString(strings.TrimRight(o.Header, "\n"))
+		b.WriteString("\n\n")
+	}
+	pr := printer{b: &b}
+	pr.program(p)
+	return b.String()
+}
+
+// Fprint writes Print(p) to w.
+func Fprint(w io.Writer, p *Program) error {
+	_, err := io.WriteString(w, Print(p))
+	return err
+}
+
+// LeadingComments returns the comment block (// and /* */ styles, plus
+// interleaving blank lines) at the very top of src, so a rewriter can
+// re-emit it ahead of the printed program. Returns "" when src does not
+// start with a comment.
+func LeadingComments(src string) string {
+	i := 0
+	end := 0 // end of the last full comment consumed
+	for i < len(src) {
+		switch {
+		case src[i] == ' ' || src[i] == '\t' || src[i] == '\n' || src[i] == '\r':
+			i++
+		case strings.HasPrefix(src[i:], "//"):
+			nl := strings.IndexByte(src[i:], '\n')
+			if nl < 0 {
+				return src
+			}
+			i += nl + 1
+			end = i
+		case strings.HasPrefix(src[i:], "/*"):
+			close := strings.Index(src[i+2:], "*/")
+			if close < 0 {
+				return "" // unterminated; let the parser report it
+			}
+			i += 2 + close + 2
+			end = i
+		default:
+			return src[:end]
+		}
+	}
+	return src[:end]
+}
+
+type printer struct {
+	b *strings.Builder
+}
+
+func (pr *printer) printf(format string, args ...any) {
+	fmt.Fprintf(pr.b, format, args...)
+}
+
+func (pr *printer) program(p *Program) {
+	for _, d := range p.Defines {
+		pr.printf("#define %s %d\n", d.Name, d.Value)
+	}
+	if len(p.Defines) > 0 {
+		pr.printf("\n")
+	}
+	for _, sd := range p.Structs {
+		pr.structDecl(sd)
+		pr.printf("\n")
+	}
+	for _, vd := range p.Vars {
+		pr.printf("%s %s%s;\n", vd.Type.String(), vd.Name, dims(vd.ArrayLens))
+	}
+	if len(p.Vars) > 0 {
+		pr.printf("\n")
+	}
+	for _, s := range p.Stmts {
+		pr.stmt(s, 0)
+	}
+}
+
+func dims(lens []int64) string {
+	var b strings.Builder
+	for _, n := range lens {
+		fmt.Fprintf(&b, "[%d]", n)
+	}
+	return b.String()
+}
+
+func (pr *printer) structDecl(sd *StructDecl) {
+	pr.printf("struct %s {\n", sd.Name)
+	for _, f := range sd.Fields {
+		pr.printf("    %s %s%s;\n", f.Type.String(), f.Name, dims(f.ArrayLens))
+	}
+	pr.printf("};\n")
+}
+
+func indentOf(depth int) string { return strings.Repeat("    ", depth) }
+
+func (pr *printer) stmt(s Stmt, depth int) {
+	ind := indentOf(depth)
+	switch v := s.(type) {
+	case *AssignStmt:
+		pr.printf("%s%s %s %s;\n", ind, refString(v.LHS), v.Op.String(), exprString(v.RHS))
+	case *ForStmt:
+		if v.Pragma != nil {
+			pr.printf("%s%s\n", ind, pragmaString(v.Pragma))
+		}
+		pr.printf("%sfor (%s = %s; %s %s %s; %s) {\n",
+			ind, v.Var, exprString(v.Init), v.Var, v.CondOp.String(), exprString(v.Bound), stepClause(v.Var, v.Step))
+		for _, inner := range v.Body {
+			pr.stmt(inner, depth+1)
+		}
+		pr.printf("%s}\n", ind)
+	}
+}
+
+// stepClause renders the increment: ++/-- for unit steps, += / -=
+// otherwise. A UnaryExpr minus becomes "-=" of its operand, which
+// re-parses to the identical negated step expression.
+func stepClause(v string, step Expr) string {
+	switch e := step.(type) {
+	case *IntLit:
+		if e.Value == 1 {
+			return v + "++"
+		}
+		if e.Value == -1 {
+			return v + "--"
+		}
+	case *UnaryExpr:
+		if e.Op == MINUS {
+			return fmt.Sprintf("%s -= %s", v, exprString(e.X))
+		}
+	}
+	return fmt.Sprintf("%s += %s", v, exprString(step))
+}
+
+func pragmaString(p *OMPPragma) string {
+	var b strings.Builder
+	b.WriteString("#pragma omp parallel for")
+	if len(p.Private) > 0 {
+		fmt.Fprintf(&b, " private(%s)", strings.Join(p.Private, ","))
+	}
+	if len(p.Shared) > 0 {
+		fmt.Fprintf(&b, " shared(%s)", strings.Join(p.Shared, ","))
+	}
+	// The parser defaults Schedule to "static" when no clause is present,
+	// so a static schedule without a chunk needs no clause to round-trip.
+	if p.Chunk != nil {
+		fmt.Fprintf(&b, " schedule(%s,%s)", p.Schedule, exprString(p.Chunk))
+	} else if p.Schedule != "static" {
+		fmt.Fprintf(&b, " schedule(%s)", p.Schedule)
+	}
+	if p.NumThreads != nil {
+		fmt.Fprintf(&b, " num_threads(%s)", exprString(p.NumThreads))
+	}
+	return b.String()
+}
+
+// Expression printing. Parenthesization preserves the tree exactly under
+// the parser's left-associative grammar: a left child of equal precedence
+// prints bare (re-associating naturally), a right child of equal
+// precedence keeps explicit parens, lower precedence always parenthesizes.
+const (
+	precAdd = iota + 1 // + -
+	precMul            // * / %
+	precUnary
+	precPrimary
+)
+
+func precOf(e Expr) int {
+	switch v := e.(type) {
+	case *BinaryExpr:
+		switch v.Op {
+		case PLUS, MINUS:
+			return precAdd
+		default:
+			return precMul
+		}
+	case *UnaryExpr:
+		return precUnary
+	default:
+		return precPrimary
+	}
+}
+
+func exprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0, false)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr, parentPrec int, rightChild bool) {
+	p := precOf(e)
+	need := p < parentPrec || (rightChild && p == parentPrec && p != precPrimary)
+	if need {
+		b.WriteByte('(')
+	}
+	switch v := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(b, "%d", v.Value)
+	case *FloatLit:
+		b.WriteString(floatLit(v.Value))
+	case *RefExpr:
+		b.WriteString(refString(v))
+	case *UnaryExpr:
+		b.WriteString(v.Op.String())
+		// Parenthesize a unary operand unconditionally: "--x" would lex
+		// as a decrement token.
+		b.WriteByte('(')
+		writeExpr(b, v.X, 0, false)
+		b.WriteByte(')')
+	case *BinaryExpr:
+		writeExpr(b, v.X, p, false)
+		fmt.Fprintf(b, " %s ", v.Op.String())
+		writeExpr(b, v.Y, p, true)
+	}
+	if need {
+		b.WriteByte(')')
+	}
+}
+
+func refString(r *RefExpr) string {
+	var b strings.Builder
+	b.WriteString(r.Name)
+	for _, p := range r.Post {
+		if p.Index != nil {
+			b.WriteByte('[')
+			writeExpr(&b, p.Index, 0, false)
+			b.WriteByte(']')
+		} else {
+			b.WriteByte('.')
+			b.WriteString(p.Field)
+		}
+	}
+	return b.String()
+}
+
+// floatLit renders a float so it re-lexes as a FLOAT token (never a bare
+// integer): the shortest round-tripping form, with ".0" appended when the
+// form carries no decimal point or exponent.
+func floatLit(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

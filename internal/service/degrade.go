@@ -17,6 +17,7 @@ import (
 const (
 	endpointAnalyze = "analyze"
 	endpointLint    = "lint"
+	endpointTune    = "tune"
 )
 
 // guarded is the fault boundary every cacheable endpoint funnels

@@ -202,6 +202,11 @@ type Metrics struct {
 	// (including cache hits).
 	EvalLatency    *LabeledHistogram
 	RequestLatency *Histogram
+	// TuneCandidates counts candidate plans the tuner fast-tier scored;
+	// TunePhase observes tuner search-stage wall time by phase
+	// ("enumerate", "score", "verify", "apply").
+	TuneCandidates *Counter
+	TunePhase      *LabeledHistogram
 }
 
 // NewMetrics constructs an empty metric set.
@@ -220,6 +225,8 @@ func NewMetrics() *Metrics {
 		Inflight:       &Gauge{},
 		EvalLatency:    newLabeledHistogram(defLatencyBuckets(), "endpoint", "mode"),
 		RequestLatency: newHistogram(defLatencyBuckets()),
+		TuneCandidates: &Counter{},
+		TunePhase:      newLabeledHistogram(defLatencyBuckets(), "phase"),
 	}
 }
 
@@ -358,8 +365,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "%s %d\n", g.name, g.g.Value())
 	}
 
+	writeHeader(w, "fsserve_tune_candidates_total", "counter", "Candidate plans scored by the auto-tuner's fast tier.")
+	fmt.Fprintf(w, "fsserve_tune_candidates_total %d\n", m.TuneCandidates.Value())
+
 	writeHeader(w, "fsserve_eval_seconds", "histogram", "Model evaluation latency in seconds, by endpoint and evaluation mode.")
 	m.EvalLatency.write(w, "fsserve_eval_seconds")
 	writeHeader(w, "fsserve_request_seconds", "histogram", "Whole-request latency in seconds.")
 	m.RequestLatency.write(w, "fsserve_request_seconds")
+	writeHeader(w, "fsserve_tune_search_seconds", "histogram", "Auto-tuner search-stage wall time in seconds, by phase.")
+	m.TunePhase.write(w, "fsserve_tune_search_seconds")
 }

@@ -23,6 +23,11 @@
 //     closed-form internal/analysis engine (no simulation) and returns
 //     diagnostics as JSON or a SARIF 2.1.0 document, through the same
 //     cache, dedup and admission control as /v1/analyze;
+//   - the auto-tuner endpoint (tune.go): POST /v1/tune runs the
+//     internal/tuner plan search (fast closed-form scoring, beam
+//     pruning, simulator verification) and returns the chosen plan with
+//     transformed source, degrading to a closed-form single-fix
+//     suggestion when the search cannot run;
 //   - the fault boundary (degrade.go): every evaluation runs under a
 //     guard recover wrapper and a resource budget, behind a per-endpoint
 //     circuit breaker; internal failures degrade to the closed-form
@@ -189,7 +194,7 @@ func New(cfg Config) *Server {
 	s.limiter = newLimiter(cfg.MaxConcurrent, cfg.MaxQueue, s.metrics.QueueDepth)
 	if cfg.BreakerThreshold > 0 {
 		s.breakers = make(map[string]*guard.Breaker)
-		for i, ep := range []string{endpointAnalyze, endpointLint} {
+		for i, ep := range []string{endpointAnalyze, endpointLint, endpointTune} {
 			s.breakers[ep] = guard.NewBreaker(guard.BreakerConfig{
 				FailureThreshold: cfg.BreakerThreshold,
 				Cooldown:         cfg.BreakerCooldown,
@@ -202,6 +207,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
+	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)

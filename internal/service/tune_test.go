@@ -1,0 +1,192 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func decodeTune(t *testing.T, body []byte) TuneResponse {
+	t.Helper()
+	var resp TuneResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("invalid tune response: %v\n%s", err, body)
+	}
+	return resp
+}
+
+// TestTuneEndpoint pins the happy path and the cache contract: a full
+// tuning run over the chunk-1 victim, then a byte-identical replay from
+// the cache (phase timings included — cached bytes are served verbatim).
+func TestTuneEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if s.breakers[endpointTune] == nil {
+		t.Fatal("tune endpoint has no circuit breaker")
+	}
+
+	w := post(t, s, "/v1/tune", TuneRequest{Source: victimSrc})
+	if w.Code != 200 {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("X-Cache = %q, want miss", got)
+	}
+	resp := decodeTune(t, w.Body.Bytes())
+	if resp.Degraded || resp.Report == nil {
+		t.Fatalf("want a full report, got degraded=%v report=%v", resp.Degraded, resp.Report)
+	}
+	rep := resp.Report
+	if !rep.Baseline.Verified || !rep.Chosen.Verified {
+		t.Errorf("baseline/chosen not verified: %v/%v", rep.Baseline.Verified, rep.Chosen.Verified)
+	}
+	if rep.Baseline.SimulatedFS == 0 {
+		t.Error("chunk-1 victim has no baseline FS")
+	}
+	if rep.NoOp || rep.Chosen.SimulatedFS != 0 {
+		t.Errorf("victim not cleaned: plan %q, FS %d", rep.PlanSummary, rep.Chosen.SimulatedFS)
+	}
+	if !strings.Contains(rep.Source, rep.PlanSummary) && !strings.Contains(rep.PlanSummary, "pad") {
+		t.Errorf("transformed source does not carry plan %q:\n%s", rep.PlanSummary, rep.Source)
+	}
+	m := s.Metrics()
+	if m.TuneCandidates.Value() == 0 {
+		t.Error("TuneCandidates not counted")
+	}
+	if m.TunePhase.Count() < 4 {
+		t.Errorf("TunePhase observations = %d, want >= 4 (one per phase)", m.TunePhase.Count())
+	}
+
+	// Replay: byte-identical from cache.
+	w2 := post(t, s, "/v1/tune", TuneRequest{Source: victimSrc})
+	if w2.Code != 200 || w2.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("replay: status=%d X-Cache=%q, want 200/hit", w2.Code, w2.Header().Get("X-Cache"))
+	}
+	if w.Body.String() != w2.Body.String() {
+		t.Error("cached replay is not byte-identical")
+	}
+	// The replay ran no search: candidate and phase metrics are unchanged.
+	if m.TuneCandidates.Value() != int64(len(rep.Candidates)) {
+		t.Errorf("replay re-ran the search: TuneCandidates = %d, want %d",
+			m.TuneCandidates.Value(), len(rep.Candidates))
+	}
+}
+
+// TestTuneKernel tunes a built-in kernel by name.
+func TestTuneKernel(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/tune", TuneRequest{Kernel: "linreg", Threads: 8})
+	if w.Code != 200 {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeTune(t, w.Body.Bytes())
+	if resp.File != "<kernel:linreg>" || resp.Report == nil {
+		t.Fatalf("file=%q report=%v", resp.File, resp.Report != nil)
+	}
+}
+
+// TestTuneBadRequests: every invalid request is a 400, including input
+// problems only the tuner itself can see (sequential nests, symbolic
+// bounds) — never a degraded answer, never a 500.
+func TestTuneBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  TuneRequest
+	}{
+		{"empty", TuneRequest{}},
+		{"both inputs", TuneRequest{Source: victimSrc, Kernel: "heat"}},
+		{"bad machine", TuneRequest{Source: victimSrc, Machine: "cray1"}},
+		{"bad kernel", TuneRequest{Kernel: "nope"}},
+		{"negative nest", TuneRequest{Source: victimSrc, Nest: -1}},
+		{"nest out of range", TuneRequest{Source: victimSrc, Nest: 3}},
+		{"beam too wide", TuneRequest{Source: victimSrc, Beam: maxTuneBeam + 1}},
+		{"candidates too many", TuneRequest{Source: victimSrc, MaxCandidates: maxTuneCandidates + 1}},
+		{"threads out of range", TuneRequest{Source: victimSrc, Threads: maxThreads + 1}},
+		{"unparsable", TuneRequest{Source: "for ("}},
+		{"sequential", TuneRequest{Source: "double a[8];\nfor (i = 0; i < 8; i++) a[i] = 0.0;\n"}},
+		{"symbolic bounds", TuneRequest{Source: "double a[8];\n#pragma omp parallel for\nfor (i = 0; i < n; i++) a[i] = 0.0;\n"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if w := post(t, s, "/v1/tune", tc.req); w.Code != 400 {
+				t.Errorf("status = %d, want 400: %s", w.Code, w.Body.String())
+			}
+		})
+	}
+	if got := s.Metrics().Degraded.Total(); got != 0 {
+		t.Errorf("bad requests degraded %d times; they must pass through as 400s", got)
+	}
+}
+
+// TestDegradedTune pins the fallback: an injected evaluator fault yields
+// 200 with the closed-form single-fix suggestion, marked degraded and
+// never cached; the recovered evaluator then serves the full report.
+func TestDegradedTune(t *testing.T) {
+	faultinject.Enable()
+	defer faultinject.Reset()
+	faultinject.Arm("service.evaluate", faultinject.Fault{Kind: faultinject.KindError, MaxFires: 1})
+
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/tune", TuneRequest{Source: victimSrc})
+	if w.Code != 200 {
+		t.Fatalf("status = %d, want 200 (degraded, never 500): %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Cache"); got != "degraded" {
+		t.Errorf("X-Cache = %q, want degraded", got)
+	}
+	resp := decodeTune(t, w.Body.Bytes())
+	if !resp.Degraded || resp.DegradedReason != "internal" {
+		t.Fatalf("degraded=%v reason=%q, want true/internal", resp.Degraded, resp.DegradedReason)
+	}
+	if resp.Report != nil {
+		t.Error("degraded response carries an unverified report")
+	}
+	if resp.ClosedForm == nil || !strings.HasPrefix(resp.ClosedForm.Plan, "schedule(static,") {
+		t.Fatalf("closed_form = %+v, want a chunk suggestion for the chunk-1 victim", resp.ClosedForm)
+	}
+	if resp.ClosedForm.Findings == 0 {
+		t.Error("closed-form fallback reports no findings on the FS victim")
+	}
+	if got := s.Metrics().Degraded.With(endpointTune, "internal").Value(); got != 1 {
+		t.Errorf("Degraded{tune,internal} = %d, want 1", got)
+	}
+
+	// Fault exhausted: the same request now runs the full search — proof
+	// the degraded body was not cached.
+	w2 := post(t, s, "/v1/tune", TuneRequest{Source: victimSrc})
+	if w2.Code != 200 || w2.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("recovered: status=%d X-Cache=%q, want 200/miss", w2.Code, w2.Header().Get("X-Cache"))
+	}
+	if resp2 := decodeTune(t, w2.Body.Bytes()); resp2.Degraded || resp2.Report == nil {
+		t.Errorf("recovered response still degraded: %+v", resp2)
+	}
+}
+
+// TestDegradedTuneOnPanicAndBudget: the other internal-failure classes
+// degrade the same way.
+func TestDegradedTuneOnPanicAndBudget(t *testing.T) {
+	faultinject.Enable()
+	defer faultinject.Reset()
+	faultinject.Arm("service.evaluate", faultinject.Fault{Kind: faultinject.KindPanic, MaxFires: 1})
+
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/tune", TuneRequest{Source: victimSrc})
+	if w.Code != 200 {
+		t.Fatalf("panic: status = %d: %s", w.Code, w.Body.String())
+	}
+	if resp := decodeTune(t, w.Body.Bytes()); !resp.Degraded || resp.DegradedReason != "panic" {
+		t.Fatalf("degraded=%v reason=%q, want true/panic", resp.Degraded, resp.DegradedReason)
+	}
+
+	// A step budget too small for the search degrades with reason budget.
+	sb := newTestServer(t, Config{MaxEvalSteps: 1})
+	w2 := post(t, sb, "/v1/tune", TuneRequest{Kernel: "heat", Threads: 8})
+	if w2.Code != 200 {
+		t.Fatalf("budget: status = %d: %s", w2.Code, w2.Body.String())
+	}
+	if resp := decodeTune(t, w2.Body.Bytes()); !resp.Degraded || resp.DegradedReason != "budget" {
+		t.Fatalf("degraded=%v reason=%q, want true/budget", resp.Degraded, resp.DegradedReason)
+	}
+}

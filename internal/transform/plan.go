@@ -1,0 +1,238 @@
+package transform
+
+// Plan-application primitives for the tuner: small, composable AST
+// rewrites that each return a fresh program (inputs are never mutated, so
+// the tuner can branch one baseline AST into many candidates). Legality
+// that depends on the lowered dependence structure (loop interchange)
+// is checked against the loopir nest, not the AST.
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+	"repro/internal/minic"
+)
+
+// nestSpine clones prog's statement list and the perfectly-nested ForStmt
+// chain of top-level nest nestIdx, returning the clone and its spine
+// (outermost first). The descent rule mirrors loopir's lowering: follow a
+// loop whose body is exactly one ForStmt. Cloned nodes are fresh; shared
+// sub-structure (expressions, non-spine statements) is reused, which is
+// safe because nothing in this package mutates expressions in place.
+func nestSpine(prog *minic.Program, nestIdx int) (*minic.Program, []*minic.ForStmt, error) {
+	out := *prog
+	out.Stmts = append([]minic.Stmt(nil), prog.Stmts...)
+	seen := -1
+	for si, s := range out.Stmts {
+		f, ok := s.(*minic.ForStmt)
+		if !ok {
+			continue
+		}
+		seen++
+		if seen != nestIdx {
+			continue
+		}
+		var spine []*minic.ForStmt
+		cl := *f
+		out.Stmts[si] = &cl
+		cur := &cl
+		spine = append(spine, cur)
+		for len(cur.Body) == 1 {
+			inner, ok := cur.Body[0].(*minic.ForStmt)
+			if !ok {
+				break
+			}
+			icl := *inner
+			cur.Body = []minic.Stmt{&icl}
+			cur = &icl
+			spine = append(spine, cur)
+		}
+		return &out, spine, nil
+	}
+	return nil, nil, fmt.Errorf("transform: nest index %d out of range (%d top-level loops)", nestIdx, seen+1)
+}
+
+// SetSchedule returns a copy of prog where nest nestIdx's parallel loop
+// carries schedule(static,chunk). The nest must already be parallel (have
+// an omp pragma somewhere on its spine).
+func SetSchedule(prog *minic.Program, nestIdx int, chunk int64) (*minic.Program, error) {
+	if chunk <= 0 {
+		return nil, fmt.Errorf("transform: schedule chunk must be positive, got %d", chunk)
+	}
+	out, spine, err := nestSpine(prog, nestIdx)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range spine {
+		if f.Pragma == nil {
+			continue
+		}
+		pr := *f.Pragma
+		pr.Schedule = "static"
+		pr.Chunk = &minic.IntLit{Value: chunk, P: pr.P}
+		f.Pragma = &pr
+		return out, nil
+	}
+	return nil, fmt.Errorf("transform: nest %d has no omp pragma to reschedule", nestIdx)
+}
+
+// Interchange returns a copy of prog with loop levels a and b of nest
+// nestIdx swapped (0 = outermost). Only the loop headers move — variable,
+// bounds, step — while the pragma stays attached to its nesting position,
+// so the parallel level keeps its depth and the iteration space is
+// reindexed. Callers must establish legality first via CanInterchange.
+func Interchange(prog *minic.Program, nestIdx, a, b int) (*minic.Program, error) {
+	if a == b {
+		return nil, fmt.Errorf("transform: interchange levels must differ, got %d and %d", a, b)
+	}
+	out, spine, err := nestSpine(prog, nestIdx)
+	if err != nil {
+		return nil, err
+	}
+	if a < 0 || b < 0 || a >= len(spine) || b >= len(spine) {
+		return nil, fmt.Errorf("transform: interchange levels %d,%d out of range (depth %d)", a, b, len(spine))
+	}
+	la, lb := spine[a], spine[b]
+	oldA, oldB := la.Var, lb.Var
+	la.Var, lb.Var = lb.Var, la.Var
+	la.Init, lb.Init = lb.Init, la.Init
+	la.CondOp, lb.CondOp = lb.CondOp, la.CondOp
+	la.Bound, lb.Bound = lb.Bound, la.Bound
+	la.Step, lb.Step = lb.Step, la.Step
+	// Data-sharing clauses name loop variables; after the swap a
+	// private(i) written for the old parallel variable must follow it, or
+	// the emitted pragma would privatize an enclosing loop's live counter.
+	ren := map[string]string{oldA: oldB, oldB: oldA}
+	for _, f := range spine {
+		if f.Pragma == nil {
+			continue
+		}
+		pr := *f.Pragma
+		pr.Private = renameVars(f.Pragma.Private, ren)
+		pr.Shared = renameVars(f.Pragma.Shared, ren)
+		f.Pragma = &pr
+	}
+	return out, nil
+}
+
+func renameVars(names []string, ren map[string]string) []string {
+	if len(names) == 0 {
+		return names
+	}
+	out := make([]string, len(names))
+	for i, n := range names {
+		if r, ok := ren[n]; ok {
+			n = r
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// CanInterchange reports whether swapping levels a and b of the lowered
+// nest is provably legal under this package's conservative rule:
+//
+//   - every loop in the nest has constant bounds (a rectangular iteration
+//     space: no bound depends on another loop variable or a parameter), so
+//     reordering cannot change any loop's trip set; and
+//   - no reference is non-affine (unknown footprint); and
+//   - for every pair of references to the same symbol where at least one
+//     writes, the byte-offset expressions are identical. Identical-offset
+//     pairs touch the same address in the same iteration, so their
+//     dependence distance vector is zero in every loop that appears in the
+//     subscript — reordering loops cannot reverse a zero distance. Any
+//     differing-offset write pair may carry a dependence whose direction a
+//     swap could flip, and is rejected without deeper analysis.
+//
+// A nil return means the interchange is legal.
+func CanInterchange(unit *loopir.Unit, nestIdx, a, b int) error {
+	if nestIdx < 0 || nestIdx >= len(unit.Nests) {
+		return fmt.Errorf("transform: nest index %d out of range (%d nests)", nestIdx, len(unit.Nests))
+	}
+	nest := unit.Nests[nestIdx]
+	if a == b || a < 0 || b < 0 || a >= len(nest.Loops) || b >= len(nest.Loops) {
+		return fmt.Errorf("transform: interchange levels %d,%d invalid for depth %d", a, b, len(nest.Loops))
+	}
+	for _, l := range nest.Loops {
+		if _, ok := l.First.ConstValue(); !ok {
+			return fmt.Errorf("transform: loop %s has a non-constant lower bound", l.Var)
+		}
+		if _, ok := l.Limit.ConstValue(); !ok {
+			return fmt.Errorf("transform: loop %s has a non-constant upper bound", l.Var)
+		}
+	}
+	for _, r := range nest.Refs {
+		if r.NonAffine {
+			return fmt.Errorf("transform: non-affine reference %s blocks interchange", r.Src)
+		}
+	}
+	for i, r1 := range nest.Refs {
+		for _, r2 := range nest.Refs[i+1:] {
+			if r1.Sym != r2.Sym || (!r1.Write && !r2.Write) {
+				continue
+			}
+			if !r1.Offset.Equal(r2.Offset) {
+				return fmt.Errorf("transform: possible loop-carried dependence on %s (%s vs %s)",
+					r1.Sym.Name, r1.Src, r2.Src)
+			}
+		}
+	}
+	return nil
+}
+
+// PadStruct returns a copy of prog in which the named struct gains a
+// trailing "char _fspad[n]" field rounding its size up to the next
+// lineSize multiple. Unlike PadStructs it targets one struct, so the
+// tuner can enumerate per-victim padding actions. It refuses structs that
+// are embedded in other structs (padding would shift the outer layout in
+// ways the diagnostics did not model), already line-multiple structs, and
+// structs already carrying a _fspad field.
+func PadStruct(prog *minic.Program, name string, lineSize int64) (*minic.Program, Change, error) {
+	if lineSize <= 0 {
+		return nil, Change{}, fmt.Errorf("transform: non-positive line size %d", lineSize)
+	}
+	unit, err := loopir.Lower(prog, loopir.LowerOptions{LineSize: lineSize, AllowNonAffine: true, SymbolicBounds: true})
+	if err != nil {
+		return nil, Change{}, fmt.Errorf("transform: lowering program: %w", err)
+	}
+	st, ok := unit.Structs[name]
+	if !ok {
+		return nil, Change{}, fmt.Errorf("transform: no struct named %q", name)
+	}
+	for _, sd := range prog.Structs {
+		for _, f := range sd.Fields {
+			if f.Type.Struct == name {
+				return nil, Change{}, fmt.Errorf("transform: struct %s is embedded in struct %s", name, sd.Name)
+			}
+		}
+	}
+	size := st.Size()
+	if size%lineSize == 0 {
+		return nil, Change{}, fmt.Errorf("transform: struct %s is already a line-size multiple (%d bytes)", name, size)
+	}
+	pad := lineSize - size%lineSize
+
+	out := *prog
+	out.Structs = make([]*minic.StructDecl, len(prog.Structs))
+	for i, sd := range prog.Structs {
+		if sd.Name != name {
+			out.Structs[i] = sd
+			continue
+		}
+		for _, f := range sd.Fields {
+			if f.Name == "_fspad" {
+				return nil, Change{}, fmt.Errorf("transform: struct %s already padded", name)
+			}
+		}
+		padded := &minic.StructDecl{Name: sd.Name, P: sd.P}
+		padded.Fields = append(padded.Fields, sd.Fields...)
+		padded.Fields = append(padded.Fields, &minic.FieldDecl{
+			Type:      minic.TypeSpec{Basic: "char"},
+			Name:      "_fspad",
+			ArrayLens: []int64{pad},
+			P:         sd.P,
+		})
+		out.Structs[i] = padded
+	}
+	return &out, Change{Struct: name, OldSize: size, NewSize: size + pad, PadBytes: pad}, nil
+}

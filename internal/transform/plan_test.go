@@ -1,0 +1,179 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/minic"
+)
+
+const spineSrc = `
+#define M 8
+#define N 64
+
+double A[8][64];
+double B[8][64];
+
+for (j = 0; j < M; j++) {
+    #pragma omp parallel for private(i) schedule(static,1) num_threads(4)
+    for (i = 0; i < N; i++) {
+        B[j][i] = A[j][i] + 1.0;
+    }
+}
+`
+
+func mustParse(t *testing.T, src string) *minic.Program {
+	t.Helper()
+	p, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func mustLower(t *testing.T, p *minic.Program) *loopir.Unit {
+	t.Helper()
+	u, err := loopir.Lower(p, loopir.LowerOptions{AllowNonAffine: true, SymbolicBounds: true})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return u
+}
+
+func TestSetSchedule(t *testing.T) {
+	prog := mustParse(t, spineSrc)
+	out, err := SetSchedule(prog, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := mustLower(t, out)
+	par := unit.Nests[0].Parallelized()
+	if par == nil || par.Parallel.Chunk != 16 {
+		t.Fatalf("rescheduled nest: parallel=%+v, want chunk 16", par)
+	}
+	// Original untouched.
+	orig := mustLower(t, prog)
+	if got := orig.Nests[0].Parallelized().Parallel.Chunk; got != 1 {
+		t.Fatalf("input program mutated: chunk now %d", got)
+	}
+	printed := minic.Print(out)
+	if !strings.Contains(printed, "schedule(static,16)") {
+		t.Fatalf("printed source missing new schedule:\n%s", printed)
+	}
+}
+
+func TestSetScheduleErrors(t *testing.T) {
+	prog := mustParse(t, "double a[8];\nfor (i = 0; i < 8; i++) a[i] = 0.0;\n")
+	if _, err := SetSchedule(prog, 0, 8); err == nil {
+		t.Fatal("expected error for sequential nest")
+	}
+	if _, err := SetSchedule(prog, 3, 8); err == nil {
+		t.Fatal("expected error for out-of-range nest")
+	}
+	if _, err := SetSchedule(prog, 0, 0); err == nil {
+		t.Fatal("expected error for non-positive chunk")
+	}
+}
+
+func TestInterchange(t *testing.T) {
+	prog := mustParse(t, spineSrc)
+	unit := mustLower(t, prog)
+	if err := CanInterchange(unit, 0, 0, 1); err != nil {
+		t.Fatalf("expected legal interchange: %v", err)
+	}
+	out, err := Interchange(prog, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2 := mustLower(t, out)
+	nest := u2.Nests[0]
+	if nest.Loops[0].Var != "i" || nest.Loops[1].Var != "j" {
+		t.Fatalf("loop order after interchange: %s,%s want i,j", nest.Loops[0].Var, nest.Loops[1].Var)
+	}
+	// The pragma stays at depth 1, now driving the j loop; its private
+	// clause must follow the variable swap.
+	if nest.ParLevel != 1 {
+		t.Fatalf("parallel level moved: %d, want 1", nest.ParLevel)
+	}
+	printed := minic.Print(out)
+	if !strings.Contains(printed, "private(j)") {
+		t.Fatalf("private clause not renamed:\n%s", printed)
+	}
+	if _, err := minic.Parse(printed); err != nil {
+		t.Fatalf("interchanged program does not re-parse: %v", err)
+	}
+}
+
+func TestCanInterchangeRejects(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"triangular bounds", `
+double A[64][64];
+for (j = 0; j < 64; j++) {
+    #pragma omp parallel for
+    for (i = 0; i < j; i++) {
+        A[j][i] = 1.0;
+    }
+}
+`},
+		{"stencil write-read offset mismatch", `
+double A[64][64];
+for (j = 1; j < 63; j++) {
+    #pragma omp parallel for
+    for (i = 1; i < 63; i++) {
+        A[j][i] = A[j][i - 1] + 1.0;
+    }
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			unit := mustLower(t, mustParse(t, tc.src))
+			if err := CanInterchange(unit, 0, 0, 1); err == nil {
+				t.Fatal("expected interchange to be rejected")
+			}
+		})
+	}
+}
+
+func TestPadStruct(t *testing.T) {
+	src := `
+struct P { double x; double y; };
+struct Q { double a; };
+struct P ps[32];
+struct Q qs[32];
+
+#pragma omp parallel for schedule(static,1) num_threads(4)
+for (i = 0; i < 32; i++) {
+    ps[i].x = 1.0;
+}
+`
+	prog := mustParse(t, src)
+	out, ch, err := PadStruct(prog, "P", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.OldSize != 16 || ch.NewSize != 64 || ch.PadBytes != 48 {
+		t.Fatalf("unexpected change: %+v", ch)
+	}
+	// Only P is padded; Q untouched; original program untouched.
+	u := mustLower(t, out)
+	if got := u.Structs["P"].Size(); got != 64 {
+		t.Fatalf("padded P size %d, want 64", got)
+	}
+	if got := u.Structs["Q"].Size(); got != 8 {
+		t.Fatalf("Q size changed to %d", got)
+	}
+	if got := mustLower(t, prog).Structs["P"].Size(); got != 16 {
+		t.Fatalf("input program mutated: P size %d", got)
+	}
+	// Idempotence guard and error cases.
+	if _, _, err := PadStruct(out, "P", 64); err == nil {
+		t.Fatal("expected error re-padding P")
+	}
+	if _, _, err := PadStruct(prog, "nosuch", 64); err == nil {
+		t.Fatal("expected error for unknown struct")
+	}
+}

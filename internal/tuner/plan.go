@@ -1,0 +1,106 @@
+package tuner
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic"
+	"repro/internal/transform"
+)
+
+// Action kinds. An Action is one primitive source rewrite; a Plan is an
+// ordered composition of them.
+const (
+	// ActionChunk rewrites the nest's schedule clause to
+	// schedule(static,Chunk).
+	ActionChunk = "chunk"
+	// ActionPad appends a cache-line pad to the named struct
+	// (transform.PadStruct).
+	ActionPad = "pad"
+	// ActionInterchange swaps loop levels Outer and Inner of the nest
+	// (transform.Interchange; legality via transform.CanInterchange).
+	ActionInterchange = "interchange"
+)
+
+// Action is one primitive transformation, tagged by Kind with the
+// corresponding fields populated.
+type Action struct {
+	Kind     string `json:"kind"`
+	Chunk    int64  `json:"chunk,omitempty"`
+	Struct   string `json:"struct,omitempty"`
+	PadBytes int64  `json:"pad_bytes,omitempty"`
+	Outer    int    `json:"outer,omitempty"`
+	Inner    int    `json:"inner,omitempty"`
+}
+
+// String renders the action for reports and diagnostics.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActionChunk:
+		return fmt.Sprintf("schedule(static,%d)", a.Chunk)
+	case ActionPad:
+		return fmt.Sprintf("pad struct %s +%dB", a.Struct, a.PadBytes)
+	case ActionInterchange:
+		return fmt.Sprintf("interchange loops %d<->%d", a.Outer, a.Inner)
+	}
+	return "unknown action"
+}
+
+// Plan is a composition of actions applied in order.
+type Plan struct {
+	Actions []Action `json:"actions,omitempty"`
+}
+
+// IsNoOp reports whether the plan performs no transformation.
+func (p Plan) IsNoOp() bool { return len(p.Actions) == 0 }
+
+// String renders the plan; the empty plan reads "no-op".
+func (p Plan) String() string {
+	if p.IsNoOp() {
+		return "no-op"
+	}
+	parts := make([]string, len(p.Actions))
+	for i, a := range p.Actions {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// apply runs the plan's actions against prog (never mutated) and returns
+// the transformed program. Interchange runs before the chunk rewrite so a
+// combined plan reschedules the post-interchange parallel loop; pads are
+// independent of both.
+func (p Plan) apply(prog *minic.Program, nestIdx int, lineSize int64) (*minic.Program, error) {
+	out := prog
+	var err error
+	for _, order := range []string{ActionInterchange, ActionChunk, ActionPad} {
+		for _, a := range p.Actions {
+			if a.Kind != order {
+				continue
+			}
+			switch a.Kind {
+			case ActionInterchange:
+				out, err = transform.Interchange(out, nestIdx, a.Outer, a.Inner)
+			case ActionChunk:
+				out, err = transform.SetSchedule(out, nestIdx, a.Chunk)
+			case ActionPad:
+				out, _, err = transform.PadStruct(out, a.Struct, lineSize)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("applying %s: %w", a, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// hasChunk reports whether the plan rewrites the schedule clause (in
+// which case a caller-level chunk override must not shadow it).
+func (p Plan) hasChunk() bool {
+	for _, a := range p.Actions {
+		if a.Kind == ActionChunk {
+			return true
+		}
+	}
+	return false
+}

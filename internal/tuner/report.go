@@ -1,0 +1,15 @@
+package tuner
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON writes the full tuning report as indented JSON. The
+// encoding is deterministic modulo the Phases wall-clock timings, which
+// is what lets the service cache replay responses byte-identically.
+func WriteJSON(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

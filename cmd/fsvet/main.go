@@ -1,0 +1,157 @@
+// Command fsvet is the false-sharing analyzer for Go source: the
+// repository's closed-form loop cost model applied to real Go packages.
+// It lays out every declared struct with the compiler's sizes, flags
+// concurrency-hot fields that share a cache line (GV001), recognizes
+// goroutine fan-out loops and sharded atomic counters and scores their
+// adjacent-index writes with the residue-counting machinery (GV002,
+// GV003), and emits padding fixes that are verified by re-running the
+// layout analysis on the patched type before being suggested.
+//
+// Usage:
+//
+//	fsvet [-json|-sarif] [-fix] [-machine M] [-line L] [-trips N] ./...
+//	go vet -vettool=$(which fsvet) ./...     # vet tool protocol
+//
+// In the second form the go command drives fsvet through its vet .cfg
+// protocol; fsvet detects those invocations itself, so one binary
+// serves both modes.
+//
+// Exit status is 0 with no findings, 1 with findings or on analysis
+// errors, and 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/govet"
+	"repro/internal/guard"
+	"repro/internal/machine"
+)
+
+type config struct {
+	jsonOut  bool
+	sarifOut bool
+	fix      bool
+	mach     string
+	line     int64
+	trips    int64
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main. Vet-protocol invocations are dispatched
+// before flag parsing: the go command's argument order is its own.
+func run(args []string, stdout, stderr io.Writer) int {
+	if govet.IsVetInvocation(args) {
+		return govet.VetMain(args, nil, stdout, stderr)
+	}
+
+	fs := flag.NewFlagSet("fsvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit findings as JSON")
+	fs.BoolVar(&cfg.sarifOut, "sarif", false, "emit findings as SARIF 2.1.0")
+	fs.BoolVar(&cfg.fix, "fix", false, "apply verified suggested fixes to the source files")
+	fs.StringVar(&cfg.mach, "machine", "", "machine model: paper48 (default), smalltest, modern16")
+	fs.Int64Var(&cfg.line, "line", 0, "cache-line size override in bytes (0: machine default)")
+	fs.Int64Var(&cfg.trips, "trips", 0, "assumed trip count for bounds unknown at compile time (0: default 2048)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if cfg.jsonOut && cfg.sarifOut {
+		fmt.Fprintln(stderr, "fsvet: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fmt.Fprintln(stderr, "usage: fsvet [-json|-sarif] [-fix] [-machine M] [-line L] package ...")
+		return 2
+	}
+	mach, err := machineByName(cfg.mach)
+	if err != nil {
+		fmt.Fprintln(stderr, "fsvet:", err)
+		return 2
+	}
+	if cfg.line != 0 {
+		mach, err = mach.WithLineSize(cfg.line)
+		if err != nil {
+			fmt.Fprintln(stderr, "fsvet:", err)
+			return 2
+		}
+	}
+
+	reports, err := analyzePatterns(patterns, mach, cfg.trips, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "fsvet:", err)
+		return 1
+	}
+
+	switch {
+	case cfg.jsonOut:
+		err = govet.WriteJSON(stdout, reports)
+	case cfg.sarifOut:
+		err = govet.WriteSARIF(stdout, reports)
+	default:
+		err = govet.WriteText(stdout, reports)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "fsvet:", err)
+		return 1
+	}
+	if cfg.fix {
+		files, err := govet.ApplyFixes(reports)
+		if err != nil {
+			fmt.Fprintln(stderr, "fsvet:", err)
+			return 1
+		}
+		for _, f := range files {
+			fmt.Fprintf(stdout, "fsvet: rewrote %s\n", f)
+		}
+	}
+	if govet.Findings(reports) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// analyzePatterns loads the patterns and analyzes each package under
+// panic isolation: one pathological package degrades to a diagnostic on
+// stderr, not a crash that hides the other packages' findings.
+func analyzePatterns(patterns []string, mach *machine.Desc, trips int64, stderr io.Writer) ([]govet.PackageReport, error) {
+	pkgs, err := govet.Load("", patterns)
+	if err != nil {
+		return nil, err
+	}
+	var reports []govet.PackageReport
+	for _, pkg := range pkgs {
+		pkg.Pass.Machine = mach
+		pkg.Pass.AssumedTrips = trips
+		diags, err := guard.Do1(func() ([]govet.Diagnostic, error) {
+			return govet.Analyze(pkg.Pass)
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "fsvet: %s: %v\n", pkg.Path, err)
+			continue
+		}
+		reports = append(reports, govet.PackageReport{Path: pkg.Path, Pass: pkg.Pass, Diags: diags})
+	}
+	return reports, nil
+}
+
+// machineByName resolves the -machine flag.
+func machineByName(name string) (*machine.Desc, error) {
+	switch name {
+	case "", "paper48":
+		return machine.Paper48(), nil
+	case "smalltest":
+		return machine.SmallTest(), nil
+	case "modern16":
+		return machine.Modern16(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q (valid: paper48, smalltest, modern16)", name)
+}

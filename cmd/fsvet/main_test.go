@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                           // no patterns
+		{"-machine", "xeon", "./.."}, // unknown machine
+		{"-json", "-sarif", "./..."}, // exclusive formats
+		{"-line", "48", "./..."},     // non-power-of-two line
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+func TestVetProtocolVersionAndFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full exit %d: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "fsvet version ") {
+		t.Fatalf("-V=full output %q", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output not the go command's JSON shape: %v\n%s", err, out.String())
+	}
+	names := map[string]bool{}
+	for _, f := range flags {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"json", "machine", "line"} {
+		if !names[want] {
+			t.Fatalf("-flags missing %q: %s", want, out.String())
+		}
+	}
+}
+
+// TestVetProtocolUnit drives the vet .cfg path end to end on a
+// dependency-free unit: parse, typecheck, analyze, JSON diagnostics
+// keyed by package ID, and the facts file the go command expects.
+func TestVetProtocolUnit(t *testing.T) {
+	dir := t.TempDir()
+	src := `package victim
+
+type rec struct{ a, b int64 }
+
+var dst = make([]rec, 256)
+
+func F() {
+	for i := 0; i < 256; i++ {
+		go func(i int) { dst[i].a = 1 }(i)
+	}
+}
+`
+	goFile := filepath.Join(dir, "victim.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "victim.vetx")
+	cfg := map[string]any{
+		"ID":          "example.com/victim",
+		"Compiler":    "gc",
+		"Dir":         dir,
+		"ImportPath":  "example.com/victim",
+		"GoFiles":     []string{goFile},
+		"ImportMap":   map[string]string{},
+		"PackageFile": map[string]string{},
+		"VetxOutput":  vetx,
+	}
+	cfgData, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, cfgData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Text mode (plain `go vet`): diagnostics on stderr, exit 2.
+	var out, errb bytes.Buffer
+	if code := run([]string{cfgPath}, &out, &errb); code != 2 {
+		t.Fatalf("text-mode unit exit %d, want 2: %s", code, errb.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+	if !strings.Contains(errb.String(), "GV002") || !strings.Contains(errb.String(), "victim.go:9") {
+		t.Fatalf("text diagnostics = %q", errb.String())
+	}
+
+	// JSON mode (`go vet -json`): envelope on stdout, exit 0.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-json", cfgPath}, &out, &errb); code != 0 {
+		t.Fatalf("json-mode unit exit %d: %s", code, errb.String())
+	}
+	var diags map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("diagnostics not JSON: %v\n%s", err, out.String())
+	}
+	list := diags["example.com/victim"]["fsvet"]
+	if len(list) != 1 {
+		t.Fatalf("want 1 diagnostic, got %+v", diags)
+	}
+	if !strings.Contains(list[0].Message, "GV002") || !strings.Contains(list[0].Posn, "victim.go:9") {
+		t.Fatalf("unexpected diagnostic %+v", list[0])
+	}
+}
+
+// TestStandaloneCleanPackage runs the full standalone path (go list
+// loading included) over a package known clean.
+func TestStandaloneCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"repro/internal/affine"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no findings") {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
+// TestStandaloneSARIF checks the -sarif path produces a decodable run
+// even with zero findings.
+func TestStandaloneSARIF(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sarif", "repro/internal/affine"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || doc.Runs[0].Results == nil {
+		t.Fatalf("bad SARIF: %+v", doc)
+	}
+}

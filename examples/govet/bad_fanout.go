@@ -1,0 +1,21 @@
+//go:build fsvetcorpus
+
+// GV002: the canonical goroutine fan-out. Iteration i writes the 16B
+// element results[i], so four adjacent goroutines' results share each
+// 64B line and every completion ping-pongs it.
+package corpus
+
+type result struct {
+	sum   int64
+	count int64
+}
+
+var results = make([]result, 4096)
+
+func FanOut() {
+	for i := 0; i < 4096; i++ {
+		go func(i int) {
+			results[i].sum = int64(i * i)
+		}(i)
+	}
+}

@@ -1,0 +1,22 @@
+//go:build fsvetcorpus
+
+// GV001: requests and errors are 8B atomics at offsets 0 and 8 — the
+// same 64B cache line. A goroutine bumping requests invalidates the
+// line in every core caching errors, and vice versa.
+package corpus
+
+import "sync/atomic"
+
+type Stats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+var stats Stats
+
+func Request(failed bool) {
+	stats.requests.Add(1)
+	if failed {
+		stats.errors.Add(1)
+	}
+}

@@ -1,0 +1,18 @@
+//go:build fsvetcorpus
+
+// GV003: a sharded counter whose 8B shards defeat the sharding — eight
+// shards share each 64B line, so "per-goroutine" counters still
+// contend for lines.
+package corpus
+
+import "sync/atomic"
+
+type shard struct {
+	n int64
+}
+
+var shards [64]shard
+
+func Inc(id int) {
+	atomic.AddInt64(&shards[id%len(shards)].n, 1)
+}

@@ -1,0 +1,21 @@
+//go:build fsvetcorpus
+
+// The GV002 twin: 128B elements mean adjacent goroutines' writes are
+// always on different lines, for line sizes up to 128 bytes.
+package corpus
+
+type paddedResult struct {
+	sum   int64
+	count int64
+	_     [112]byte
+}
+
+var paddedResults = make([]paddedResult, 4096)
+
+func PaddedFanOut() {
+	for i := 0; i < 4096; i++ {
+		go func(i int) {
+			paddedResults[i].sum = int64(i * i)
+		}(i)
+	}
+}

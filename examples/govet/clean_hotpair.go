@@ -1,0 +1,23 @@
+//go:build fsvetcorpus
+
+// The GV001 twin: each hot counter starts a fresh 128-byte region, so
+// no cache line of 64 or 128 bytes holds both.
+package corpus
+
+import "sync/atomic"
+
+type PaddedStats struct {
+	requests atomic.Int64
+	_        [120]byte
+	errors   atomic.Int64
+	_        [120]byte
+}
+
+var paddedStats PaddedStats
+
+func PaddedRequest(failed bool) {
+	paddedStats.requests.Add(1)
+	if failed {
+		paddedStats.errors.Add(1)
+	}
+}

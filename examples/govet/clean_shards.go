@@ -1,0 +1,18 @@
+//go:build fsvetcorpus
+
+// The GV003 twin: one shard per 128-byte region, so shards never
+// contend for a line at 64B or 128B geometry.
+package corpus
+
+import "sync/atomic"
+
+type paddedShard struct {
+	n int64
+	_ [120]byte
+}
+
+var paddedShards [64]paddedShard
+
+func PaddedInc(id int) {
+	atomic.AddInt64(&paddedShards[id%len(paddedShards)].n, 1)
+}

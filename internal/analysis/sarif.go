@@ -1,152 +1,65 @@
 package analysis
 
 import (
-	"encoding/json"
 	"io"
+
+	"repro/internal/analysis/sarifwriter"
 )
 
-// SARIF 2.1.0 output: the static-analysis interchange format most code
-// hosts and CI systems ingest. Only the mandatory slice of the schema is
-// emitted — tool driver with rule metadata, and one result per diagnostic
-// with a physical location region.
+// SARIF output is produced by the shared internal/analysis/sarifwriter;
+// this file is fslint's position adapter: it maps minic.Pos..End spans
+// and Severity onto the writer's position-agnostic Result type. fsvet
+// (internal/govet) has the token.Pos twin of this adapter.
 
 // SarifSchemaURI and SarifVersion identify the emitted document flavor.
 const (
-	SarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
-	SarifVersion   = "2.1.0"
+	SarifSchemaURI = sarifwriter.SchemaURI
+	SarifVersion   = sarifwriter.Version
 )
-
-type sarifLog struct {
-	Schema  string     `json:"$schema"`
-	Version string     `json:"version"`
-	Runs    []sarifRun `json:"runs"`
-}
-
-type sarifRun struct {
-	Tool    sarifTool     `json:"tool"`
-	Results []sarifResult `json:"results"`
-}
-
-type sarifTool struct {
-	Driver sarifDriver `json:"driver"`
-}
-
-type sarifDriver struct {
-	Name           string      `json:"name"`
-	Version        string      `json:"version,omitempty"`
-	InformationURI string      `json:"informationUri,omitempty"`
-	Rules          []sarifRule `json:"rules"`
-}
-
-type sarifRule struct {
-	ID               string       `json:"id"`
-	ShortDescription sarifMessage `json:"shortDescription"`
-	HelpURI          string       `json:"helpUri,omitempty"`
-}
-
-type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
-	RuleIndex int             `json:"ruleIndex"`
-	Level     string          `json:"level"`
-	Message   sarifMessage    `json:"message"`
-	Locations []sarifLocation `json:"locations"`
-}
-
-type sarifMessage struct {
-	Text string `json:"text"`
-}
-
-type sarifLocation struct {
-	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
-}
-
-type sarifPhysicalLocation struct {
-	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
-	Region           sarifRegion           `json:"region"`
-}
-
-type sarifArtifactLocation struct {
-	URI string `json:"uri"`
-}
-
-type sarifRegion struct {
-	StartLine   int `json:"startLine"`
-	StartColumn int `json:"startColumn"`
-	EndLine     int `json:"endLine"`
-	EndColumn   int `json:"endColumn"`
-}
 
 // sarifRules is the stable rule registry; ruleIndex in results points
 // into this slice.
-var sarifRules = []sarifRule{
-	{ID: CodeFSWrite, ShortDescription: sarifMessage{Text: "Write is false-sharing prone across static chunk boundaries"}},
-	{ID: CodeFSPair, ShortDescription: sarifMessage{Text: "References share a cache line across threads (false sharing)"}},
-	{ID: CodeRace, ShortDescription: sarifMessage{Text: "Differently-scheduled threads touch the same element (data race / true sharing)"}},
-	{ID: CodeFixChunk, ShortDescription: sarifMessage{Text: "A line-aligning schedule chunk removes the detected false sharing"}},
-	{ID: CodeFixPad, ShortDescription: sarifMessage{Text: "Struct padding to a cache-line multiple removes the detected false sharing"}},
-	{ID: CodeNotAnalyzable, ShortDescription: sarifMessage{Text: "Reference excluded from the static analysis"}},
-	{ID: CodeParse, ShortDescription: sarifMessage{Text: "Source could not be parsed or lowered"}},
+var sarifRules = []sarifwriter.Rule{
+	{ID: CodeFSWrite, Description: "Write is false-sharing prone across static chunk boundaries"},
+	{ID: CodeFSPair, Description: "References share a cache line across threads (false sharing)"},
+	{ID: CodeRace, Description: "Differently-scheduled threads touch the same element (data race / true sharing)"},
+	{ID: CodeFixChunk, Description: "A line-aligning schedule chunk removes the detected false sharing"},
+	{ID: CodeFixPad, Description: "Struct padding to a cache-line multiple removes the detected false sharing"},
+	{ID: CodeFixPlan, Description: "A tuner-selected transformation plan removes the detected false sharing"},
+	{ID: CodeNotAnalyzable, Description: "Reference excluded from the static analysis"},
+	{ID: CodeParse, Description: "Source could not be parsed or lowered"},
 }
-
-var sarifRuleIndex = func() map[string]int {
-	m := make(map[string]int, len(sarifRules))
-	for i, r := range sarifRules {
-		m[r.ID] = i
-	}
-	return m
-}()
 
 // sarifLevel maps a severity to the SARIF result level vocabulary.
 func sarifLevel(s Severity) string {
 	switch s {
 	case SeverityError:
-		return "error"
+		return sarifwriter.LevelError
 	case SeverityWarning:
-		return "warning"
+		return sarifwriter.LevelWarning
 	default:
-		return "note"
+		return sarifwriter.LevelNote
 	}
 }
 
 // WriteSARIF renders the reports as one SARIF 2.1.0 run.
 func WriteSARIF(w io.Writer, reports []FileReport) error {
-	run := sarifRun{
-		Tool: sarifTool{Driver: sarifDriver{
-			Name:  "fslint",
-			Rules: sarifRules,
-		}},
-		Results: []sarifResult{},
-	}
+	var results []sarifwriter.Result
 	for _, fr := range reports {
 		for _, d := range fr.Report.Diagnostics {
-			end := d.End
-			if end.Line < d.Pos.Line || (end.Line == d.Pos.Line && end.Col <= d.Pos.Col) {
-				end = d.Pos
-				end.Col++
-			}
-			idx, ok := sarifRuleIndex[d.Code]
-			if !ok {
-				idx = 0
-			}
-			run.Results = append(run.Results, sarifResult{
-				RuleID:    d.Code,
-				RuleIndex: idx,
-				Level:     sarifLevel(d.Severity),
-				Message:   sarifMessage{Text: d.Message},
-				Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
-					ArtifactLocation: sarifArtifactLocation{URI: fr.File},
-					Region: sarifRegion{
-						StartLine:   d.Pos.Line,
-						StartColumn: d.Pos.Col,
-						EndLine:     end.Line,
-						EndColumn:   end.Col,
-					},
-				}}},
+			results = append(results, sarifwriter.Result{
+				RuleID:  d.Code,
+				Level:   sarifLevel(d.Severity),
+				Message: d.Message,
+				URI:     fr.File,
+				Region: sarifwriter.Region{
+					StartLine:   d.Pos.Line,
+					StartColumn: d.Pos.Col,
+					EndLine:     d.End.Line,
+					EndColumn:   d.End.Col,
+				},
 			})
 		}
 	}
-	log := sarifLog{Schema: SarifSchemaURI, Version: SarifVersion, Runs: []sarifRun{run}}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(log)
+	return sarifwriter.Write(w, "fslint", sarifRules, results)
 }

@@ -1,0 +1,185 @@
+// Package sarifwriter is the one SARIF 2.1.0 producer shared by every
+// analyzer in the repository. fslint (mini-C, minic.Pos spans) and fsvet
+// (Go, token.Pos spans) both report diagnostics in their own position
+// vocabulary; each adapts its findings into the position-agnostic Result
+// type here, so the serialized schema shape — tool driver, rule registry,
+// ruleIndex consistency, 1-based regions, non-null results arrays — is
+// maintained (and tested) in exactly one place.
+//
+// Only the mandatory slice of the SARIF 2.1.0 schema is emitted: a tool
+// driver with rule metadata, and one result per diagnostic with a
+// physical location region.
+package sarifwriter
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SchemaURI and Version identify the emitted document flavor.
+const (
+	SchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	Version   = "2.1.0"
+)
+
+// Levels from the SARIF result-level vocabulary accepted in Result.Level;
+// anything else is normalized to "none" by Write.
+const (
+	LevelNote    = "note"
+	LevelWarning = "warning"
+	LevelError   = "error"
+)
+
+// Rule is one entry of a tool's stable rule registry.
+type Rule struct {
+	ID          string
+	Description string
+	HelpURI     string
+}
+
+// Region is a 1-based source span; End is one past the last character.
+// Write normalizes degenerate spans (End at or before Start) to a
+// one-character region so no emitted region is empty.
+type Region struct {
+	StartLine, StartColumn int
+	EndLine, EndColumn     int
+}
+
+// Result is one diagnostic in position-agnostic form: the producing
+// analyzer has already rendered its native span into URI + Region.
+type Result struct {
+	RuleID  string
+	Level   string // LevelNote, LevelWarning or LevelError
+	Message string
+	URI     string
+	Region  Region
+}
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	HelpURI          string       `json:"helpUri,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+	EndLine     int `json:"endLine"`
+	EndColumn   int `json:"endColumn"`
+}
+
+// normalize clamps a region to the 1-based, non-empty shape the schema
+// tests require.
+func normalize(r Region) sarifRegion {
+	if r.StartLine < 1 {
+		r.StartLine = 1
+	}
+	if r.StartColumn < 1 {
+		r.StartColumn = 1
+	}
+	if r.EndLine < r.StartLine || (r.EndLine == r.StartLine && r.EndColumn <= r.StartColumn) {
+		r.EndLine = r.StartLine
+		r.EndColumn = r.StartColumn + 1
+	}
+	return sarifRegion{
+		StartLine:   r.StartLine,
+		StartColumn: r.StartColumn,
+		EndLine:     r.EndLine,
+		EndColumn:   r.EndColumn,
+	}
+}
+
+func level(s string) string {
+	switch s {
+	case LevelNote, LevelWarning, LevelError:
+		return s
+	}
+	return "none"
+}
+
+// Write renders one SARIF 2.1.0 run for the named tool. Every result's
+// RuleID should appear in rules; unknown IDs degrade to ruleIndex 0 so
+// the document stays schema-valid rather than failing the whole render.
+func Write(w io.Writer, toolName string, rules []Rule, results []Result) error {
+	drv := sarifDriver{Name: toolName, Rules: make([]sarifRule, len(rules))}
+	index := make(map[string]int, len(rules))
+	for i, r := range rules {
+		drv.Rules[i] = sarifRule{
+			ID:               r.ID,
+			ShortDescription: sarifMessage{Text: r.Description},
+			HelpURI:          r.HelpURI,
+		}
+		index[r.ID] = i
+	}
+	run := sarifRun{
+		Tool:    sarifTool{Driver: drv},
+		Results: []sarifResult{},
+	}
+	for _, res := range results {
+		idx, ok := index[res.RuleID]
+		if !ok {
+			idx = 0
+		}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:    res.RuleID,
+			RuleIndex: idx,
+			Level:     level(res.Level),
+			Message:   sarifMessage{Text: res.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: res.URI},
+				Region:           normalize(res.Region),
+			}}},
+		})
+	}
+	log := sarifLog{Schema: SchemaURI, Version: Version, Runs: []sarifRun{run}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

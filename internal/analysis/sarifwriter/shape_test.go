@@ -1,0 +1,205 @@
+package sarifwriter_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/sarifwriter"
+	"repro/internal/govet"
+	"repro/internal/minic"
+)
+
+// Both SARIF producers — fslint (mini-C diagnostics) and fsvet (Go
+// diagnostics) — emit through the shared sarifwriter. This test renders
+// a real document from each and validates the common SARIF 2.1.0 shape
+// with one checker, so the producers cannot drift apart: a schema
+// regression in the writer fails both subtests identically.
+
+// checkShape validates the SARIF 2.1.0 required fields of doc and
+// returns the decoded run for producer-specific checks.
+func checkShape(t *testing.T, raw []byte, wantDriver string, wantMinResults int) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if doc["version"] != sarifwriter.Version {
+		t.Fatalf("version = %v", doc["version"])
+	}
+	if schema, _ := doc["$schema"].(string); !strings.Contains(schema, "sarif-schema-2.1.0") {
+		t.Fatalf("$schema = %q", schema)
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != wantDriver {
+		t.Fatalf("driver name = %v, want %s", driver["name"], wantDriver)
+	}
+	rules, ok := driver["rules"].([]any)
+	if !ok || len(rules) == 0 {
+		t.Fatal("driver has no rules")
+	}
+	ruleIDAt := make([]string, len(rules))
+	for i, r := range rules {
+		rm := r.(map[string]any)
+		id, _ := rm["id"].(string)
+		if id == "" {
+			t.Fatalf("rule without id: %v", r)
+		}
+		if rm["shortDescription"].(map[string]any)["text"] == "" {
+			t.Fatalf("rule %s without shortDescription.text", id)
+		}
+		ruleIDAt[i] = id
+	}
+	results, ok := run["results"].([]any)
+	if !ok {
+		t.Fatalf("results must be a non-null array, got %v", run["results"])
+	}
+	if len(results) < wantMinResults {
+		t.Fatalf("got %d results, want >= %d", len(results), wantMinResults)
+	}
+	for _, r := range results {
+		res := r.(map[string]any)
+		ruleID, _ := res["ruleId"].(string)
+		if ruleID == "" {
+			t.Fatalf("result without ruleId: %v", res)
+		}
+		// ruleIndex must be in range and point at the matching registry
+		// entry (unknown rules fall back to 0 by contract).
+		idx, ok := res["ruleIndex"].(float64)
+		if !ok || idx < 0 || int(idx) >= len(ruleIDAt) {
+			t.Fatalf("ruleIndex %v out of range for %d rules", res["ruleIndex"], len(ruleIDAt))
+		}
+		if got := ruleIDAt[int(idx)]; got != ruleID && idx != 0 {
+			t.Fatalf("ruleIndex %d names %s, result says %s", int(idx), got, ruleID)
+		}
+		switch res["level"] {
+		case "note", "warning", "error":
+		default:
+			t.Fatalf("bad level %v", res["level"])
+		}
+		if res["message"].(map[string]any)["text"] == "" {
+			t.Fatalf("result without message.text: %v", res)
+		}
+		locs, ok := res["locations"].([]any)
+		if !ok || len(locs) != 1 {
+			t.Fatalf("result without exactly one location: %v", res)
+		}
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		if phys["artifactLocation"].(map[string]any)["uri"] == "" {
+			t.Fatalf("location without artifact uri: %v", phys)
+		}
+		region := phys["region"].(map[string]any)
+		for _, k := range []string{"startLine", "startColumn", "endLine", "endColumn"} {
+			if v, ok := region[k].(float64); !ok || v < 1 {
+				t.Fatalf("region %s = %v, want >= 1", k, region[k])
+			}
+		}
+	}
+	return run
+}
+
+func TestSARIFShapeBothProducers(t *testing.T) {
+	t.Run("fslint", func(t *testing.T) {
+		rep := &analysis.Report{Diagnostics: []analysis.Diagnostic{{
+			Code:     analysis.CodeFSWrite,
+			Severity: analysis.SeverityWarning,
+			Pos:      minic.Pos{Line: 3, Col: 5},
+			End:      minic.Pos{Line: 3, Col: 20},
+			Message:  "write to a[i] false-shares across threads",
+			Exact:    true,
+		}, {
+			Code:     analysis.CodeParse,
+			Severity: analysis.SeverityError,
+			Pos:      minic.Pos{Line: 1, Col: 1},
+			End:      minic.Pos{Line: 1, Col: 2},
+			Message:  "unexpected token",
+			Exact:    true,
+		}}}
+		var buf bytes.Buffer
+		if err := analysis.WriteSARIF(&buf, []analysis.FileReport{{File: "victim.c", Report: rep}}); err != nil {
+			t.Fatal(err)
+		}
+		checkShape(t, buf.Bytes(), "fslint", 2)
+	})
+
+	t.Run("fsvet", func(t *testing.T) {
+		src := `package p
+
+type r struct{ x, y int64 }
+
+var d = make([]r, 512)
+
+func F() {
+	for i := 0; i < 512; i++ {
+		go func(i int) { d[i].x = 1 }(i)
+	}
+}
+`
+		fset := token.NewFileSet()
+		pass, _, err := govet.CheckSource(fset, "victim.go", []byte(src), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := govet.Analyze(pass)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) == 0 {
+			t.Fatal("fan-out source produced no diagnostics")
+		}
+		var buf bytes.Buffer
+		reports := []govet.PackageReport{{Path: "p", Pass: pass, Diags: diags}}
+		if err := govet.WriteSARIF(&buf, reports); err != nil {
+			t.Fatal(err)
+		}
+		run := checkShape(t, buf.Bytes(), "fsvet", 1)
+		// fsvet's registry must carry all three stable codes.
+		rules := run["tool"].(map[string]any)["driver"].(map[string]any)["rules"].([]any)
+		have := map[string]bool{}
+		for _, r := range rules {
+			have[r.(map[string]any)["id"].(string)] = true
+		}
+		for _, want := range []string{govet.CodeHotLine, govet.CodeAdjacentWrites, govet.CodeUnpaddedShard} {
+			if !have[want] {
+				t.Fatalf("fsvet rule registry missing %s", want)
+			}
+		}
+	})
+}
+
+// TestWriterNormalization pins the writer's own contracts: empty result
+// sets stay non-null arrays, out-of-range regions clamp to 1-based
+// non-empty, and unknown rule IDs fall back to ruleIndex 0.
+func TestWriterNormalization(t *testing.T) {
+	rules := []sarifwriter.Rule{{ID: "R1", Description: "rule one"}}
+
+	var buf bytes.Buffer
+	if err := sarifwriter.Write(&buf, "t", rules, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Fatalf("empty results must render as []: %s", buf.String())
+	}
+
+	buf.Reset()
+	err := sarifwriter.Write(&buf, "t", rules, []sarifwriter.Result{{
+		RuleID: "UNKNOWN", Level: sarifwriter.LevelNote, Message: "m", URI: "f",
+		Region: sarifwriter.Region{StartLine: 0, StartColumn: -3, EndLine: 0, EndColumn: 0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := checkShape(t, buf.Bytes(), "t", 1)
+	res := run["results"].([]any)[0].(map[string]any)
+	if res["ruleIndex"].(float64) != 0 {
+		t.Fatalf("unknown rule must index 0, got %v", res["ruleIndex"])
+	}
+}

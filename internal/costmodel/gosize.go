@@ -1,0 +1,22 @@
+package costmodel
+
+import "repro/internal/machine"
+
+// Helpers for front ends that score false sharing without a lowered
+// loopir nest — fsvet (internal/govet) works from go/types field offsets
+// and sizes, not affine reference descriptors, but uses the same
+// Equation 1 false-sharing term and the same line geometry to turn a
+// closed-form straddle count into modeled wall cycles.
+
+// FSWallCycles converts a count of false-sharing cases (line-sharing
+// chunk or index boundaries) into modeled wall cycles: one
+// cache-to-cache coherence transfer per case, spread over the thread
+// team exactly as Breakdown.TotalWithFS spreads it.
+func FSWallCycles(fsCases int64, m *machine.Desc, threads int) float64 {
+	return fsWallCycles(fsCases, m, threads)
+}
+
+// FSWallSeconds is FSWallCycles converted at the machine's clock.
+func FSWallSeconds(fsCases int64, m *machine.Desc, threads int) float64 {
+	return m.Seconds(fsWallCycles(fsCases, m, threads))
+}

@@ -1,0 +1,152 @@
+package govet
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// The golden corpus gate: examples/govet holds known-bad programs and
+// their padded twins, and golden.json records exactly what fsvet must
+// say about each. This test is the contract CI enforces — a detection
+// or scoring regression shows up as a golden mismatch, not as silence.
+
+const corpusDir = "../../examples/govet"
+
+type goldenEntry struct {
+	Code string `json:"code"`
+	Line int    `json:"line"`
+}
+
+func loadGolden(t *testing.T) map[string][]goldenEntry {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(corpusDir, "golden.json"))
+	if err != nil {
+		t.Fatalf("golden.json: %v", err)
+	}
+	var golden map[string][]goldenEntry
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatalf("golden.json: %v", err)
+	}
+	return golden
+}
+
+// analyzeCorpusFile runs the analyzer on one corpus file at the given
+// line size.
+func analyzeCorpusFile(t *testing.T, src []byte, line int64) (*Pass, []Diagnostic) {
+	t.Helper()
+	m, err := machine.Paper48().WithLineSize(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var imp = stdImporterFor(t, fset)
+	pass, _, err := CheckSource(fset, "corpus.go", src, imp)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	pass.Machine = m
+	diags, err := Analyze(pass)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return pass, diags
+}
+
+func TestCorpusGolden(t *testing.T) {
+	golden := loadGolden(t)
+
+	// Every .go file in the corpus must be covered by golden.json, and
+	// vice versa — a new corpus file without expectations is an error.
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			onDisk[e.Name()] = true
+			if _, ok := golden[e.Name()]; !ok {
+				t.Errorf("%s has no golden.json entry", e.Name())
+			}
+		}
+	}
+	for name := range golden {
+		if !onDisk[name] {
+			t.Errorf("golden.json names missing file %s", name)
+		}
+	}
+
+	names := make([]string, 0, len(golden))
+	for name := range golden {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		want := golden[name]
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(corpusDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pass, ds := analyzeCorpusFile(t, src, 64)
+			var got []goldenEntry
+			for _, d := range ds {
+				got = append(got, goldenEntry{Code: d.Code, Line: pass.Fset.Position(d.Pos).Line})
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %+v, want %+v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("diag %d: got %+v, want %+v", i, got[i], want[i])
+				}
+			}
+
+			if strings.HasPrefix(name, "clean_") {
+				// Twins must also be clean at 128B lines.
+				if _, ds128 := analyzeCorpusFile(t, src, 128); len(ds128) != 0 {
+					t.Errorf("L=128: clean twin flagged: %v", codesOf(ds128))
+				}
+				return
+			}
+
+			// Known-bad files: every finding carries a verified fix, and
+			// applying the fixes re-analyzes clean.
+			for _, d := range ds {
+				if len(d.Fixes) == 0 {
+					t.Fatalf("%s finding has no suggested fix", d.Code)
+				}
+				for _, fix := range d.Fixes {
+					if !fix.Verified {
+						t.Errorf("%s fix not verified: %q", d.Code, fix.Message)
+					}
+				}
+			}
+			var edits []Edit
+			for _, d := range ds {
+				for _, e := range d.Fixes[0].Edits {
+					edits = append(edits, Edit{
+						Off:  pass.Fset.Position(e.Pos).Offset,
+						End:  pass.Fset.Position(e.End).Offset,
+						Text: e.NewText,
+					})
+				}
+			}
+			patched, err := ApplyEditsToSource(src, edits)
+			if err != nil {
+				t.Fatalf("applying fixes: %v", err)
+			}
+			if _, ds2 := analyzeCorpusFile(t, patched, 64); len(ds2) != 0 {
+				t.Errorf("fixed source still flagged: %v\npatched:\n%s", codesOf(ds2), patched)
+			}
+		})
+	}
+}

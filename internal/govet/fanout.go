@@ -1,0 +1,574 @@
+package govet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/affine"
+	"repro/internal/costmodel"
+)
+
+// Pass 2: goroutine fan-out shapes. The canonical Go parallel loop
+//
+//	for i := range work {
+//		go func() { results[i] = f(work[i]) }()
+//	}
+//
+// is the transliteration of the paper's schedule(static,1) OpenMP loop:
+// iteration k writes the affine byte range [A·k + F, A·k + F + W) of the
+// destination's backing array (A the element stride, F the written
+// field's offset within the element, W its width), and adjacent indices
+// are owned by different goroutines by construction. Exactly as in the
+// mini-C analyzer, the number of adjacent-index boundaries whose writes
+// land on one cache line is a residue count over the arithmetic
+// progression of boundary addresses — affine.CountResidueAtLeast, closed
+// form, trip-count independent (GV002).
+//
+// The same geometry scores indexed atomic operations — shards[i].n.Add(1)
+// and atomic.AddInt64(&shards[i].n, 1): atomics are cross-goroutine by
+// purpose, so an element size that is not a line multiple means distinct
+// shards contend for one line (GV003), defeating the sharding.
+
+// fanoutWrite is one indexed write observed inside a fan-out goroutine.
+type fanoutWrite struct {
+	target ast.Expr   // the written IndexExpr or SelectorExpr-over-IndexExpr
+	base   *types.Var // the sliced/indexed container
+	elem   types.Type // element type
+	field  *types.Var // written field within the element (nil = whole element)
+	trips  int64      // loop trip count, 0 if unknown
+}
+
+// runFanout is pass 2: GV002 (plain fan-out writes) and GV003 (indexed
+// atomics) over the package.
+func runFanout(p *Pass) {
+	seen := make(map[string]bool) // dedupe key -> reported
+	for _, f := range p.Files {
+		walkFanout(p, f, nil, seen)
+		walkIndexedAtomics(p, f, seen)
+	}
+}
+
+// walkFanout descends the file tracking the set of loop variables in
+// scope, and analyzes each `go func(...){...}(...)` launched inside a
+// loop.
+func walkFanout(p *Pass, n ast.Node, loops []*loopFrame, seen map[string]bool) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		fr := forFrame(p, n)
+		walkChildren(p, n, append(loops, fr), seen)
+		return
+	case *ast.RangeStmt:
+		fr := rangeFrame(p, n)
+		walkChildren(p, n, append(loops, fr), seen)
+		return
+	case *ast.GoStmt:
+		if len(loops) > 0 {
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				analyzeFanoutGoroutine(p, n, lit, loops, seen)
+			}
+		}
+	}
+	walkChildren(p, n, loops, seen)
+}
+
+// walkChildren recurses into n's children with the given loop stack.
+func walkChildren(p *Pass, n ast.Node, loops []*loopFrame, seen map[string]bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return c == n
+		}
+		switch c.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.GoStmt:
+			walkFanout(p, c, loops, seen)
+			return false
+		}
+		return true
+	})
+}
+
+// loopFrame is one enclosing loop: its per-iteration variables and, when
+// the bounds are compile-time constants, its trip count.
+type loopFrame struct {
+	vars  map[*types.Var]bool
+	trips int64 // 0 = unknown
+}
+
+// forFrame extracts `for i := lo; i < hi; i++`-style loop variables and
+// a constant trip count when lo and hi are constants.
+func forFrame(p *Pass, n *ast.ForStmt) *loopFrame {
+	fr := &loopFrame{vars: make(map[*types.Var]bool)}
+	init, ok := n.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE {
+		return fr
+	}
+	var lo int64
+	loKnown := false
+	for i, lhs := range init.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, ok := p.Info.Defs[id].(*types.Var); ok {
+			fr.vars[v] = true
+		}
+		if i < len(init.Rhs) {
+			if c, ok := constInt(p, init.Rhs[i]); ok {
+				lo, loKnown = c, true
+			}
+		}
+	}
+	if cond, ok := n.Cond.(*ast.BinaryExpr); ok && loKnown {
+		if hi, ok := constInt(p, cond.Y); ok {
+			switch cond.Op {
+			case token.LSS:
+				if hi > lo {
+					fr.trips = hi - lo
+				}
+			case token.LEQ:
+				if hi >= lo {
+					fr.trips = hi - lo + 1
+				}
+			}
+		}
+	}
+	return fr
+}
+
+// rangeFrame extracts `for i := range x` / `for i, v := range x` loop
+// variables; the trip count is known when x has array type.
+func rangeFrame(p *Pass, n *ast.RangeStmt) *loopFrame {
+	fr := &loopFrame{vars: make(map[*types.Var]bool)}
+	if n.Tok == token.DEFINE {
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok && id != nil {
+				if v, ok := p.Info.Defs[id].(*types.Var); ok {
+					fr.vars[v] = true
+				}
+			}
+		}
+	}
+	if tv, ok := p.Info.Types[n.X]; ok && tv.Type != nil {
+		t := tv.Type.Underlying()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem().Underlying()
+		}
+		switch t := t.(type) {
+		case *types.Array:
+			fr.trips = t.Len()
+		case *types.Basic:
+			// for i := range N (Go 1.22 integer range)
+			if c, ok := constInt(p, n.X); ok && c > 0 {
+				fr.trips = c
+			}
+		}
+	}
+	return fr
+}
+
+// constInt evaluates expr to a constant int64 via the type checker.
+func constInt(p *Pass, expr ast.Expr) (int64, bool) {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+// analyzeFanoutGoroutine scores the writes of one fan-out goroutine:
+// indexed writes whose index is a goroutine-varying variable (an
+// enclosing loop variable captured per-iteration, or a parameter fed by
+// one).
+func analyzeFanoutGoroutine(p *Pass, g *ast.GoStmt, lit *ast.FuncLit, loops []*loopFrame, seen map[string]bool) {
+	varying := make(map[*types.Var]bool)
+	trips := int64(0)
+	for _, fr := range loops {
+		for v := range fr.vars {
+			varying[v] = true
+		}
+	}
+	if inner := loops[len(loops)-1]; inner.trips > 0 {
+		trips = inner.trips
+	}
+	// Parameters fed by loop variables: go func(i int){...}(i).
+	if lit.Type.Params != nil {
+		argIdx := 0
+		for _, fld := range lit.Type.Params.List {
+			names := fld.Names
+			if len(names) == 0 {
+				argIdx++
+				continue
+			}
+			for _, name := range names {
+				if argIdx < len(g.Call.Args) {
+					if id, ok := ast.Unparen(g.Call.Args[argIdx]).(*ast.Ident); ok {
+						if src, ok := p.Info.Uses[id].(*types.Var); ok && varying[src] {
+							if pv, ok := p.Info.Defs[name].(*types.Var); ok {
+								varying[pv] = true
+							}
+						}
+					}
+				}
+				argIdx++
+			}
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		var targets []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			targets = n.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{n.X}
+		default:
+			return true
+		}
+		for _, tgt := range targets {
+			w, ok := indexedWrite(p, tgt, varying, lit)
+			if !ok {
+				continue
+			}
+			w.trips = trips
+			reportAdjacentWrites(p, w, seen)
+		}
+		return true
+	})
+}
+
+// indexedWrite decides whether tgt is a write to base[idx] or
+// base[idx].field with a goroutine-varying idx and a base declared
+// outside the goroutine, and describes it.
+func indexedWrite(p *Pass, tgt ast.Expr, varying map[*types.Var]bool, lit *ast.FuncLit) (fanoutWrite, bool) {
+	tgt = ast.Unparen(tgt)
+	var field *types.Var
+	if sel, ok := tgt.(*ast.SelectorExpr); ok {
+		if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal && len(s.Index()) == 1 {
+			if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+				field = v
+				tgt = ast.Unparen(sel.X)
+			}
+		}
+	}
+	ix, ok := tgt.(*ast.IndexExpr)
+	if !ok {
+		return fanoutWrite{}, false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	if !ok {
+		return fanoutWrite{}, false
+	}
+	iv, ok := p.Info.Uses[id].(*types.Var)
+	if !ok || !varying[iv] {
+		return fanoutWrite{}, false
+	}
+	baseID, ok := ast.Unparen(ix.X).(*ast.Ident)
+	if !ok {
+		return fanoutWrite{}, false
+	}
+	base, ok := p.Info.Uses[baseID].(*types.Var)
+	if !ok {
+		return fanoutWrite{}, false
+	}
+	// The container must outlive the goroutine: declared outside the
+	// function literal (captured local or package-level).
+	if base.Pos() >= lit.Pos() && base.Pos() < lit.End() {
+		return fanoutWrite{}, false
+	}
+	elem, ok := elemTypeOf(base.Type())
+	if !ok {
+		return fanoutWrite{}, false
+	}
+	return fanoutWrite{target: tgt, base: base, elem: elem, field: field}, true
+}
+
+// elemTypeOf unwraps a slice, array, or pointer-to-array type.
+func elemTypeOf(t types.Type) (types.Type, bool) {
+	u := t.Underlying()
+	if ptr, ok := u.(*types.Pointer); ok {
+		u = ptr.Elem().Underlying()
+	}
+	switch u := u.(type) {
+	case *types.Slice:
+		return u.Elem(), true
+	case *types.Array:
+		return u.Elem(), true
+	}
+	return nil, false
+}
+
+// strideGeometry computes (A, F, W): element stride, written-range
+// offset within the element, and written width.
+func strideGeometry(p *Pass, w fanoutWrite) (A, F, W int64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	A = p.Sizes.Sizeof(w.elem)
+	if A <= 0 {
+		return 0, 0, 0, false
+	}
+	F, W = 0, A
+	if w.field != nil {
+		st, isStruct := w.elem.Underlying().(*types.Struct)
+		if !isStruct {
+			return 0, 0, 0, false
+		}
+		offs, szs, okL := layoutOf(p.Sizes, st)
+		if !okL {
+			return 0, 0, 0, false
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == w.field {
+				F, W = offs[i], szs[i]
+				break
+			}
+		}
+	}
+	if W <= 0 {
+		return 0, 0, 0, false
+	}
+	return A, F, W, true
+}
+
+// straddleCount is the closed-form score: among n-1 adjacent-index
+// boundaries, how many have the last written byte of index k and the
+// first of k+1 on one cache line. The boundary-t address is the
+// arithmetic progression (A+F) + A·t, so the count is a residue count.
+func straddleCount(A, F, W, L, n int64) (straddles, boundaries int64) {
+	if n < 2 {
+		return 0, 0
+	}
+	boundaries = n - 1
+	lo := A - W + 1
+	straddles = affine.CountResidueAtLeast(A+F, A, L, lo, 0, boundaries)
+	return straddles, boundaries
+}
+
+// reportAdjacentWrites emits GV002 for one fan-out write if its score is
+// nonzero.
+func reportAdjacentWrites(p *Pass, w fanoutWrite, seen map[string]bool) {
+	m := p.machineOrDefault()
+	L := m.LineSize
+	A, F, W, ok := strideGeometry(p, w)
+	if !ok {
+		return
+	}
+	n, exact := w.trips, true
+	if n <= 0 {
+		n, exact = p.AssumedTrips, false
+	}
+	straddles, boundaries := straddleCount(A, F, W, L, n)
+	if straddles == 0 {
+		return
+	}
+	key := fmt.Sprintf("GV002/%s/%v/%d", w.base.Name(), w.base.Pos(), fieldPosKey(w.field))
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	cycles := costmodel.FSWallCycles(straddles, m, m.Cores)
+	what := fmt.Sprintf("%dB elements", A)
+	if w.field != nil {
+		what = fmt.Sprintf("%dB field %s of %dB elements", W, w.field.Name(), A)
+	}
+	suffix := ""
+	if !exact {
+		suffix = fmt.Sprintf(" (trip count unknown at compile time; assuming %d)", n)
+	}
+	d := Diagnostic{
+		Pos:        w.target.Pos(),
+		End:        w.target.End(),
+		Code:       CodeAdjacentWrites,
+		Straddles:  straddles,
+		Boundaries: boundaries,
+		LineSize:   L,
+		Cycles:     cycles,
+		Exact:      exact,
+		Message: fmt.Sprintf(
+			"goroutine-per-index writes to %s (%s): %d of %d adjacent-index boundaries share a %dB cache line, ~%.0f cycles of coherence traffic; pad the element to a line multiple%s",
+			w.base.Name(), what, straddles, boundaries, L, cycles, suffix),
+	}
+	if fix, ok := padElementFix(p, w.elem); ok {
+		d.Fixes = append(d.Fixes, fix)
+	}
+	p.report(d)
+}
+
+// fieldPosKey distinguishes whole-element from per-field writes in
+// dedupe keys.
+func fieldPosKey(f *types.Var) token.Pos {
+	if f == nil {
+		return token.NoPos
+	}
+	return f.Pos()
+}
+
+// walkIndexedAtomics finds GV003: atomic operations on elements of a
+// slice/array whose element size is not a line multiple. Atomics imply
+// cross-goroutine use, so no goroutine context is required.
+func walkIndexedAtomics(p *Pass, f *ast.File, seen map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Form 1: atomic.AddInt64(&shards[i].n, 1).
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+			fn.Type().(*types.Signature).Recv() == nil && len(call.Args) > 0 {
+			if _, reported := atomicFuncWrites(fn.Name()); reported {
+				if w, ok := atomicOperand(p, call.Args[0]); ok {
+					reportUnpaddedShard(p, call, w, seen)
+				}
+			}
+			return true
+		}
+		// Form 2: shards[i].n.Add(1) — a method on an atomic value type.
+		if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal &&
+			isAtomicValueType(deref(s.Recv())) {
+			if w, ok := atomicOperand(p, sel.X); ok {
+				reportUnpaddedShard(p, call, w, seen)
+			}
+		}
+		return true
+	})
+}
+
+// deref unwraps one pointer level.
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// atomicOperand resolves the operand of an atomic op — &base[i].f,
+// base[i].f, base[i].f.g, or base[i] after unwrapping — to an indexed
+// container access.
+func atomicOperand(p *Pass, expr ast.Expr) (fanoutWrite, bool) {
+	expr = ast.Unparen(expr)
+	if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		expr = ast.Unparen(u.X)
+	}
+	var field *types.Var
+	for {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok && v.IsField() && field == nil {
+				field = v // outermost field keeps the written width honest
+			}
+		}
+		expr = ast.Unparen(sel.X)
+	}
+	ix, ok := expr.(*ast.IndexExpr)
+	if !ok {
+		return fanoutWrite{}, false
+	}
+	baseID, ok := ast.Unparen(ix.X).(*ast.Ident)
+	if !ok {
+		return fanoutWrite{}, false
+	}
+	base, ok := p.Info.Uses[baseID].(*types.Var)
+	if !ok {
+		return fanoutWrite{}, false
+	}
+	elem, ok := elemTypeOf(base.Type())
+	if !ok {
+		return fanoutWrite{}, false
+	}
+	// The written field is the innermost selection step directly on the
+	// element, if any; recompute as the field whose parent is elem.
+	return fanoutWrite{target: ix, base: base, elem: elem, field: fieldOnElem(p, elem, field)}, true
+}
+
+// fieldOnElem keeps field only if it is a direct field of elem's struct;
+// deeper nesting degrades to whole-element geometry (conservative).
+func fieldOnElem(p *Pass, elem types.Type, field *types.Var) *types.Var {
+	if field == nil {
+		return nil
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == field {
+			return field
+		}
+	}
+	return nil
+}
+
+// reportUnpaddedShard emits GV003 when the shard element size is not a
+// line multiple: distinct indices then contend for shared lines,
+// defeating the sharding.
+func reportUnpaddedShard(p *Pass, at ast.Node, w fanoutWrite, seen map[string]bool) {
+	m := p.machineOrDefault()
+	L := m.LineSize
+	A, F, W, ok := strideGeometry(p, w)
+	if !ok || A%L == 0 {
+		return
+	}
+	key := fmt.Sprintf("GV003/%s/%v/%d", w.base.Name(), w.base.Pos(), fieldPosKey(w.field))
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	// Shard count: array length when declared, else one shard per core
+	// (the canonical sizing); boundaries score as in GV002.
+	n, exact := int64(0), true
+	if u, ok := w.base.Type().Underlying().(*types.Array); ok {
+		n = u.Len()
+	} else if ptr, ok := w.base.Type().Underlying().(*types.Pointer); ok {
+		if u, ok := ptr.Elem().Underlying().(*types.Array); ok {
+			n = u.Len()
+		}
+	}
+	if n <= 0 {
+		n, exact = int64(m.Cores), false
+	}
+	if n < 2 {
+		return // a single element cannot shard-contend
+	}
+	straddles, boundaries := straddleCount(A, F, W, L, n)
+	if straddles == 0 {
+		return
+	}
+	cycles := costmodel.FSWallCycles(straddles, m, m.Cores)
+	suffix := ""
+	if !exact {
+		suffix = fmt.Sprintf(" (shard count unknown at compile time; assuming %d, one per core)", n)
+	}
+	d := Diagnostic{
+		Pos:        at.Pos(),
+		End:        at.End(),
+		Code:       CodeUnpaddedShard,
+		Straddles:  straddles,
+		Boundaries: boundaries,
+		LineSize:   L,
+		Cycles:     cycles,
+		Exact:      exact,
+		Message: fmt.Sprintf(
+			"atomic operation on %s element (%dB, not a %dB line multiple): %d of %d adjacent shards share a cache line, ~%.0f cycles of coherence traffic; pad the element to a line multiple%s",
+			w.base.Name(), A, L, straddles, boundaries, cycles, suffix),
+	}
+	if fix, ok := padElementFix(p, w.elem); ok {
+		d.Fixes = append(d.Fixes, fix)
+	}
+	p.report(d)
+}

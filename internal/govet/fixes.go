@@ -1,0 +1,198 @@
+package govet
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// Pass 3: verified suggested fixes. A fix is only attached to a
+// diagnostic after the patched type has been synthesized with go/types
+// and the layout analysis re-run on it proves the sharing is gone —
+// fsvet never suggests an edit it has not re-checked, mirroring the
+// verify-before-suggest contract of the mini-C analyzer's
+// FIX-CHUNK/FIX-PAD pass.
+
+// byteArray returns the [n]byte padding type.
+func byteArray(n int64) types.Type {
+	return types.NewArray(types.Typ[types.Byte], n)
+}
+
+// sharesAfter recomputes which index pairs of hot fields share a line
+// for an arbitrary synthesized field list.
+func sharesAfter(p *Pass, fields []*types.Var, hotIdx []int) (map[[2]int]bool, bool) {
+	m := p.machineOrDefault()
+	st := types.NewStruct(fields, nil)
+	offs, szs, ok := layoutOf(p.Sizes, st)
+	if !ok {
+		return nil, false
+	}
+	shares := make(map[[2]int]bool)
+	for a := 0; a < len(hotIdx); a++ {
+		for b := a + 1; b < len(hotIdx); b++ {
+			i, j := hotIdx[a], hotIdx[b]
+			if m.RangesShareLine(offs[i], szs[i], offs[j], szs[j]) {
+				shares[[2]int{i, j}] = true
+			}
+		}
+	}
+	return shares, true
+}
+
+// padBetweenFix builds the GV001 fix: insert a `_ [pad]byte` field
+// immediately before hot field j so it starts on a fresh cache line.
+// The fix is verified by re-running the layout analysis on the patched
+// type: the (i, j) pair must no longer share, and no hot pair that was
+// clean before may share after (padding shifts every later field, so
+// this is checked, not assumed).
+func padBetweenFix(p *Pass, sd structDecl, heat map[int]hotField, i, j int, offs []int64) (SuggestedFix, bool) {
+	m := p.machineOrDefault()
+	L := m.LineSize
+	pad := L - offs[j]%L
+	if pad <= 0 || pad >= L {
+		return SuggestedFix{}, false
+	}
+	// The insertion point must be a whole declaration: a fix cannot
+	// split `a, b atomic.Int64`.
+	decl := sd.fieldDecl[j]
+	if len(decl.Names) > 0 && sd.fieldPos[j] != decl.Names[0] {
+		return SuggestedFix{}, false
+	}
+
+	n := sd.st.NumFields()
+	var hotIdx []int
+	fields := make([]*types.Var, 0, n+1)
+	for k := 0; k < n; k++ {
+		if k == j {
+			fields = append(fields, types.NewField(0, p.Pkg, "_", byteArray(pad), false))
+		}
+		f := sd.st.Field(k)
+		fields = append(fields, types.NewField(0, p.Pkg, f.Name(), f.Type(), f.Embedded()))
+	}
+	// Hot indices in the patched field list: +1 for everything at or
+	// after the inserted pad.
+	shift := func(k int) int {
+		if k >= j {
+			return k + 1
+		}
+		return k
+	}
+	for k := range heat {
+		hotIdx = append(hotIdx, shift(k))
+	}
+	before := make(map[[2]int]bool)
+	{
+		offs0, szs0, ok := layoutOf(p.Sizes, sd.st)
+		if !ok {
+			return SuggestedFix{}, false
+		}
+		for a := range heat {
+			for b := range heat {
+				if a < b && m.RangesShareLine(offs0[a], szs0[a], offs0[b], szs0[b]) {
+					before[[2]int{shift(a), shift(b)}] = true
+				}
+			}
+		}
+	}
+	after, ok := sharesAfter(p, fields, hotIdx)
+	if !ok {
+		return SuggestedFix{}, false
+	}
+	target := [2]int{shift(i), shift(j)}
+	if after[target] {
+		return SuggestedFix{}, false // padding did not separate the pair
+	}
+	for pair := range after {
+		if !before[pair] {
+			return SuggestedFix{}, false // fix would create new sharing
+		}
+	}
+	return SuggestedFix{
+		Message: fmt.Sprintf("insert %d bytes of padding so %s starts on its own %dB cache line", pad, sd.st.Field(j).Name(), L),
+		Edits: []TextEdit{{
+			Pos:     decl.Pos(),
+			End:     decl.Pos(),
+			NewText: fmt.Sprintf("_ [%d]byte // fsvet: keep %s off %s's cache line\n\t", pad, sd.st.Field(j).Name(), sd.st.Field(i).Name()),
+		}},
+		Verified: true,
+	}, true
+}
+
+// padElementFix builds the GV002/GV003 fix: append `_ [pad]byte` to the
+// element struct so its size becomes a cache-line multiple and adjacent
+// elements can never share a line. Verified by synthesizing the padded
+// struct and re-checking both the size and the closed-form straddle
+// count. Only possible when the element is a named struct declared in
+// the analyzed package.
+func padElementFix(p *Pass, elem types.Type) (SuggestedFix, bool) {
+	m := p.machineOrDefault()
+	L := m.LineSize
+	named, ok := elem.(*types.Named)
+	if !ok {
+		return SuggestedFix{}, false
+	}
+	var sd structDecl
+	found := false
+	for _, cand := range packageStructs(p) {
+		if cand.name == named.Obj() {
+			sd, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return SuggestedFix{}, false
+	}
+	size := safeSizeof(p.Sizes, elem)
+	if size <= 0 {
+		return SuggestedFix{}, false
+	}
+	pad := m.PadToLine(size)
+	if pad == 0 {
+		return SuggestedFix{}, false
+	}
+	// Synthesize the padded struct and verify.
+	n := sd.st.NumFields()
+	fields := make([]*types.Var, 0, n+1)
+	for k := 0; k < n; k++ {
+		f := sd.st.Field(k)
+		fields = append(fields, types.NewField(0, p.Pkg, f.Name(), f.Type(), f.Embedded()))
+	}
+	fields = append(fields, types.NewField(0, p.Pkg, "_", byteArray(pad), false))
+	newSize := safeSizeof(p.Sizes, types.NewStruct(fields, nil))
+	if newSize <= 0 || newSize%L != 0 {
+		return SuggestedFix{}, false
+	}
+	// Re-run the closed-form score on the padded stride: with the worst
+	// case (whole old element written), the straddle count must be zero.
+	if s, _ := straddleCount(newSize, 0, size, L, p.AssumedTrips); s != 0 {
+		return SuggestedFix{}, false
+	}
+
+	closing := sd.astTyp.Fields.Closing
+	text := fmt.Sprintf("\t_ [%d]byte // fsvet: pad %s to a %dB-line multiple\n", pad, named.Obj().Name(), L)
+	if list := sd.astTyp.Fields.List; len(list) > 0 {
+		last := list[len(list)-1]
+		if p.Fset.Position(last.End()).Line == p.Fset.Position(closing).Line {
+			text = "\n" + text // single-line struct literal: break the line first
+		}
+	}
+	return SuggestedFix{
+		Message: fmt.Sprintf("pad %s from %d to %d bytes (a %dB-line multiple) so adjacent elements never share a line", named.Obj().Name(), size, newSize, L),
+		Edits: []TextEdit{{
+			Pos:     closing,
+			End:     closing,
+			NewText: text,
+		}},
+		Verified: true,
+	}, true
+}
+
+// safeSizeof is Sizeof with panic isolation for invalid types under
+// partial type information.
+func safeSizeof(sizes types.Sizes, t types.Type) (size int64) {
+	defer func() {
+		if recover() != nil {
+			size = -1
+		}
+	}()
+	return sizes.Sizeof(t)
+}

@@ -1,0 +1,69 @@
+package govet
+
+import (
+	"go/token"
+	"testing"
+)
+
+// FuzzAnalyzeGo is the robustness contract: for ANY input that the Go
+// parser accepts (and any it rejects), CheckSource + Analyze must
+// return normally — never panic — even under absent imports and broken
+// type information. Fix synthesis runs as part of Analyze, so the
+// verified-fix machinery is fuzzed too.
+func FuzzAnalyzeGo(f *testing.F) {
+	seeds := []string{
+		// The corpus shapes, inlined so the fuzzer mutates from real
+		// positives (imports resolve to nothing here; the type-based
+		// classification still sees the names).
+		"package p\n\nimport \"sync/atomic\"\n\ntype S struct {\n\ta atomic.Int64\n\tb atomic.Int64\n}\n",
+		"package p\n\ntype r struct{ x, y int64 }\n\nvar d = make([]r, 64)\n\nfunc F() {\n\tfor i := 0; i < 64; i++ {\n\t\tgo func(i int) { d[i].x = 1 }(i)\n\t}\n}\n",
+		"package p\n\nimport \"sync/atomic\"\n\ntype s struct{ n int64 }\n\nvar sh [8]s\n\nfunc F(i int) { atomic.AddInt64(&sh[i].n, 1) }\n",
+		// Range forms, Go 1.22 int range, ignore directives.
+		"package p\n\nvar d = make([]int32, 99)\n\nfunc F() {\n\tfor i := range d {\n\t\tgo func() { d[i] = 1 }()\n\t}\n}\n",
+		"package p\n\nfunc F() {\n\tfor i := range 10 {\n\t\tgo func() { _ = i }()\n\t}\n}\n",
+		"package p\n\n//fsvet:ignore GV002 because reasons\nvar x int\n",
+		// Degenerate and broken shapes.
+		"package p\n\ntype T struct{ _ [0]byte }\n",
+		"package p\n\ntype T struct{ T }\n",
+		"package p\n\nfunc f() { undeclared[i] = 1 }\n",
+		"package p\n\ntype T struct { x notatype }\n",
+		"package p\n\nvar a [1 << 40]struct{ x [1 << 20]byte }\n",
+		"package p\n\nfunc f() {\n\tfor i := 0; ; i++ {\n\t\tgo func() { _ = i }()\n\t}\n}\n",
+		"package p\n\ntype T struct {\n\ta, b int64\n}\n",
+		"package  ",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		pass, _, err := CheckSource(fset, "fuzz.go", []byte(src), nil)
+		if err != nil {
+			return // unparseable: fine, as long as we got here without panic
+		}
+		diags, err := Analyze(pass)
+		if err != nil {
+			return
+		}
+		// Every emitted fix must be verified and have applicable edits.
+		for _, d := range diags {
+			for _, fix := range d.Fixes {
+				if !fix.Verified {
+					t.Fatalf("unverified fix emitted for %s", d.Code)
+				}
+				var edits []Edit
+				for _, e := range fix.Edits {
+					edits = append(edits, Edit{
+						Off:  pass.Fset.Position(e.Pos).Offset,
+						End:  pass.Fset.Position(e.End).Offset,
+						Text: e.NewText,
+					})
+				}
+				if _, err := ApplyEditsToSource([]byte(src), edits); err != nil {
+					t.Fatalf("fix edits unappliable: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// Package govet transplants the repository's compile-time false-sharing
+// cost model from the mini-C dialect onto Go source: a multi-pass
+// analyzer over type-checked go/ast packages that decides, from struct
+// layouts and goroutine fan-out shapes alone, which memory the program
+// will ping-pong between cores — no execution, no simulation.
+//
+// The passes, in order:
+//
+//  1. Layout (GV001, layout.go): compute every in-package struct's field
+//     offsets with real go/types sizes and alignment against the
+//     machine's cache-line size, classify fields as concurrency-hot
+//     (sync/atomic value types, fields addressed by sync/atomic calls,
+//     mutexes), and flag hot pairs whose byte ranges land on one line —
+//     each updater's store invalidates the other's cached copy.
+//  2. Fan-out (GV002/GV003, fanout.go): recognize the canonical
+//     goroutine fan-out shapes — `for i := ... { go func(i) { dst[i] = v
+//     } }` loops, per-worker slice-of-struct state, and indexed atomic
+//     shard counters — and score them with the same closed-form residue
+//     machinery the mini-C analyzer uses: the write at index k covers an
+//     affine byte range, so the count of adjacent-index boundaries that
+//     share a cache line is an affine.CountResidueAtLeast residue count,
+//     independent of the trip count.
+//  3. Fixes (fixes.go): emit suggested fixes — insert inter-field
+//     padding (GV001) or append element padding to a line multiple
+//     (GV002/GV003) — each verified by synthesizing the patched struct
+//     type and re-running the layout analysis on it before the fix is
+//     suggested.
+//
+// Diagnostics carry token.Pos..End spans and render as vet-style text,
+// JSON, or SARIF 2.1.0 through the shared internal/analysis/sarifwriter.
+// `//fsvet:ignore CODE reason` on the finding's line (or the line above)
+// suppresses it; the justification is mandatory.
+package govet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// Diagnostic codes, stable across releases (documented in docs/GOVET.md).
+const (
+	// CodeHotLine flags two concurrency-hot struct fields laid out on one
+	// cache line.
+	CodeHotLine = "GV001"
+	// CodeAdjacentWrites flags goroutine-per-index writes to adjacent
+	// sub-line slice or array elements.
+	CodeAdjacentWrites = "GV002"
+	// CodeUnpaddedShard flags indexed atomic operations on slice/array
+	// elements whose size is not a cache-line multiple (sharded counters
+	// without padding).
+	CodeUnpaddedShard = "GV003"
+)
+
+// TextEdit replaces the range [Pos, End) with NewText (Pos == End is a
+// pure insertion).
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// SuggestedFix is one verified repair: applying Edits removes the
+// diagnostic. Fixes are only attached after re-running the layout
+// analysis on the synthesized patched type proves the sharing is gone,
+// so Verified is always true on emitted fixes; it exists so renderers
+// and -fix can assert the invariant cheaply.
+type SuggestedFix struct {
+	Message  string
+	Edits    []TextEdit
+	Verified bool
+}
+
+// Diagnostic is one finding with a stable code and a token span.
+type Diagnostic struct {
+	Pos, End token.Pos
+	Code     string
+	Message  string
+	// Straddles of Boundaries adjacent-index pairs land on one line
+	// (GV002/GV003); zero-valued for layout findings.
+	Straddles  int64
+	Boundaries int64
+	// LineSize echoes the analyzed geometry; Cycles is the modeled
+	// coherence cost (Equation 1's FS term) for fan-out findings.
+	LineSize int64
+	Cycles   float64
+	// Exact is false when the score assumed a trip count for bounds
+	// unknown at compile time.
+	Exact bool
+	Fixes []SuggestedFix
+}
+
+// Pass is one package's analysis context: syntax, type information and
+// the machine model, plus the report sink. It mirrors
+// golang.org/x/tools/go/analysis.Pass closely enough that the analyzer
+// body would port directly, but is stdlib-only: the toolchain image
+// carries no x/tools, so the driver protocol (load.go, vet.go) is
+// implemented here from go/types and the documented go vet contract.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+	// Machine supplies line geometry and coherence latency
+	// (nil = machine.Paper48()).
+	Machine *machine.Desc
+	// AssumedTrips substitutes for fan-out trip counts unknown at compile
+	// time (0 = default 2048); such findings are marked inexact.
+	AssumedTrips int64
+
+	diags []Diagnostic
+}
+
+// Analyzer describes the tool in go/analysis terms: a name for output
+// prefixes and a Run entry point over one package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// FalseSharing is the analyzer: all three passes over one package.
+var FalseSharing = &Analyzer{
+	Name: "fsvet",
+	Doc: "report memory layouts and goroutine fan-out shapes that false-share cache lines,\n" +
+		"scored with the closed-form loop cost model (GV001 hot fields on one line,\n" +
+		"GV002 adjacent per-goroutine writes, GV003 unpadded atomic shards)",
+	Run: run,
+}
+
+// report appends one finding.
+func (p *Pass) report(d Diagnostic) { p.diags = append(p.diags, d) }
+
+// machineOrDefault resolves the pass's machine model.
+func (p *Pass) machineOrDefault() *machine.Desc {
+	if p.Machine == nil {
+		p.Machine = machine.Paper48()
+	}
+	return p.Machine
+}
+
+// run executes the passes in order and filters ignored findings.
+func run(p *Pass) error {
+	m := p.machineOrDefault()
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("govet: %w", err)
+	}
+	if p.AssumedTrips <= 0 {
+		p.AssumedTrips = 2048
+	}
+	if p.Info == nil {
+		// Without type information no sizes can be computed; nothing to do.
+		return nil
+	}
+	if p.Sizes == nil {
+		p.Sizes = types.SizesFor("gc", "amd64")
+	}
+	hot := collectHotFields(p)
+	runLayout(p, hot)
+	runFanout(p)
+	p.diags = filterIgnored(p, p.diags)
+	sortDiagnostics(p.Fset, p.diags)
+	return nil
+}
+
+// Analyze runs the FalseSharing analyzer over one package and returns
+// its findings sorted by position. It is the entry every driver
+// (standalone CLI, vet cfg mode, tests, fuzzer) funnels through.
+func Analyze(p *Pass) ([]Diagnostic, error) {
+	if err := FalseSharing.Run(p); err != nil {
+		return nil, err
+	}
+	return p.diags, nil
+}
+
+// sortDiagnostics orders findings by file position, then code, then
+// message, so output is byte-stable regardless of pass emission order.
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
+		}
+		if pa.Column != pb.Column {
+			return pa.Column < pb.Column
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,530 @@
+package govet
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// stdImporterFor builds a std-export importer bound to fset. The first
+// call pays one `go list -export`; the go command's build cache makes
+// repeats cheap, and a probe failure is reported once.
+var (
+	stdImpOnce sync.Once
+	stdImpErr  error
+)
+
+func stdImporterFor(t *testing.T, fset *token.FileSet) types.Importer {
+	t.Helper()
+	stdImpOnce.Do(func() {
+		_, stdImpErr = StdImporter(token.NewFileSet(), "sync", "sync/atomic")
+	})
+	if stdImpErr != nil {
+		t.Fatalf("std importer: %v", stdImpErr)
+	}
+	imp, err := StdImporter(fset, "sync", "sync/atomic")
+	if err != nil {
+		t.Fatalf("std importer: %v", err)
+	}
+	return imp
+}
+
+// analyzeSrc type-checks src as a single-file package and runs the
+// analyzer with the given machine (nil = Paper48).
+func analyzeSrc(t *testing.T, src string, m *machine.Desc) (*Pass, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var imp types.Importer
+	if strings.Contains(src, `"sync`) {
+		imp = stdImporterFor(t, fset)
+	}
+	pass, errs, err := CheckSource(fset, "test.go", []byte(src), imp)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	for _, e := range errs {
+		t.Logf("typecheck: %v", e)
+	}
+	pass.Machine = m
+	diags, err := Analyze(pass)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return pass, diags
+}
+
+// codesOf extracts the diagnostic codes in order.
+func codesOf(ds []Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Code
+	}
+	return out
+}
+
+// applyFirstFix applies the first verified fix of the first diagnostic
+// carrying one to src and returns the patched source.
+func applyFirstFix(t *testing.T, pass *Pass, src string, ds []Diagnostic) string {
+	t.Helper()
+	for _, d := range ds {
+		for _, fix := range d.Fixes {
+			if !fix.Verified {
+				t.Fatalf("unverified fix emitted: %q", fix.Message)
+			}
+			var edits []Edit
+			for _, e := range fix.Edits {
+				edits = append(edits, Edit{
+					Off:  pass.Fset.Position(e.Pos).Offset,
+					End:  pass.Fset.Position(e.End).Offset,
+					Text: e.NewText,
+				})
+			}
+			out, err := ApplyEditsToSource([]byte(src), edits)
+			if err != nil {
+				t.Fatalf("ApplyEditsToSource: %v", err)
+			}
+			return string(out)
+		}
+	}
+	t.Fatalf("no fix to apply among %d diagnostics", len(ds))
+	return ""
+}
+
+const srcHotPair = `package p
+
+import "sync/atomic"
+
+type Stats struct {
+	produced atomic.Int64
+	consumed atomic.Int64
+}
+
+var S Stats
+
+func Bump() { S.produced.Add(1) }
+`
+
+func TestGV001HotAtomicPair(t *testing.T) {
+	pass, ds := analyzeSrc(t, srcHotPair, nil)
+	if len(ds) != 1 || ds[0].Code != CodeHotLine {
+		t.Fatalf("want one GV001, got %v", codesOf(ds))
+	}
+	d := ds[0]
+	if !strings.Contains(d.Message, "consumed") || !strings.Contains(d.Message, "produced") {
+		t.Errorf("message should name both fields: %q", d.Message)
+	}
+	if d.LineSize != 64 {
+		t.Errorf("LineSize = %d, want 64", d.LineSize)
+	}
+	if len(d.Fixes) != 1 || !d.Fixes[0].Verified {
+		t.Fatalf("want one verified fix, got %+v", d.Fixes)
+	}
+	patched := applyFirstFix(t, pass, srcHotPair, ds)
+	_, ds2 := analyzeSrc(t, patched, nil)
+	if len(ds2) != 0 {
+		t.Errorf("patched source still flagged: %v\n%s", codesOf(ds2), patched)
+	}
+}
+
+func TestGV001MutexNextToAtomic(t *testing.T) {
+	src := `package p
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Guarded struct {
+	mu   sync.Mutex
+	hits atomic.Int64
+}
+`
+	_, ds := analyzeSrc(t, src, nil)
+	if len(ds) != 1 || ds[0].Code != CodeHotLine {
+		t.Fatalf("want one GV001, got %v", codesOf(ds))
+	}
+}
+
+func TestGV001AtomicCallOnPlainInt(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+type C struct {
+	a int64
+	b int64
+}
+
+var c C
+
+func Bump() {
+	atomic.AddInt64(&c.a, 1)
+	atomic.AddInt64(&c.b, 1)
+}
+`
+	_, ds := analyzeSrc(t, src, nil)
+	if len(ds) != 1 || ds[0].Code != CodeHotLine {
+		t.Fatalf("want one GV001, got %v", codesOf(ds))
+	}
+}
+
+func TestGV001LoadOnlyPairIsClean(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+type C struct {
+	a int64
+	b int64
+}
+
+var c C
+
+func Peek() (int64, int64) {
+	return atomic.LoadInt64(&c.a), atomic.LoadInt64(&c.b)
+}
+`
+	_, ds := analyzeSrc(t, src, nil)
+	if len(ds) != 0 {
+		t.Fatalf("two read-only fields must not be flagged, got %v", codesOf(ds))
+	}
+}
+
+func TestGV001PaddedPairIsClean(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+type Stats struct {
+	produced atomic.Int64
+	_        [120]byte
+	consumed atomic.Int64
+	_        [120]byte
+}
+`
+	for _, line := range []int64{64, 128} {
+		m, err := machine.Paper48().WithLineSize(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ds := analyzeSrc(t, src, m)
+		if len(ds) != 0 {
+			t.Errorf("L=%d: padded struct flagged: %v", line, codesOf(ds))
+		}
+	}
+}
+
+const srcFanout = `package p
+
+type rec struct {
+	sum  int64
+	hits int64
+}
+
+var results = make([]rec, 1024)
+
+func Run() {
+	for i := 0; i < 1024; i++ {
+		go func(i int) {
+			results[i].sum = int64(i)
+		}(i)
+	}
+}
+`
+
+func TestGV002FanoutWrites(t *testing.T) {
+	pass, ds := analyzeSrc(t, srcFanout, nil)
+	if len(ds) != 1 || ds[0].Code != CodeAdjacentWrites {
+		t.Fatalf("want one GV002, got %v", codesOf(ds))
+	}
+	d := ds[0]
+	if !d.Exact {
+		t.Errorf("constant trip count should be exact")
+	}
+	if d.Straddles == 0 || d.Boundaries != 1023 {
+		t.Errorf("straddles=%d boundaries=%d, want nonzero/1023", d.Straddles, d.Boundaries)
+	}
+	if d.Cycles <= 0 {
+		t.Errorf("cycles should be positive, got %v", d.Cycles)
+	}
+	if len(d.Fixes) != 1 {
+		t.Fatalf("want element-padding fix, got %+v", d.Fixes)
+	}
+	patched := applyFirstFix(t, pass, srcFanout, ds)
+	_, ds2 := analyzeSrc(t, patched, nil)
+	if len(ds2) != 0 {
+		t.Errorf("patched source still flagged: %v\n%s", codesOf(ds2), patched)
+	}
+}
+
+func TestGV002RangeFanout(t *testing.T) {
+	src := `package p
+
+var out = make([]int32, 4096)
+var in = make([]int32, 4096)
+
+func Run() {
+	for i := range out {
+		go func() {
+			out[i] = in[i] * 2
+		}()
+	}
+}
+`
+	_, ds := analyzeSrc(t, src, nil)
+	if len(ds) != 1 || ds[0].Code != CodeAdjacentWrites {
+		t.Fatalf("want one GV002, got %v", codesOf(ds))
+	}
+	if ds[0].Exact {
+		t.Errorf("slice range has unknown trips; finding should be inexact")
+	}
+}
+
+func TestGV002PaddedElementClean(t *testing.T) {
+	src := `package p
+
+type slot struct {
+	sum int64
+	_   [120]byte
+}
+
+var results = make([]slot, 1024)
+
+func Run() {
+	for i := 0; i < 1024; i++ {
+		go func(i int) {
+			results[i].sum = int64(i)
+		}(i)
+	}
+}
+`
+	for _, line := range []int64{64, 128} {
+		m, err := machine.Paper48().WithLineSize(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ds := analyzeSrc(t, src, m)
+		if len(ds) != 0 {
+			t.Errorf("L=%d: padded element flagged: %v", line, codesOf(ds))
+		}
+	}
+}
+
+func TestGV002SequentialLoopNotFlagged(t *testing.T) {
+	src := `package p
+
+var results = make([]int64, 1024)
+
+func Run() {
+	for i := 0; i < 1024; i++ {
+		results[i] = int64(i)
+	}
+}
+`
+	_, ds := analyzeSrc(t, src, nil)
+	if len(ds) != 0 {
+		t.Fatalf("sequential writes must not be flagged, got %v", codesOf(ds))
+	}
+}
+
+const srcShards = `package p
+
+import "sync/atomic"
+
+type shard struct {
+	n int64
+}
+
+var shards [48]shard
+
+func Inc(i int) {
+	atomic.AddInt64(&shards[i].n, 1)
+}
+`
+
+func TestGV003ShardedCounter(t *testing.T) {
+	pass, ds := analyzeSrc(t, srcShards, nil)
+	if len(ds) != 1 || ds[0].Code != CodeUnpaddedShard {
+		t.Fatalf("want one GV003, got %v", codesOf(ds))
+	}
+	d := ds[0]
+	if !d.Exact || d.Boundaries != 47 {
+		t.Errorf("array shard count is exact with 47 boundaries; got exact=%v boundaries=%d", d.Exact, d.Boundaries)
+	}
+	patched := applyFirstFix(t, pass, srcShards, ds)
+	_, ds2 := analyzeSrc(t, patched, nil)
+	if len(ds2) != 0 {
+		t.Errorf("patched source still flagged: %v\n%s", codesOf(ds2), patched)
+	}
+}
+
+func TestGV003AtomicMethodForm(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+type shard struct {
+	n atomic.Int64
+}
+
+var shards = make([]shard, 0)
+
+func Inc(i int) {
+	shards[i].n.Add(1)
+}
+`
+	_, ds := analyzeSrc(t, src, nil)
+	if len(ds) != 1 || ds[0].Code != CodeUnpaddedShard {
+		t.Fatalf("want one GV003, got %v", codesOf(ds))
+	}
+	if ds[0].Exact {
+		t.Errorf("slice shard count is core-assumed; finding should be inexact")
+	}
+}
+
+func TestGV003LineMultipleElementClean(t *testing.T) {
+	src := `package p
+
+import "sync/atomic"
+
+type shard struct {
+	n atomic.Int64
+	_ [120]byte
+}
+
+var shards [48]shard
+
+func Inc(i int) {
+	shards[i].n.Add(1)
+}
+`
+	for _, line := range []int64{64, 128} {
+		m, err := machine.Paper48().WithLineSize(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ds := analyzeSrc(t, src, m)
+		if len(ds) != 0 {
+			t.Errorf("L=%d: padded shard flagged: %v", line, codesOf(ds))
+		}
+	}
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	src := strings.Replace(srcShards, "\tatomic.AddInt64(&shards[i].n, 1)",
+		"\t//fsvet:ignore GV003 shards are write-once at startup\n\tatomic.AddInt64(&shards[i].n, 1)", 1)
+	_, ds := analyzeSrc(t, src, nil)
+	if len(ds) != 0 {
+		t.Fatalf("justified ignore must suppress, got %v", codesOf(ds))
+	}
+}
+
+func TestIgnoreWithoutReasonIneffective(t *testing.T) {
+	src := strings.Replace(srcShards, "\tatomic.AddInt64(&shards[i].n, 1)",
+		"\t//fsvet:ignore GV003\n\tatomic.AddInt64(&shards[i].n, 1)", 1)
+	_, ds := analyzeSrc(t, src, nil)
+	if len(ds) != 1 {
+		t.Fatalf("reason-less ignore must not suppress, got %v", codesOf(ds))
+	}
+}
+
+func TestIgnoreWrongCodeIneffective(t *testing.T) {
+	src := strings.Replace(srcShards, "\tatomic.AddInt64(&shards[i].n, 1)",
+		"\t//fsvet:ignore GV001 wrong code\n\tatomic.AddInt64(&shards[i].n, 1)", 1)
+	_, ds := analyzeSrc(t, src, nil)
+	if len(ds) != 1 {
+		t.Fatalf("wrong-code ignore must not suppress, got %v", codesOf(ds))
+	}
+}
+
+func TestAnalyzeLine128(t *testing.T) {
+	// A 64B element is clean at L=64 but flagged at L=128 when the
+	// stride no longer divides the line.
+	src := `package p
+
+type slot struct {
+	sum int64
+	_   [56]byte
+}
+
+var results = make([]slot, 1024)
+
+func Run() {
+	for i := 0; i < 1024; i++ {
+		go func(i int) {
+			results[i].sum = int64(i)
+		}(i)
+	}
+}
+`
+	_, ds64 := analyzeSrc(t, src, nil)
+	if len(ds64) != 0 {
+		t.Fatalf("L=64: 64B element should be clean, got %v", codesOf(ds64))
+	}
+	m128, err := machine.Paper48().WithLineSize(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ds128 := analyzeSrc(t, src, m128)
+	if len(ds128) != 1 || ds128[0].Code != CodeAdjacentWrites {
+		t.Fatalf("L=128: want one GV002, got %v", codesOf(ds128))
+	}
+	// At L=128 only every second boundary is interior to a line.
+	if ds128[0].Straddles != ds128[0].Boundaries/2 && ds128[0].Straddles != (ds128[0].Boundaries+1)/2 {
+		t.Errorf("L=128 straddles = %d of %d, want about half", ds128[0].Straddles, ds128[0].Boundaries)
+	}
+}
+
+func TestBrokenSourceDoesNotPanic(t *testing.T) {
+	srcs := []string{
+		"package p\nfunc f() { undeclared[i] = 1 }",
+		"package p\ntype T struct { x notatype }",
+		"package p\nimport \"nosuchpackage\"\nvar x = nosuchpackage.Y",
+		"package p\nfunc f() {\n\tfor i := 0; i < n; i++ {\n\t\tgo func() { dst[i] = 1 }()\n\t}\n}",
+	}
+	for _, src := range srcs {
+		fset := token.NewFileSet()
+		pass, _, err := CheckSource(fset, "broken.go", []byte(src), nil)
+		if err != nil {
+			t.Fatalf("CheckSource(%q): %v", src, err)
+		}
+		if _, err := Analyze(pass); err != nil {
+			t.Errorf("Analyze(%q): %v", src, err)
+		}
+	}
+}
+
+func TestApplyEditsToSource(t *testing.T) {
+	src := []byte("abcdef")
+	out, err := ApplyEditsToSource(src, []Edit{
+		{Off: 2, End: 2, Text: "XX"},
+		{Off: 4, End: 5, Text: "Y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out); got != "abXXcdYf" {
+		t.Errorf("got %q, want %q", got, "abXXcdYf")
+	}
+	if string(src) != "abcdef" {
+		t.Errorf("input mutated to %q", src)
+	}
+	if _, err := ApplyEditsToSource(src, []Edit{{Off: -1, End: 0}}); err == nil {
+		t.Error("negative offset must error")
+	}
+	// Overlapping edits: first (rightmost) wins, second dropped.
+	out, err = ApplyEditsToSource(src, []Edit{
+		{Off: 1, End: 4, Text: "A"},
+		{Off: 2, End: 5, Text: "B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out); got != "abBf" {
+		t.Errorf("overlap: got %q, want %q", got, "abBf")
+	}
+}

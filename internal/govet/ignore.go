@@ -1,0 +1,101 @@
+package govet
+
+import "strings"
+
+// //fsvet:ignore directives. A finding is suppressed when a comment of
+// the form
+//
+//	//fsvet:ignore GV002 one write per task, amortized by task cost
+//
+// appears on the finding's source line or the line immediately above it.
+// The code must match the finding and the justification is mandatory:
+// an ignore without a reason does not suppress anything, so every
+// accepted ignore documents why the sharing is tolerable.
+
+const ignorePrefix = "fsvet:ignore"
+
+// ignoreDirective is one parsed, well-formed directive.
+type ignoreDirective struct {
+	code   string
+	reason string
+}
+
+// parseIgnore extracts a directive from one comment's text, or ok=false.
+func parseIgnore(text string) (ignoreDirective, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return ignoreDirective{}, false
+	}
+	rest := strings.TrimSpace(text[len(ignorePrefix):])
+	code, reason, _ := strings.Cut(rest, " ")
+	reason = strings.TrimSpace(reason)
+	if !strings.HasPrefix(code, "GV") || reason == "" {
+		return ignoreDirective{}, false // no code or no justification: ineffective
+	}
+	return ignoreDirective{code: code, reason: reason}, true
+}
+
+// ignoreKey identifies a file line.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// collectIgnores indexes every well-formed directive by file and line.
+func collectIgnores(p *Pass) map[ignoreKey][]ignoreDirective {
+	out := make(map[ignoreKey][]ignoreDirective)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				k := ignoreKey{file: pos.Filename, line: pos.Line}
+				out[k] = append(out[k], d)
+			}
+		}
+	}
+	return out
+}
+
+// filterIgnored drops findings covered by a directive on their line or
+// the line above.
+func filterIgnored(p *Pass, ds []Diagnostic) []Diagnostic {
+	ignores := collectIgnores(p)
+	if len(ignores) == 0 {
+		return ds
+	}
+	kept := ds[:0]
+	for _, d := range ds {
+		pos := p.Fset.Position(d.Pos)
+		if matchesIgnore(ignores, pos.Filename, pos.Line, d.Code) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func matchesIgnore(ignores map[ignoreKey][]ignoreDirective, file string, line int, code string) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, d := range ignores[ignoreKey{file: file, line: l}] {
+			if d.code == code {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoredCommentCount is a test hook: the number of well-formed
+// directives in the files.
+func ignoredCommentCount(p *Pass) int {
+	n := 0
+	for _, ds := range collectIgnores(p) {
+		n += len(ds)
+	}
+	return n
+}

@@ -1,0 +1,313 @@
+package govet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Pass 1: struct layout. Every struct type declared in the package is
+// laid out with the type checker's real sizes and alignment, hot fields
+// are identified, and hot pairs that land on one cache line are flagged
+// as GV001 — when two cores update them, each store invalidates the
+// other core's cached copy even though the fields are logically
+// unrelated.
+
+// hotKind classifies why a field is concurrency-hot.
+type hotKind int
+
+const (
+	hotAtomicType hotKind = iota // field's type is a sync/atomic value type
+	hotAtomicCall                // field is addressed by a sync/atomic call
+	hotMutex                     // field is a sync.Mutex / sync.RWMutex
+)
+
+func (k hotKind) String() string {
+	switch k {
+	case hotAtomicType:
+		return "atomic"
+	case hotAtomicCall:
+		return "atomically updated"
+	case hotMutex:
+		return "mutex"
+	}
+	return "hot"
+}
+
+// hotField records one field's heat: the strongest kind seen and
+// whether any classification implies cross-goroutine writes.
+type hotField struct {
+	kind    hotKind
+	written bool
+}
+
+// hotSet maps field objects to their heat.
+type hotSet map[*types.Var]hotField
+
+// markHot records a field as hot, keeping written sticky.
+func (h hotSet) markHot(v *types.Var, k hotKind, written bool) {
+	f, ok := h[v]
+	if !ok {
+		h[v] = hotField{kind: k, written: written}
+		return
+	}
+	f.written = f.written || written
+	h[v] = f
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's value
+// types (Int32, Int64, Uint32, Uint64, Uintptr, Bool, Pointer[T],
+// Value) — types that exist only to be mutated concurrently.
+func isAtomicValueType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex. Locking
+// writes the mutex word, so a mutex next to an independently-updated
+// atomic gets invalidated by every lock/unlock.
+func isMutexType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// atomicFuncWrites classifies a sync/atomic package-level function name:
+// reported is whether the name is an atomic accessor at all, written
+// whether it mutates its operand.
+func atomicFuncWrites(name string) (written, reported bool) {
+	switch {
+	case len(name) >= 4 && name[:4] == "Load":
+		return false, true
+	case len(name) >= 3 && name[:3] == "Add",
+		len(name) >= 5 && name[:5] == "Store",
+		len(name) >= 4 && name[:4] == "Swap",
+		len(name) >= 14 && name[:14] == "CompareAndSwap",
+		len(name) >= 2 && name[:2] == "Or",
+		len(name) >= 3 && name[:3] == "And":
+		return true, true
+	}
+	return false, false
+}
+
+// selectedField resolves expr (after unwrapping parens and a leading &)
+// to a struct field object, or nil.
+func selectedField(info *types.Info, expr ast.Expr) *types.Var {
+	expr = ast.Unparen(expr)
+	if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		expr = ast.Unparen(u.X)
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// collectHotFields walks the package once, classifying fields by type
+// (atomic value types, mutexes) and by use (operands of sync/atomic
+// calls on plain integer fields).
+func collectHotFields(p *Pass) hotSet {
+	hot := make(hotSet)
+	// By use: atomic.AddInt64(&s.f, 1) and friends mark f hot even
+	// though its declared type is a plain integer.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods are covered by the type classification
+			}
+			written, reported := atomicFuncWrites(fn.Name())
+			if !reported {
+				return true
+			}
+			if v := selectedField(p.Info, call.Args[0]); v != nil {
+				hot.markHot(v, hotAtomicCall, written)
+			}
+			return true
+		})
+	}
+	return hot
+}
+
+// structDecl is one struct type declared in the package with its AST.
+type structDecl struct {
+	name   *types.TypeName
+	st     *types.Struct
+	astTyp *ast.StructType
+	// fieldPos[i] is the AST node declaring struct field i (for spans
+	// and fix insertion points), parallel to st.Field ordering;
+	// fieldDecl[i] is the enclosing *ast.Field (one Field can declare
+	// several names).
+	fieldPos  []ast.Node
+	fieldDecl []*ast.Field
+}
+
+// packageStructs pairs every struct TypeSpec in the package with its
+// type-checker object and per-field AST nodes. Declarations whose field
+// count disagrees with the checked type (broken sources under partial
+// type information) are skipped.
+func packageStructs(p *Pass) []structDecl {
+	var out []structDecl
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			astTyp, ok := spec.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := p.Info.Defs[spec.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			var fieldPos []ast.Node
+			var fieldDecl []*ast.Field
+			for _, fld := range astTyp.Fields.List {
+				if len(fld.Names) == 0 {
+					fieldPos = append(fieldPos, fld) // embedded
+					fieldDecl = append(fieldDecl, fld)
+					continue
+				}
+				for _, name := range fld.Names {
+					fieldPos = append(fieldPos, name)
+					fieldDecl = append(fieldDecl, fld)
+				}
+			}
+			if len(fieldPos) != st.NumFields() {
+				return true
+			}
+			out = append(out, structDecl{name: tn, st: st, astTyp: astTyp, fieldPos: fieldPos, fieldDecl: fieldDecl})
+			return true
+		})
+	}
+	return out
+}
+
+// layoutOf computes field offsets and sizes; it returns ok=false when
+// any field's size cannot be computed (invalid types under partial
+// checking).
+func layoutOf(sizes types.Sizes, st *types.Struct) (offs, szs []int64, ok bool) {
+	n := st.NumFields()
+	fields := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		fields[i] = st.Field(i)
+		if fields[i].Type() == types.Typ[types.Invalid] {
+			return nil, nil, false
+		}
+	}
+	defer func() {
+		if recover() != nil {
+			offs, szs, ok = nil, nil, false
+		}
+	}()
+	offs = sizes.Offsetsof(fields)
+	szs = make([]int64, n)
+	for i, f := range fields {
+		szs[i] = sizes.Sizeof(f.Type())
+	}
+	return offs, szs, true
+}
+
+// structHeat resolves the heat of each field of st: use-based heat from
+// the hot set, plus type-based heat.
+func structHeat(hot hotSet, st *types.Struct) map[int]hotField {
+	heat := make(map[int]hotField)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if h, ok := hot[f]; ok {
+			heat[i] = h
+		}
+		switch {
+		case isAtomicValueType(f.Type()):
+			// Atomic value types exist to be mutated across goroutines.
+			heat[i] = hotField{kind: hotAtomicType, written: true}
+		case isMutexType(f.Type()):
+			heat[i] = hotField{kind: hotMutex, written: true}
+		}
+	}
+	return heat
+}
+
+// runLayout is pass 1: GV001 over every declared struct.
+func runLayout(p *Pass, hot hotSet) {
+	m := p.machineOrDefault()
+	L := m.LineSize
+	for _, sd := range packageStructs(p) {
+		heat := structHeat(hot, sd.st)
+		if len(heat) < 2 {
+			continue
+		}
+		offs, szs, ok := layoutOf(p.Sizes, sd.st)
+		if !ok {
+			continue
+		}
+		var hotIdx []int
+		for i := 0; i < sd.st.NumFields(); i++ {
+			if _, ok := heat[i]; ok {
+				hotIdx = append(hotIdx, i)
+			}
+		}
+		for a := 0; a < len(hotIdx); a++ {
+			for b := a + 1; b < len(hotIdx); b++ {
+				i, j := hotIdx[a], hotIdx[b]
+				hi, hj := heat[i], heat[j]
+				if !hi.written && !hj.written {
+					continue // two read-only fields never invalidate each other
+				}
+				if !m.RangesShareLine(offs[i], szs[i], offs[j], szs[j]) {
+					continue
+				}
+				fi, fj := sd.st.Field(i), sd.st.Field(j)
+				d := Diagnostic{
+					Pos:      sd.fieldPos[j].Pos(),
+					End:      sd.fieldPos[j].End(),
+					Code:     CodeHotLine,
+					LineSize: L,
+					Exact:    true,
+					Message: fmt.Sprintf(
+						"%s.%s (%s, offset %d, %dB) shares a %dB cache line with hot field %s (%s, offset %d, %dB); concurrent updates will ping-pong the line",
+						sd.name.Name(), fj.Name(), hj.kind, offs[j], szs[j], L,
+						fi.Name(), hi.kind, offs[i], szs[i]),
+				}
+				if fix, ok := padBetweenFix(p, sd, heat, i, j, offs); ok {
+					d.Fixes = append(d.Fixes, fix)
+				}
+				p.report(d)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package govet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Standalone package loading. The container carries no
+// golang.org/x/tools, so fsvet cannot use go/packages; instead the
+// loader shells out to `go list -export -deps -json`, which compiles
+// (or reuses from the build cache) export data for every dependency,
+// and type-checks each target package's sources against that export
+// data with the standard library's gc importer. This is the same
+// information flow `go vet` itself uses — vet.go implements the other
+// half of that contract for -vettool mode.
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// LoadedPackage is one type-checked target package ready for analysis.
+type LoadedPackage struct {
+	Path string
+	Pass *Pass
+	// TypeErrors collects type-check problems; analysis proceeds on
+	// partial information (fsvet is a linter, not a compiler).
+	TypeErrors []error
+}
+
+// Load lists patterns with the go tool, type-checks every matched
+// (non-dependency) package against compiler export data, and returns
+// the packages ready for analysis. dir is the working directory ("" =
+// current).
+func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=Dir,ImportPath,Export,GoFiles,CgoFiles,DepOnly,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var targets []listedPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	var out2 []*LoadedPackage
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			continue // cgo packages need the full build pipeline; out of scope
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		lp, err := checkListed(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out2 = append(out2, lp)
+	}
+	return out2, nil
+}
+
+// exportImporter builds a types.Importer reading compiler export data
+// through lookup.
+func exportImporter(fset *token.FileSet, lookup func(path string) (io.ReadCloser, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// checkListed parses and type-checks one listed package.
+func checkListed(fset *token.FileSet, imp types.Importer, t listedPackage) (*LoadedPackage, error) {
+	var files []*ast.File
+	var typeErrs []error
+	for _, name := range t.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(t.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if f == nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			typeErrs = append(typeErrs, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, errs := typecheck(fset, t.ImportPath, files, imp)
+	typeErrs = append(typeErrs, errs...)
+	pass := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, Sizes: gcSizes()}
+	return &LoadedPackage{Path: t.ImportPath, Pass: pass, TypeErrors: typeErrs}, nil
+}
+
+// gcSizes returns the gc compiler's size/alignment model for the host
+// architecture — the layouts fsvet reasons about must be the layouts
+// the binary will actually have.
+func gcSizes() types.Sizes {
+	s := types.SizesFor("gc", runtime.GOARCH)
+	if s == nil {
+		s = types.SizesFor("gc", "amd64")
+	}
+	return s
+}
+
+// typecheck runs go/types over files, tolerating errors: the returned
+// info is as complete as checking got, which is what a linter wants for
+// broken-but-parseable code.
+func typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    gcSizes(),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, _ := conf.Check(path, fset, files, info) // errors already collected
+	return pkg, info, errs
+}
+
+// CheckSource parses and type-checks a single in-memory file as its own
+// package with the given importer (nil = no imports resolvable; type
+// errors are tolerated either way). It is the entry used by tests, the
+// corpus gate, and the fuzzer.
+func CheckSource(fset *token.FileSet, filename string, src []byte, imp types.Importer) (*Pass, []error, error) {
+	f, perr := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if f == nil {
+		return nil, nil, perr
+	}
+	var errs []error
+	if perr != nil {
+		errs = append(errs, perr)
+	}
+	if imp == nil {
+		imp = failImporter{}
+	}
+	pkgName := f.Name.Name
+	if pkgName == "" {
+		pkgName = "p"
+	}
+	pkg, info, terrs := typecheck(fset, pkgName, []*ast.File{f}, imp)
+	errs = append(errs, terrs...)
+	return &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info, Sizes: gcSizes()}, errs, nil
+}
+
+// failImporter refuses every import; checking proceeds with partial
+// information.
+type failImporter struct{}
+
+func (failImporter) Import(path string) (*types.Package, error) {
+	return nil, fmt.Errorf("imports unavailable (no importer): %q", path)
+}
+
+// StdImporter returns an importer for the standard library backed by
+// `go list -export -deps` over the named std packages, suitable for
+// CheckSource on files that import only those packages. It shells out
+// once; callers should reuse the result.
+func StdImporter(fset *token.FileSet, stdPackages ...string) (types.Importer, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, stdPackages...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(stdPackages, " "), err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return exportImporter(fset, func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}), nil
+}

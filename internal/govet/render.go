@@ -1,0 +1,244 @@
+package govet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/format"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/analysis/sarifwriter"
+)
+
+// PackageReport pairs one analyzed package with its findings; renderers
+// consume a slice of these so multi-package runs produce one document.
+type PackageReport struct {
+	// Path is the package import path (or a pseudo-name for synthetic
+	// sources).
+	Path  string
+	Pass  *Pass
+	Diags []Diagnostic
+}
+
+// Findings counts diagnostics across reports.
+func Findings(reports []PackageReport) int {
+	n := 0
+	for _, r := range reports {
+		n += len(r.Diags)
+	}
+	return n
+}
+
+// WriteText renders reports vet-style: file:line:col: code: message.
+func WriteText(w io.Writer, reports []PackageReport) error {
+	total := 0
+	for _, r := range reports {
+		for _, d := range r.Diags {
+			total++
+			pos := r.Pass.Fset.Position(d.Pos)
+			if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Code, d.Message); err != nil {
+				return err
+			}
+			for _, fix := range d.Fixes {
+				if _, err := fmt.Fprintf(w, "\tfix: %s\n", fix.Message); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	var err error
+	if total == 0 {
+		_, err = fmt.Fprintf(w, "fsvet: no findings in %d package(s)\n", len(reports))
+	} else {
+		_, err = fmt.Fprintf(w, "fsvet: %d finding(s) in %d package(s)\n", total, len(reports))
+	}
+	return err
+}
+
+// JSONDiagnostic is the serialized form of one finding.
+type JSONDiagnostic struct {
+	Package    string    `json:"package"`
+	File       string    `json:"file"`
+	Line       int       `json:"line"`
+	Col        int       `json:"col"`
+	EndLine    int       `json:"end_line"`
+	EndCol     int       `json:"end_col"`
+	Code       string    `json:"code"`
+	Message    string    `json:"message"`
+	Straddles  int64     `json:"straddles,omitempty"`
+	Boundaries int64     `json:"boundaries,omitempty"`
+	LineSize   int64     `json:"line_size"`
+	Cycles     float64   `json:"cycles,omitempty"`
+	Exact      bool      `json:"exact"`
+	Fixes      []JSONFix `json:"fixes,omitempty"`
+}
+
+// JSONFix is the serialized form of one verified suggested fix.
+type JSONFix struct {
+	Message string     `json:"message"`
+	Edits   []JSONEdit `json:"edits"`
+}
+
+// JSONEdit is one textual edit as file offsets and positions.
+type JSONEdit struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	EndLine int    `json:"end_line"`
+	EndCol  int    `json:"end_col"`
+	NewText string `json:"new_text"`
+}
+
+// MarshalDiagnostics flattens reports into the JSON form.
+func MarshalDiagnostics(reports []PackageReport) []JSONDiagnostic {
+	out := []JSONDiagnostic{}
+	for _, r := range reports {
+		for _, d := range r.Diags {
+			pos := r.Pass.Fset.Position(d.Pos)
+			end := r.Pass.Fset.Position(d.End)
+			jd := JSONDiagnostic{
+				Package: r.Path,
+				File:    pos.Filename, Line: pos.Line, Col: pos.Column,
+				EndLine: end.Line, EndCol: end.Column,
+				Code: d.Code, Message: d.Message,
+				Straddles: d.Straddles, Boundaries: d.Boundaries,
+				LineSize: d.LineSize, Cycles: d.Cycles, Exact: d.Exact,
+			}
+			for _, fix := range d.Fixes {
+				jf := JSONFix{Message: fix.Message}
+				for _, e := range fix.Edits {
+					ep := r.Pass.Fset.Position(e.Pos)
+					ee := r.Pass.Fset.Position(e.End)
+					jf.Edits = append(jf.Edits, JSONEdit{
+						File: ep.Filename, Line: ep.Line, Col: ep.Column,
+						EndLine: ee.Line, EndCol: ee.Column, NewText: e.NewText,
+					})
+				}
+				jd.Fixes = append(jd.Fixes, jf)
+			}
+			out = append(out, jd)
+		}
+	}
+	return out
+}
+
+// WriteJSON renders reports as an indented JSON array.
+func WriteJSON(w io.Writer, reports []PackageReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(MarshalDiagnostics(reports))
+}
+
+// Rules is fsvet's stable SARIF rule registry.
+func Rules() []sarifwriter.Rule {
+	return []sarifwriter.Rule{
+		{ID: CodeHotLine, Description: "Concurrency-hot struct fields share a cache line"},
+		{ID: CodeAdjacentWrites, Description: "Goroutine-per-index writes to adjacent sub-line slice elements false-share"},
+		{ID: CodeUnpaddedShard, Description: "Indexed atomic operations on elements that are not a cache-line multiple"},
+	}
+}
+
+// WriteSARIF renders the reports as one SARIF 2.1.0 run through the
+// shared writer; all fsvet findings are warnings (layout hazards, not
+// proven races).
+func WriteSARIF(w io.Writer, reports []PackageReport) error {
+	var results []sarifwriter.Result
+	for _, r := range reports {
+		for _, d := range r.Diags {
+			pos := r.Pass.Fset.Position(d.Pos)
+			end := r.Pass.Fset.Position(d.End)
+			results = append(results, sarifwriter.Result{
+				RuleID:  d.Code,
+				Level:   sarifwriter.LevelWarning,
+				Message: d.Message,
+				URI:     pos.Filename,
+				Region: sarifwriter.Region{
+					StartLine: pos.Line, StartColumn: pos.Column,
+					EndLine: end.Line, EndColumn: end.Column,
+				},
+			})
+		}
+	}
+	return sarifwriter.Write(w, "fsvet", Rules(), results)
+}
+
+// ApplyFixes applies every verified fix in reports to the files on
+// disk, returning the list of rewritten files. Edits within one file
+// are applied back-to-front so earlier offsets stay valid; overlapping
+// edits (two fixes touching the same span) keep the first and drop the
+// rest.
+func ApplyFixes(reports []PackageReport) ([]string, error) {
+	perFile := make(map[string][]Edit)
+	for _, r := range reports {
+		for _, d := range r.Diags {
+			for _, fix := range d.Fixes {
+				if !fix.Verified {
+					continue
+				}
+				for _, e := range fix.Edits {
+					pos := r.Pass.Fset.Position(e.Pos)
+					end := r.Pass.Fset.Position(e.End)
+					perFile[pos.Filename] = append(perFile[pos.Filename], Edit{Off: pos.Offset, End: end.Offset, Text: e.NewText})
+				}
+			}
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		patched, err := ApplyEditsToSource(src, perFile[f])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		// Re-format so an applied fix never leaves the file un-gofmt'd
+		// (padding insertions disturb field alignment); a format failure
+		// keeps the valid-but-unaligned splice.
+		if pretty, err := format.Source(patched); err == nil {
+			patched = pretty
+		}
+		if err := os.WriteFile(f, patched, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// Edit is an offset-based text replacement within one file.
+type Edit struct {
+	Off, End int
+	Text     string
+}
+
+// ApplyEditsToSource splices offset edits into src, back-to-front,
+// dropping overlaps after the first. Exported for the corpus tests that
+// verify a fix re-analyzes clean without touching disk.
+func ApplyEditsToSource(src []byte, edits []Edit) ([]byte, error) {
+	sort.SliceStable(edits, func(i, j int) bool {
+		if edits[i].Off != edits[j].Off {
+			return edits[i].Off > edits[j].Off
+		}
+		return edits[i].End > edits[j].End
+	})
+	edits = append([]Edit(nil), edits...)
+	lastStart := len(src) + 1
+	out := append([]byte(nil), src...)
+	for _, e := range edits {
+		if e.Off < 0 || e.End > len(src) || e.Off > e.End {
+			return nil, fmt.Errorf("edit [%d,%d) outside source of %d bytes", e.Off, e.End, len(src))
+		}
+		if e.End > lastStart {
+			continue // overlaps an already-applied edit
+		}
+		lastStart = e.Off
+		out = append(out[:e.Off], append([]byte(e.Text), out[e.End:]...)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+package govet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/guard"
+	"repro/internal/machine"
+)
+
+// go vet -vettool protocol. The go command drives a vet tool through a
+// small, documented contract (the same one x/tools' unitchecker
+// implements): first `tool -V=full` for a cache key, then one
+// invocation per package unit with the path of a JSON .cfg file
+// describing the unit — source files, the import map, and the export
+// data file for every dependency, all prepared by the go command. The
+// tool type-checks the unit, runs its analysis, prints diagnostics as
+// JSON keyed by package and analyzer, and writes the (for fsvet, empty)
+// facts file the cfg names. Implementing the contract directly keeps
+// fsvet stdlib-only while remaining `go vet -vettool=$(which fsvet)`
+// compatible.
+
+// vetConfig mirrors the fields of the go command's vet .cfg files that
+// fsvet consumes (unknown fields are ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// IsVetInvocation reports whether args look like a go-vet-protocol
+// invocation: a -V=full version probe, a -flags query, or a positional
+// *.cfg unit file.
+func IsVetInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" || a == "-flags" || a == "--flags" {
+			return true
+		}
+		if strings.HasSuffix(a, ".cfg") && !strings.HasPrefix(a, "-") {
+			return true
+		}
+	}
+	return false
+}
+
+// VetMain handles one go-vet-protocol invocation and returns the
+// process exit code. mach parameterizes the analysis (nil =
+// machine.Paper48()). Mirroring unitchecker: by default diagnostics
+// print as text on stderr and findings exit nonzero (cmd/go relays
+// both); `go vet -json` forwards -json, switching to a JSON envelope
+// on stdout with exit 0.
+func VetMain(args []string, mach *machine.Desc, stdout, stderr io.Writer) int {
+	var cfgPath string
+	jsonOut := false
+	for _, a := range args {
+		flagArg := strings.TrimPrefix(strings.TrimPrefix(a, "-"), "-")
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion(stdout)
+			return 0
+		case a == "-flags" || a == "--flags":
+			// The go command validates `go vet` flags against this list.
+			fmt.Fprintln(stdout, `[{"Name":"json","Bool":true,"Usage":"emit JSON diagnostics on stdout"},`+
+				`{"Name":"machine","Bool":false,"Usage":"machine model: paper48 (default), smalltest, modern16"},`+
+				`{"Name":"line","Bool":false,"Usage":"cache-line size override in bytes"}]`)
+			return 0
+		case a == "-json" || a == "--json" || a == "-json=true" || a == "--json=true":
+			jsonOut = true
+		case strings.HasPrefix(flagArg, "machine="):
+			m, err := machineByVetName(strings.TrimPrefix(flagArg, "machine="))
+			if err != nil {
+				fmt.Fprintln(stderr, "fsvet:", err)
+				return 1
+			}
+			mach = m
+		case strings.HasPrefix(flagArg, "line="):
+			var line int64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(flagArg, "line="), "%d", &line); err != nil {
+				fmt.Fprintf(stderr, "fsvet: invalid -line: %v\n", err)
+				return 1
+			}
+			base := mach
+			if base == nil {
+				base = machine.Paper48()
+			}
+			m, err := base.WithLineSize(line)
+			if err != nil {
+				fmt.Fprintln(stderr, "fsvet:", err)
+				return 1
+			}
+			mach = m
+		case strings.HasSuffix(a, ".cfg") && !strings.HasPrefix(a, "-"):
+			cfgPath = a
+		}
+	}
+	if cfgPath == "" {
+		fmt.Fprintln(stderr, "fsvet: vet protocol invocation without a .cfg file")
+		return 1
+	}
+	code, err := runUnit(cfgPath, mach, jsonOut, stdout, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "fsvet:", err)
+		return 1
+	}
+	return code
+}
+
+// machineByVetName resolves the vet-protocol -machine flag value.
+func machineByVetName(name string) (*machine.Desc, error) {
+	switch name {
+	case "", "paper48":
+		return machine.Paper48(), nil
+	case "smalltest":
+		return machine.SmallTest(), nil
+	case "modern16":
+		return machine.Modern16(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q (valid: paper48, smalltest, modern16)", name)
+}
+
+// printVersion emits the `name version ...` line the go command hashes
+// into its action cache key; the executable digest makes rebuilt tools
+// invalidate cached vet results.
+func printVersion(w io.Writer) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Fprintf(w, "fsvet version devel buildID=%02x\n", h.Sum(nil))
+}
+
+// runUnit analyzes one vet unit: parse, type-check against the export
+// data the go command prepared, analyze under guard, report, and write
+// the facts file. The returned code is the process exit code (text
+// mode exits 2 on findings, as unitchecker does).
+func runUnit(cfgPath string, mach *machine.Desc, jsonOut bool, stdout, stderr io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// The facts file must exist for the go command even though fsvet
+	// exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(f)
+	})
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if f == nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return reportVetDiagnostics(jsonOut, stdout, stderr, cfg, fset, nil)
+			}
+			return 1, perr
+		}
+		files = append(files, f)
+	}
+	pkg, info, _ := typecheck(fset, cfg.ImportPath, files, imp)
+	pass := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, Sizes: gcSizes(), Machine: mach}
+	diags, err := guard.Do1(func() ([]Diagnostic, error) { return Analyze(pass) })
+	if err != nil {
+		return 1, err
+	}
+	return reportVetDiagnostics(jsonOut, stdout, stderr, cfg, fset, diags)
+}
+
+// reportVetDiagnostics emits the findings in the mode the go command
+// asked for and picks the exit code.
+func reportVetDiagnostics(jsonOut bool, stdout, stderr io.Writer, cfg vetConfig, fset *token.FileSet, diags []Diagnostic) (int, error) {
+	if jsonOut {
+		return 0, writeVetDiagnostics(stdout, cfg, fset, diags)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(stderr, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Code, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// vetJSONDiagnostic is the diagnostic shape the go command parses from
+// a vet tool's stdout.
+type vetJSONDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// writeVetDiagnostics prints the unit's findings in the go command's
+// JSON envelope: {"pkgID": {"analyzer": [diags]}}.
+func writeVetDiagnostics(w io.Writer, cfg vetConfig, fset *token.FileSet, diags []Diagnostic) error {
+	id := cfg.ID
+	if id == "" {
+		id = cfg.ImportPath
+	}
+	list := make([]vetJSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		list = append(list, vetJSONDiagnostic{
+			Posn:    fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column),
+			Message: d.Code + ": " + d.Message,
+		})
+	}
+	out := map[string]map[string][]vetJSONDiagnostic{
+		id: {FalseSharing.Name: list},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}

@@ -1,0 +1,82 @@
+package machine
+
+import "fmt"
+
+// Cache-line layout arithmetic. These helpers are the single place byte
+// offsets from any front end — loopir symbol bases for mini-C, go/types
+// field offsets for Go (internal/govet) — are mapped onto the machine's
+// line geometry. Keeping the math on Desc (rather than open-coded at
+// call sites) means an odd line size exercises every consumer the same
+// way; the odd-geometry tests pin 32- and 128-byte lines.
+
+// LineOf returns the index of the cache line containing byte offset off
+// (off must be non-negative).
+func (d *Desc) LineOf(off int64) int64 { return off / d.LineSize }
+
+// SameLine reports whether byte offsets a and b fall on one cache line.
+func (d *Desc) SameLine(a, b int64) bool { return a/d.LineSize == b/d.LineSize }
+
+// LinesSpanned returns how many cache lines the byte range
+// [off, off+size) touches; a zero- or negative-size range touches none.
+func (d *Desc) LinesSpanned(off, size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return (off+size-1)/d.LineSize - off/d.LineSize + 1
+}
+
+// RangesShareLine reports whether [offA, offA+sizeA) and
+// [offB, offB+sizeB) touch a common cache line. Empty ranges share
+// nothing.
+func (d *Desc) RangesShareLine(offA, sizeA, offB, sizeB int64) bool {
+	if sizeA <= 0 || sizeB <= 0 {
+		return false
+	}
+	aFirst, aLast := offA/d.LineSize, (offA+sizeA-1)/d.LineSize
+	bFirst, bLast := offB/d.LineSize, (offB+sizeB-1)/d.LineSize
+	return aFirst <= bLast && bFirst <= aLast
+}
+
+// AlignUpToLine rounds off up to the next line boundary (identity when
+// already aligned).
+func (d *Desc) AlignUpToLine(off int64) int64 {
+	return (off + d.LineSize - 1) / d.LineSize * d.LineSize
+}
+
+// PadToLine returns the bytes that must be appended to an object of the
+// given size so the padded size is a positive line multiple: the padding
+// fsvet's GV002/GV003 suggested fixes insert. A size that is already a
+// line multiple needs none.
+func (d *Desc) PadToLine(size int64) int64 {
+	if size <= 0 {
+		return d.LineSize
+	}
+	rem := size % d.LineSize
+	if rem == 0 {
+		return 0
+	}
+	return d.LineSize - rem
+}
+
+// WithLineSize returns a copy of the machine re-lined to the given line
+// size: the top-level LineSize and every present cache level's geometry
+// are replaced, keeping per-level capacities (so line counts scale
+// inversely). The receiver is not modified. Line must be a positive
+// power of two or an error is returned, mirroring Validate.
+func (d *Desc) WithLineSize(line int64) (*Desc, error) {
+	if line <= 0 || line&(line-1) != 0 {
+		return nil, fmt.Errorf("machine %s: line size %d not a positive power of two", d.Name, line)
+	}
+	nd := *d
+	nd.LineSize = line
+	if nd.L1.SizeBytes != 0 {
+		nd.L1.LineSize = line
+	}
+	if nd.L2.SizeBytes != 0 {
+		nd.L2.LineSize = line
+	}
+	if nd.L3.SizeBytes != 0 {
+		nd.L3.LineSize = line
+	}
+	return &nd, nil
+}

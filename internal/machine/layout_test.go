@@ -1,0 +1,134 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestLayoutHelpers pins the line arithmetic at the normal and odd line
+// sizes (32, 64, 128) so every consumer of the helpers — loopir bases
+// and fsvet's go/types offsets alike — sees the same geometry.
+func TestLayoutHelpers(t *testing.T) {
+	for _, line := range []int64{32, 64, 128} {
+		d, err := Paper48().WithLineSize(line)
+		if err != nil {
+			t.Fatalf("WithLineSize(%d): %v", line, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("re-lined machine invalid at %d: %v", line, err)
+		}
+		if got := d.LineOf(line - 1); got != 0 {
+			t.Errorf("L=%d: LineOf(%d) = %d, want 0", line, line-1, got)
+		}
+		if got := d.LineOf(line); got != 1 {
+			t.Errorf("L=%d: LineOf(%d) = %d, want 1", line, line, got)
+		}
+		if !d.SameLine(0, line-1) || d.SameLine(0, line) {
+			t.Errorf("L=%d: SameLine boundary wrong", line)
+		}
+		if got := d.LinesSpanned(0, 0); got != 0 {
+			t.Errorf("L=%d: LinesSpanned(0,0) = %d, want 0", line, got)
+		}
+		if got := d.LinesSpanned(0, line); got != 1 {
+			t.Errorf("L=%d: LinesSpanned(0,%d) = %d, want 1", line, line, got)
+		}
+		if got := d.LinesSpanned(line-1, 2); got != 2 {
+			t.Errorf("L=%d: LinesSpanned(%d,2) = %d, want 2", line, line-1, got)
+		}
+		if !d.RangesShareLine(0, 8, line-1, 8) {
+			t.Errorf("L=%d: straddling ranges should share a line", line)
+		}
+		if d.RangesShareLine(0, 8, line, 8) {
+			t.Errorf("L=%d: disjoint-line ranges should not share", line)
+		}
+		if d.RangesShareLine(0, 0, 0, 8) {
+			t.Errorf("L=%d: empty range shares nothing", line)
+		}
+		if got := d.AlignUpToLine(1); got != line {
+			t.Errorf("L=%d: AlignUpToLine(1) = %d, want %d", line, got, line)
+		}
+		if got := d.AlignUpToLine(line); got != line {
+			t.Errorf("L=%d: AlignUpToLine(%d) = %d, want identity", line, line, got)
+		}
+	}
+}
+
+// TestWithLineSizeRejectsBadLines mirrors Validate's power-of-two rule.
+func TestWithLineSizeRejectsBadLines(t *testing.T) {
+	for _, bad := range []int64{0, -64, 48, 96} {
+		if _, err := Paper48().WithLineSize(bad); err == nil {
+			t.Errorf("WithLineSize(%d) succeeded, want error", bad)
+		}
+	}
+	// The receiver must be untouched by a successful re-line.
+	d := Paper48()
+	if _, err := d.WithLineSize(128); err != nil {
+		t.Fatal(err)
+	}
+	if d.LineSize != 64 || d.L1.LineSize != 64 {
+		t.Fatalf("WithLineSize mutated the receiver: %+v", d)
+	}
+}
+
+// TestPrivateCacheLinesEdges covers the level-absent edge cases: the FS
+// model's per-thread stack depth comes from the largest private level
+// that exists, and a machine with no private caches models zero lines.
+func TestPrivateCacheLinesEdges(t *testing.T) {
+	d := Paper48()
+	if got, want := d.PrivateCacheLines(), int((512<<10)/64); got != want {
+		t.Errorf("full hierarchy: PrivateCacheLines = %d, want %d (L2)", got, want)
+	}
+	noL2 := *d
+	noL2.L2 = cache.Geometry{}
+	if got, want := noL2.PrivateCacheLines(), int((64<<10)/64); got != want {
+		t.Errorf("L2 absent: PrivateCacheLines = %d, want %d (L1)", got, want)
+	}
+	noPrivate := noL2
+	noPrivate.L1 = cache.Geometry{}
+	if got := noPrivate.PrivateCacheLines(); got != 0 {
+		t.Errorf("no private levels: PrivateCacheLines = %d, want 0", got)
+	}
+	// Re-lining halves/doubles the line count with capacity fixed.
+	wide, err := d.WithLineSize(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := wide.PrivateCacheLines(), int((512<<10)/128); got != want {
+		t.Errorf("128B lines: PrivateCacheLines = %d, want %d", got, want)
+	}
+}
+
+// TestPadToLineProperty is the padding property test: for line sizes
+// {32, 64, 128} and arbitrary object sizes, the suggested padding always
+// produces a positive line-multiple layout and never wastes a full line
+// on an already-aligned object.
+func TestPadToLineProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, line := range []int64{32, 64, 128} {
+		d, err := SmallTest().WithLineSize(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			size := rng.Int63n(4 * line)
+			pad := d.PadToLine(size)
+			padded := size + pad
+			if padded <= 0 || padded%line != 0 {
+				t.Fatalf("L=%d size=%d: padded size %d not a positive line multiple", line, size, padded)
+			}
+			if pad < 0 || pad > line {
+				t.Fatalf("L=%d size=%d: pad %d outside [0, %d]", line, size, pad, line)
+			}
+			if size > 0 && size%line == 0 && pad != 0 {
+				t.Fatalf("L=%d: aligned size %d padded by %d", line, size, pad)
+			}
+			// Padded elements never straddle: consecutive elements of the
+			// padded size occupy disjoint line sets.
+			if d.RangesShareLine(0, padded, padded, padded) {
+				t.Fatalf("L=%d: consecutive padded elements of %d share a line", line, padded)
+			}
+		}
+	}
+}

@@ -81,6 +81,12 @@ func Run[T any](ctx context.Context, n, jobs int, fn func(ctx context.Context, i
 		return results, nil
 	}
 
+	// Workers write into line-padded slots instead of results directly:
+	// adjacent small results would otherwise share cache lines and every
+	// completion would ping-pong the line between workers (fsvet GV002
+	// geometry). The copy-out after the barrier is serial and cold.
+	slots := make([]slot[T], n)
+
 	var (
 		next    atomic.Int64 // next index to claim
 		failIdx atomic.Int64 // lowest index that failed so far
@@ -108,7 +114,7 @@ func Run[T any](ctx context.Context, n, jobs int, fn func(ctx context.Context, i
 					mu.Unlock()
 					continue
 				}
-				results[i] = v
+				slots[i].v = v
 			}
 		}()
 	}
@@ -120,7 +126,19 @@ func Run[T any](ctx context.Context, n, jobs int, fn func(ctx context.Context, i
 	if failIdx.Load() < math.MaxInt64 {
 		return nil, runErr
 	}
+	for i := range slots {
+		results[i] = slots[i].v
+	}
 	return results, nil
+}
+
+// slot isolates each parallel worker's result on its own cache-line
+// region: consecutive v fields are one full 128-byte span apart, so for
+// any line size up to 128B no line can hold bytes of two different
+// slots' values — concurrent completions never invalidate each other.
+type slot[T any] struct {
+	v T
+	_ [128]byte
 }
 
 // ForEach is Run for index-only work that writes its own outputs: it

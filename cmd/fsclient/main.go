@@ -43,8 +43,19 @@ type config struct {
 	retries int
 	timeout time.Duration
 	seed    int64
+	// hedge enables tail-latency hedging: a backup request after an
+	// adaptive p95 delay, first response wins.
+	hedge bool
+	// hedgeDelay pins the hedge delay (0 = adaptive p95).
+	hedgeDelay time.Duration
+	// deadline, when positive, is sent as X-Request-Deadline so the
+	// server evicts the request from its queue if it cannot be met.
+	deadline time.Duration
 	// sleep replaces the retry policy's sleeper in tests (nil = real).
 	sleep func(time.Duration)
+	// hedger carries hedge state across attempts (built in run; tests
+	// may pre-seed one).
+	hedger *retry.Hedger
 }
 
 func main() {
@@ -67,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.retries, "retries", 4, "total attempts for retryable failures (429/503/transport)")
 	fs.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "overall deadline across all attempts")
 	fs.Int64Var(&cfg.seed, "seed", 0, "backoff jitter seed (0 = 1), for reproducible retry timing")
+	fs.BoolVar(&cfg.hedge, "hedge", false, "hedge slow requests: launch one backup after an adaptive p95 delay, first response wins")
+	fs.DurationVar(&cfg.hedgeDelay, "hedge-delay", 0, "pin the hedge delay instead of adapting from observed latency (0 = adaptive)")
+	fs.DurationVar(&cfg.deadline, "deadline", 0, "per-request deadline sent as X-Request-Deadline (0 = none; server may reject unmeetable queues early)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,6 +89,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "fsclient:", err)
 		return 2
+	}
+	if cfg.hedge {
+		// A pinned -hedge-delay sets floor == ceiling, so the clamp
+		// forces exactly that delay; zero leaves both at their adaptive
+		// defaults.
+		cfg.hedger = retry.NewHedger(retry.HedgeConfig{MaxDelay: cfg.hedgeDelay, MinDelay: cfg.hedgeDelay})
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	defer cancel()
@@ -129,10 +149,22 @@ func buildRequest(cfg config, args []string) ([]byte, error) {
 	return json.Marshal(req)
 }
 
+// reply is one completed HTTP exchange, however it was obtained
+// (primary or hedge).
+type reply struct {
+	status     string
+	statusCode int
+	header     http.Header
+	body       []byte
+}
+
 // send POSTs the request under the retry policy: 429/503 and transport
 // errors retry with full-jitter backoff floored by the server's
 // Retry-After; other statuses return the response (or its error body)
-// immediately.
+// immediately. With -hedge, each attempt races a backup request after
+// the hedge delay — the first completed exchange wins, the loser is
+// cancelled — and server backpressure suppresses hedging for its
+// Retry-After window.
 func send(ctx context.Context, cfg config, body []byte) ([]byte, error) {
 	path := "/v1/analyze"
 	if cfg.lint {
@@ -142,34 +174,52 @@ func send(ctx context.Context, cfg config, body []byte) ([]byte, error) {
 	var out []byte
 	p := retry.Policy{MaxAttempts: cfg.retries, Seed: cfg.seed, Sleep: cfg.sleep}
 	err := retry.Do(ctx, p, func(attempt int) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			return retry.Retryable(err)
-		}
-		defer resp.Body.Close()
-		b, err := io.ReadAll(resp.Body)
+		r, err := retry.DoHedged(ctx, cfg.hedger, func(ctx context.Context, hedged bool) (reply, error) {
+			return post(ctx, cfg, url, body)
+		})
 		if err != nil {
 			return retry.Retryable(err)
 		}
 		switch {
-		case resp.StatusCode == http.StatusOK:
-			out = b
+		case r.statusCode == http.StatusOK:
+			out = r.body
 			return nil
-		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		case r.statusCode == http.StatusTooManyRequests || r.statusCode == http.StatusServiceUnavailable:
+			after := retry.AfterHeader(r.header)
+			if cfg.hedger != nil {
+				cfg.hedger.NoteBackpressure(after)
+			}
 			return &retry.Err{
-				Cause:      fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b)),
-				RetryAfter: retry.AfterHeader(resp.Header),
+				Cause:      fmt.Errorf("%s: %s", r.status, bytes.TrimSpace(r.body)),
+				RetryAfter: after,
 			}
 		}
-		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+		return fmt.Errorf("%s: %s", r.status, bytes.TrimSpace(r.body))
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// post performs one HTTP exchange.
+func post(ctx context.Context, cfg config, url string, body []byte) (reply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return reply{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if cfg.deadline > 0 {
+		req.Header.Set("X-Request-Deadline", cfg.deadline.String())
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return reply{}, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return reply{}, err
+	}
+	return reply{status: resp.Status, statusCode: resp.StatusCode, header: resp.Header, body: b}, nil
 }

@@ -8,10 +8,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/retry"
 )
 
 // TestSendRetriesThrottledThenSucceeds drives send against a server
@@ -87,6 +90,94 @@ func TestSendExhaustsRetries(t *testing.T) {
 	}
 	if calls.Load() != 3 {
 		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+// TestSendSetsDeadlineHeader pins that -deadline travels to the server
+// as X-Request-Deadline so the queue can evict unmeetable waits.
+func TestSendSetsDeadlineHeader(t *testing.T) {
+	var header atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header.Store(r.Header.Get("X-Request-Deadline"))
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	cfg := config{addr: srv.URL, retries: 1, deadline: 1500 * time.Millisecond}
+	if _, err := send(context.Background(), cfg, []byte(`{}`)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got := header.Load(); got != "1.5s" {
+		t.Fatalf("X-Request-Deadline = %q, want \"1.5s\"", got)
+	}
+}
+
+// slowReplicaServer is the fault-injected replica: every third arrival
+// stalls for stall (honoring request cancellation — an abandoned loser
+// must stop consuming the handler); the rest answer immediately.
+func slowReplicaServer(t *testing.T, stall time.Duration) *httptest.Server {
+	t.Helper()
+	var arrivals atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if arrivals.Add(1)%3 == 0 {
+			select {
+			case <-time.After(stall):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Write([]byte(`{"kind":"heat"}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestSendHedgedBeatsSlowReplica is the acceptance test for -hedge: the
+// tail of a replica that stalls every third request. A hedged client's
+// p99 must beat the non-hedged client's by a wide margin, because the
+// backup request fired after the hedge delay lands on the fast path
+// while the stalled primary is cancelled.
+func TestSendHedgedBeatsSlowReplica(t *testing.T) {
+	const (
+		stall = 250 * time.Millisecond
+		calls = 30
+	)
+	measure := func(cfg config) []time.Duration {
+		lat := make([]time.Duration, calls)
+		for i := range lat {
+			start := time.Now()
+			if _, err := send(context.Background(), cfg, []byte(`{"kernel":"heat"}`)); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+			lat[i] = time.Since(start)
+		}
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		return lat
+	}
+	p99 := func(lat []time.Duration) time.Duration { return lat[(len(lat)*99)/100] }
+
+	plainSrv := slowReplicaServer(t, stall)
+	plain := p99(measure(config{addr: plainSrv.URL, retries: 1}))
+
+	// A pinned hedge delay and a generous token budget keep the test
+	// deterministic: every stalled primary may hedge.
+	hedgedSrv := slowReplicaServer(t, stall)
+	hedged := p99(measure(config{
+		addr:    hedgedSrv.URL,
+		retries: 1,
+		hedger: retry.NewHedger(retry.HedgeConfig{
+			MaxDelay:       25 * time.Millisecond,
+			MinDelay:       25 * time.Millisecond,
+			EarnPerPrimary: 1,
+			MaxTokens:      float64(calls),
+		}),
+	}))
+
+	if plain < stall {
+		t.Fatalf("non-hedged p99 = %v, want >= the %v stall (fault injection broken)", plain, stall)
+	}
+	if hedged >= plain/2 {
+		t.Fatalf("hedged p99 = %v, want well under non-hedged p99 %v", hedged, plain)
 	}
 }
 

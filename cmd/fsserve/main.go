@@ -43,15 +43,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fsserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		cacheN    = fs.Int("cache", 512, "result cache entries (negative disables caching)")
-		conc      = fs.Int("concurrency", 0, "max concurrent model evaluations (0 = GOMAXPROCS)")
-		queue     = fs.Int("queue", 64, "max requests waiting for an evaluation slot before 429")
-		timeout   = fs.Duration("timeout", 30*time.Second, "per-request deadline")
-		maxBody   = fs.Int64("max-body", 1<<20, "request body size limit in bytes")
-		maxBatch  = fs.Int("max-batch", 256, "max analysis points per batch request")
-		logFormat = fs.String("log", "text", "request log format: text or json")
-		grace     = fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
+		addr       = fs.String("addr", ":8080", "listen address")
+		cacheN     = fs.Int("cache", 512, "result cache entries (negative disables caching)")
+		cacheDir   = fs.String("cache-dir", "", "directory persisting the result cache across restarts (empty disables)")
+		snapEvery  = fs.Duration("snapshot-interval", 0, "background cache-snapshot period when -cache-dir is set (0 = default 30s)")
+		quotaRPS   = fs.Float64("quota-rps", 0, "per-client request quota in requests/second (0 disables)")
+		quotaBurst = fs.Float64("quota-burst", 0, "per-client quota burst size (0 = 2x -quota-rps)")
+		conc       = fs.Int("concurrency", 0, "max concurrent model evaluations (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 64, "max requests waiting for an evaluation slot before 429")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-request deadline")
+		maxBody    = fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+		maxBatch   = fs.Int("max-batch", 256, "max analysis points per batch request")
+		logFormat  = fs.String("log", "text", "request log format: text or json")
+		grace      = fs.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
 
 		maxSteps  = fs.Int64("max-steps", 0, "per-evaluation simulated-access budget (0 = default, negative = unlimited)")
 		maxState  = fs.Int64("max-state-bytes", 0, "per-evaluation simulator state budget in bytes (0 = default, negative = unlimited)")
@@ -93,13 +97,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := serve(ctx, ln, service.Config{
-		CacheEntries:   *cacheN,
-		MaxConcurrent:  *conc,
-		MaxQueue:       *queue,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		MaxBatch:       *maxBatch,
-		Logger:         slog.New(handler),
+		CacheEntries:     *cacheN,
+		CacheDir:         *cacheDir,
+		SnapshotInterval: *snapEvery,
+		QuotaRPS:         *quotaRPS,
+		QuotaBurst:       *quotaBurst,
+		MaxConcurrent:    *conc,
+		MaxQueue:         *queue,
+		RequestTimeout:   *timeout,
+		MaxBodyBytes:     *maxBody,
+		MaxBatch:         *maxBatch,
+		Logger:           slog.New(handler),
 
 		MaxEvalSteps:      *maxSteps,
 		MaxEvalStateBytes: *maxState,
@@ -145,6 +153,11 @@ func serve(ctx context.Context, ln net.Listener, cfg service.Config, grace time.
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// The drain is done: no more evaluations can mutate the cache, so
+	// the final snapshot is complete and the next start replays it warm.
+	if err := svc.Close(); err != nil {
+		logger.Error("final cache snapshot failed", "err", err)
 	}
 	logger.Info("fsserve stopped")
 	return nil

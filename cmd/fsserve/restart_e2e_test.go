@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// warmConfig is the restart-test service config: snapshots go to dir,
+// with the periodic writer effectively off so the drain-time write is
+// the one under test.
+func warmConfig(dir string) service.Config {
+	return service.Config{CacheDir: dir, SnapshotInterval: time.Hour}
+}
+
+// restartBodies posts n distinct analyses and returns their bodies in
+// request order.
+func restartBodies(t *testing.T, base string, n int) [][]byte {
+	t.Helper()
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		status, b := postJSON(t, base+"/v1/analyze",
+			fmt.Sprintf(`{"kernel":"heat","threads":8,"chunk":%d}`, 1<<i))
+		if status != 200 {
+			t.Fatalf("analyze %d: status %d: %s", i, status, b)
+		}
+		bodies[i] = b
+	}
+	return bodies
+}
+
+// TestE2ERestartWarmCache is the restart-durability acceptance test: a
+// server answers a working set, shuts down (writing its drain-time
+// snapshot), and a fresh process on the same -cache-dir replays every
+// answer byte-identically with the evaluation counter pinned at zero.
+func TestE2ERestartWarmCache(t *testing.T) {
+	dir := t.TempDir()
+	const n = 3
+
+	base, stop := startE2E(t, warmConfig(dir))
+	bodies := restartBodies(t, base, n)
+	if evals := scrapeMetric(t, base, "fsserve_evaluations_total"); evals != n {
+		t.Fatalf("first life evaluated %v, want %d", evals, n)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results.fssnap")); err != nil {
+		t.Fatalf("drain-time snapshot missing: %v", err)
+	}
+
+	// Second life: the snapshot restores the cache before the listener
+	// opens, so the replay is pure cache hits.
+	base, stop = startE2E(t, warmConfig(dir))
+	defer stop()
+	if got := scrapeMetric(t, base, "fsserve_snapshot_records_restored_total"); got != n {
+		t.Errorf("restored %v records, want %d", got, n)
+	}
+	if got := scrapeMetric(t, base, "fsserve_snapshot_records_dropped_total"); got != 0 {
+		t.Errorf("dropped %v records from a clean snapshot", got)
+	}
+	if age := scrapeMetric(t, base, "fsserve_snapshot_age_seconds"); age < 0 {
+		t.Errorf("snapshot age = %v after restore, want >= 0", age)
+	}
+	replayed := restartBodies(t, base, n)
+	for i := range bodies {
+		if !bytes.Equal(bodies[i], replayed[i]) {
+			t.Errorf("response %d changed across restart:\n%s\nvs\n%s", i, bodies[i], replayed[i])
+		}
+	}
+	if evals := scrapeMetric(t, base, "fsserve_evaluations_total"); evals != 0 {
+		t.Errorf("warm restart re-evaluated %v times, want 0", evals)
+	}
+	if hits := scrapeMetric(t, base, "fsserve_cache_hits_total"); hits != n {
+		t.Errorf("cache hits = %v after replay, want %d", hits, n)
+	}
+}
+
+// TestE2ERestartCorruptSnapshot pins the salvage contract end to end: a
+// snapshot truncated mid-record never prevents startup — the intact
+// prefix is restored, the damaged tail is dropped, and the metrics
+// reconcile exactly (restored + dropped = declared). Records write in
+// LRU-to-MRU order, so the survivors are the oldest entries and only
+// the truncated tail needs re-evaluation.
+func TestE2ERestartCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	const n = 3
+
+	base, stop := startE2E(t, warmConfig(dir))
+	bodies := restartBodies(t, base, n)
+	if err := stop(); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+
+	// Tear bytes off the end: the last-written (most recent) record is
+	// now torn, the first two stay intact.
+	path := filepath.Join(dir, "results.fssnap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, stop = startE2E(t, warmConfig(dir))
+	defer stop()
+	restored := scrapeMetric(t, base, "fsserve_snapshot_records_restored_total")
+	dropped := scrapeMetric(t, base, "fsserve_snapshot_records_dropped_total")
+	if restored != n-1 || dropped != 1 {
+		t.Errorf("salvage restored %v / dropped %v, want %d / 1", restored, dropped, n-1)
+	}
+
+	// The salvaged prefix replays without evaluation; only the torn
+	// record costs one.
+	replayed := restartBodies(t, base, n)
+	for i := range bodies {
+		if !bytes.Equal(bodies[i], replayed[i]) {
+			t.Errorf("response %d changed across corrupt restart:\n%s\nvs\n%s", i, bodies[i], replayed[i])
+		}
+	}
+	if evals := scrapeMetric(t, base, "fsserve_evaluations_total"); evals != 1 {
+		t.Errorf("salvaged restart evaluated %v times, want exactly 1 (the torn record)", evals)
+	}
+}

@@ -1,0 +1,133 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// QuotaConfig parameterizes per-client token buckets.
+type QuotaConfig struct {
+	// Rate is tokens (requests) replenished per second per client.
+	// Rate <= 0 disables quota enforcement entirely.
+	Rate float64
+	// Burst is the bucket capacity (0 = max(1, 2*Rate)).
+	Burst float64
+	// MaxClients bounds the tracked-client map; beyond it, idle (full)
+	// buckets are evicted first, then the map refuses new entries by
+	// admitting them unthrottled — running out of tracking space must
+	// not turn into a denial of service (0 = 4096).
+	MaxClients int
+	// Now substitutes the clock in tests (nil = time.Now).
+	Now func() time.Time
+}
+
+func (c QuotaConfig) withDefaults() QuotaConfig {
+	if c.Burst <= 0 {
+		c.Burst = 2 * c.Rate
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 4096
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Quotas enforces a token-bucket request quota per client key, so one
+// flooding client exhausts its own budget instead of starving everyone
+// behind the shared evaluation pool.
+type Quotas struct {
+	cfg QuotaConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	rejects int64
+}
+
+// NewQuotas builds a quota enforcer; nil-safe to use when cfg.Rate <= 0
+// (every Allow admits).
+func NewQuotas(cfg QuotaConfig) *Quotas {
+	cfg = cfg.withDefaults()
+	return &Quotas{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// Allow charges one request to key's bucket. When the bucket is empty
+// it reports false plus the time until one token refills — the derived
+// Retry-After for the 429.
+func (q *Quotas) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if q == nil || q.cfg.Rate <= 0 {
+		return true, 0
+	}
+	now := q.cfg.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[key]
+	if b == nil {
+		if len(q.buckets) >= q.cfg.MaxClients {
+			q.evictIdleLocked(now)
+		}
+		if len(q.buckets) >= q.cfg.MaxClients {
+			// Tracking space exhausted even after eviction: admit rather
+			// than punish clients for the server's bookkeeping limits.
+			return true, 0
+		}
+		b = &bucket{tokens: q.cfg.Burst, last: now}
+		q.buckets[key] = b
+	}
+	// Lazy refill since the last charge.
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.cfg.Rate
+		if b.tokens > q.cfg.Burst {
+			b.tokens = q.cfg.Burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	q.rejects++
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / q.cfg.Rate * float64(time.Second))
+}
+
+// evictIdleLocked removes buckets that have fully refilled — clients
+// idle long enough that forgetting them is lossless.
+func (q *Quotas) evictIdleLocked(now time.Time) {
+	for k, b := range q.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*q.cfg.Rate >= q.cfg.Burst {
+			delete(q.buckets, k)
+		}
+	}
+}
+
+// Rejects counts requests turned away over quota.
+func (q *Quotas) Rejects() int64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.rejects
+}
+
+// Tracked reports how many client buckets are live (for tests and
+// introspection).
+func (q *Quotas) Tracked() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

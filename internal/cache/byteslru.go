@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BytesLRU is a bounded, thread-safe LRU of byte payloads keyed by
+// string. It backs the service's content-addressed result cache, where
+// values are exact wire bytes, but carries no service policy itself —
+// just recency mechanics plus Dump/Restore so a snapshot can persist
+// the cache across restarts with its recency order intact.
+type BytesLRU struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+	onSize  func(int)
+}
+
+type bytesEntry struct {
+	key  string
+	body []byte
+}
+
+// NewBytesLRU builds a cache holding at most capacity entries; capacity
+// <= 0 disables caching entirely (every Get misses, Add is a no-op).
+// onSize, when non-nil, observes the entry count after every change.
+func NewBytesLRU(capacity int, onSize func(int)) *BytesLRU {
+	return &BytesLRU{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+		onSize:  onSize,
+	}
+}
+
+// Get returns the payload for key, marking it most recently used.
+func (c *BytesLRU) Get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*bytesEntry).body, true
+}
+
+// Add inserts (or refreshes) key's payload, evicting the least recently
+// used entry when full.
+func (c *BytesLRU) Add(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*bytesEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*bytesEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&bytesEntry{key: key, body: body})
+	c.notifySizeLocked()
+}
+
+// Len returns the number of cached entries.
+func (c *BytesLRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Dump returns every entry in least-to-most recently used order, so
+// replaying the slice through Add reconstructs both contents and
+// recency. Bodies are not copied; callers must treat them as immutable
+// (the service only ever stores bytes it never mutates).
+func (c *BytesLRU) Dump() (keys []string, bodies [][]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys = make([]string, 0, len(c.entries))
+	bodies = make([][]byte, 0, len(c.entries))
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*bytesEntry)
+		keys = append(keys, e.key)
+		bodies = append(bodies, e.body)
+	}
+	return keys, bodies
+}
+
+// Restore bulk-loads entries in the order given (oldest first, as
+// produced by Dump), respecting capacity: when entries outnumber the
+// capacity, the oldest are dropped by normal LRU eviction. It returns
+// how many entries are resident afterwards.
+func (c *BytesLRU) Restore(keys []string, bodies [][]byte) int {
+	for i := range keys {
+		c.Add(keys[i], bodies[i])
+	}
+	return c.Len()
+}
+
+func (c *BytesLRU) notifySizeLocked() {
+	if c.onSize != nil {
+		c.onSize(len(c.entries))
+	}
+}

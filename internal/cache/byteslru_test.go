@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestBytesLRUBasics(t *testing.T) {
+	var sizes []int
+	c := NewBytesLRU(2, func(n int) { sizes = append(sizes, n) })
+	c.Add("a", []byte("1"))
+	c.Add("b", []byte("2"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	// "a" is now most recent, so adding "c" evicts "b".
+	c.Add("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if len(sizes) == 0 {
+		t.Fatal("onSize never observed a change")
+	}
+}
+
+func TestBytesLRUDisabled(t *testing.T) {
+	c := NewBytesLRU(0, nil)
+	c.Add("a", []byte("1"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache holds entries")
+	}
+}
+
+// TestBytesLRUDumpRestore pins the snapshot contract: Dump emits
+// oldest-first, and replaying it through Restore reconstructs both the
+// contents and the recency order byte for byte.
+func TestBytesLRUDumpRestore(t *testing.T) {
+	c := NewBytesLRU(8, nil)
+	for i := 0; i < 5; i++ {
+		c.Add(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	c.Get("k1") // bump k1 to most recent
+	keys, bodies := c.Dump()
+	if len(keys) != 5 {
+		t.Fatalf("dump size = %d", len(keys))
+	}
+	if keys[len(keys)-1] != "k1" {
+		t.Fatalf("most recent dumped key = %q, want k1", keys[len(keys)-1])
+	}
+	if keys[0] != "k0" {
+		t.Fatalf("oldest dumped key = %q, want k0", keys[0])
+	}
+
+	fresh := NewBytesLRU(8, nil)
+	if n := fresh.Restore(keys, bodies); n != 5 {
+		t.Fatalf("restored %d entries", n)
+	}
+	keys2, bodies2 := fresh.Dump()
+	for i := range keys {
+		if keys[i] != keys2[i] || !bytes.Equal(bodies[i], bodies2[i]) {
+			t.Fatalf("entry %d differs after restore: %q vs %q", i, keys[i], keys2[i])
+		}
+	}
+	// Recency survived: adding 7 more should evict oldest-first, keeping k1.
+	for i := 0; i < 7; i++ {
+		fresh.Add(fmt.Sprintf("new%d", i), nil)
+	}
+	if _, ok := fresh.Get("k1"); !ok {
+		t.Fatal("restored recency order lost: k1 evicted before older keys")
+	}
+}
+
+// TestBytesLRURestoreOverCapacity pins that restoring into a smaller
+// cache keeps the most recent entries, dropping the oldest.
+func TestBytesLRURestoreOverCapacity(t *testing.T) {
+	keys := []string{"old", "mid", "new"}
+	bodies := [][]byte{{1}, {2}, {3}}
+	c := NewBytesLRU(2, nil)
+	if n := c.Restore(keys, bodies); n != 2 {
+		t.Fatalf("resident = %d, want 2", n)
+	}
+	if _, ok := c.Get("old"); ok {
+		t.Fatal("oldest entry survived an over-capacity restore")
+	}
+	if _, ok := c.Get("new"); !ok {
+		t.Fatal("newest entry dropped by an over-capacity restore")
+	}
+}

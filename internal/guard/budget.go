@@ -88,6 +88,20 @@ func (b Budget) CheckDeadline(now time.Time) error {
 	return nil
 }
 
+// TightenDeadline returns the budget with its deadline moved to d if d
+// is earlier (or the budget had none). A caller-supplied deadline — a
+// request context, an X-Request-Deadline header — can only shrink the
+// evaluation window, never extend a configured bound.
+func (b Budget) TightenDeadline(d time.Time) Budget {
+	if d.IsZero() {
+		return b
+	}
+	if b.Deadline.IsZero() || d.Before(b.Deadline) {
+		b.Deadline = d
+	}
+	return b
+}
+
 // Check runs every enforced dimension: steps and state are pure
 // arithmetic; the deadline reads the clock only when one is set.
 func (b Budget) Check(steps, stateBytes int64) error {

@@ -1,0 +1,270 @@
+package retry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HedgeConfig parameterizes a Hedger. The zero value is usable; every
+// field documents its default.
+type HedgeConfig struct {
+	// MaxDelay is the hedge delay while too few latency samples exist,
+	// and the ceiling on the adaptive delay afterwards (0 = 1s).
+	MaxDelay time.Duration
+	// MinDelay floors the adaptive delay so a very fast service does
+	// not provoke a hedge on every scheduling hiccup (0 = 1ms).
+	MinDelay time.Duration
+	// MinSamples is how many primary latencies must be observed before
+	// the adaptive p95 replaces MaxDelay (0 = 4).
+	MinSamples int
+	// Window is the latency sample window size (0 = 64).
+	Window int
+	// EarnPerPrimary is the hedge-token fraction earned per completed
+	// primary attempt; with the default 0.1, hedges are capped at ~10%
+	// of request volume in steady state (0 = 0.1).
+	EarnPerPrimary float64
+	// MaxTokens caps the token bucket — the burst of back-to-back
+	// hedges a latency spike may trigger (0 = 3).
+	MaxTokens float64
+	// Now substitutes the clock in tests (nil = time.Now).
+	Now func() time.Time
+}
+
+func (c HedgeConfig) withDefaults() HedgeConfig {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Second
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = time.Millisecond
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 4
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.EarnPerPrimary <= 0 {
+		c.EarnPerPrimary = 0.1
+	}
+	if c.MaxTokens <= 0 {
+		c.MaxTokens = 3
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Hedger is the client-side tail-latency defense: DoHedged launches a
+// backup attempt when the primary outlives an adaptive p95 delay, the
+// first response wins, and the loser is cancelled. Hedges spend from a
+// token budget earned by completed primaries (so hedging is bounded to
+// a fraction of traffic and cannot double load), and are suppressed
+// entirely while server backpressure (Retry-After) is active — hedging
+// into an overloaded server makes the overload worse.
+type Hedger struct {
+	cfg HedgeConfig
+
+	mu            sync.Mutex
+	samples       []float64 // ring of recent primary latencies, seconds
+	next          int
+	count         int
+	tokens        float64
+	suppressUntil time.Time
+
+	hedges     int64
+	wins       int64
+	suppressed int64
+}
+
+// NewHedger builds a Hedger. The token bucket starts with one token so
+// the first genuinely slow request may hedge immediately.
+func NewHedger(cfg HedgeConfig) *Hedger {
+	cfg = cfg.withDefaults()
+	return &Hedger{cfg: cfg, samples: make([]float64, cfg.Window), tokens: 1}
+}
+
+// Delay is the current hedge delay: the p95 of the sampled primary
+// latencies clamped to [MinDelay, MaxDelay], or MaxDelay until
+// MinSamples primaries have completed.
+func (h *Hedger) Delay() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.delayLocked()
+}
+
+func (h *Hedger) delayLocked() time.Duration {
+	if h.count < h.cfg.MinSamples {
+		return h.cfg.MaxDelay
+	}
+	n := min(h.count, len(h.samples))
+	sorted := make([]float64, n)
+	copy(sorted, h.samples[:n])
+	sort.Float64s(sorted)
+	p95 := sorted[(n*95)/100]
+	d := time.Duration(p95 * float64(time.Second))
+	if d < h.cfg.MinDelay {
+		d = h.cfg.MinDelay
+	}
+	if d > h.cfg.MaxDelay {
+		d = h.cfg.MaxDelay
+	}
+	return d
+}
+
+// ObservePrimary records one completed primary attempt's latency and
+// earns the token fraction. DoHedged calls it on every successful
+// primary; standalone callers may feed it directly.
+func (h *Hedger) ObservePrimary(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples[h.next] = d.Seconds()
+	h.next = (h.next + 1) % len(h.samples)
+	h.count++
+	h.tokens += h.cfg.EarnPerPrimary
+	if h.tokens > h.cfg.MaxTokens {
+		h.tokens = h.cfg.MaxTokens
+	}
+}
+
+// NoteBackpressure suppresses hedging for the server's Retry-After
+// duration (minimum 1s for a bare backpressure signal): a hedge is an
+// extra request, exactly what an overloaded server asked not to get.
+func (h *Hedger) NoteBackpressure(retryAfter time.Duration) {
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	until := h.cfg.Now().Add(retryAfter)
+	if until.After(h.suppressUntil) {
+		h.suppressUntil = until
+	}
+}
+
+// takeToken spends one hedge token if the budget allows and no
+// backpressure suppression is active.
+func (h *Hedger) takeToken() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cfg.Now().Before(h.suppressUntil) || h.tokens < 1 {
+		h.suppressed++
+		return false
+	}
+	h.tokens--
+	h.hedges++
+	return true
+}
+
+// HedgeStats is a point-in-time view of the hedger.
+type HedgeStats struct {
+	// Hedges counts backup attempts launched; Wins counts hedges whose
+	// response arrived first; Suppressed counts hedge opportunities
+	// skipped for budget or backpressure.
+	Hedges     int64
+	Wins       int64
+	Suppressed int64
+	// Samples is the number of primary latencies observed; Delay the
+	// current hedge delay; Tokens the remaining budget.
+	Samples int64
+	Delay   time.Duration
+	Tokens  float64
+}
+
+// Stats snapshots the hedger.
+func (h *Hedger) Stats() HedgeStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HedgeStats{
+		Hedges:     h.hedges,
+		Wins:       h.wins,
+		Suppressed: h.suppressed,
+		Samples:    int64(h.count),
+		Delay:      h.delayLocked(),
+		Tokens:     h.tokens,
+	}
+}
+
+// DoHedged runs attempt with tail-latency hedging: the primary starts
+// immediately; if it has not finished within h.Delay() and the budget
+// allows, one backup attempt starts with hedged=true. The first
+// successful result wins and the other attempt's context is cancelled;
+// if both fail, the primary's error is returned. A nil Hedger degrades
+// to a plain call.
+//
+// attempt must honor ctx cancellation — a cancelled loser should stop
+// doing work, not just have its result discarded.
+func DoHedged[T any](ctx context.Context, h *Hedger, attempt func(ctx context.Context, hedged bool) (T, error)) (T, error) {
+	var zero T
+	if h == nil {
+		return attempt(ctx, false)
+	}
+	type result struct {
+		v      T
+		err    error
+		hedged bool
+	}
+	actx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	results := make(chan result, 2) // buffered: the loser must not leak
+	start := time.Now()
+	launch := func(hedged bool) {
+		go func() {
+			v, err := attempt(actx, hedged)
+			results <- result{v, err, hedged}
+		}()
+	}
+	launch(false)
+	inflight := 1
+
+	timer := time.NewTimer(h.Delay())
+	defer timer.Stop()
+	timerC := timer.C
+
+	var primaryErr error
+	var hedgeErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		case <-timerC:
+			timerC = nil
+			if h.takeToken() {
+				launch(true)
+				inflight++
+			}
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				if r.hedged {
+					h.mu.Lock()
+					h.wins++
+					h.mu.Unlock()
+				} else {
+					h.ObservePrimary(time.Since(start))
+				}
+				cancelAll()
+				return r.v, nil
+			}
+			if r.hedged {
+				hedgeErr = r.err
+			} else {
+				primaryErr = r.err
+			}
+			if inflight == 0 && timerC == nil {
+				if primaryErr != nil {
+					return zero, primaryErr
+				}
+				return zero, hedgeErr
+			}
+			if inflight == 0 {
+				// The primary failed before the hedge timer fired; a
+				// backup of a failed request is a retry, which is the
+				// retry package's job, not the hedger's.
+				return zero, primaryErr
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// warm feeds n fast primary samples so the adaptive delay activates and
+// the token budget fills.
+func warm(h *Hedger, n int, d time.Duration) {
+	for i := 0; i < n; i++ {
+		h.ObservePrimary(d)
+	}
+}
+
+// TestHedgerDelayAdapts pins the delay model: MaxDelay until MinSamples
+// primaries, then the clamped p95 of the window.
+func TestHedgerDelayAdapts(t *testing.T) {
+	h := NewHedger(HedgeConfig{MaxDelay: time.Second, MinSamples: 4})
+	if d := h.Delay(); d != time.Second {
+		t.Fatalf("cold delay = %v, want MaxDelay", d)
+	}
+	warm(h, 20, 10*time.Millisecond)
+	d := h.Delay()
+	if d < time.Millisecond || d > 20*time.Millisecond {
+		t.Fatalf("warm delay = %v, want ~p95 of 10ms samples", d)
+	}
+}
+
+// TestDoHedgedSlowPrimary pins the core behavior: a slow primary
+// triggers one hedge, the hedge's fast response wins, and the primary's
+// context is cancelled.
+func TestDoHedgedSlowPrimary(t *testing.T) {
+	h := NewHedger(HedgeConfig{MaxDelay: time.Second})
+	warm(h, 20, 5*time.Millisecond)
+
+	primaryCancelled := make(chan struct{})
+	v, err := DoHedged(context.Background(), h, func(ctx context.Context, hedged bool) (string, error) {
+		if hedged {
+			return "hedge", nil
+		}
+		<-ctx.Done() // a primary that never finishes on its own
+		close(primaryCancelled)
+		return "", ctx.Err()
+	})
+	if err != nil || v != "hedge" {
+		t.Fatalf("DoHedged = %q, %v", v, err)
+	}
+	select {
+	case <-primaryCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("losing primary was never cancelled")
+	}
+	st := h.Stats()
+	if st.Hedges != 1 || st.Wins != 1 {
+		t.Fatalf("stats = %+v, want 1 hedge, 1 win", st)
+	}
+}
+
+// TestDoHedgedFastPrimary pins that a fast primary never hedges.
+func TestDoHedgedFastPrimary(t *testing.T) {
+	h := NewHedger(HedgeConfig{MaxDelay: 500 * time.Millisecond})
+	var hedges atomic.Int64
+	for i := 0; i < 8; i++ {
+		v, err := DoHedged(context.Background(), h, func(ctx context.Context, hedged bool) (int, error) {
+			if hedged {
+				hedges.Add(1)
+			}
+			return i, nil
+		})
+		if err != nil || v != i {
+			t.Fatalf("call %d: %v, %v", i, v, err)
+		}
+	}
+	if hedges.Load() != 0 {
+		t.Fatalf("%d hedges launched for instant primaries", hedges.Load())
+	}
+	if st := h.Stats(); st.Samples != 8 {
+		t.Fatalf("samples = %d, want 8", st.Samples)
+	}
+}
+
+// TestHedgeTokenBudget pins the budget: with earn 0 and the single
+// starting token, only one hedge may ever launch.
+func TestHedgeTokenBudget(t *testing.T) {
+	h := NewHedger(HedgeConfig{MaxDelay: time.Millisecond, EarnPerPrimary: 0.0001, MaxTokens: 1})
+	slow := func(ctx context.Context, hedged bool) (bool, error) {
+		if hedged {
+			return true, nil
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+			return false, nil
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+	}
+	if v, err := DoHedged(context.Background(), h, slow); err != nil || v != true {
+		t.Fatalf("first slow call: %v, %v (want hedge win)", v, err)
+	}
+	// Budget exhausted: the second slow call must ride out the primary.
+	if v, err := DoHedged(context.Background(), h, slow); err != nil || v != false {
+		t.Fatalf("second slow call: %v, %v (want primary, no budget)", v, err)
+	}
+	st := h.Stats()
+	if st.Hedges != 1 || st.Suppressed == 0 {
+		t.Fatalf("stats = %+v, want 1 hedge and a suppression", st)
+	}
+}
+
+// TestHedgeBackpressureSuppression pins that Retry-After backpressure
+// turns hedging off for its duration.
+func TestHedgeBackpressureSuppression(t *testing.T) {
+	now := time.Now()
+	h := NewHedger(HedgeConfig{MaxDelay: time.Millisecond, Now: func() time.Time { return now }})
+	h.NoteBackpressure(5 * time.Second)
+	if h.takeToken() {
+		t.Fatal("hedge token granted during backpressure suppression")
+	}
+	now = now.Add(6 * time.Second)
+	if !h.takeToken() {
+		t.Fatal("hedge token denied after suppression expired")
+	}
+}
+
+// TestDoHedgedBothFail pins error semantics: when primary and hedge
+// both fail, the primary's error surfaces.
+func TestDoHedgedBothFail(t *testing.T) {
+	h := NewHedger(HedgeConfig{MaxDelay: time.Millisecond})
+	primaryErr := errors.New("primary down")
+	_, err := DoHedged(context.Background(), h, func(ctx context.Context, hedged bool) (int, error) {
+		if hedged {
+			return 0, errors.New("hedge down")
+		}
+		time.Sleep(20 * time.Millisecond)
+		return 0, primaryErr
+	})
+	if !errors.Is(err, primaryErr) {
+		t.Fatalf("err = %v, want the primary's", err)
+	}
+}
+
+// TestDoHedgedNil pins the degenerate path: a nil hedger is a plain
+// call.
+func TestDoHedgedNil(t *testing.T) {
+	v, err := DoHedged(context.Background(), nil, func(ctx context.Context, hedged bool) (int, error) {
+		if hedged {
+			t.Error("nil hedger launched a hedge")
+		}
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("DoHedged = %v, %v", v, err)
+	}
+}
+
+// TestDoHedgedCtxCancel pins that caller cancellation wins over both
+// attempts.
+func TestDoHedgedCtxCancel(t *testing.T) {
+	h := NewHedger(HedgeConfig{MaxDelay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	_, err := DoHedged(ctx, h, func(ctx context.Context, hedged bool) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

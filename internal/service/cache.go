@@ -1,80 +1,59 @@
 package service
 
 import (
-	"container/list"
-	"sync"
+	"repro/internal/cache"
+	"repro/internal/snapshot"
 )
 
 // resultCache is a bounded LRU of serialized analysis responses keyed by
 // the request's canonical content hash. Values are the exact bytes written
 // to the wire, so a hit reproduces the original response byte for byte.
+// The mechanics live in cache.BytesLRU; this wrapper adds the metrics
+// mirror and the snapshot round trip.
 type resultCache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used
-	entries map[string]*list.Element
-	size    *Gauge // nil-safe mirror of len(entries)
-}
-
-type cacheEntry struct {
-	key  string
-	body []byte
+	lru *cache.BytesLRU
 }
 
 // newResultCache builds a cache holding at most capacity entries;
 // capacity <= 0 disables caching entirely (every Get misses, Add is a
 // no-op). size, when non-nil, tracks the entry count.
 func newResultCache(capacity int, size *Gauge) *resultCache {
-	return &resultCache{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[string]*list.Element),
-		size:    size,
+	var onSize func(int)
+	if size != nil {
+		onSize = func(n int) { size.Set(int64(n)) }
 	}
+	return &resultCache{lru: cache.NewBytesLRU(capacity, onSize)}
 }
 
 // Get returns the cached response for key, marking it most recently used.
-func (c *resultCache) Get(key string) ([]byte, bool) {
-	if c.cap <= 0 {
-		return nil, false
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
-}
+func (c *resultCache) Get(key string) ([]byte, bool) { return c.lru.Get(key) }
 
 // Add inserts (or refreshes) key's response, evicting the least recently
 // used entry when full.
-func (c *resultCache) Add(key string, body []byte) {
-	if c.cap <= 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).body = body
-		c.order.MoveToFront(el)
-		return
-	}
-	for len(c.entries) >= c.cap {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.entries, last.Value.(*cacheEntry).key)
-	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
-	if c.size != nil {
-		c.size.Set(int64(len(c.entries)))
-	}
-}
+func (c *resultCache) Add(key string, body []byte) { c.lru.Add(key, body) }
 
 // Len returns the number of cached entries.
-func (c *resultCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+func (c *resultCache) Len() int { return c.lru.Len() }
+
+// Snapshot dumps the cache as snapshot entries, oldest first, so a
+// restore replays them through Add and reconstructs the recency order.
+func (c *resultCache) Snapshot() []snapshot.Entry {
+	keys, bodies := c.lru.Dump()
+	entries := make([]snapshot.Entry, len(keys))
+	for i := range keys {
+		entries[i] = snapshot.Entry{Key: keys[i], Body: bodies[i]}
+	}
+	return entries
+}
+
+// RestoreSnapshot replays snapshot entries into the cache and reports
+// how many are resident afterwards.
+func (c *resultCache) RestoreSnapshot(entries []snapshot.Entry) int {
+	keys := make([]string, len(entries))
+	bodies := make([][]byte, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+		bodies[i] = e.Body
+	}
+	return c.lru.Restore(keys, bodies)
 }

@@ -18,6 +18,11 @@ const (
 	endpointAnalyze = "analyze"
 	endpointLint    = "lint"
 	endpointTune    = "tune"
+	// endpointBatchItem labels per-item accounting inside
+	// /v1/analyze/batch in fsserve_requests_total: embedded item
+	// failures ride in a 200 envelope, so without it they would be
+	// invisible to request metrics.
+	endpointBatchItem = "batch-item"
 )
 
 // guarded is the fault boundary every cacheable endpoint funnels
@@ -95,7 +100,10 @@ func (s *Server) evalBudget(ctx context.Context) guard.Budget {
 		MaxStateBytes: s.cfg.MaxEvalStateBytes,
 	}
 	if d, ok := ctx.Deadline(); ok {
-		b.Deadline = d
+		// The ctx deadline already folds in the X-Request-Deadline
+		// header (requestContext tightens the timeout), so the client's
+		// end-to-end deadline reaches the fsmodel hot loop.
+		b = b.TightenDeadline(d)
 	}
 	return b
 }
@@ -195,6 +203,9 @@ type readyzPool struct {
 	Waiting       int  `json:"waiting"`
 	QueueCapacity int  `json:"queue_capacity"`
 	Saturated     bool `json:"saturated"`
+	// Limit is the current adaptive concurrency limit (<= Capacity,
+	// which is the configured ceiling).
+	Limit float64 `json:"limit"`
 }
 
 // ReadyzResponse is the body of GET /readyz.
@@ -220,7 +231,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			Capacity:      st.capacity,
 			Waiting:       st.waiting,
 			QueueCapacity: st.maxWait,
-			Saturated:     st.running == st.capacity && st.waiting >= st.maxWait,
+			Saturated:     st.running >= int(st.limit) && st.waiting >= st.maxWait,
+			Limit:         st.limit,
 		},
 	}
 	if len(s.breakers) > 0 {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/admission"
 	"repro/internal/kernels"
 	"repro/internal/minic"
 )
@@ -24,6 +25,15 @@ func badRequestf(format string, args ...any) error {
 	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// quotaError is a per-client quota rejection carrying the
+// refill-derived Retry-After (seconds).
+type quotaError struct {
+	retryAfter int
+}
+
+// Error implements the error interface.
+func (e *quotaError) Error() string { return "client over request quota" }
+
 // statusFor maps an error to its HTTP status. The classification mirrors
 // the CLIs' exit-code discipline (user-input errors versus internal
 // failures): parse errors, unknown kernels and request-validation
@@ -36,10 +46,14 @@ func statusFor(err error) int {
 	}
 	var pe *minic.ParseError
 	var uk *kernels.UnknownKernelError
+	var de *admission.DeadlineError
+	var qe *quotaError
 	switch {
 	case errors.As(err, &pe), errors.As(err, &uk):
 		return http.StatusBadRequest
-	case errors.Is(err, errQueueFull):
+	case errors.Is(err, errQueueFull), errors.As(err, &de), errors.As(err, &qe):
+		// All three admission rejections are backpressure: full queue,
+		// unmeetable deadline, exhausted client quota.
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro"
+	"repro/internal/admission"
 	"repro/internal/faultinject"
 	"repro/internal/guard"
 	"repro/internal/kernels"
@@ -28,14 +30,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError writes the error envelope for err, attaching Retry-After to
 // backpressure statuses.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status := statusFor(err)
-	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	ae := s.apiErrorFor(err)
+	if ae.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.RetryAfterSeconds))
 	}
-	if status == http.StatusTooManyRequests {
+	if ae.Code == http.StatusTooManyRequests {
 		s.metrics.QueueRejects.Inc()
 	}
-	writeJSON(w, status, map[string]*APIError{"error": {Code: status, Message: err.Error()}})
+	writeJSON(w, ae.Code, map[string]*APIError{"error": ae})
+}
+
+// apiErrorFor maps err to the wire error shape, deriving Retry-After for
+// backpressure statuses: quota and queue-deadline rejections carry their
+// own estimates (when the bucket refills; when the queue drains), the
+// rest fall back to pool saturation + jitter.
+func (s *Server) apiErrorFor(err error) *APIError {
+	status := statusFor(err)
+	ae := &APIError{Code: status, Message: err.Error()}
+	if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+		return ae
+	}
+	var qe *quotaError
+	var de *admission.DeadlineError
+	switch {
+	case errors.As(err, &qe):
+		ae.RetryAfterSeconds = qe.retryAfter
+	case errors.As(err, &de):
+		ae.RetryAfterSeconds = ceilSeconds(de.EstimatedWait)
+	default:
+		ae.RetryAfterSeconds = s.retryAfterSeconds()
+	}
+	return ae
+}
+
+// ceilSeconds rounds d up to whole seconds, minimum 1 (a zero
+// Retry-After invites an immediate retry).
+func ceilSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // retryAfterSeconds derives a Retry-After value from the evaluation
@@ -54,6 +89,61 @@ func (s *Server) retryAfterSeconds() int {
 	j := s.jitter.Intn(base + 1)
 	s.jitterMu.Unlock()
 	return base + j
+}
+
+// clientKey identifies a client for quota accounting: the X-API-Key
+// header when present (callers sharing a NAT can differentiate
+// themselves), else the remote host.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// admitClient charges the request to its client's quota bucket. A nil
+// error admits; a *quotaError rejects with the refill-derived
+// Retry-After.
+func (s *Server) admitClient(r *http.Request) error {
+	ok, retry := s.quotas.Allow(clientKey(r))
+	if ok {
+		return nil
+	}
+	s.metrics.QuotaRejects.Inc()
+	return &quotaError{retryAfter: ceilSeconds(retry)}
+}
+
+// requestContext derives the evaluation context: the configured request
+// timeout, tightened by the client's X-Request-Deadline header (a Go
+// duration like "250ms", or an absolute RFC3339 time). The deadline
+// propagates end to end — through queue admission (where an unmeetable
+// deadline is evicted immediately) into guard.Budget.Deadline inside
+// the evaluator. The header can only tighten the server's timeout,
+// never extend it.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.cfg.RequestTimeout
+	if h := r.Header.Get("X-Request-Deadline"); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil {
+			t, terr := time.Parse(time.RFC3339, h)
+			if terr != nil {
+				return nil, nil, badRequestf("invalid X-Request-Deadline %q: use a Go duration (\"250ms\") or an RFC3339 time", h)
+			}
+			d = time.Until(t)
+		}
+		if d <= 0 {
+			return nil, nil, &apiError{status: http.StatusGatewayTimeout, msg: "X-Request-Deadline already expired"}
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
 }
 
 // decodeBody decodes the JSON request body under the configured size
@@ -75,6 +165,10 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 
 // handleAnalyze serves POST /v1/analyze.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if err := s.admitClient(r); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	var req AnalyzeRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.writeError(w, err)
@@ -85,7 +179,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	defer cancel()
 	body, source, err := s.analyze(ctx, rr)
 	if err != nil {
@@ -156,6 +254,10 @@ func (s *Server) serveCached(ctx context.Context, endpoint, key string, eval fun
 				}
 				release, err := s.limiter.acquire(ctx)
 				if err != nil {
+					var de *admission.DeadlineError
+					if errors.As(err, &de) {
+						s.metrics.DeadlineEvictions.Inc()
+					}
 					return flightResult{}, err
 				}
 				defer release()
@@ -167,6 +269,9 @@ func (s *Server) serveCached(ctx context.Context, endpoint, key string, eval fun
 				defer s.metrics.Inflight.Dec()
 				start := time.Now()
 				b, mode, err := eval(ctx)
+				// Success-only latency feeds the adaptive limit: failures are
+				// the circuit breaker's signal, not a throughput one.
+				s.limiter.observe(time.Since(start), err == nil)
 				if err != nil {
 					return flightResult{}, err
 				}
@@ -265,6 +370,10 @@ func (s *Server) evaluate(ctx context.Context, rr resolved) (*AnalyzeResponse, e
 // Item failures are reported per item; the batch itself fails only on a
 // malformed body or a cancelled request.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if err := s.admitClient(r); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	var breq BatchRequest
 	if err := s.decodeBody(w, r, &breq); err != nil {
 		s.writeError(w, err)
@@ -279,23 +388,35 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequestf("batch of %d exceeds the %d-point limit", len(reqs), s.cfg.MaxBatch))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	defer cancel()
 
 	// Items never return a Go error (failures are embedded), so the only
 	// sweep error is ctx expiry. Workers are not bounded here: each item
 	// still queues through the evaluation limiter, which is the real
-	// concurrency bound.
+	// concurrency bound. Each item is accounted individually under the
+	// "batch-item" endpoint — embedded failures must not be invisible to
+	// fsserve_requests_total just because the envelope is a 200.
 	results, err := sweep.Run(ctx, len(reqs), min(len(reqs), 2*s.cfg.MaxConcurrent), func(ctx context.Context, i int) (BatchResult, error) {
 		rr, err := s.resolve(reqs[i])
 		if err == nil {
 			var body []byte
 			body, _, err = s.analyze(ctx, rr)
 			if err == nil {
+				s.metrics.Requests.With(endpointBatchItem, "200").Inc()
 				return BatchResult{Result: json.RawMessage(body)}, nil
 			}
 		}
-		return BatchResult{Error: &APIError{Code: statusFor(err), Message: err.Error()}}, nil
+		ae := s.apiErrorFor(err)
+		s.metrics.Requests.With(endpointBatchItem, statusText(ae.Code)).Inc()
+		if ae.Code == http.StatusTooManyRequests {
+			s.metrics.QueueRejects.Inc()
+		}
+		return BatchResult{Error: ae}, nil
 	})
 	if err != nil {
 		s.writeError(w, err)
@@ -317,7 +438,7 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 // BeginShutdown has been called.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -328,6 +449,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.CacheEntries.Set(int64(s.cache.Len()))
+	s.metrics.AdmissionLimit.Set(int64(s.limiter.stats().limit))
+	if s.snap != nil {
+		s.metrics.SnapshotAgeSeconds.Set(s.snap.ageSeconds())
+	} else {
+		s.metrics.SnapshotAgeSeconds.Set(-1)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w)
 }

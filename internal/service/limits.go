@@ -2,96 +2,78 @@ package service
 
 import (
 	"context"
-	"errors"
-	"sync"
+	"time"
+
+	"repro/internal/admission"
 )
 
 // errQueueFull is returned by limiter.acquire when the bounded wait queue
 // is already at capacity; the handlers map it to 429 with Retry-After.
-var errQueueFull = errors.New("service: evaluation queue full")
+var errQueueFull = admission.ErrQueueFull
 
 // limiter bounds the number of concurrent model evaluations and the
 // number of requests allowed to wait for a slot. Admission control is the
-// server's backpressure: beyond maxConcurrent running plus maxQueue
-// waiting, requests are rejected immediately rather than piling up.
+// server's backpressure: beyond the adaptive limit running plus maxQueue
+// waiting, requests are rejected immediately rather than piling up. The
+// mechanics live in admission.Controller, which also adapts the limit
+// from observed evaluation latency (AIMD against a warm baseline) and
+// evicts queued requests whose deadlines provably cannot be met.
 type limiter struct {
-	slots chan struct{} // buffered; a token = permission to evaluate
-
-	mu      sync.Mutex
-	waiting int
-	maxWait int
-	depth   *Gauge // nil-safe mirror of waiting
+	ctrl *admission.Controller
 }
 
+// newLimiter builds a limiter with the default hooks: the queue-depth
+// gauge only. The server wires richer hooks via newLimiterWith.
 func newLimiter(maxConcurrent, maxQueue int, depth *Gauge) *limiter {
-	l := &limiter{
-		slots:   make(chan struct{}, maxConcurrent),
-		maxWait: maxQueue,
-		depth:   depth,
-	}
-	for i := 0; i < maxConcurrent; i++ {
-		l.slots <- struct{}{}
-	}
-	return l
+	return newLimiterWith(admission.Config{
+		MaxConcurrent: maxConcurrent,
+		MaxQueue:      maxQueue,
+		OnQueueDepth: func(d int) {
+			if depth != nil {
+				depth.Set(int64(d))
+			}
+		},
+	})
 }
 
-// acquire blocks until an evaluation slot is free, the queue is full, or
-// ctx is done, in that priority. On success the returned release function
-// must be called exactly once.
+// newLimiterWith builds a limiter from a full admission config.
+func newLimiterWith(cfg admission.Config) *limiter {
+	return &limiter{ctrl: admission.New(cfg)}
+}
+
+// acquire blocks until an evaluation slot is free, the queue is full, the
+// caller's deadline is provably unmeetable, or ctx is done. On success
+// the returned release function must be called exactly once.
 func (l *limiter) acquire(ctx context.Context) (release func(), err error) {
-	// Fast path: a free slot means no queueing at all.
-	select {
-	case <-l.slots:
-		return l.release, nil
-	default:
-	}
-
-	l.mu.Lock()
-	if l.waiting >= l.maxWait {
-		l.mu.Unlock()
-		return nil, errQueueFull
-	}
-	l.waiting++
-	if l.depth != nil {
-		l.depth.Set(int64(l.waiting))
-	}
-	l.mu.Unlock()
-	defer func() {
-		l.mu.Lock()
-		l.waiting--
-		if l.depth != nil {
-			l.depth.Set(int64(l.waiting))
-		}
-		l.mu.Unlock()
-	}()
-
-	select {
-	case <-l.slots:
-		return l.release, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	return l.ctrl.Acquire(ctx)
 }
 
-func (l *limiter) release() { l.slots <- struct{}{} }
+// observe feeds one completed evaluation's latency into the adaptive
+// limit.
+func (l *limiter) observe(latency time.Duration, success bool) {
+	l.ctrl.Observe(latency, success)
+}
+
+// estimatedWait is the drain estimate for a newly queued request.
+func (l *limiter) estimatedWait() time.Duration { return l.ctrl.EstimatedWait() }
 
 // poolStats is a point-in-time view of the pool's saturation, feeding
 // /readyz and the jittered Retry-After derivation.
 type poolStats struct {
-	running  int // evaluations holding a slot right now
-	capacity int // total slots
-	waiting  int // requests queued for a slot
-	maxWait  int // queue capacity
+	running  int     // evaluations holding a slot right now
+	capacity int     // the configured ceiling (-concurrency)
+	limit    float64 // current adaptive concurrency limit <= capacity
+	waiting  int     // requests queued for a slot
+	maxWait  int     // queue capacity
 }
 
 func (l *limiter) stats() poolStats {
-	l.mu.Lock()
-	w := l.waiting
-	l.mu.Unlock()
+	st := l.ctrl.Stats()
 	return poolStats{
-		running:  cap(l.slots) - len(l.slots),
-		capacity: cap(l.slots),
-		waiting:  w,
-		maxWait:  l.maxWait,
+		running:  st.Running,
+		capacity: st.Ceiling,
+		limit:    st.Limit,
+		waiting:  st.Waiting,
+		maxWait:  st.MaxWait,
 	}
 }

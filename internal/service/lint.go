@@ -126,6 +126,10 @@ func (s *Server) resolveLint(req LintRequest) (lintResolved, error) {
 // handleLint serves POST /v1/lint through the same cache, in-flight
 // dedup and admission control as /v1/analyze.
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	if err := s.admitClient(r); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	var req LintRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.writeError(w, err)
@@ -136,7 +140,11 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	defer cancel()
 	body, source, err := s.guarded(ctx, endpointLint, rr.key, func(ctx context.Context) ([]byte, string, error) {
 		b, err := s.evaluateLint(rr)

@@ -180,9 +180,19 @@ type Metrics struct {
 	CacheMisses *Counter
 	Coalesced   *Counter
 	Evaluations *Counter
-	// QueueRejects counts requests turned away with 429 because the
-	// evaluation queue was full.
+	// QueueRejects counts every request turned away with 429: full
+	// queue, quota and queue-deadline rejections alike (the historical
+	// name predates the finer-grained counters below, which partition
+	// the non-queue-full slices).
 	QueueRejects *Counter
+	// DeadlineEvictions counts queued requests rejected because their
+	// deadline could not be met by the estimated queue drain time.
+	DeadlineEvictions *Counter
+	// QuotaRejects counts requests rejected by a per-client quota.
+	QuotaRejects *Counter
+	// LimitChanges counts adaptive-limit moves by direction
+	// ("increase"/"decrease").
+	LimitChanges *LabeledCounter
 	// Degraded counts requests answered by the closed-form fallback
 	// instead of the full evaluator, by endpoint and reason
 	// ("breaker-open", "panic", "budget", "deadline", "internal").
@@ -192,10 +202,21 @@ type Metrics struct {
 	EvalPanics *Counter
 	// CacheEntries is the current result-cache size; QueueDepth is the
 	// number of requests waiting for an evaluation slot; Inflight is the
-	// number of evaluations currently running.
-	CacheEntries *Gauge
-	QueueDepth   *Gauge
-	Inflight     *Gauge
+	// number of evaluations currently running; AdmissionLimit is the
+	// current adaptive concurrency limit.
+	CacheEntries   *Gauge
+	QueueDepth     *Gauge
+	Inflight       *Gauge
+	AdmissionLimit *Gauge
+	// Snapshot accounting: Restored/Salvage-dropped record counts from
+	// the last startup load, write/write-error counts since start, and
+	// the age of the newest on-disk snapshot (set at scrape time; -1
+	// until a snapshot exists).
+	SnapshotRestored    *Counter
+	SnapshotDropped     *Counter
+	SnapshotWrites      *Counter
+	SnapshotWriteErrors *Counter
+	SnapshotAgeSeconds  *Gauge
 	// EvalLatency observes model-evaluation wall time by endpoint and the
 	// evaluation mode that actually ran ("compiled", "interpreted",
 	// "closed-form"); RequestLatency observes whole-request wall time
@@ -212,21 +233,30 @@ type Metrics struct {
 // NewMetrics constructs an empty metric set.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		Requests:       newLabeledCounter("endpoint", "code"),
-		CacheHits:      &Counter{},
-		CacheMisses:    &Counter{},
-		Coalesced:      &Counter{},
-		Evaluations:    &Counter{},
-		QueueRejects:   &Counter{},
-		Degraded:       newLabeledCounter("endpoint", "reason"),
-		EvalPanics:     &Counter{},
-		CacheEntries:   &Gauge{},
-		QueueDepth:     &Gauge{},
-		Inflight:       &Gauge{},
-		EvalLatency:    newLabeledHistogram(defLatencyBuckets(), "endpoint", "mode"),
-		RequestLatency: newHistogram(defLatencyBuckets()),
-		TuneCandidates: &Counter{},
-		TunePhase:      newLabeledHistogram(defLatencyBuckets(), "phase"),
+		Requests:            newLabeledCounter("endpoint", "code"),
+		CacheHits:           &Counter{},
+		CacheMisses:         &Counter{},
+		Coalesced:           &Counter{},
+		Evaluations:         &Counter{},
+		QueueRejects:        &Counter{},
+		DeadlineEvictions:   &Counter{},
+		QuotaRejects:        &Counter{},
+		LimitChanges:        newLabeledCounter("direction"),
+		Degraded:            newLabeledCounter("endpoint", "reason"),
+		EvalPanics:          &Counter{},
+		CacheEntries:        &Gauge{},
+		QueueDepth:          &Gauge{},
+		Inflight:            &Gauge{},
+		AdmissionLimit:      &Gauge{},
+		SnapshotRestored:    &Counter{},
+		SnapshotDropped:     &Counter{},
+		SnapshotWrites:      &Counter{},
+		SnapshotWriteErrors: &Counter{},
+		SnapshotAgeSeconds:  &Gauge{},
+		EvalLatency:         newLabeledHistogram(defLatencyBuckets(), "endpoint", "mode"),
+		RequestLatency:      newHistogram(defLatencyBuckets()),
+		TuneCandidates:      &Counter{},
+		TunePhase:           newLabeledHistogram(defLatencyBuckets(), "phase"),
 	}
 }
 
@@ -343,12 +373,21 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"fsserve_cache_misses_total", "Analyses not found in the result cache.", m.CacheMisses},
 		{"fsserve_dedup_coalesced_total", "Requests coalesced onto an identical in-flight evaluation.", m.Coalesced},
 		{"fsserve_evaluations_total", "Model evaluations actually performed.", m.Evaluations},
-		{"fsserve_queue_rejects_total", "Requests rejected because the evaluation queue was full.", m.QueueRejects},
+		{"fsserve_queue_rejects_total", "Requests rejected with 429 (full queue, quota, or unmeetable deadline).", m.QueueRejects},
+		{"fsserve_queue_deadline_evictions_total", "Requests rejected because their deadline could not outlast the queue.", m.DeadlineEvictions},
+		{"fsserve_quota_rejects_total", "Requests rejected by a per-client quota.", m.QuotaRejects},
 		{"fsserve_eval_panics_total", "Evaluator panics converted to errors by the guard wrappers.", m.EvalPanics},
+		{"fsserve_snapshot_records_restored_total", "Cache records restored from the startup snapshot.", m.SnapshotRestored},
+		{"fsserve_snapshot_records_dropped_total", "Snapshot records dropped at load (corrupt, truncated, or version-skewed).", m.SnapshotDropped},
+		{"fsserve_snapshot_writes_total", "Cache snapshots written successfully.", m.SnapshotWrites},
+		{"fsserve_snapshot_write_errors_total", "Cache snapshot writes that failed.", m.SnapshotWriteErrors},
 	} {
 		writeHeader(w, c.name, "counter", c.help)
 		fmt.Fprintf(w, "%s %d\n", c.name, c.c.Value())
 	}
+
+	writeHeader(w, "fsserve_admission_limit_changes_total", "counter", "Adaptive concurrency-limit moves, by direction.")
+	m.LimitChanges.write(w, "fsserve_admission_limit_changes_total")
 
 	writeHeader(w, "fsserve_degraded_total", "counter", "Requests answered by the closed-form fallback, by endpoint and reason.")
 	m.Degraded.write(w, "fsserve_degraded_total")
@@ -360,6 +399,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"fsserve_cache_entries", "Entries currently in the result cache.", m.CacheEntries},
 		{"fsserve_queue_depth", "Requests currently waiting for an evaluation slot.", m.QueueDepth},
 		{"fsserve_inflight_evaluations", "Model evaluations currently running.", m.Inflight},
+		{"fsserve_admission_limit", "Current adaptive concurrency limit (ceiling = -concurrency).", m.AdmissionLimit},
+		{"fsserve_snapshot_age_seconds", "Age of the newest on-disk cache snapshot (-1 until one exists).", m.SnapshotAgeSeconds},
 	} {
 		writeHeader(w, g.name, "gauge", g.help)
 		fmt.Fprintf(w, "%s %d\n", g.name, g.g.Value())

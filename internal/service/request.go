@@ -125,6 +125,10 @@ type BatchResult struct {
 type APIError struct {
 	Code    int    `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterSeconds mirrors the Retry-After header for backpressure
+	// statuses, so batch items (which have no headers of their own)
+	// still carry the derived backoff.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 // resolved is a validated request ready to evaluate: the source text

@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/guard"
 )
 
@@ -60,6 +61,20 @@ type Config struct {
 	// CacheEntries bounds the result cache (0 = default 512; negative
 	// disables caching).
 	CacheEntries int
+	// CacheDir, when set, persists the result cache across restarts: a
+	// snapshot is loaded at startup (salvaging what it can from corrupt
+	// or truncated files), rewritten every SnapshotInterval, and written
+	// once more on Close. Empty disables persistence.
+	CacheDir string
+	// SnapshotInterval is how often the background snapshot runs when
+	// CacheDir is set (0 = default 30s).
+	SnapshotInterval time.Duration
+	// QuotaRPS enables per-client token-bucket quotas at this many
+	// requests per second per client, keyed by X-API-Key or remote host
+	// (0 = disabled).
+	QuotaRPS float64
+	// QuotaBurst is the per-client burst size (0 = max(1, 2*QuotaRPS)).
+	QuotaBurst float64
 	// MaxConcurrent bounds concurrently running model evaluations
 	// (0 = GOMAXPROCS).
 	MaxConcurrent int
@@ -124,6 +139,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
@@ -170,9 +188,12 @@ type Server struct {
 	cache    *resultCache
 	flight   *flightGroup
 	limiter  *limiter
+	quotas   *admission.Quotas
+	snap     *snapshotManager
 	breakers map[string]*guard.Breaker
 	mux      *http.ServeMux
 	draining atomic.Bool
+	closed   sync.Once
 
 	// jitter randomizes Retry-After values so rejected clients spread
 	// their retries instead of stampeding back in lockstep; seeded from
@@ -192,7 +213,22 @@ func New(cfg Config) *Server {
 		jitter:  rand.New(rand.NewSource(cfg.Seed)),
 	}
 	s.cache = newResultCache(cfg.CacheEntries, s.metrics.CacheEntries)
-	s.limiter = newLimiter(cfg.MaxConcurrent, cfg.MaxQueue, s.metrics.QueueDepth)
+	s.limiter = newLimiterWith(admission.Config{
+		MaxConcurrent: cfg.MaxConcurrent,
+		MaxQueue:      cfg.MaxQueue,
+		OnQueueDepth:  func(d int) { s.metrics.QueueDepth.Set(int64(d)) },
+		OnLimitChange: func(limit float64, direction string) {
+			s.metrics.AdmissionLimit.Set(int64(limit))
+			s.metrics.LimitChanges.With(direction).Inc()
+		},
+	})
+	s.metrics.AdmissionLimit.Set(int64(cfg.MaxConcurrent))
+	if cfg.QuotaRPS > 0 {
+		s.quotas = admission.NewQuotas(admission.QuotaConfig{Rate: cfg.QuotaRPS, Burst: cfg.QuotaBurst})
+	}
+	if cfg.CacheDir != "" {
+		s.snap = newSnapshotManager(s)
+	}
 	if cfg.BreakerThreshold > 0 {
 		s.breakers = make(map[string]*guard.Breaker)
 		for i, ep := range []string{endpointAnalyze, endpointLint, endpointTune} {
@@ -232,6 +268,21 @@ func (s *Server) Logger() *slog.Logger { return s.cfg.Logger }
 // BeginShutdown flips /healthz to 503 so load balancers stop routing new
 // work while the caller's http.Server.Shutdown drains in-flight requests.
 func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// Close stops the background snapshot goroutine and writes one final
+// snapshot of the result cache, so a graceful drain restarts warm.
+// Callers invoke it after http.Server.Shutdown returns (no more
+// evaluations can mutate the cache). Safe to call multiple times; a nil
+// error when persistence is disabled.
+func (s *Server) Close() error {
+	var err error
+	s.closed.Do(func() {
+		if s.snap != nil {
+			err = s.snap.close()
+		}
+	})
+	return err
+}
 
 // Handler returns the server's root handler: the API mux wrapped in
 // panic recovery, request logging and latency accounting.

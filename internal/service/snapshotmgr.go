@@ -1,0 +1,120 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// snapshotFile is the snapshot's name inside Config.CacheDir.
+const snapshotFile = "results.fssnap"
+
+// snapshotManager persists the result cache: one load at startup
+// (salvaging whatever a crash or corruption left provable), a periodic
+// background rewrite, and a final write on Close. Persistence is
+// strictly an optimization — every failure here is logged and counted,
+// never fatal.
+type snapshotManager struct {
+	s    *Server
+	path string
+
+	lastWriteNano atomic.Int64 // unix nanos of the newest on-disk snapshot
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newSnapshotManager loads the existing snapshot into the server's cache
+// and starts the periodic writer. Called from New before the server
+// accepts traffic, so the restore races nothing.
+func newSnapshotManager(s *Server) *snapshotManager {
+	m := &snapshotManager{
+		s:    s,
+		path: filepath.Join(s.cfg.CacheDir, snapshotFile),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if err := os.MkdirAll(s.cfg.CacheDir, 0o755); err != nil {
+		s.cfg.Logger.Error("cache dir unavailable, persistence disabled", "dir", s.cfg.CacheDir, "err", err)
+	}
+	m.load()
+	go m.run()
+	return m
+}
+
+// load restores the on-disk snapshot, reconciling exactly what was
+// restored versus dropped into metrics and the log.
+func (m *snapshotManager) load() {
+	entries, st := snapshot.LoadFile(m.path)
+	resident := m.s.cache.RestoreSnapshot(entries)
+	m.s.metrics.SnapshotRestored.Add(st.Restored)
+	m.s.metrics.SnapshotDropped.Add(st.Dropped)
+	if fi, err := os.Stat(m.path); err == nil {
+		m.lastWriteNano.Store(fi.ModTime().UnixNano())
+	}
+	switch {
+	case st.Reason == "missing":
+		m.s.cfg.Logger.Info("no cache snapshot, starting cold", "path", m.path)
+	case st.Clean():
+		m.s.cfg.Logger.Info("cache snapshot restored",
+			"path", m.path, "records", st.Restored, "resident", resident)
+	default:
+		m.s.cfg.Logger.Warn("cache snapshot salvaged",
+			"path", m.path, "reason", st.Reason,
+			"restored", st.Restored, "dropped", st.Dropped, "resident", resident)
+	}
+}
+
+// run rewrites the snapshot every SnapshotInterval until closed.
+func (m *snapshotManager) run() {
+	defer close(m.done)
+	t := time.NewTicker(m.s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.write()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// write persists the current cache contents atomically.
+func (m *snapshotManager) write() {
+	entries := m.s.cache.Snapshot()
+	if err := snapshot.WriteFile(m.path, entries); err != nil {
+		m.s.metrics.SnapshotWriteErrors.Inc()
+		m.s.cfg.Logger.Error("cache snapshot write failed", "path", m.path, "err", err)
+		return
+	}
+	m.s.metrics.SnapshotWrites.Inc()
+	m.lastWriteNano.Store(time.Now().UnixNano())
+}
+
+// ageSeconds is the age of the newest on-disk snapshot, -1 before any
+// exists. Scraped into fsserve_snapshot_age_seconds by /metrics.
+func (m *snapshotManager) ageSeconds() int64 {
+	last := m.lastWriteNano.Load()
+	if last == 0 {
+		return -1
+	}
+	return int64(time.Since(time.Unix(0, last)).Seconds())
+}
+
+// close stops the periodic writer and persists one final snapshot.
+func (m *snapshotManager) close() error {
+	close(m.stop)
+	<-m.done
+	entries := m.s.cache.Snapshot()
+	if err := snapshot.WriteFile(m.path, entries); err != nil {
+		m.s.metrics.SnapshotWriteErrors.Inc()
+		return err
+	}
+	m.s.metrics.SnapshotWrites.Inc()
+	m.lastWriteNano.Store(time.Now().UnixNano())
+	return nil
+}

@@ -149,6 +149,10 @@ func (s *Server) resolveTune(req TuneRequest) (tuneResolved, error) {
 // replays byte-identically (including the original run's phase
 // timings).
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	if err := s.admitClient(r); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	var req TuneRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.writeError(w, err)
@@ -159,7 +163,11 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	defer cancel()
 	body, source, err := s.guarded(ctx, endpointTune, rr.key, func(ctx context.Context) ([]byte, string, error) {
 		return s.evaluateTune(ctx, rr)

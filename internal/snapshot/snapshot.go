@@ -1,0 +1,257 @@
+// Package snapshot persists the service's content-addressed result
+// cache across process restarts. BENCH_service.json puts cache hits
+// 250–3300× faster than misses, which makes every restart a
+// thundering-herd event: the first client to re-ask each question pays
+// a full model evaluation. A snapshot written on a timer and on
+// graceful drain, and reloaded at startup, turns a restart back into a
+// warm-cache problem.
+//
+// The format is deliberately paranoid about partial writes and disk
+// rot, because a cache snapshot is the one file whose corruption must
+// never keep the service from starting:
+//
+//   - writes go to a temp file in the destination directory, are
+//     fsynced, and land via rename — readers only ever see a complete
+//     previous snapshot or a complete new one;
+//   - every record carries its own CRC-32C, so corruption is detected
+//     per record, not per file;
+//   - the header declares a version and the record count, so a load
+//     can distinguish "clean", "truncated: salvage the valid prefix"
+//     and "written by a future version: start cold";
+//   - Read never fails: whatever goes wrong, it returns the records it
+//     could prove intact plus a LoadStats saying what it dropped and
+//     why. Startup treats a snapshot strictly as an optimization.
+//
+// The faultinject points snapshot.write and snapshot.load let the
+// robustness suite inject failures at both ends.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultinject"
+)
+
+// Version is the current snapshot format version. Files declaring a
+// larger version are ignored wholesale (a downgraded binary must not
+// guess at a future layout); files declaring an older known version
+// would be migrated here, but version 1 is the first.
+const Version = 1
+
+// magic identifies a snapshot file. Eight bytes so the header read is
+// aligned and a truncated-to-zero file fails cleanly on the magic.
+var magic = [8]byte{'F', 'S', 'S', 'N', 'A', 'P', '\x00', '\x01'}
+
+// Record size sanity bounds: a corrupt length field must not convince
+// the loader to allocate gigabytes. Keys are content hashes (well under
+// 1 KiB); bodies are serialized JSON responses.
+const (
+	maxKeyLen  = 1 << 12 // 4 KiB
+	maxBodyLen = 1 << 26 // 64 MiB
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Entry is one cached result: the content-addressed key and the exact
+// response bytes served for it.
+type Entry struct {
+	Key  string
+	Body []byte
+}
+
+// LoadStats reports what a load restored and what it had to drop. The
+// service mirrors these into fsserve_snapshot_* metrics so a salvaged
+// or skipped snapshot is observable, not silent.
+type LoadStats struct {
+	// Version is the file's declared format version (0 when the header
+	// itself was unreadable).
+	Version uint32
+	// Declared is the record count the header promised (0 when the
+	// header was unreadable).
+	Declared int64
+	// Restored counts records recovered intact.
+	Restored int64
+	// Dropped counts records lost: declared but missing (truncation),
+	// failing their checksum, or unreadable because the whole file was
+	// version-skewed or malformed.
+	Dropped int64
+	// Reason is why the load stopped short ("" for a clean, complete
+	// load): "missing", "truncated-header", "future-version",
+	// "bad-magic", "bad-record", "truncated", "io-error", "injected".
+	Reason string
+}
+
+// Clean reports whether the snapshot loaded completely.
+func (s LoadStats) Clean() bool { return s.Reason == "" }
+
+// Write serializes entries to w in snapshot format. It is the
+// io.Writer core of WriteFile, exposed for tests that corrupt the
+// encoding in memory.
+func Write(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], Version)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(entries)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var lens [8]byte
+	for _, e := range entries {
+		if len(e.Key) > maxKeyLen || len(e.Body) > maxBodyLen {
+			return fmt.Errorf("snapshot: record exceeds format bounds (key %d, body %d)", len(e.Key), len(e.Body))
+		}
+		binary.LittleEndian.PutUint32(lens[0:4], uint32(len(e.Key)))
+		binary.LittleEndian.PutUint32(lens[4:8], uint32(len(e.Body)))
+		crc := crc32.New(castagnoli)
+		crc.Write(lens[:])
+		crc.Write([]byte(e.Key))
+		crc.Write(e.Body)
+		if _, err := bw.Write(lens[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(bw, e.Key); err != nil {
+			return err
+		}
+		if _, err := bw.Write(e.Body); err != nil {
+			return err
+		}
+		var sum [4]byte
+		binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+		if _, err := bw.Write(sum[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile atomically replaces path with a snapshot of entries: the
+// bytes go to a temp file in path's directory, are fsynced, and land
+// via rename, so a crash mid-write leaves the previous snapshot (or no
+// file) in place — never a torn one.
+func WriteFile(path string, entries []Entry) (err error) {
+	if err := faultinject.Fire("snapshot.write"); err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = Write(f, entries); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Read decodes a snapshot from r, salvaging the longest valid prefix
+// of records. It never returns an error: decoding trouble terminates
+// the salvage and is reported in LoadStats.Reason, because a snapshot
+// is an optimization and the caller must start either way.
+func Read(r io.Reader) ([]Entry, LoadStats) {
+	var st LoadStats
+	br := bufio.NewReader(r)
+
+	var head [20]byte // magic + version + count
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			st.Reason = "truncated-header"
+		} else {
+			st.Reason = "io-error"
+		}
+		return nil, st
+	}
+	if [8]byte(head[:8]) != magic {
+		st.Reason = "bad-magic"
+		return nil, st
+	}
+	st.Version = binary.LittleEndian.Uint32(head[8:12])
+	st.Declared = int64(binary.LittleEndian.Uint64(head[12:20]))
+	if st.Version > Version {
+		// A future layout: the declared records exist but this binary
+		// cannot prove anything about them.
+		st.Dropped = st.Declared
+		st.Reason = "future-version"
+		return nil, st
+	}
+	if st.Declared < 0 || st.Declared > 1<<32 {
+		st.Reason = "bad-record"
+		return nil, st
+	}
+
+	entries := make([]Entry, 0, min(st.Declared, 4096))
+	var lens [8]byte
+	for i := int64(0); i < st.Declared; i++ {
+		if _, err := io.ReadFull(br, lens[:]); err != nil {
+			st.Reason = "truncated"
+			break
+		}
+		keyLen := binary.LittleEndian.Uint32(lens[0:4])
+		bodyLen := binary.LittleEndian.Uint32(lens[4:8])
+		if keyLen > maxKeyLen || bodyLen > maxBodyLen {
+			st.Reason = "bad-record"
+			break
+		}
+		buf := make([]byte, int(keyLen)+int(bodyLen)+4)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			st.Reason = "truncated"
+			break
+		}
+		crc := crc32.New(castagnoli)
+		crc.Write(lens[:])
+		crc.Write(buf[:keyLen+bodyLen])
+		if crc.Sum32() != binary.LittleEndian.Uint32(buf[keyLen+bodyLen:]) {
+			st.Reason = "bad-record"
+			break
+		}
+		entries = append(entries, Entry{
+			Key:  string(buf[:keyLen]),
+			Body: buf[keyLen : keyLen+bodyLen : keyLen+bodyLen],
+		})
+		st.Restored++
+	}
+	st.Dropped = st.Declared - st.Restored
+	return entries, st
+}
+
+// LoadFile reads the snapshot at path, salvaging what it can. A
+// missing file is the normal cold-start case: no entries, Reason
+// "missing". Open/read failures are likewise absorbed into the stats —
+// startup must never fail on a cache snapshot.
+func LoadFile(path string) ([]Entry, LoadStats) {
+	if err := faultinject.Fire("snapshot.load"); err != nil {
+		return nil, LoadStats{Reason: "injected"}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, LoadStats{Reason: "missing"}
+		}
+		return nil, LoadStats{Reason: "io-error"}
+	}
+	defer f.Close()
+	return Read(f)
+}

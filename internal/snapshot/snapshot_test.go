@@ -1,0 +1,221 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// corpus builds n distinct entries with bodies of varying size.
+func corpus(n int) []Entry {
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{
+			Key:  fmt.Sprintf("sha256-%04d", i),
+			Body: bytes.Repeat([]byte{byte(i + 1)}, 16+i*7),
+		}
+	}
+	return entries
+}
+
+// encode renders entries to raw snapshot bytes.
+func encode(t *testing.T, entries []Entry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotCorpus is the crash-recovery corpus: every corruption
+// class the format must survive, with exact salvage accounting. The
+// invariant throughout: Read never errors, never restores a record it
+// cannot prove intact, and counts every declared-but-lost record as
+// dropped.
+func TestSnapshotCorpus(t *testing.T) {
+	full := corpus(5)
+	clean := encode(t, full)
+
+	// recordStart locates the byte offset where record i begins.
+	recordStart := func(i int) int {
+		off := 20 // magic + version + count
+		for j := 0; j < i; j++ {
+			off += 8 + len(full[j].Key) + len(full[j].Body) + 4
+		}
+		return off
+	}
+
+	cases := []struct {
+		name         string
+		mutate       func([]byte) []byte
+		wantRestored int64
+		wantDropped  int64
+		wantReason   string
+	}{
+		{
+			name:         "clean",
+			mutate:       func(b []byte) []byte { return b },
+			wantRestored: 5, wantDropped: 0, wantReason: "",
+		},
+		{
+			name:         "empty file",
+			mutate:       func([]byte) []byte { return nil },
+			wantRestored: 0, wantDropped: 0, wantReason: "truncated-header",
+		},
+		{
+			name:         "truncated mid-record",
+			mutate:       func(b []byte) []byte { return b[:recordStart(3)+5] },
+			wantRestored: 3, wantDropped: 2, wantReason: "truncated",
+		},
+		{
+			name:         "truncated between records",
+			mutate:       func(b []byte) []byte { return b[:recordStart(4)] },
+			wantRestored: 4, wantDropped: 1, wantReason: "truncated",
+		},
+		{
+			name: "flipped checksum byte",
+			mutate: func(b []byte) []byte {
+				// Last byte of record 2's payload: its CRC fails; later
+				// records are unreachable (the salvage cannot trust
+				// record framing past a corrupt record).
+				b = bytes.Clone(b)
+				b[recordStart(3)-5] ^= 0xff
+				return b
+			},
+			wantRestored: 2, wantDropped: 3, wantReason: "bad-record",
+		},
+		{
+			name: "future version",
+			mutate: func(b []byte) []byte {
+				b = bytes.Clone(b)
+				binary.LittleEndian.PutUint32(b[8:12], Version+1)
+				return b
+			},
+			wantRestored: 0, wantDropped: 5, wantReason: "future-version",
+		},
+		{
+			name: "foreign file",
+			mutate: func([]byte) []byte {
+				return []byte("definitely not a snapshot, but long enough to read a header from")
+			},
+			wantRestored: 0, wantDropped: 0, wantReason: "bad-magic",
+		},
+		{
+			name: "insane length field",
+			mutate: func(b []byte) []byte {
+				b = bytes.Clone(b)
+				binary.LittleEndian.PutUint32(b[recordStart(1)+4:], 1<<30)
+				return b
+			},
+			wantRestored: 1, wantDropped: 4, wantReason: "bad-record",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			entries, st := Read(bytes.NewReader(tc.mutate(bytes.Clone(clean))))
+			if st.Restored != tc.wantRestored || st.Dropped != tc.wantDropped {
+				t.Errorf("restored/dropped = %d/%d, want %d/%d (stats %+v)",
+					st.Restored, st.Dropped, tc.wantRestored, tc.wantDropped, st)
+			}
+			if st.Reason != tc.wantReason {
+				t.Errorf("reason = %q, want %q", st.Reason, tc.wantReason)
+			}
+			if st.Clean() != (tc.wantReason == "") {
+				t.Errorf("Clean() = %v inconsistent with reason %q", st.Clean(), st.Reason)
+			}
+			if int64(len(entries)) != tc.wantRestored {
+				t.Fatalf("len(entries) = %d, want %d", len(entries), tc.wantRestored)
+			}
+			// Whatever was restored must be byte-identical to the input.
+			for i, e := range entries {
+				if e.Key != full[i].Key || !bytes.Equal(e.Body, full[i].Body) {
+					t.Errorf("entry %d corrupted on round trip", i)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteFileAtomicReplace pins the atomic-rename contract: writing
+// over an existing snapshot leaves no temp files behind and a reload
+// sees exactly the new content.
+func TestWriteFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.fssnap")
+	if err := WriteFile(path, corpus(3)); err != nil {
+		t.Fatal(err)
+	}
+	next := corpus(7)
+	if err := WriteFile(path, next); err != nil {
+		t.Fatal(err)
+	}
+	entries, st := LoadFile(path)
+	if !st.Clean() || len(entries) != 7 {
+		t.Fatalf("reload: %d entries, stats %+v", len(entries), st)
+	}
+	for i, e := range entries {
+		if e.Key != next[i].Key || !bytes.Equal(e.Body, next[i].Body) {
+			t.Errorf("entry %d differs after replace", i)
+		}
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Errorf("directory holds %d files after two writes, want just the snapshot", len(files))
+	}
+}
+
+// TestLoadFileMissing pins the cold-start case: no file is not an
+// error, just an empty warm cache.
+func TestLoadFileMissing(t *testing.T) {
+	entries, st := LoadFile(filepath.Join(t.TempDir(), "nope.fssnap"))
+	if len(entries) != 0 || st.Reason != "missing" || st.Restored != 0 || st.Dropped != 0 {
+		t.Fatalf("missing file: entries=%d stats=%+v", len(entries), st)
+	}
+}
+
+// TestEmptySnapshotRoundTrip pins that zero entries is a valid,
+// cleanly-loading snapshot (a service with an empty cache still
+// snapshots on drain).
+func TestEmptySnapshotRoundTrip(t *testing.T) {
+	entries, st := Read(bytes.NewReader(encode(t, nil)))
+	if len(entries) != 0 || !st.Clean() || st.Declared != 0 {
+		t.Fatalf("empty snapshot: entries=%d stats=%+v", len(entries), st)
+	}
+}
+
+// TestFaultInjection pins the snapshot.write and snapshot.load seams:
+// an injected write failure surfaces as an error (the manager logs and
+// retries next tick), an injected load failure yields a cold start.
+func TestFaultInjection(t *testing.T) {
+	faultinject.Enable()
+	defer faultinject.Reset()
+	path := filepath.Join(t.TempDir(), "cache.fssnap")
+
+	faultinject.Arm("snapshot.write", faultinject.Fault{Kind: faultinject.KindError, MaxFires: 1})
+	if err := WriteFile(path, corpus(2)); err == nil {
+		t.Fatal("armed snapshot.write did not fail the write")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("failed write left a file behind")
+	}
+	if err := WriteFile(path, corpus(2)); err != nil {
+		t.Fatalf("write after fault exhausted: %v", err)
+	}
+
+	faultinject.Arm("snapshot.load", faultinject.Fault{Kind: faultinject.KindError, MaxFires: 1})
+	if entries, st := LoadFile(path); len(entries) != 0 || st.Reason != "injected" {
+		t.Fatalf("injected load fault: entries=%d stats=%+v", len(entries), st)
+	}
+	if entries, st := LoadFile(path); len(entries) != 2 || !st.Clean() {
+		t.Fatalf("load after fault exhausted: entries=%d stats=%+v", len(entries), st)
+	}
+}

@@ -10,6 +10,12 @@
 //	fsclient -addr http://localhost:8080 -kernel heat -threads 48
 //	fsclient -addr http://localhost:8080 -lint file.c
 //	fsclient -retries 6 -kernel dft -chunk 1
+//	fsclient -addr http://node1:8080,http://node2:8080 -kernel heat
+//
+// -addr accepts a comma-separated node list: each retry attempt rotates
+// to the next node (and a hedged backup targets a different node than
+// its primary), so the client fails over across an fscluster fleet
+// without an external load balancer.
 //
 // Retryable failures are 429 (queue full) and 503 (draining), plus
 // transport errors; anything else fails fast. Exit status is 0 on
@@ -26,13 +32,16 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/retry"
 )
 
 type config struct {
-	addr    string
+	addr string
+	// addrs is the parsed -addr node list (at least one entry).
+	addrs   []string
 	kernel  string
 	lint    bool
 	nest    int
@@ -67,7 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fsclient", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var cfg config
-	fs.StringVar(&cfg.addr, "addr", "http://localhost:8080", "fsserve base URL")
+	fs.StringVar(&cfg.addr, "addr", "http://localhost:8080", "fsserve base URL, or a comma-separated node list for failover")
 	fs.StringVar(&cfg.kernel, "kernel", "", "analyze a built-in kernel instead of a file")
 	fs.BoolVar(&cfg.lint, "lint", false, "POST /v1/lint instead of /v1/analyze")
 	fs.IntVar(&cfg.nest, "nest", 0, "loop nest to analyze")
@@ -85,6 +94,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	cfg.addrs = splitAddrs(cfg.addr)
+	if len(cfg.addrs) == 0 {
+		fmt.Fprintln(stderr, "fsclient: -addr is empty")
+		return 2
+	}
 	body, err := buildRequest(cfg, fs.Args())
 	if err != nil {
 		fmt.Fprintln(stderr, "fsclient:", err)
@@ -158,23 +172,49 @@ type reply struct {
 	body       []byte
 }
 
+// splitAddrs parses the -addr flag's comma-separated node list, trimming
+// whitespace and dropping empty entries.
+func splitAddrs(addr string) []string {
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, strings.TrimSuffix(a, "/"))
+		}
+	}
+	return addrs
+}
+
 // send POSTs the request under the retry policy: 429/503 and transport
 // errors retry with full-jitter backoff floored by the server's
 // Retry-After; other statuses return the response (or its error body)
-// immediately. With -hedge, each attempt races a backup request after
-// the hedge delay — the first completed exchange wins, the loser is
-// cancelled — and server backpressure suppresses hedging for its
-// Retry-After window.
+// immediately. With a multi-node -addr list, attempt n targets node
+// n mod len(addrs), so a dead or draining node costs one backoff step
+// and the next attempt fails over to the next node. With -hedge, each
+// attempt races a backup request after the hedge delay — the first
+// completed exchange wins, the loser is cancelled — and the backup
+// targets a different node than its primary when one is available;
+// server backpressure suppresses hedging for its Retry-After window.
 func send(ctx context.Context, cfg config, body []byte) ([]byte, error) {
 	path := "/v1/analyze"
 	if cfg.lint {
 		path = "/v1/lint"
 	}
-	url := cfg.addr + path
+	addrs := cfg.addrs
+	if len(addrs) == 0 {
+		addrs = splitAddrs(cfg.addr)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("no server address")
+	}
 	var out []byte
 	p := retry.Policy{MaxAttempts: cfg.retries, Seed: cfg.seed, Sleep: cfg.sleep}
 	err := retry.Do(ctx, p, func(attempt int) error {
 		r, err := retry.DoHedged(ctx, cfg.hedger, func(ctx context.Context, hedged bool) (reply, error) {
+			node := attempt
+			if hedged {
+				node++
+			}
+			url := addrs[node%len(addrs)] + path
 			return post(ctx, cfg, url, body)
 		})
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -264,5 +265,150 @@ func TestRunRequestFailure(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "boom") {
 		t.Fatalf("stderr = %q, want the server error surfaced", stderr.String())
+	}
+}
+
+// TestSplitAddrs pins the -addr list parsing: commas split, whitespace
+// trims, empties drop, trailing slashes strip.
+func TestSplitAddrs(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"http://a:1", []string{"http://a:1"}},
+		{"http://a:1,http://b:2", []string{"http://a:1", "http://b:2"}},
+		{" http://a:1 , http://b:2/ ", []string{"http://a:1", "http://b:2"}},
+		{"http://a:1,,http://b:2,", []string{"http://a:1", "http://b:2"}},
+		{"", nil},
+		{" , ", nil},
+	} {
+		got := splitAddrs(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitAddrs(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitAddrs(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestSendMultiAddrFailover is the table-driven failover test for a
+// comma-separated -addr list: attempt n targets node n mod len(addrs),
+// so dead nodes cost one backoff step each and the request lands on the
+// first live node in rotation.
+func TestSendMultiAddrFailover(t *testing.T) {
+	// A dead node: bind a port to learn its address, then close it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := "http://" + ln.Addr().String()
+	ln.Close()
+
+	for _, tc := range []struct {
+		name      string
+		addrs     func(live string) string
+		retries   int
+		wantErr   bool
+		wantCalls int32 // calls the live node must see
+	}{
+		{
+			name:      "first node dead, second answers",
+			addrs:     func(live string) string { return deadAddr + "," + live },
+			retries:   2,
+			wantCalls: 1,
+		},
+		{
+			name:      "first node answers, no failover",
+			addrs:     func(live string) string { return live + "," + deadAddr },
+			retries:   4,
+			wantCalls: 1,
+		},
+		{
+			name:      "list with whitespace and trailing slash",
+			addrs:     func(live string) string { return " " + deadAddr + " , " + live + "/ " },
+			retries:   2,
+			wantCalls: 1,
+		},
+		{
+			name:    "all nodes dead",
+			addrs:   func(string) string { return deadAddr + "," + deadAddr },
+			retries: 3,
+			wantErr: true,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int32
+			live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				w.Write([]byte(`{"kind":"heat"}`))
+			}))
+			defer live.Close()
+
+			cfg := config{retries: tc.retries, sleep: func(time.Duration) {}}
+			cfg.addrs = splitAddrs(tc.addrs(live.URL))
+			out, err := send(context.Background(), cfg, []byte(`{"kernel":"heat"}`))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("send succeeded against dead nodes")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("send: %v", err)
+			}
+			if !bytes.Contains(out, []byte(`"kind":"heat"`)) {
+				t.Fatalf("unexpected body %s", out)
+			}
+			if calls.Load() != tc.wantCalls {
+				t.Fatalf("live node saw %d calls, want %d", calls.Load(), tc.wantCalls)
+			}
+		})
+	}
+}
+
+// TestSendHedgeTargetsOtherNode pins that with a multi-node list a
+// hedged backup goes to the next node, not the stalled primary: the
+// primary never answers, yet the exchange completes via the backup.
+func TestSendHedgeTargetsOtherNode(t *testing.T) {
+	var primaryCalls, backupCalls atomic.Int32
+	release := make(chan struct{})
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		primaryCalls.Add(1)
+		// Stall until the winner cancels us (or teardown releases us —
+		// the server cannot always observe the abandoned client).
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	defer primary.Close()
+	defer close(release)
+	backup := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		backupCalls.Add(1)
+		w.Write([]byte(`{"kind":"heat"}`))
+	}))
+	defer backup.Close()
+
+	cfg := config{
+		retries: 1,
+		hedger: retry.NewHedger(retry.HedgeConfig{
+			MinDelay: 10 * time.Millisecond,
+			MaxDelay: 10 * time.Millisecond,
+		}),
+	}
+	cfg.addrs = splitAddrs(primary.URL + "," + backup.URL)
+	out, err := send(context.Background(), cfg, []byte(`{"kernel":"heat"}`))
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if !bytes.Contains(out, []byte(`"kind":"heat"`)) {
+		t.Fatalf("unexpected body %s", out)
+	}
+	if primaryCalls.Load() != 1 || backupCalls.Load() != 1 {
+		t.Fatalf("primary=%d backup=%d calls, want 1 and 1", primaryCalls.Load(), backupCalls.Load())
 	}
 }

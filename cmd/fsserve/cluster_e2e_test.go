@@ -1,0 +1,423 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// startClusterE2E boots n fsserve nodes through the real serve function,
+// wired as one cluster. All listeners bind first so every node knows the
+// full member list before construction. The hedge delay is pinned high
+// by default so forwards are deterministic (single target); mutate
+// customizes per node. Returns base URLs and per-node stop functions.
+func startClusterE2E(t testing.TB, n int, mutate func(i int, cfg *service.Config)) ([]string, []func() error) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	bases := make([]string, n)
+	stops := make([]func() error, n)
+	for i := range lns {
+		cfg := service.Config{
+			Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+			Cluster: &service.ClusterConfig{
+				Advertise:  addrs[i],
+				Peers:      addrs,
+				HedgeDelay: 30 * time.Second,
+			},
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		ln := lns[i]
+		c := cfg
+		go func() { done <- serve(ctx, ln, c, 30*time.Second) }()
+		bases[i] = "http://" + addrs[i]
+		stops[i] = func() error { cancel(); return <-done }
+	}
+	for _, base := range bases {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == 200 {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s not ready: %v", base, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return bases, stops
+}
+
+// settledGoroutines samples runtime.NumGoroutine until two consecutive
+// reads agree, so scheduler noise does not masquerade as a leak.
+func settledGoroutines() int {
+	prev := runtime.NumGoroutine()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		cur := runtime.NumGoroutine()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}
+
+// dumpClusterMetrics writes each node's /metrics to
+// $FSCLUSTER_METRICS_DIR/<prefix>-node<i>.metrics for CI artifacts.
+func dumpClusterMetrics(t testing.TB, prefix string, bases []string) {
+	dir := os.Getenv("FSCLUSTER_METRICS_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("metrics dir: %v", err)
+		return
+	}
+	for i, base := range bases {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			continue // a chaos test may have killed this node
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		path := filepath.Join(dir, fmt.Sprintf("%s-node%d.metrics", prefix, i))
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Logf("writing %s: %v", path, err)
+		}
+	}
+}
+
+// TestE2EClusterDedup is the cluster acceptance criterion: 96 concurrent
+// identical requests sprayed round-robin across 3 nodes cause exactly
+// one model evaluation fleet-wide — non-owners forward to the primary,
+// whose flight group coalesces every arrival — and all 96 bodies are
+// byte-identical.
+func TestE2EClusterDedup(t *testing.T) {
+	bases, stops := startClusterE2E(t, 3, nil)
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	const n = 96
+	body := `{"kernel":"heat","threads":8,"chunk":1}`
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		bodies [][]byte
+	)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			status, b := postJSON(t, bases[i%len(bases)]+"/v1/analyze", body)
+			if status != 200 {
+				t.Errorf("status = %d: %s", status, b)
+			}
+			mu.Lock()
+			bodies = append(bodies, b)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs:\n%s\nvs\n%s", i, bodies[0], bodies[i])
+		}
+	}
+	var evals float64
+	for _, base := range bases {
+		evals += scrapeMetric(t, base, "fsserve_evaluations_total")
+	}
+	if evals != 1 {
+		t.Errorf("fleet-wide evaluations = %v, want exactly 1 for %d requests", evals, n)
+	}
+	dumpClusterMetrics(t, "dedup", bases)
+}
+
+// TestE2EClusterOwnerKilled is the chaos criterion: kill a node
+// mid-load and the survivors keep answering 200 for keys it owned —
+// degrading to the closed form while the dead peer is still ranked, and
+// re-ranking onto themselves once probes mark it down — never a 5xx.
+func TestE2EClusterOwnerKilled(t *testing.T) {
+	before := settledGoroutines()
+	bases, stops := startClusterE2E(t, 3, func(i int, cfg *service.Config) {
+		cfg.Cluster.ProbeInterval = 50 * time.Millisecond
+		cfg.Cluster.ProbeTimeout = 200 * time.Millisecond
+	})
+
+	// A tiny nest keeps each distinct-key evaluation at milliseconds, so
+	// the chaos load spans the down-detection window instead of queueing
+	// behind paper-scale model runs.
+	tiny := func(chunk int) string {
+		src := "#define N 256\ndouble a[N];\n#pragma omp parallel for num_threads(4)\nfor (i = 0; i < N; i++) a[i] += 1.0;\n"
+		b, _ := json.Marshal(map[string]any{"source": src, "threads": 4, "chunk": chunk})
+		return string(b)
+	}
+
+	// Seed one key so the owner is identifiable from the outside: the
+	// node that evaluated is the key's primary.
+	seed := tiny(1)
+	for _, base := range bases {
+		if status, b := postJSON(t, base+"/v1/analyze", seed); status != 200 {
+			t.Fatalf("seed: %d %s", status, b)
+		}
+	}
+	owner := -1
+	for i, base := range bases {
+		if scrapeMetric(t, base, "fsserve_evaluations_total") == 1 {
+			owner = i
+			break
+		}
+	}
+	if owner == -1 {
+		t.Fatal("no node evaluated the seed request")
+	}
+
+	if err := stops[owner](); err != nil {
+		t.Fatalf("killing owner: %v", err)
+	}
+	var live []string
+	for i, base := range bases {
+		if i != owner {
+			live = append(live, base)
+		}
+	}
+
+	// Load the survivors with fresh keys — about a third are owned by
+	// the corpse — across the down-detection transition. Every response
+	// must be a 200; degraded bodies are expected while the dead node is
+	// still ranked.
+	const keys = 24
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		degraded int
+	)
+	for round := 0; round < 3; round++ {
+		wg.Add(keys)
+		for k := 0; k < keys; k++ {
+			go func(round, k int) {
+				defer wg.Done()
+				status, b := postJSON(t, live[k%len(live)]+"/v1/analyze", tiny(2+k))
+				if status != 200 {
+					t.Errorf("round %d key %d: status %d (must never 5xx): %s", round, k, status, b)
+					return
+				}
+				var resp struct {
+					Degraded bool `json:"degraded"`
+				}
+				if err := json.Unmarshal(b, &resp); err != nil {
+					t.Errorf("round %d key %d: %v", round, k, err)
+					return
+				}
+				if resp.Degraded {
+					mu.Lock()
+					degraded++
+					mu.Unlock()
+				}
+			}(round, k)
+		}
+		wg.Wait()
+		// Give the probers time to cross suspect/down thresholds so later
+		// rounds also exercise the re-ranked, fully-healthy path.
+		time.Sleep(150 * time.Millisecond)
+	}
+	if degraded == 0 {
+		t.Error("no degraded responses: the dead owner's keys never exercised the fallback")
+	}
+	t.Logf("degraded responses across %d requests: %d", 3*keys, degraded)
+
+	// The dead peer must eventually leave the survivors' rings.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(live[0] + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rz struct {
+			Cluster struct {
+				Peers map[string]string `json:"peers"`
+			} `json:"cluster"`
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(body, &rz); err != nil {
+			t.Fatal(err)
+		}
+		downSeen := false
+		for _, st := range rz.Cluster.Peers {
+			if st == "down" {
+				downSeen = true
+			}
+		}
+		if downSeen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead peer never marked down: %s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	dumpClusterMetrics(t, "chaos", []string{live[0], live[1]})
+	for i, stop := range stops {
+		if i != owner {
+			if err := stop(); err != nil {
+				t.Errorf("stopping node %d: %v", i, err)
+			}
+		}
+	}
+	if after := settledGoroutines(); after > before+5 {
+		t.Errorf("goroutines grew %d -> %d: cluster teardown leaks", before, after)
+	}
+}
+
+// TestRunClusterFlagValidation pins the CLI contract: -peers without
+// -advertise is a usage error (exit 2) that names the missing flag.
+func TestRunClusterFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-peers", "127.0.0.1:1,127.0.0.1:2"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-advertise") {
+		t.Fatalf("stderr = %q, want a mention of -advertise", stderr.String())
+	}
+}
+
+// TestGenerateClusterBench measures what a forwarded hit costs relative
+// to a local hit on a 2-node cluster (pushes disabled so the forward
+// path stays exercised) and merges a "cluster" section into the
+// BENCH_service.json document named by FSCLUSTER_BENCH_OUT:
+//
+//	FSCLUSTER_BENCH_OUT=$PWD/BENCH_service.json go test ./cmd/fsserve -run TestGenerateClusterBench -v
+func TestGenerateClusterBench(t *testing.T) {
+	out := os.Getenv("FSCLUSTER_BENCH_OUT")
+	if out == "" {
+		t.Skip("set FSCLUSTER_BENCH_OUT=path to run the cluster benchmark")
+	}
+	bases, stops := startClusterE2E(t, 2, func(i int, cfg *service.Config) {
+		cfg.Cluster.PushQueue = -1
+	})
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	// Warm the fleet through node 0: each distinct chunk evaluates once
+	// on its primary (locally or via forward), leaving node 0 with every
+	// body and node 1 with only the keys it owns.
+	const keys = 40
+	body := func(k int) string {
+		return fmt.Sprintf(`{"kernel":"heat","threads":8,"chunk":%d}`, 1+k)
+	}
+	for k := 0; k < keys; k++ {
+		if status, b := postJSON(t, bases[0]+"/v1/analyze", body(k)); status != 200 {
+			t.Fatalf("warm key %d: %d %s", k, status, b)
+		}
+	}
+	// Sample node 1: keys it owns answer from its cache ("hit"), keys
+	// node 0 owns go through a proxy hop ("forward"). Bucket latencies
+	// by the X-Cache source the server reports.
+	sample := func(base string) map[string][]float64 {
+		buckets := map[string][]float64{}
+		for k := 0; k < keys; k++ {
+			start := time.Now()
+			resp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(body(k)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if resp.StatusCode != 200 {
+				t.Fatalf("key %d: status %d", k, resp.StatusCode)
+			}
+			src := resp.Header.Get("X-Cache")
+			buckets[src] = append(buckets[src], ms)
+		}
+		return buckets
+	}
+	remote := sample(bases[1])
+	local := sample(bases[0]) // node 0 holds everything: pure local hits
+	p50 := func(v []float64) float64 {
+		if len(v) == 0 {
+			return 0
+		}
+		sort.Float64s(v)
+		return v[len(v)/2]
+	}
+	localHit, forward := p50(local["hit"]), p50(remote["forward"])
+	if len(remote["forward"]) == 0 {
+		t.Fatal("no forwarded samples: rendezvous balance is broken")
+	}
+	t.Logf("local hit p50 %.3fms (%d), forwarded hit p50 %.3fms (%d), overhead %.1fx",
+		localHit, len(local["hit"]), forward, len(remote["forward"]), forward/localHit)
+
+	doc := map[string]any{}
+	if b, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			t.Fatalf("existing %s is not JSON: %v", out, err)
+		}
+	}
+	doc["cluster"] = map[string]any{
+		"note": "2-node cluster over loopback, replication 2, pushes disabled so forwards stay " +
+			"exercised; forwarded-hit = non-owner proxies to the primary's cache, local-hit = " +
+			"same keys answered from the node's own cache",
+		"keys":                 keys,
+		"local_hit_p50_ms":     localHit,
+		"forwarded_hit_p50_ms": forward,
+		"forward_overhead_x":   forward / localHit,
+		"forwarded_samples":    len(remote["forward"]),
+		"local_samples":        len(remote["hit"]),
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged cluster section into %s", out)
+}

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +67,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		evalMode    = fs.String("eval", "auto", "model evaluation pipeline: auto, compiled or interpreted (part of the cache key)")
 		extrapolate = fs.Bool("extrapolate", false, "close steady-state chunk runs in O(1) on eligible uniform loops (exact totals)")
 		pprofFlag   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		peers       = fs.String("peers", "", "comma-separated cluster member addresses host:port,... (empty = single node)")
+		advertise   = fs.String("advertise", "", "this node's address as peers reach it (required with -peers)")
+		replication = fs.Int("replication", 0, "ranked owners per cache key (0 = default 2)")
+		probeEvery  = fs.Duration("probe-interval", 0, "mean peer health-probe period (0 = default 1s)")
+		hedgeDelay  = fs.Duration("peer-hedge-delay", 0, "pin the forward hedge delay to a replica (0 = adaptive p95)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,6 +84,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if _, err := fsmodel.EvalModeFromString(*evalMode); err != nil {
 		fmt.Fprintf(stderr, "fsserve: -eval: %v\n", err)
 		return 2
+	}
+	var clusterCfg *service.ClusterConfig
+	if *peers != "" {
+		if *advertise == "" {
+			fmt.Fprintln(stderr, "fsserve: -peers requires -advertise (this node's address as peers reach it)")
+			return 2
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		clusterCfg = &service.ClusterConfig{
+			Advertise:     *advertise,
+			Peers:         peerList,
+			Replication:   *replication,
+			ProbeInterval: *probeEvery,
+			HedgeDelay:    *hedgeDelay,
+		}
 	}
 	var handler slog.Handler
 	switch *logFormat {
@@ -107,6 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RequestTimeout:   *timeout,
 		MaxBodyBytes:     *maxBody,
 		MaxBatch:         *maxBatch,
+		Cluster:          clusterCfg,
 		Logger:           slog.New(handler),
 
 		MaxEvalSteps:      *maxSteps,

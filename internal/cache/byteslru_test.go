@@ -3,7 +3,11 @@ package cache
 import (
 	"bytes"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/snapshot"
 )
 
 func TestBytesLRUBasics(t *testing.T) {
@@ -77,6 +81,100 @@ func TestBytesLRUDumpRestore(t *testing.T) {
 	}
 	if _, ok := fresh.Get("k1"); !ok {
 		t.Fatal("restored recency order lost: k1 evicted before older keys")
+	}
+}
+
+// TestBytesLRUSnapshotDuringTraffic pins the snapshot-during-traffic
+// contract the cluster relies on (nodes snapshot while serving forwards
+// and peer fills): Dump taken while concurrent Put/Get traffic runs is
+// internally consistent — no duplicate keys, every body matching its
+// key — and round-trips through the snapshot encoding with exact
+// LoadStats accounting (Declared == Restored, zero Dropped, clean).
+// Run under -race this also proves Dump/Restore hold the lock correctly
+// against Add/Get.
+func TestBytesLRUSnapshotDuringTraffic(t *testing.T) {
+	const (
+		capacity = 64
+		keyspace = 128
+		writers  = 4
+	)
+	body := func(i int) []byte { return []byte(fmt.Sprintf("body-of-key-%d", i)) }
+	c := NewBytesLRU(capacity, nil)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			i := seed
+			for !stop.Load() {
+				k := i % keyspace
+				c.Add(fmt.Sprintf("k%d", k), body(k))
+				c.Get(fmt.Sprintf("k%d", (i*7)%keyspace))
+				i++
+			}
+		}(w * 31)
+	}
+
+	// Take snapshots mid-traffic and verify each one end to end.
+	for snap := 0; snap < 50; snap++ {
+		keys, bodies := c.Dump()
+		if len(keys) != len(bodies) {
+			t.Fatalf("snapshot %d: %d keys, %d bodies", snap, len(keys), len(bodies))
+		}
+		if len(keys) > capacity {
+			t.Fatalf("snapshot %d: %d entries exceed capacity %d", snap, len(keys), capacity)
+		}
+		seen := make(map[string]bool, len(keys))
+		entries := make([]snapshot.Entry, len(keys))
+		for i, k := range keys {
+			if seen[k] {
+				t.Fatalf("snapshot %d: duplicate key %q", snap, k)
+			}
+			seen[k] = true
+			var id int
+			if _, err := fmt.Sscanf(k, "k%d", &id); err != nil {
+				t.Fatalf("snapshot %d: malformed key %q", snap, k)
+			}
+			if !bytes.Equal(bodies[i], body(id)) {
+				t.Fatalf("snapshot %d: key %q carries body %q (torn read?)", snap, k, bodies[i])
+			}
+			entries[i] = snapshot.Entry{Key: k, Body: bodies[i]}
+		}
+		var buf bytes.Buffer
+		if err := snapshot.Write(&buf, entries); err != nil {
+			t.Fatalf("snapshot %d: write: %v", snap, err)
+		}
+		loaded, st := snapshot.Read(&buf)
+		if !st.Clean() || st.Declared != int64(len(entries)) || st.Restored != int64(len(entries)) || st.Dropped != 0 {
+			t.Fatalf("snapshot %d: LoadStats = %+v, want clean %d/%d/0", snap, st, len(entries), len(entries))
+		}
+		target := NewBytesLRU(capacity, nil)
+		keys2 := make([]string, len(loaded))
+		bodies2 := make([][]byte, len(loaded))
+		for i, e := range loaded {
+			keys2[i], bodies2[i] = e.Key, e.Body
+		}
+		if n := target.Restore(keys2, bodies2); n != len(loaded) {
+			t.Fatalf("snapshot %d: restored %d of %d", snap, n, len(loaded))
+		}
+		c.Restore(keys2, bodies2) // concurrent with writers, must not race
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiescent round trip: recency order survives exactly.
+	keys, bodies := c.Dump()
+	fresh := NewBytesLRU(capacity, nil)
+	fresh.Restore(keys, bodies)
+	keys2, bodies2 := fresh.Dump()
+	if len(keys) != len(keys2) {
+		t.Fatalf("round trip changed size: %d -> %d", len(keys), len(keys2))
+	}
+	for i := range keys {
+		if keys[i] != keys2[i] || !bytes.Equal(bodies[i], bodies2[i]) {
+			t.Fatalf("entry %d order/body changed: %q -> %q", i, keys[i], keys2[i])
+		}
 	}
 }
 

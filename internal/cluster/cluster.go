@@ -1,0 +1,340 @@
+// Package cluster turns a fleet of independent fsserve nodes into one
+// coherent cache: a static membership list, active health probing, and
+// rendezvous (highest-random-weight) hashing that assigns every
+// content-addressed cache key a stable owner and replica set. A node
+// that does not own a key forwards the request to the node that does,
+// so N nodes behind a dumb load balancer re-run an expensive model
+// evaluation once fleet-wide instead of once per node — the same dedup
+// win the in-process singleflight group gives one node, extended across
+// the cluster.
+//
+// The package is deliberately small and static: no gossip, no leader,
+// no dynamic membership. The peer list is configuration; health is
+// probed actively against each peer's /readyz with consecutive-failure
+// suspect/down states; ownership is a pure function of (healthy
+// members, key) that every node computes identically once their health
+// views agree. Disagreement is safe by construction — a forwarded
+// request carries a hop guard and the receiving node serves it locally
+// rather than forwarding again, so differing views cost one extra hop,
+// never a loop.
+package cluster
+
+import (
+	"context"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a peer's probed health.
+type State int32
+
+const (
+	// StateHealthy: the peer answers /readyz probes; it owns its share of
+	// the key space and receives forwards.
+	StateHealthy State = iota
+	// StateSuspect: SuspectAfter consecutive probes failed. The peer
+	// stays in the ownership ring (evicting it on a blip would reshuffle
+	// keys and dump its working set), but callers should expect forwards
+	// to it to fail and fall back.
+	StateSuspect
+	// StateDown: DownAfter consecutive probes failed. The peer leaves the
+	// ownership ring; its keys fail over to the next-ranked members until
+	// probes succeed again.
+	StateDown
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// Config parameterizes a Cluster. Self and Peers are required; every
+// other field documents its default.
+type Config struct {
+	// Self is this node's address as peers reach it (host:port, the
+	// -advertise flag). It is always a ring member and never probed.
+	Self string
+	// Peers lists every cluster member (host:port each; Self may be
+	// included and is filtered out of the probe set). Order is
+	// irrelevant: ownership depends only on the set.
+	Peers []string
+	// Replication is how many ranked owners each key has (0 = default 2,
+	// clamped to the member count). The top-ranked healthy owner is the
+	// key's primary; the rest are replicas.
+	Replication int
+	// ProbeInterval is the mean health-probe period per peer; actual
+	// waits are jittered uniformly in [0.5, 1.5) of it so a fleet's
+	// probes do not synchronize (0 = default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe's HTTP exchange (0 = default 1s).
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive-failure count that marks a peer
+	// suspect (0 = default 2).
+	SuspectAfter int
+	// DownAfter is the consecutive-failure count that removes a peer from
+	// the ownership ring (0 = default 4; it is raised to SuspectAfter
+	// when configured below it).
+	DownAfter int
+	// Client performs the probes (nil = a dedicated client; the probe
+	// deadline comes from ProbeTimeout either way).
+	Client *http.Client
+	// Logger receives state-transition logs (nil = slog.Default()).
+	Logger *slog.Logger
+	// Seed seeds the probe jitter (0 = 1). Jitter is cosmetic — it only
+	// de-synchronizes probe timing — but a fixed seed keeps tests
+	// deterministic.
+	Seed int64
+	// OnProbe, when non-nil, observes every probe result (metrics hook).
+	OnProbe func(peer string, ok bool)
+	// OnState, when non-nil, observes every state transition, and the
+	// initial StateHealthy of each peer at Start (metrics hook).
+	OnState func(peer string, st State)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 4
+	}
+	if c.DownAfter < c.SuspectAfter {
+		c.DownAfter = c.SuspectAfter
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// peer is one probed cluster member. state is the only cross-goroutine
+// field (the prober writes it, request paths read it); fails is the
+// prober's private consecutive-failure counter.
+type peer struct {
+	addr  string
+	state atomic.Int32
+	fails int
+}
+
+// Cluster is the membership + ownership view of one node. Create with
+// New, begin probing with Start, stop with Close.
+type Cluster struct {
+	cfg   Config
+	self  string
+	peers []*peer // every member except self, in normalized order
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+	closed  sync.Once
+}
+
+// normalizeAddr strips an http:// or https:// scheme: members are
+// identified by host:port and the transport is plain HTTP (the cluster
+// is an internal mesh).
+func normalizeAddr(a string) string {
+	a = strings.TrimPrefix(a, "http://")
+	a = strings.TrimPrefix(a, "https://")
+	return strings.TrimSuffix(strings.TrimSpace(a), "/")
+}
+
+// New builds a Cluster from cfg. Probing does not begin until Start.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	self := normalizeAddr(cfg.Self)
+	seen := map[string]bool{self: true}
+	c := &Cluster{cfg: cfg, self: self, stop: make(chan struct{})}
+	for _, p := range cfg.Peers {
+		a := normalizeAddr(p)
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		c.peers = append(c.peers, &peer{addr: a})
+	}
+	return c
+}
+
+// Self returns this node's normalized advertise address.
+func (c *Cluster) Self() string { return c.self }
+
+// Size returns the total member count including self.
+func (c *Cluster) Size() int { return len(c.peers) + 1 }
+
+// Replication returns the effective replica count per key.
+func (c *Cluster) Replication() int { return min(c.cfg.Replication, c.Size()) }
+
+// Start launches one probe goroutine per peer. Peers start healthy (a
+// cold-starting cluster must route before the first probe lands), and
+// OnState observes that initial state. Start is idempotent.
+func (c *Cluster) Start() {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i, p := range c.peers {
+		if c.cfg.OnState != nil {
+			c.cfg.OnState(p.addr, StateHealthy)
+		}
+		c.wg.Add(1)
+		go c.probeLoop(p, rand.New(rand.NewSource(c.cfg.Seed+int64(i))))
+	}
+}
+
+// Close stops the probe goroutines and waits for them to exit. Safe to
+// call multiple times and before Start.
+func (c *Cluster) Close() {
+	c.closed.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// probeLoop probes one peer forever at the jittered interval.
+func (c *Cluster) probeLoop(p *peer, rng *rand.Rand) {
+	defer c.wg.Done()
+	timer := time.NewTimer(c.jitter(rng))
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-timer.C:
+		}
+		c.probe(p)
+		timer.Reset(c.jitter(rng))
+	}
+}
+
+// jitter draws one probe wait: uniform in [0.5, 1.5) of ProbeInterval.
+func (c *Cluster) jitter(rng *rand.Rand) time.Duration {
+	half := c.cfg.ProbeInterval / 2
+	return half + time.Duration(rng.Int63n(int64(c.cfg.ProbeInterval)))
+}
+
+// probe performs one /readyz exchange and folds the result into the
+// peer's consecutive-failure state machine. A draining node answers 503
+// (never 200), so peers route around a node the moment it begins
+// shutdown, not when its socket closes.
+func (c *Cluster) probe(p *peer) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+p.addr+"/readyz", nil)
+	if err == nil {
+		resp, rerr := c.cfg.Client.Do(req)
+		if rerr == nil {
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	if c.cfg.OnProbe != nil {
+		c.cfg.OnProbe(p.addr, ok)
+	}
+	if ok {
+		p.fails = 0
+	} else {
+		p.fails++
+	}
+	next := StateHealthy
+	switch {
+	case p.fails >= c.cfg.DownAfter:
+		next = StateDown
+	case p.fails >= c.cfg.SuspectAfter:
+		next = StateSuspect
+	}
+	prev := State(p.state.Swap(int32(next)))
+	if prev != next {
+		c.cfg.Logger.Info("cluster peer state change",
+			"peer", p.addr, "from", prev.String(), "to", next.String(), "consecutive_failures", p.fails)
+		if c.cfg.OnState != nil {
+			c.cfg.OnState(p.addr, next)
+		}
+	}
+}
+
+// PeerState returns addr's probed state; self is always healthy, and an
+// unknown address reports down (it owns nothing).
+func (c *Cluster) PeerState(addr string) State {
+	addr = normalizeAddr(addr)
+	if addr == c.self {
+		return StateHealthy
+	}
+	for _, p := range c.peers {
+		if p.addr == addr {
+			return State(p.state.Load())
+		}
+	}
+	return StateDown
+}
+
+// States snapshots every member's state (self included, always
+// healthy), for readiness endpoints and tests.
+func (c *Cluster) States() map[string]State {
+	m := make(map[string]State, c.Size())
+	m[c.self] = StateHealthy
+	for _, p := range c.peers {
+		m[p.addr] = State(p.state.Load())
+	}
+	return m
+}
+
+// members returns the current ownership ring: self plus every peer not
+// probed down. Suspect peers stay in the ring — evicting a member on
+// two flaky probes would reshuffle its keys and dump its cache; the
+// forwarding layer's fallback handles the (possibly brief) failures.
+func (c *Cluster) members() []string {
+	ms := make([]string, 0, c.Size())
+	ms = append(ms, c.self)
+	for _, p := range c.peers {
+		if State(p.state.Load()) != StateDown {
+			ms = append(ms, p.addr)
+		}
+	}
+	return ms
+}
+
+// Owners returns key's ranked owner set among current ring members: the
+// top-Replication members by rendezvous weight, best first. The first
+// entry is the key's primary (the node that evaluates on a fleet-wide
+// miss); the rest are replicas. Every node with the same health view
+// computes the same slice, and the result is never empty (self is
+// always a member).
+func (c *Cluster) Owners(key string) []string {
+	return Rank(c.members(), key, c.Replication())
+}
+
+// IsOwner reports whether this node is in key's owner set.
+func (c *Cluster) IsOwner(key string) bool {
+	for _, o := range c.Owners(key) {
+		if o == c.self {
+			return true
+		}
+	}
+	return false
+}

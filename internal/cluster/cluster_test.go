@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestProbeStateMachine drives a peer through healthy → suspect → down
+// → healthy with a real HTTP target whose readiness is toggled, and
+// checks the ring membership tracks it.
+func TestProbeStateMachine(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s, want /readyz", r.URL.Path)
+		}
+		if !ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var transitions []State
+	c := New(Config{
+		Self:          "self:1",
+		Peers:         []string{srv.URL}, // scheme is normalized away
+		ProbeInterval: 20 * time.Millisecond,
+		SuspectAfter:  2,
+		DownAfter:     3,
+		Logger:        quietLogger(),
+		OnState: func(peer string, st State) {
+			mu.Lock()
+			transitions = append(transitions, st)
+			mu.Unlock()
+		},
+	})
+	peerAddr := normalizeAddr(srv.URL)
+	c.Start()
+	defer c.Close()
+
+	if st := c.PeerState(peerAddr); st != StateHealthy {
+		t.Fatalf("initial state = %v, want healthy", st)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(transitions) >= 1 && transitions[0] == StateHealthy
+	}, "no initial OnState(healthy) callback")
+
+	ready.Store(false)
+	waitFor(t, 5*time.Second, func() bool { return c.PeerState(peerAddr) == StateDown },
+		"peer never reached down after consecutive probe failures")
+	// Suspect must have been observed on the way down.
+	mu.Lock()
+	sawSuspect := false
+	for _, st := range transitions {
+		if st == StateSuspect {
+			sawSuspect = true
+		}
+	}
+	mu.Unlock()
+	if !sawSuspect {
+		t.Error("peer went down without passing through suspect")
+	}
+	// A down peer leaves the ring; self keeps owning everything.
+	if owners := c.Owners("somekey"); len(owners) != 1 || owners[0] != "self:1" {
+		t.Errorf("owners with peer down = %v, want [self:1]", owners)
+	}
+
+	ready.Store(true)
+	waitFor(t, 5*time.Second, func() bool { return c.PeerState(peerAddr) == StateHealthy },
+		"peer never recovered to healthy")
+	if owners := c.Owners("somekey"); len(owners) != 2 {
+		t.Errorf("owners after recovery = %v, want both members", owners)
+	}
+}
+
+// TestSelfAlwaysInRing pins that self never depends on probing and an
+// unknown address owns nothing.
+func TestSelfAlwaysInRing(t *testing.T) {
+	c := New(Config{Self: "self:1", Peers: []string{"self:1", "dead:2"}, Logger: quietLogger()})
+	defer c.Close()
+	if c.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 (self deduplicated)", c.Size())
+	}
+	if st := c.PeerState("self:1"); st != StateHealthy {
+		t.Errorf("self state = %v", st)
+	}
+	if st := c.PeerState("nosuch:9"); st != StateDown {
+		t.Errorf("unknown peer state = %v, want down", st)
+	}
+	if !c.IsOwner("any-key-with-replication-2") {
+		t.Error("self not an owner with R=2 and 2 members")
+	}
+}
+
+// TestCloseStopsProbers pins the goroutine lifecycle: Start spawns one
+// prober per peer, Close reaps them all, and both are idempotent.
+func TestCloseStopsProbers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := New(Config{
+		Self:          "self:1",
+		Peers:         []string{"dead1:1", "dead2:1", "dead3:1"},
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  50 * time.Millisecond,
+		Logger:        quietLogger(),
+	})
+	c.Start()
+	c.Start() // idempotent
+	time.Sleep(50 * time.Millisecond)
+	c.Close()
+	c.Close() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines after Close: %d, was %d before Start", g, before)
+	}
+}
+
+// TestOwnersUseHealthView pins that ownership excludes down peers but
+// keeps suspect ones (ring stability across probe blips).
+func TestOwnersUseHealthView(t *testing.T) {
+	c := New(Config{Self: "a:1", Peers: []string{"b:1", "c:1"}, Replication: 2, Logger: quietLogger()})
+	defer c.Close()
+	key := "0123456789abcdef"
+	full := c.Owners(key)
+	if len(full) != 2 {
+		t.Fatalf("owners = %v, want 2", full)
+	}
+	// Force b down by hand (the probers are not running).
+	for _, p := range c.peers {
+		if p.addr == "b:1" {
+			p.state.Store(int32(StateDown))
+		} else {
+			p.state.Store(int32(StateSuspect))
+		}
+	}
+	reduced := c.Owners(key)
+	for _, o := range reduced {
+		if o == "b:1" {
+			t.Fatalf("down peer still owns: %v", reduced)
+		}
+	}
+	if len(reduced) != 2 { // a (self) + c (suspect stays in the ring)
+		t.Fatalf("owners with one down = %v, want a and c", reduced)
+	}
+}

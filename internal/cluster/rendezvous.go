@@ -1,0 +1,64 @@
+package cluster
+
+import "sort"
+
+// Rank orders members for key by rendezvous (highest-random-weight)
+// hashing and returns the top r, best first. Every node that agrees on
+// the member set computes the identical ranking, and removing one
+// member only reassigns the keys that member owned — every other key's
+// owner is unchanged, which is the property that makes failover cheap:
+// no ring to rebalance, no directory to update.
+//
+// The weight is a 64-bit FNV-1a hash over member\x00key. Keys here are
+// already uniformly distributed (they are SHA-256 content hashes), but
+// hashing the member in keeps placement balanced even for adversarial
+// member names. Ties (vanishingly rare at 64 bits) break by member name
+// so the ranking stays total and deterministic.
+func Rank(members []string, key string, r int) []string {
+	if len(members) == 0 || r <= 0 {
+		return nil
+	}
+	type ranked struct {
+		member string
+		weight uint64
+	}
+	rs := make([]ranked, len(members))
+	for i, m := range members {
+		rs[i] = ranked{m, weigh(m, key)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].weight != rs[j].weight {
+			return rs[i].weight > rs[j].weight
+		}
+		return rs[i].member < rs[j].member
+	})
+	if r > len(rs) {
+		r = len(rs)
+	}
+	out := make([]string, r)
+	for i := range out {
+		out[i] = rs[i].member
+	}
+	return out
+}
+
+// weigh is FNV-1a 64 over member\x00key, inlined so ranking a key
+// allocates nothing beyond the result slice.
+func weigh(member, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(member); i++ {
+		h ^= uint64(member[i])
+		h *= prime64
+	}
+	h ^= 0
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}

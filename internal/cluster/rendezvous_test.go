@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func contentKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestRankDeterministicAcrossViews pins the property the whole design
+// rests on: every node that agrees on the member set computes the
+// identical owner ranking, regardless of the order it lists members in.
+func TestRankDeterministicAcrossViews(t *testing.T) {
+	a := []string{"n1:8080", "n2:8080", "n3:8080", "n4:8080"}
+	b := []string{"n4:8080", "n2:8080", "n1:8080", "n3:8080"} // same set, shuffled
+	for i := 0; i < 200; i++ {
+		k := contentKey(i)
+		ra := Rank(a, k, 2)
+		rb := Rank(b, k, 2)
+		if len(ra) != 2 || len(rb) != 2 {
+			t.Fatalf("key %d: rank lengths %d, %d", i, len(ra), len(rb))
+		}
+		if ra[0] != rb[0] || ra[1] != rb[1] {
+			t.Fatalf("key %d: views disagree: %v vs %v", i, ra, rb)
+		}
+	}
+}
+
+// TestRankMinimalDisruption pins rendezvous hashing's failover
+// property: removing one member reassigns only the keys that member
+// owned; every key owned by a surviving member keeps its primary.
+func TestRankMinimalDisruption(t *testing.T) {
+	all := []string{"n1:8080", "n2:8080", "n3:8080", "n4:8080", "n5:8080"}
+	without := all[:4] // n5 removed
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		k := contentKey(i)
+		before := Rank(all, k, 1)[0]
+		after := Rank(without, k, 1)[0]
+		if before == "n5:8080" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %d: primary moved %s -> %s though %s survived", i, before, after, before)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRankBalance sanity-checks placement balance over content-hash
+// keys: no member of a 4-node ring should own a wildly skewed share.
+func TestRankBalance(t *testing.T) {
+	members := []string{"n1:8080", "n2:8080", "n3:8080", "n4:8080"}
+	counts := map[string]int{}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		counts[Rank(members, contentKey(i), 1)[0]]++
+	}
+	for m, c := range counts {
+		share := float64(c) / n
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("member %s owns %.1f%% of keys (want ~25%%): %v", m, 100*share, counts)
+		}
+	}
+}
+
+// TestRankEdges pins the degenerate inputs.
+func TestRankEdges(t *testing.T) {
+	if got := Rank(nil, "k", 2); got != nil {
+		t.Errorf("Rank(nil) = %v", got)
+	}
+	if got := Rank([]string{"a"}, "k", 0); got != nil {
+		t.Errorf("Rank(r=0) = %v", got)
+	}
+	if got := Rank([]string{"a"}, "k", 3); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Rank clamps r to member count: %v", got)
+	}
+	two := Rank([]string{"a", "b"}, "k", 2)
+	if len(two) != 2 || two[0] == two[1] {
+		t.Errorf("Rank returned duplicates: %v", two)
+	}
+}

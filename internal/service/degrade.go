@@ -39,7 +39,20 @@ const (
 // breaker so it opens after consecutive evaluator trouble and closes
 // again via half-open probes. Degraded bodies are built outside the
 // fault-injection seams and are never cached.
-func (s *Server) guarded(ctx context.Context, endpoint, key string, eval func(context.Context) ([]byte, string, error), degrade func(reason string) ([]byte, error)) (body []byte, source string, err error) {
+//
+// When the server is clustered and route is non-nil, the cluster layer
+// decides first: a node that is not the key's primary owner serves its
+// local cached copy or proxies to the owners (cluster.go), so routing
+// sits above the breaker — forwarding is not an evaluation and a
+// non-owner's breaker state says nothing about it. A request that
+// already took its one forwarding hop bypasses routing and is served
+// locally (the hop guard).
+func (s *Server) guarded(ctx context.Context, endpoint, key string, route *clusterRoute, eval func(context.Context) ([]byte, string, error), degrade func(reason string) ([]byte, error)) (body []byte, source string, err error) {
+	if s.cluster != nil && route != nil && !route.forwarded {
+		if h := s.cluster.route(ctx, endpoint, key, route, degrade); h != nil {
+			return h.body, h.source, h.err
+		}
+	}
 	br := s.breakers[endpoint]
 	if br != nil && !br.Allow() {
 		return s.degrade(endpoint, degrade, "breaker-open")
@@ -208,6 +221,14 @@ type readyzPool struct {
 	Limit float64 `json:"limit"`
 }
 
+// readyzCluster is the cluster membership view in /readyz.
+type readyzCluster struct {
+	Self string `json:"self"`
+	// Peers maps each probed peer to its state ("healthy", "suspect",
+	// "down").
+	Peers map[string]string `json:"peers"`
+}
+
 // ReadyzResponse is the body of GET /readyz.
 type ReadyzResponse struct {
 	// Status is "ok", "degraded" (some breaker is not closed: the
@@ -216,6 +237,7 @@ type ReadyzResponse struct {
 	Status   string                   `json:"status"`
 	Breakers map[string]readyzBreaker `json:"breakers,omitempty"`
 	Pool     readyzPool               `json:"pool"`
+	Cluster  *readyzCluster           `json:"cluster,omitempty"`
 }
 
 // handleReadyz serves GET /readyz: a JSON readiness document exposing
@@ -248,6 +270,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 				Opens:               snap.Opens,
 			}
 		}
+	}
+	if s.cluster != nil {
+		states := s.cluster.cl.States()
+		rc := &readyzCluster{Self: s.cluster.cl.Self(), Peers: make(map[string]string, len(states))}
+		for peer, st := range states {
+			if peer != rc.Self {
+				rc.Peers[peer] = st.String()
+			}
+		}
+		resp.Cluster = rc
 	}
 	status := http.StatusOK
 	if s.draining.Load() {

@@ -27,10 +27,12 @@ type flightCall struct {
 // flightResult is what one evaluation produces: the serialized response
 // and whether the leader found it already cached (a leader re-checks the
 // cache to close the gap between a caller's cache miss and its flight
-// join).
+// join) or fetched it from a cluster replica's cache instead of
+// evaluating.
 type flightResult struct {
-	body      []byte
-	fromCache bool
+	body       []byte
+	fromCache  bool
+	peerFilled bool
 }
 
 func newFlightGroup() *flightGroup {

@@ -87,6 +87,70 @@ func TestFlightSharesError(t *testing.T) {
 	}
 }
 
+// TestFlightAbandonedWaiterDecrements pins that a joiner abandoning on
+// context cancellation decrements the waiter count immediately — while
+// the leader is still running — instead of leaking the count until the
+// leader returns. The count is load-bearing: TestFlightCoalesces and the
+// cluster e2e both spin on it to order their assertions, so a stale
+// value would turn "exactly one evaluation" pins into races.
+func TestFlightAbandonedWaiterDecrements(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		g.Do(context.Background(), "k", func() (flightResult, error) {
+			close(started)
+			<-release
+			return flightResult{body: []byte("late")}, nil
+		})
+	}()
+	<-started
+
+	waiters := func() int64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if c := g.calls["k"]; c != nil {
+			return c.waiters.Load()
+		}
+		return -1
+	}
+	const n = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			_, joined, err := g.Do(ctx, "k", func() (flightResult, error) {
+				t.Error("joiner must not run fn")
+				return flightResult{}, nil
+			})
+			if !joined || !errors.Is(err, context.Canceled) {
+				t.Errorf("joined=%v err=%v, want joined with context.Canceled", joined, err)
+			}
+		}()
+	}
+	for waiters() != n {
+		runtime.Gosched()
+	}
+	cancel()
+	wg.Wait()
+	// Every abandoner has returned; the count must already be zero even
+	// though the leader is still parked inside fn.
+	if w := waiters(); w != 0 {
+		t.Errorf("waiters after abandonment = %d, want 0 (leader still running)", w)
+	}
+	select {
+	case <-leaderDone:
+		t.Fatal("leader finished early; the assertion above did not test mid-flight state")
+	default:
+	}
+	close(release)
+	<-leaderDone
+}
+
 func TestFlightJoinerContextExpiry(t *testing.T) {
 	g := newFlightGroup()
 	started := make(chan struct{})

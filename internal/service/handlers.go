@@ -109,6 +109,11 @@ func clientKey(r *http.Request) string {
 // error admits; a *quotaError rejects with the refill-derived
 // Retry-After.
 func (s *Server) admitClient(r *http.Request) error {
+	if s.cluster != nil && r.Header.Get(headerForwarded) != "" {
+		// The edge node already charged the originating client's quota;
+		// charging again here would bill intra-cluster hops to the peer.
+		return nil
+	}
 	ok, retry := s.quotas.Allow(clientKey(r))
 	if ok {
 		return nil
@@ -185,7 +190,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	body, source, err := s.analyze(ctx, rr)
+	body, source, err := s.analyze(ctx, rr, s.clusterRouteFor(r, "/v1/analyze", rr.req))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -196,13 +201,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 // analyze serves one resolved analysis point through the endpoint's
-// fault boundary (circuit breaker + degradation), the cache, the
-// in-flight dedup group, and the bounded evaluation pool, in that order.
-// The returned body is the exact serialized response (cached bytes are
-// served verbatim); source reports how it was obtained: "hit",
-// "coalesced", "miss" or "degraded".
-func (s *Server) analyze(ctx context.Context, rr resolved) (body []byte, source string, err error) {
-	return s.guarded(ctx, endpointAnalyze, rr.key, func(ctx context.Context) ([]byte, string, error) {
+// fault boundary (cluster routing, circuit breaker + degradation), the
+// cache, the in-flight dedup group, and the bounded evaluation pool, in
+// that order. The returned body is the exact serialized response (cached
+// bytes are served verbatim); source reports how it was obtained: "hit",
+// "coalesced", "miss", "peer-fill", "forward" or "degraded".
+func (s *Server) analyze(ctx context.Context, rr resolved, route *clusterRoute) (body []byte, source string, err error) {
+	return s.guarded(ctx, endpointAnalyze, rr.key, route, func(ctx context.Context) ([]byte, string, error) {
 		resp, err := s.evaluate(ctx, rr)
 		if err != nil {
 			return nil, "", err
@@ -252,6 +257,15 @@ func (s *Server) serveCached(ctx context.Context, endpoint, key string, eval fun
 				if b, ok := s.cache.Get(key); ok {
 					return flightResult{body: b, fromCache: true}, nil
 				}
+				// Before paying for an evaluation, ask the key's replica
+				// peers for a cached copy (the flight guarantees at most one
+				// such lookup per key is in flight on this node).
+				if s.cluster != nil {
+					if b, ok := s.cluster.peerFill(ctx, key); ok {
+						s.cache.Add(key, b)
+						return flightResult{body: b, peerFilled: true}, nil
+					}
+				}
 				release, err := s.limiter.acquire(ctx)
 				if err != nil {
 					var de *admission.DeadlineError
@@ -281,6 +295,9 @@ func (s *Server) serveCached(ctx context.Context, endpoint, key string, eval fun
 				s.metrics.Evaluations.Inc()
 				s.metrics.EvalLatency.With(endpoint, mode).Observe(time.Since(start).Seconds())
 				s.cache.Add(key, b)
+				if s.cluster != nil {
+					s.cluster.enqueuePush(key, b)
+				}
 				return flightResult{body: b}, nil
 			})
 		})
@@ -294,6 +311,8 @@ func (s *Server) serveCached(ctx context.Context, endpoint, key string, eval fun
 		case coalesced:
 			s.metrics.Coalesced.Inc()
 			return served{res.body, "coalesced"}, nil
+		case res.peerFilled:
+			return served{res.body, "peer-fill"}, nil
 		}
 		return served{res.body, "miss"}, nil
 	})
@@ -405,7 +424,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		rr, err := s.resolve(reqs[i])
 		if err == nil {
 			var body []byte
-			body, _, err = s.analyze(ctx, rr)
+			// Each item routes to its own key's owner: a batch fans out
+			// across the cluster rather than landing on one node.
+			body, _, err = s.analyze(ctx, rr, s.clusterRouteFor(r, "/v1/analyze", reqs[i]))
 			if err == nil {
 				s.metrics.Requests.With(endpointBatchItem, "200").Inc()
 				return BatchResult{Result: json.RawMessage(body)}, nil

@@ -146,7 +146,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	body, source, err := s.guarded(ctx, endpointLint, rr.key, func(ctx context.Context) ([]byte, string, error) {
+	body, source, err := s.guarded(ctx, endpointLint, rr.key, s.clusterRouteFor(r, "/v1/lint", req), func(ctx context.Context) ([]byte, string, error) {
 		b, err := s.evaluateLint(rr)
 		return b, "closed-form", err
 	}, func(reason string) ([]byte, error) {

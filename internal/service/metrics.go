@@ -118,6 +118,69 @@ func (l *LabeledCounter) Total() int64 {
 	return t
 }
 
+// LabeledGauge is a family of gauges distinguished by label values
+// (e.g. per-peer cluster health).
+type LabeledGauge struct {
+	labels []string
+	mu     sync.Mutex
+	vals   map[string]*Gauge
+}
+
+func newLabeledGauge(labels ...string) *LabeledGauge {
+	return &LabeledGauge{labels: labels, vals: make(map[string]*Gauge)}
+}
+
+// With returns the gauge for the given label values (created on first
+// use). len(values) must equal the number of label names.
+func (l *LabeledGauge) With(values ...string) *Gauge {
+	if len(values) != len(l.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(l.labels)))
+	}
+	key := ""
+	for i, v := range values {
+		if i > 0 {
+			key += "\x00"
+		}
+		key += v
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	g, ok := l.vals[key]
+	if !ok {
+		g = &Gauge{}
+		l.vals[key] = g
+	}
+	return g
+}
+
+func (l *LabeledGauge) write(w io.Writer, name string) {
+	l.mu.Lock()
+	keys := make([]string, 0, len(l.vals))
+	for k := range l.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type kv struct {
+		key string
+		val int64
+	}
+	rows := make([]kv, len(keys))
+	for i, k := range keys {
+		rows[i] = kv{k, l.vals[k].Value()}
+	}
+	l.mu.Unlock()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s{", name)
+		for i, v := range splitKey(r.key, len(l.labels)) {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", l.labels[i], v)
+		}
+		fmt.Fprintf(w, "} %d\n", r.val)
+	}
+}
+
 // LabeledHistogram is a family of histograms distinguished by label
 // values (e.g. evaluation latency by endpoint and evaluation mode).
 type LabeledHistogram struct {
@@ -228,6 +291,23 @@ type Metrics struct {
 	// ("enumerate", "score", "verify", "apply").
 	TuneCandidates *Counter
 	TunePhase      *LabeledHistogram
+	// Cluster metrics. ClusterForwards counts proxied requests by peer
+	// and outcome ("ok", "hedged", "client-error", "backpressure",
+	// "error"); ClusterForwardLatency observes forward round-trip wall
+	// time; ClusterPeerHealthy is 1/0 per probed peer; ClusterProbes
+	// counts probe exchanges by peer and outcome ("ok"/"fail").
+	ClusterForwards       *LabeledCounter
+	ClusterForwardLatency *Histogram
+	ClusterPeerHealthy    *LabeledGauge
+	ClusterProbes         *LabeledCounter
+	// Peer cache fill accounting: FillHits/FillMisses count replica
+	// lookups on local misses; FillPushes counts entries pushed to the
+	// other replica after a local evaluation; FillDrops counts pushes
+	// dropped because the bounded push queue was full.
+	ClusterFillHits   *Counter
+	ClusterFillMisses *Counter
+	ClusterFillPushes *Counter
+	ClusterFillDrops  *Counter
 }
 
 // NewMetrics constructs an empty metric set.
@@ -257,6 +337,15 @@ func NewMetrics() *Metrics {
 		RequestLatency:      newHistogram(defLatencyBuckets()),
 		TuneCandidates:      &Counter{},
 		TunePhase:           newLabeledHistogram(defLatencyBuckets(), "phase"),
+
+		ClusterForwards:       newLabeledCounter("peer", "outcome"),
+		ClusterForwardLatency: newHistogram(defLatencyBuckets()),
+		ClusterPeerHealthy:    newLabeledGauge("peer"),
+		ClusterProbes:         newLabeledCounter("peer", "outcome"),
+		ClusterFillHits:       &Counter{},
+		ClusterFillMisses:     &Counter{},
+		ClusterFillPushes:     &Counter{},
+		ClusterFillDrops:      &Counter{},
 	}
 }
 
@@ -415,4 +504,25 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	m.RequestLatency.write(w, "fsserve_request_seconds")
 	writeHeader(w, "fsserve_tune_search_seconds", "histogram", "Auto-tuner search-stage wall time in seconds, by phase.")
 	m.TunePhase.write(w, "fsserve_tune_search_seconds")
+
+	writeHeader(w, "fsserve_cluster_forwards_total", "counter", "Requests proxied to a cluster peer, by peer and outcome.")
+	m.ClusterForwards.write(w, "fsserve_cluster_forwards_total")
+	writeHeader(w, "fsserve_cluster_probes_total", "counter", "Peer health-probe exchanges, by peer and outcome.")
+	m.ClusterProbes.write(w, "fsserve_cluster_probes_total")
+	writeHeader(w, "fsserve_cluster_peer_healthy", "gauge", "Per-peer probed health (1 = healthy, 0 = suspect or down).")
+	m.ClusterPeerHealthy.write(w, "fsserve_cluster_peer_healthy")
+	for _, c := range []struct {
+		name, help string
+		c          *Counter
+	}{
+		{"fsserve_cluster_fill_hits_total", "Local cache misses answered by a replica peer lookup.", m.ClusterFillHits},
+		{"fsserve_cluster_fill_misses_total", "Replica peer lookups that found nothing.", m.ClusterFillMisses},
+		{"fsserve_cluster_fill_pushes_total", "Cache entries pushed to replica peers after local evaluations.", m.ClusterFillPushes},
+		{"fsserve_cluster_fill_dropped_total", "Replica pushes dropped because the bounded push queue was full.", m.ClusterFillDrops},
+	} {
+		writeHeader(w, c.name, "counter", c.help)
+		fmt.Fprintf(w, "%s %d\n", c.name, c.c.Value())
+	}
+	writeHeader(w, "fsserve_cluster_forward_seconds", "histogram", "Forwarded-request round-trip latency in seconds.")
+	m.ClusterForwardLatency.write(w, "fsserve_cluster_forward_seconds")
 }

@@ -119,6 +119,11 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (the -pprof
 	// flag) for profiling the evaluation hot path.
 	EnablePprof bool
+	// Cluster, when non-nil with an Advertise address, joins this node to
+	// an fscluster mesh: rendezvous-hashed key ownership, owner
+	// forwarding with hedged replica reads, and peer cache fill. See
+	// cluster.go and docs/CLUSTER.md.
+	Cluster *ClusterConfig
 	// Seed seeds the deterministic randomness: breaker half-open probe
 	// draws and the jittered Retry-After values (0 = 1).
 	Seed int64
@@ -190,6 +195,7 @@ type Server struct {
 	limiter  *limiter
 	quotas   *admission.Quotas
 	snap     *snapshotManager
+	cluster  *serverCluster
 	breakers map[string]*guard.Breaker
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -249,6 +255,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Cluster != nil && cfg.Cluster.Advertise != "" {
+		s.cluster = newServerCluster(s, *cfg.Cluster)
+		s.mux.HandleFunc("GET /v1/peer/cache", s.handlePeerCacheGet)
+		s.mux.HandleFunc("POST /v1/peer/cache", s.handlePeerCachePut)
+	}
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -277,6 +288,9 @@ func (s *Server) BeginShutdown() { s.draining.Store(true) }
 func (s *Server) Close() error {
 	var err error
 	s.closed.Do(func() {
+		if s.cluster != nil {
+			s.cluster.close()
+		}
 		if s.snap != nil {
 			err = s.snap.close()
 		}

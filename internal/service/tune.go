@@ -169,7 +169,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	body, source, err := s.guarded(ctx, endpointTune, rr.key, func(ctx context.Context) ([]byte, string, error) {
+	body, source, err := s.guarded(ctx, endpointTune, rr.key, s.clusterRouteFor(r, "/v1/tune", req), func(ctx context.Context) ([]byte, string, error) {
 		return s.evaluateTune(ctx, rr)
 	}, func(reason string) ([]byte, error) {
 		return s.degradedTune(rr, reason)
